@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Select-Dedupe threshold** — the paper fixes T = 3 (Fig. 5); the
+//!   sweep shows the removal/fragmentation trade as T varies.
+//! * **Disk scheduler** — FIFO (Linux MD order) vs SSTF vs elevator.
+//! * **iCache epoch length** — adaptation granularity vs burst length.
+//! * **Hash parallelism** — sequential vs multi-lane fingerprinting
+//!   (§IV-D1's "today's multicore processors ... make the intelligent
+//!   storage controllers more powerful").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pod_bench::bench_trace;
+use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_dedup::IndexPolicy;
+use pod_disk::SchedulerKind;
+use pod_icache::ReadCachePolicy;
+use std::hint::black_box;
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let trace = bench_trace("web-vm");
+    let mut g = c.benchmark_group("ablation_select_threshold");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for threshold in [1usize, 2, 3, 5, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &threshold| {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.select_threshold = threshold;
+                let runner =
+                    SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+                b.iter(|| {
+                    let rep = runner.replay(&trace);
+                    black_box((rep.writes_removed_pct(), rep.read_fragmentation))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let trace = bench_trace("mail");
+    let mut g = c.benchmark_group("ablation_scheduler");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for (name, sched) in [
+        ("fifo", SchedulerKind::Fifo),
+        ("sstf", SchedulerKind::Sstf),
+        ("elevator", SchedulerKind::Elevator),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &sched| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.scheduler = sched;
+            let runner = SchemeRunner::new(Scheme::Native, cfg).expect("valid config");
+            b.iter(|| black_box(runner.replay(&trace)).overall.mean_us())
+        });
+    }
+    g.finish();
+}
+
+fn bench_icache_epoch_sweep(c: &mut Criterion) {
+    let trace = bench_trace("mail");
+    let mut g = c.benchmark_group("ablation_icache_epoch");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for epoch in [100u64, 400, 1_600, 6_400] {
+        g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &epoch| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.icache_epoch_requests = epoch;
+            let runner = SchemeRunner::new(Scheme::Pod, cfg).expect("valid config");
+            b.iter(|| {
+                let rep = runner.replay(&trace);
+                black_box((rep.overall.mean_us(), rep.icache_repartitions))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_workers(c: &mut Criterion) {
+    let trace = bench_trace("mail");
+    let mut g = c.benchmark_group("ablation_hash_workers");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.hash_workers = workers;
+                let runner =
+                    SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+                b.iter(|| black_box(runner.replay(&trace)).writes.mean_us())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_index_policy(c: &mut Criterion) {
+    let trace = bench_trace("web-vm");
+    let mut g = c.benchmark_group("ablation_index_policy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for (name, policy) in [("lru", IndexPolicy::Lru), ("lfu", IndexPolicy::Lfu)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.index_policy = policy;
+            let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+            b.iter(|| {
+                let rep = runner.replay(&trace);
+                black_box((rep.writes_removed_pct(), rep.writes.mean_us()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_policy(c: &mut Criterion) {
+    let trace = bench_trace("web-vm");
+    let mut g = c.benchmark_group("ablation_read_policy");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for (name, policy) in [("lru", ReadCachePolicy::Lru), ("arc", ReadCachePolicy::Arc)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.read_policy = policy;
+            let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+            b.iter(|| {
+                let rep = runner.replay(&trace);
+                black_box((rep.read_cache_hit_rate, rep.reads.mean_us()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_sweep,
+    bench_scheduler_ablation,
+    bench_icache_epoch_sweep,
+    bench_hash_workers,
+    bench_index_policy,
+    bench_read_policy
+);
+criterion_main!(benches);

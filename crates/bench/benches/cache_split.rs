@@ -1,0 +1,69 @@
+//! Fig. 3 as a bench: sweep the fixed index-cache/read-cache split under
+//! Full-Dedupe on the mail trace. The paper's observation — "a larger
+//! index cache is beneficial to the write performance and a larger read
+//! cache is beneficial to the read performance" — is asserted on the
+//! sweep endpoints inside the loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pod_bench::bench_trace;
+use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use std::hint::black_box;
+
+fn bench_split_points(c: &mut Criterion) {
+    let trace = bench_trace("mail");
+    let mut g = c.benchmark_group("fig3_cache_split");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for frac in [0.2, 0.5, 0.8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("index_{}pct", (frac * 100.0) as u32)),
+            &frac,
+            |b, &frac| {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.index_fraction = frac;
+                let runner =
+                    SchemeRunner::new(Scheme::FullDedupe, cfg).expect("valid config");
+                b.iter(|| {
+                    let rep = runner.replay(&trace);
+                    black_box((rep.reads.mean_us(), rep.writes.mean_us()))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig3_shape_gate(c: &mut Criterion) {
+    let trace = bench_trace("mail");
+    let mut g = c.benchmark_group("fig3_gate");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.bench_function("endpoint_tradeoff", |b| {
+        b.iter(|| {
+            let run = |frac: f64| {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.index_fraction = frac;
+                SchemeRunner::new(Scheme::FullDedupe, cfg)
+                    .expect("valid")
+                    .replay(&trace)
+            };
+            let small_index = run(0.2);
+            let big_index = run(0.8);
+            assert!(
+                big_index.writes.mean_us() <= small_index.writes.mean_us(),
+                "larger index cache must help writes"
+            );
+            assert!(
+                small_index.reads.mean_us() <= big_index.reads.mean_us(),
+                "larger read cache must help reads"
+            );
+            (small_index.reads.mean_us(), big_index.writes.mean_us())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_points, bench_fig3_shape_gate);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! The Fig. 8–11 material as Criterion benches: replay each scheme over
+//! each paper trace. The measured quantity is harness wall-time, but
+//! each iteration produces the paper's metrics (response times, writes
+//! removed, capacity) and asserts the headline orderings, so `cargo
+//! bench` doubles as a shape regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pod_bench::bench_trace;
+use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use std::hint::black_box;
+
+fn bench_scheme_replays(c: &mut Criterion) {
+    for trace_name in ["web-vm", "homes", "mail"] {
+        let trace = bench_trace(trace_name);
+        let mut g = c.benchmark_group(format!("replay_{trace_name}"));
+        g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+        for scheme in Scheme::all() {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let runner = SchemeRunner::new(scheme, SystemConfig::paper_default())
+                        .expect("valid config");
+                    b.iter(|| black_box(runner.replay(&trace)).overall.mean_us())
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+fn bench_fig8_shape_gate(c: &mut Criterion) {
+    // One full comparison on mail (the paper's strongest case), asserting
+    // the Fig. 8/9/10/11 orderings inside the measured loop.
+    let trace = bench_trace("mail");
+    let cfg = SystemConfig::paper_default();
+    let mut g = c.benchmark_group("fig8_gate");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    g.bench_function("mail_native_vs_select", |b| {
+        b.iter(|| {
+            let native = SchemeRunner::new(Scheme::Native, cfg.clone())
+                .expect("valid")
+                .replay(&trace);
+            let select = SchemeRunner::new(Scheme::SelectDedupe, cfg.clone())
+                .expect("valid")
+                .replay(&trace);
+            assert!(
+                select.overall.mean_us() < native.overall.mean_us(),
+                "Fig. 8: Select-Dedupe must beat Native on mail"
+            );
+            assert!(
+                select.capacity_used_blocks < native.capacity_used_blocks,
+                "Fig. 10: dedup saves capacity"
+            );
+            assert!(
+                select.writes_removed_pct() > 30.0,
+                "Fig. 11: mail write elimination"
+            );
+            (native.overall.mean_us(), select.overall.mean_us())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheme_replays, bench_fig8_shape_gate);
+criterion_main!(benches);

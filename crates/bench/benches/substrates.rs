@@ -1,0 +1,171 @@
+//! Microbenches for the substrate crates: hashing, caches, index table,
+//! RAID planning, and the event engine. These establish that the
+//! simulator itself is fast enough that replay results measure the
+//! *modelled* system, not harness overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pod_cache::{ArcCache, LfuCache, LruCache};
+use pod_dedup::IndexTable;
+use pod_disk::engine::isolated_latency;
+use pod_disk::{ArraySim, DiskSpec, RaidConfig, RaidGeometry, SchedulerKind};
+use pod_hash::{fnv1a_64, HashEngine, ParallelHashEngine, Sha256, Sha256Engine};
+use pod_types::{Fingerprint, Pba, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_hashing(c: &mut Criterion) {
+    let chunk = vec![0xA5u8; 4096];
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("sha256_4k_chunk", |b| {
+        b.iter(|| Sha256::digest(black_box(&chunk)))
+    });
+    g.bench_function("fnv1a_4k", |b| b.iter(|| fnv1a_64(black_box(&chunk))));
+    g.finish();
+
+    // Parallel engine: 64 chunks fanned over 4 workers vs sequential.
+    let chunks: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 4096]).collect();
+    let refs: Vec<&[u8]> = chunks.iter().map(|v| v.as_slice()).collect();
+    let mut g = c.benchmark_group("hash_batch_64x4k");
+    g.throughput(Throughput::Bytes(64 * 4096));
+    g.bench_function("sequential", |b| {
+        let e = Sha256Engine::default();
+        b.iter(|| {
+            refs.iter()
+                .map(|r| e.fingerprint(black_box(r)))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("parallel_4_workers", |b| {
+        let e = ParallelHashEngine::new(SimDuration::from_micros(32), 4);
+        b.iter(|| e.fingerprint_batch(black_box(&refs)))
+    });
+    g.finish();
+}
+
+fn bench_caches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_ops");
+    g.bench_function("lru_insert_get", |b| {
+        b.iter_batched(
+            || LruCache::<u64, u64>::new(1_024),
+            |mut cache| {
+                for i in 0..4_096u64 {
+                    cache.insert(i, i);
+                    black_box(cache.get(&(i / 2)));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("arc_insert_get", |b| {
+        b.iter_batched(
+            || ArcCache::<u64, u64>::new(1_024),
+            |mut cache| {
+                for i in 0..4_096u64 {
+                    if cache.get(&(i % 2_048)).is_none() {
+                        cache.insert(i % 2_048, i);
+                    }
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lfu_insert_get", |b| {
+        b.iter_batched(
+            || LfuCache::<u64, u64>::new(1_024),
+            |mut cache| {
+                for i in 0..4_096u64 {
+                    cache.insert(i % 2_048, i);
+                    black_box(cache.get(&(i % 512)));
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_index_table(c: &mut Criterion) {
+    c.bench_function("index_table_query_insert", |b| {
+        b.iter_batched(
+            || IndexTable::new(8_192),
+            |mut t| {
+                for i in 0..16_384u64 {
+                    let fp = Fingerprint::from_content_id(i % 12_288);
+                    if t.query(&fp).is_none() {
+                        t.insert(fp, Pba::new(i));
+                    }
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_raid_planning(c: &mut Criterion) {
+    let g5 = RaidGeometry::new(RaidConfig::paper_raid5());
+    let mut g = c.benchmark_group("raid_plan");
+    g.bench_function("small_write_rmw", |b| {
+        b.iter(|| g5.plan_write(black_box(Pba::new(12_345)), 4))
+    });
+    g.bench_function("full_stripe_write", |b| {
+        b.iter(|| g5.plan_write(black_box(Pba::new(0)), 48))
+    });
+    g.bench_function("large_read", |b| {
+        b.iter(|| g5.plan_read(black_box(Pba::new(777)), 128))
+    });
+    g.finish();
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("array_sim_1000_jobs", |b| {
+        b.iter_batched(
+            || {
+                ArraySim::new(
+                    RaidGeometry::new(RaidConfig::paper_raid5()),
+                    DiskSpec::test_disk(),
+                    SchedulerKind::Fifo,
+                )
+            },
+            |mut sim| {
+                for i in 0..1_000u64 {
+                    let at = SimTime::from_micros(i * 50);
+                    if i % 3 == 0 {
+                        sim.submit_write(at, Pba::new((i * 13) % 8_000), 4);
+                    } else {
+                        sim.submit_read(at, Pba::new((i * 7) % 8_000), 8);
+                    }
+                }
+                sim.run_to_idle();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("isolated_rmw_latency", |b| {
+        b.iter_batched(
+            || {
+                ArraySim::new(
+                    RaidGeometry::new(RaidConfig::paper_raid5()),
+                    DiskSpec::wd1600aajs(),
+                    SchedulerKind::Fifo,
+                )
+            },
+            |mut sim| isolated_latency(&mut sim, SimTime::ZERO, Pba::new(100_000), 4, true),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_caches,
+    bench_index_table,
+    bench_raid_planning,
+    bench_event_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benches regenerating the workload-analysis artifacts: Table II
+//! statistics, the Fig. 1 per-size redundancy distribution, and the
+//! Fig. 2 I/O-vs-capacity redundancy decomposition. Each iteration also
+//! asserts the headline shape so a regression in the generator is caught
+//! here as well as in the tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pod_bench::{bench_trace, BENCH_SCALE, BENCH_SEED};
+use pod_trace::stats::{redundancy_breakdown, size_redundancy, TraceStats};
+use pod_trace::TraceProfile;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(4));
+    for profile in ["web-vm", "homes", "mail"] {
+        g.bench_function(profile, |b| {
+            let p = match profile {
+                "web-vm" => TraceProfile::web_vm(),
+                "homes" => TraceProfile::homes(),
+                _ => TraceProfile::mail(),
+            }
+            .scaled(BENCH_SCALE);
+            b.iter(|| black_box(p.generate(BENCH_SEED)).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let traces: Vec<_> = ["web-vm", "homes", "mail"]
+        .iter()
+        .map(|n| bench_trace(n))
+        .collect();
+    c.bench_function("table2_stats", |b| {
+        b.iter(|| {
+            for t in &traces {
+                let s = TraceStats::compute(black_box(t));
+                assert!(s.write_ratio > 0.6, "writes dominate primary storage");
+            }
+        })
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mail = bench_trace("mail");
+    c.bench_function("fig1_size_redundancy", |b| {
+        b.iter(|| {
+            let buckets = size_redundancy(black_box(&mail));
+            // Headline: small writes dominate and are highly redundant.
+            assert!(buckets[0].total > 0);
+            buckets
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let traces: Vec<_> = ["web-vm", "homes", "mail"]
+        .iter()
+        .map(|n| bench_trace(n))
+        .collect();
+    c.bench_function("fig2_redundancy_breakdown", |b| {
+        b.iter(|| {
+            for t in &traces {
+                let bd = redundancy_breakdown(black_box(t));
+                // Headline: I/O redundancy exceeds capacity redundancy.
+                assert!(bd.io_redundancy_pct() >= bd.capacity_redundancy_pct());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_table2, bench_fig1, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+use pod_core::experiments::*;
+use pod_core::Scheme;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let t0 = std::time::Instant::now();
+    let cmp = scheme_comparison(scale, DEFAULT_SEED);
+    println!("fig8:\n{}", cmp.fig8_csv());
+    println!("fig9a:\n{}", cmp.fig9a_csv());
+    println!("fig9b:\n{}", cmp.fig9b_csv());
+    println!("fig10:\n{}", cmp.fig10_csv());
+    println!("fig11:\n{}", cmp.fig11_csv());
+    println!("overhead:\n{}", cmp.overhead_csv());
+    // POD vs Select detail
+    for (ti, name) in ["web-vm", "homes", "mail"].iter().enumerate() {
+        let nat = cmp.report(ti, Scheme::Native);
+        let sel = cmp.report(ti, Scheme::SelectDedupe);
+        let pod = cmp.report(ti, Scheme::Pod);
+        println!(
+            "{name}: native overall {:.2}ms (r {:.2} w {:.2}) | select {:.2}ms rm {:.1}% hit {:.2} | pod {:.2}ms rm {:.1}% hit {:.2} repart {} idxfrac {:.2}",
+            nat.overall.mean_ms(), nat.reads.mean_ms(), nat.writes.mean_ms(),
+            sel.overall.mean_ms(), sel.writes_removed_pct(), sel.read_cache_hit_rate,
+            pod.overall.mean_ms(), pod.writes_removed_pct(), pod.read_cache_hit_rate,
+            pod.icache_repartitions, pod.final_index_fraction,
+        );
+    }
+    println!("fig3:\n{}", fig3_csv(&fig3(scale, DEFAULT_SEED)));
+    println!("elapsed: {:?}", t0.elapsed());
+}

@@ -1,0 +1,176 @@
+//! Flag parsing shared by all subcommands (no external dependencies).
+
+use pod_core::Scheme;
+use pod_trace::{Trace, TraceProfile};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    pub profile: String,
+    pub scale: f64,
+    pub seed: u64,
+    pub trace_path: Option<String>,
+    pub scheme: Scheme,
+    pub out: Option<String>,
+    pub memory_mib: Option<u64>,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            profile: "mail".into(),
+            scale: 0.05,
+            seed: 42,
+            trace_path: None,
+            scheme: Scheme::Pod,
+            out: None,
+            memory_mib: None,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parse `--flag value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut args = Self::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))?;
+            match flag {
+                "--profile" => args.profile = value.clone(),
+                "--scale" => {
+                    args.scale = value
+                        .parse()
+                        .map_err(|_| format!("bad --scale '{value}'"))?;
+                    if args.scale <= 0.0 {
+                        return Err("--scale must be positive".into());
+                    }
+                }
+                "--seed" => {
+                    args.seed = value.parse().map_err(|_| format!("bad --seed '{value}'"))?
+                }
+                "--trace" => args.trace_path = Some(value.clone()),
+                "--out" => args.out = Some(value.clone()),
+                "--memory" => {
+                    args.memory_mib =
+                        Some(value.parse().map_err(|_| format!("bad --memory '{value}'"))?)
+                }
+                "--scheme" => {
+                    args.scheme = match value.as_str() {
+                        "native" => Scheme::Native,
+                        "full" | "full-dedupe" => Scheme::FullDedupe,
+                        "idedup" => Scheme::IDedup,
+                        "select" | "select-dedupe" => Scheme::SelectDedupe,
+                        "pod" => Scheme::Pod,
+                        "post" | "post-process" => Scheme::PostProcess,
+                        "iodedup" | "io-dedup" => Scheme::IODedup,
+                        other => return Err(format!("unknown scheme '{other}'")),
+                    }
+                }
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+            i += 2;
+        }
+        Ok(args)
+    }
+
+    /// The workload profile named by `--profile`.
+    pub fn resolve_profile(&self) -> Result<TraceProfile, String> {
+        match self.profile.as_str() {
+            "web-vm" | "webvm" => Ok(TraceProfile::web_vm()),
+            "homes" => Ok(TraceProfile::homes()),
+            "mail" => Ok(TraceProfile::mail()),
+            other => Err(format!("unknown profile '{other}' (web-vm|homes|mail)")),
+        }
+    }
+
+    /// Load the trace: from `--trace <file>` (FIU text) when given,
+    /// otherwise generated from the profile.
+    pub fn load_trace(&self) -> Result<Trace, String> {
+        if let Some(path) = &self.trace_path {
+            let body = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {path}: {e}"))?;
+            let records =
+                pod_trace::fiu::parse_str(&body).map_err(|e| format!("parsing {path}: {e}"))?;
+            let budget = self
+                .memory_mib
+                .map(|m| m * 1024 * 1024)
+                .unwrap_or(500 * 1024 * 1024);
+            Ok(pod_trace::reconstruct::trace_from_records(
+                path, &records, budget,
+            ))
+        } else {
+            let profile = self.resolve_profile()?;
+            Ok(profile.scaled(self.scale).generate(self.seed))
+        }
+    }
+
+    /// The system configuration implied by the flags.
+    pub fn system_config(&self) -> pod_core::SystemConfig {
+        let mut cfg = pod_core::SystemConfig::paper_default();
+        if let Some(m) = self.memory_mib {
+            cfg.memory_bytes = Some(m * 1024 * 1024);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<CliArgs, String> {
+        CliArgs::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).expect("empty args parse");
+        assert_eq!(a.profile, "mail");
+        assert_eq!(a.scheme, Scheme::Pod);
+        assert!(a.trace_path.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--profile", "homes", "--scale", "0.5", "--seed", "7", "--scheme", "select",
+            "--out", "x.fiu", "--memory", "64",
+        ])
+        .expect("parse");
+        assert_eq!(a.profile, "homes");
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scheme, Scheme::SelectDedupe);
+        assert_eq!(a.out.as_deref(), Some("x.fiu"));
+        assert_eq!(a.memory_mib, Some(64));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "zero"]).is_err());
+        assert!(parse(&["--scale", "-1"]).is_err());
+        assert!(parse(&["--scheme", "bogus"]).is_err());
+        assert!(parse(&["--wat", "1"]).is_err());
+    }
+
+    #[test]
+    fn profile_resolution() {
+        let mut a = CliArgs::default();
+        a.profile = "web-vm".into();
+        assert_eq!(a.resolve_profile().expect("known").name, "web-vm");
+        a.profile = "nope".into();
+        assert!(a.resolve_profile().is_err());
+    }
+
+    #[test]
+    fn memory_override_lands_in_config() {
+        let mut a = CliArgs::default();
+        a.memory_mib = Some(64);
+        assert_eq!(a.system_config().memory_bytes, Some(64 * 1024 * 1024));
+    }
+}

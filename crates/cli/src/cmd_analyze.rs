@@ -1,0 +1,56 @@
+//! `pod-cli analyze` — workload statistics: the Table II row, the Fig. 1
+//! per-size redundancy distribution, and the Fig. 2 redundancy split.
+
+use crate::args::CliArgs;
+use pod_trace::bursts::detect_bursts;
+use pod_trace::stats::{redundancy_breakdown, size_redundancy, TraceStats};
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let trace = args.load_trace()?;
+    let stats = TraceStats::compute(&trace);
+    println!("== {} ==", trace.name);
+    println!(
+        "requests {}   write ratio {:.1}%   mean size {:.1} KiB",
+        stats.n_requests,
+        stats.write_ratio * 100.0,
+        stats.mean_request_kib
+    );
+    println!(
+        "blocks written {}   blocks read {}   write-burst windows {:.0}%   read-burst windows {:.0}%",
+        stats.write_blocks,
+        stats.read_blocks,
+        stats.write_burst_fraction * 100.0,
+        stats.read_burst_fraction * 100.0
+    );
+
+    println!("\nI/O redundancy by request size (Fig. 1):");
+    println!("{:>9} {:>10} {:>10} {:>7}", "size", "total", "redundant", "ratio");
+    for b in size_redundancy(&trace) {
+        let label = if b.kib >= 128 { ">=128K".to_string() } else { format!("{}K", b.kib) };
+        let ratio = if b.total == 0 { 0.0 } else { b.redundant as f64 / b.total as f64 };
+        println!("{label:>9} {:>10} {:>10} {:>6.1}%", b.total, b.redundant, ratio * 100.0);
+    }
+
+    let bursts = detect_bursts(&trace, 50, 8);
+    println!(
+        "\nburstiness: {} bursts ({} write-intensive, {} read-intensive), mean {:.0} requests, \
+         interleaving {:.0}%",
+        bursts.phases.len(),
+        bursts.write_bursts(),
+        bursts.read_bursts(),
+        bursts.mean_phase_len(),
+        bursts.interleaving() * 100.0
+    );
+
+    let rb = redundancy_breakdown(&trace);
+    println!("\nwrite-data redundancy (Fig. 2):");
+    println!(
+        "  I/O redundancy      {:>5.1}%  (same-location {:.1}% + different-location {:.1}%)",
+        rb.io_redundancy_pct(),
+        rb.same_location_blocks as f64 * 100.0 / rb.total().max(1) as f64,
+        rb.capacity_redundancy_pct()
+    );
+    println!("  capacity redundancy {:>5.1}%", rb.capacity_redundancy_pct());
+    println!("  gap                 {:>5.1} points", rb.gap_pct());
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! `pod-cli compare` — all five schemes side by side (the Fig. 8–11
+//! experiment).
+
+use crate::args::CliArgs;
+use pod_core::experiments::run_schemes;
+use pod_core::Scheme;
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let trace = args.load_trace()?;
+    let cfg = args.system_config();
+    println!(
+        "replaying {} requests of `{}` through 5 schemes (parallel) ...",
+        trace.len(),
+        trace.name
+    );
+    let reports = run_schemes(&Scheme::all(), &trace, &cfg);
+    let base = reports[0].overall.mean_us().max(1e-9);
+    let base_cap = reports[0].capacity_used_blocks.max(1);
+
+    println!(
+        "\n{:<14} {:>11} {:>8} {:>10} {:>10} {:>9} {:>8}",
+        "scheme", "overall(ms)", "vs nat", "read(ms)", "write(ms)", "removed%", "cap%"
+    );
+    for rep in &reports {
+        println!(
+            "{:<14} {:>11.2} {:>7.1}% {:>10.2} {:>10.2} {:>9.1} {:>8.1}",
+            rep.scheme,
+            rep.overall.mean_ms(),
+            rep.overall.mean_us() * 100.0 / base,
+            rep.reads.mean_ms(),
+            rep.writes.mean_ms(),
+            rep.writes_removed_pct(),
+            rep.capacity_used_blocks as f64 * 100.0 / base_cap as f64,
+        );
+    }
+    Ok(())
+}

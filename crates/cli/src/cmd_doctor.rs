@@ -1,0 +1,101 @@
+//! `pod-cli doctor` — self-check: replay a workload through every
+//! scheme and verify the system's internal invariants end to end
+//! (store consistency, journal recovery, determinism, headline shapes).
+
+use crate::args::CliArgs;
+use pod_core::experiments::run_schemes;
+use pod_core::{Scheme, SchemeRunner};
+use pod_dedup::{DedupConfig, DedupEngine, DedupPolicy};
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let mut failures = 0usize;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        println!("  [{}] {name}{}", if ok { "ok" } else { "FAIL" }, if detail.is_empty() { String::new() } else { format!(" — {detail}") });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    println!("pod doctor: verifying invariants on `{}` at scale {}\n", args.profile, args.scale);
+    let trace = args.load_trace()?;
+    let cfg = args.system_config();
+
+    // 1. Engine-level: process every write through each policy and check
+    //    store invariants + journal recovery.
+    for policy in [
+        DedupPolicy::Native,
+        DedupPolicy::FullDedupe,
+        DedupPolicy::IDedup,
+        DedupPolicy::SelectDedupe,
+    ] {
+        let logical = trace.address_span_blocks().max(1_024);
+        let mut engine = DedupEngine::new(
+            policy,
+            DedupConfig {
+                logical_blocks: logical,
+                overflow_blocks: logical / 2 + 4_096,
+                ..DedupConfig::default()
+            },
+        );
+        let mut err = String::new();
+        for req in trace.requests.iter().filter(|r| r.op.is_write()) {
+            if let Err(e) = engine.process_write(req) {
+                err = e.to_string();
+                break;
+            }
+        }
+        let inv = engine.store().check_invariants();
+        let jr = engine.store().verify_journal_recovery();
+        check(
+            &format!("{} store invariants + journal recovery", policy.name()),
+            err.is_empty() && inv.is_ok() && jr.is_ok(),
+            [err, inv.err().map(|e| e.to_string()).unwrap_or_default(), jr.err().map(|e| e.to_string()).unwrap_or_default()]
+                .into_iter()
+                .find(|s| !s.is_empty())
+                .unwrap_or_default(),
+        );
+    }
+
+    // 2. Replay determinism.
+    let runner = SchemeRunner::new(Scheme::Pod, cfg.clone()).map_err(|e| e.to_string())?;
+    let a = runner.replay(&trace);
+    let b = runner.replay(&trace);
+    check(
+        "replay determinism",
+        a.overall.mean_us() == b.overall.mean_us() && a.counters == b.counters,
+        format!("{:.3} vs {:.3} ms", a.overall.mean_ms(), b.overall.mean_ms()),
+    );
+
+    // 3. Headline shapes.
+    let reports = run_schemes(&[Scheme::Native, Scheme::IDedup, Scheme::Pod], &trace, &cfg);
+    check(
+        "POD beats Native on overall response time",
+        reports[2].overall.mean_us() < reports[0].overall.mean_us(),
+        format!(
+            "POD {:.2} ms vs Native {:.2} ms",
+            reports[2].overall.mean_ms(),
+            reports[0].overall.mean_ms()
+        ),
+    );
+    check(
+        "POD capacity <= iDedup capacity",
+        reports[2].capacity_used_blocks <= reports[1].capacity_used_blocks,
+        format!(
+            "{} vs {} blocks",
+            reports[2].capacity_used_blocks, reports[1].capacity_used_blocks
+        ),
+    );
+    check(
+        "NVRAM accounted in whole Map-table entries",
+        reports[2].nvram_peak_bytes % 20 == 0,
+        format!("{} bytes", reports[2].nvram_peak_bytes),
+    );
+
+    println!();
+    if failures == 0 {
+        println!("all checks passed");
+        Ok(())
+    } else {
+        Err(format!("{failures} check(s) failed"))
+    }
+}

@@ -1,0 +1,71 @@
+//! `pod-cli replay` — replay a trace through one scheme and print the
+//! full report.
+
+use crate::args::CliArgs;
+use pod_core::SchemeRunner;
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let trace = args.load_trace()?;
+    let cfg = args.system_config();
+    let runner = SchemeRunner::new(args.scheme, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "replaying {} requests of `{}` through {} ...",
+        trace.len(),
+        trace.name,
+        args.scheme
+    );
+    let t0 = std::time::Instant::now();
+    let rep = runner.try_replay(&trace).map_err(|e| e.to_string())?;
+    println!("done in {:?}\n", t0.elapsed());
+
+    println!("response time (ms):    mean      p50      p95      p99      max");
+    for (label, m) in [("overall", &rep.overall), ("reads", &rep.reads), ("writes", &rep.writes)] {
+        println!(
+            "  {label:<18} {:>7.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            m.mean_ms(),
+            m.percentile_us(50.0) as f64 / 1e3,
+            m.percentile_us(95.0) as f64 / 1e3,
+            m.percentile_us(99.0) as f64 / 1e3,
+            m.max_us() as f64 / 1e3,
+        );
+    }
+    println!(
+        "\nwrites removed {:.1}%   deduped blocks {}   capacity used {:.1} MiB",
+        rep.writes_removed_pct(),
+        rep.counters.deduped_blocks,
+        rep.capacity_used_mib()
+    );
+    println!(
+        "read-cache hit rate {:.1}%   read fragmentation {:.2}   NVRAM peak {:.2} KiB",
+        rep.read_cache_hit_rate * 100.0,
+        rep.read_fragmentation,
+        rep.nvram_peak_bytes as f64 / 1024.0
+    );
+    println!(
+        "iCache: {} epochs, {} repartitions, final index share {:.0}%",
+        rep.icache_epochs,
+        rep.icache_repartitions,
+        rep.final_index_fraction * 100.0
+    );
+    let busy: u64 = rep.disk.iter().map(|d| d.busy_us).sum();
+    let ops: u64 = rep.disk.iter().map(|d| d.ops).sum();
+    println!(
+        "disks: {} ops, {:.1} s busy, max queue depth {}",
+        ops,
+        busy as f64 / 1e6,
+        rep.disk.iter().map(|d| d.max_queue_depth).max().unwrap_or(0)
+    );
+    if !rep.timeline.points.is_empty() {
+        println!(
+            "
+response-time over the day (peak {:.1} ms):
+  {}",
+            rep.timeline.peak_us() / 1e3,
+            rep.timeline.sparkline()
+        );
+    }
+    println!("
+latency histogram (overall):
+{}", rep.overall.histogram().render(40));
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! `pod-cli` — drive the POD simulator from the command line.
+//!
+//! ```text
+//! pod-cli gen      --profile mail --scale 0.05 --seed 42 --out mail.fiu
+//! pod-cli analyze  --trace mail.fiu            # Table II / Fig.1 / Fig.2 stats
+//! pod-cli analyze  --profile mail --scale 0.05 # same, from a generated trace
+//! pod-cli replay   --scheme pod --profile mail --scale 0.05
+//! pod-cli compare  --profile mail --scale 0.05 # all five schemes
+//! ```
+
+mod args;
+mod cmd_analyze;
+mod cmd_compare;
+mod cmd_doctor;
+mod cmd_gen;
+mod cmd_replay;
+
+use args::CliArgs;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage_and_exit(0);
+    }
+    let cmd = argv.remove(0);
+    let args = match CliArgs::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage_and_exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen::run(&args),
+        "analyze" => cmd_analyze::run(&args),
+        "replay" => cmd_replay::run(&args),
+        "compare" => cmd_compare::run(&args),
+        "doctor" => cmd_doctor::run(&args),
+        "help" | "--help" | "-h" => usage_and_exit(0),
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            usage_and_exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage_and_exit(code: i32) -> ! {
+    println!(
+        "pod-cli — POD deduplication simulator (IPDPS'14 reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 gen      generate a synthetic trace, optionally exporting FIU text\n\
+         \x20 analyze  workload statistics (Table II, Fig. 1, Fig. 2)\n\
+         \x20 replay   replay a trace through one scheme\n\
+         \x20 compare  replay a trace through all five schemes\n\
+         \x20 doctor   verify internal invariants end to end\n\
+         \n\
+         options:\n\
+         \x20 --profile <web-vm|homes|mail>   workload profile (default mail)\n\
+         \x20 --scale <f64>                   trace scale, 1.0 = paper size (default 0.05)\n\
+         \x20 --seed <u64>                    generator seed (default 42)\n\
+         \x20 --trace <path>                  FIU-format trace file instead of a profile\n\
+         \x20 --scheme <native|full|idedup|select|pod|post|iodedup>  scheme for `replay`\n\
+         \x20 --out <path>                    output file for `gen`\n\
+         \x20 --memory <MiB>                  override the DRAM budget"
+    );
+    std::process::exit(code);
+}

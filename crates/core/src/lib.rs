@@ -1,0 +1,37 @@
+//! # pod-core
+//!
+//! The assembled POD system and its evaluation harness.
+//!
+//! This crate wires the substrates together the way Fig. 4 of the paper
+//! draws them: trace requests enter at the block interface, writes pass
+//! through the hash engine and a [`pod_dedup::DedupEngine`]
+//! (Select-Dedupe or a baseline policy), reads pass through the
+//! [`pod_icache::ICache`] read cache, and the surviving physical I/O is
+//! serviced by the [`pod_disk::ArraySim`] RAID simulator. Response times
+//! are measured per request exactly as the paper's trace replayer does
+//! (§IV-A: user response times, with reads and writes also reported
+//! separately).
+//!
+//! * [`config`] — [`SystemConfig`]: the paper's testbed configuration
+//!   (4-disk RAID-5, 64 KiB stripe, 32 µs/4 KiB hashing, per-trace DRAM
+//!   budgets) plus every knob the ablation benches sweep.
+//! * [`scheme`] — [`Scheme`]: Native / Full-Dedupe / iDedup /
+//!   Select-Dedupe / POD (= Select-Dedupe + adaptive iCache).
+//! * [`runner`] — [`SchemeRunner`]: deterministic trace replay producing
+//!   a [`ReplayReport`].
+//! * [`metrics`] — response-time accumulators (mean, percentiles).
+//! * [`experiments`] — one function per table/figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod runner;
+pub mod scheme;
+
+pub use config::SystemConfig;
+pub use metrics::{LatencyHistogram, Metrics, Timeline};
+pub use runner::{ReplayReport, SchemeRunner};
+pub use scheme::Scheme;

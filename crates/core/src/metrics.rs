@@ -1,0 +1,332 @@
+//! Response-time metrics.
+//!
+//! The paper reports average user response times, separated into read and
+//! write components (§IV-A). We additionally keep percentiles, which the
+//! extended analyses and benches use.
+
+/// An accumulator of per-request response times (µs).
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    samples: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Metrics {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one response time in µs.
+    pub fn record(&mut self, us: u64) {
+        self.samples.push(us);
+        self.sum += us;
+        self.max = self.max.max(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean response time, µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.sum as f64 / self.samples.len() as f64
+    }
+
+    /// Mean response time, ms.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_us() / 1_000.0
+    }
+
+    /// Maximum observed response time, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Percentile (0 < p ≤ 100) via nearest-rank on a sorted copy.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        debug_assert!((0.0..=100.0).contains(&p));
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Sample standard deviation, µs (0 with fewer than two samples).
+    pub fn stddev_us(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_us();
+        let var: f64 = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Log2-bucketed latency histogram of the samples.
+    pub fn histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::default();
+        for &s in &self.samples {
+            h.record(s);
+        }
+        h
+    }
+}
+
+/// A log2-bucketed latency histogram: bucket *i* counts samples in
+/// `[2^i, 2^(i+1))` µs, so the full range 1 µs – ~134 s fits in 28
+/// buckets. Used for tail-latency reporting beyond the paper's means.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 28],
+}
+
+impl LatencyHistogram {
+    /// Record one response time in µs.
+    pub fn record(&mut self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(27);
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts, index i covering `[2^i, 2^(i+1))` µs.
+    pub fn buckets(&self) -> &[u64; 28] {
+        &self.buckets
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Render as text rows `lower_bound_ms count bar`, skipping empty
+    /// leading/trailing buckets.
+    pub fn render(&self, width: usize) -> String {
+        let total = self.total();
+        if total == 0 {
+            return "  (no samples)\n".to_string();
+        }
+        let first = self.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let max = *self.buckets.iter().max().expect("non-empty");
+        let mut out = String::new();
+        for i in first..=last {
+            let lo_ms = (1u64 << i) as f64 / 1_000.0;
+            let bar_len = (self.buckets[i] as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "  {:>9.3} ms | {:<width$} {}\n",
+                lo_ms,
+                "#".repeat(bar_len),
+                self.buckets[i],
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// Response times bucketed by arrival-time window — the shape of the
+/// latency curve over the replayed day (bursts show as spikes).
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Window length in µs.
+    pub window_us: u64,
+    /// `(window start µs, mean response µs, samples)` per non-empty
+    /// window, in time order.
+    pub points: Vec<(u64, f64, usize)>,
+}
+
+impl Timeline {
+    /// Build from `(arrival µs, response µs)` pairs (any order) with
+    /// `windows` equal-width windows across the observed span.
+    pub fn build(samples: &[(u64, u64)], windows: usize) -> Timeline {
+        if samples.is_empty() || windows == 0 {
+            return Timeline::default();
+        }
+        let last = samples.iter().map(|&(a, _)| a).max().expect("non-empty");
+        let window_us = (last / windows as u64).max(1);
+        let mut sums: Vec<(u64, usize)> = vec![(0, 0); windows + 1];
+        for &(arrival, response) in samples {
+            let w = (arrival / window_us).min(windows as u64) as usize;
+            sums[w].0 += response;
+            sums[w].1 += 1;
+        }
+        let points = sums
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(i, (sum, n))| (i as u64 * window_us, sum as f64 / n as f64, n))
+            .collect();
+        Timeline { window_us, points }
+    }
+
+    /// Peak window mean, µs.
+    pub fn peak_us(&self) -> f64 {
+        self.points.iter().map(|&(_, m, _)| m).fold(0.0, f64::max)
+    }
+
+    /// Compact sparkline of the per-window means.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = self.peak_us().max(1e-9);
+        self.points
+            .iter()
+            .map(|&(_, m, _)| {
+                let lvl = ((m / peak) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[lvl.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        let mut m = Metrics::new();
+        for v in [10, 20, 30] {
+            m.record(v);
+        }
+        assert_eq!(m.count(), 3);
+        assert!((m.mean_us() - 20.0).abs() < 1e-12);
+        assert!((m.mean_ms() - 0.02).abs() < 1e-12);
+        assert_eq!(m.max_us(), 30);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = Metrics::new();
+        assert!(m.is_empty());
+        assert_eq!(m.mean_us(), 0.0);
+        assert_eq!(m.percentile_us(99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = Metrics::new();
+        for v in 1..=100u64 {
+            m.record(v);
+        }
+        assert_eq!(m.percentile_us(50.0), 50);
+        assert_eq!(m.percentile_us(95.0), 95);
+        assert_eq!(m.percentile_us(100.0), 100);
+        assert_eq!(m.percentile_us(1.0), 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.record(10);
+        let mut b = Metrics::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mean_us() - 20.0).abs() < 1e-12);
+        assert_eq!(a.max_us(), 30);
+    }
+
+    #[test]
+    fn stddev() {
+        let mut m = Metrics::new();
+        for v in [10, 20, 30] {
+            m.record(v);
+        }
+        assert!((m.stddev_us() - 10.0).abs() < 1e-9);
+        let mut one = Metrics::new();
+        one.record(5);
+        assert_eq!(one.stddev_us(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_log2() {
+        let mut h = LatencyHistogram::default();
+        h.record(0); // clamps to bucket 0
+        h.record(1);
+        h.record(3);
+        h.record(4);
+        h.record(1_000_000);
+        assert_eq!(h.buckets()[0], 2, "0 and 1 land in [1,2)");
+        assert_eq!(h.buckets()[1], 1, "3 lands in [2,4)");
+        assert_eq!(h.buckets()[2], 1);
+        assert_eq!(h.buckets()[19], 1, "1s lands in [2^19, 2^20) us");
+        assert_eq!(h.total(), 5);
+        let rendered = h.render(20);
+        assert!(rendered.contains("ms |"));
+    }
+
+    #[test]
+    fn histogram_from_metrics() {
+        let mut m = Metrics::new();
+        m.record(100);
+        m.record(200);
+        assert_eq!(m.histogram().total(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        assert!(LatencyHistogram::default().render(10).contains("no samples"));
+    }
+
+    #[test]
+    fn timeline_windows_and_sparkline() {
+        // Two bursts: slow early, fast late.
+        let mut samples = Vec::new();
+        for i in 0..100u64 {
+            samples.push((i * 10, 1_000));
+        }
+        for i in 0..100u64 {
+            samples.push((10_000 + i * 10, 100));
+        }
+        let t = Timeline::build(&samples, 10);
+        assert!(!t.points.is_empty());
+        assert!((t.peak_us() - 1_000.0).abs() < 1.0);
+        let spark = t.sparkline();
+        assert_eq!(spark.chars().count(), t.points.len());
+        // Early windows are the peak, late windows near the bottom.
+        let first = t.points.first().expect("points").1;
+        let last = t.points.last().expect("points").1;
+        assert!(first > last);
+    }
+
+    #[test]
+    fn timeline_empty_inputs() {
+        assert!(Timeline::build(&[], 10).points.is_empty());
+        assert!(Timeline::build(&[(1, 1)], 0).points.is_empty());
+    }
+
+    #[test]
+    fn single_sample_percentile() {
+        let mut m = Metrics::new();
+        m.record(42);
+        assert_eq!(m.percentile_us(1.0), 42);
+        assert_eq!(m.percentile_us(99.0), 42);
+    }
+}

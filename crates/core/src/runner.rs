@@ -1,0 +1,747 @@
+//! Trace replay: one scheme, one trace, one report.
+//!
+//! The replay follows the paper's methodology (§IV-A): requests are
+//! issued at their trace timestamps (open loop), writes are charged the
+//! 32 µs/4 KiB fingerprinting delay, and the user response time of every
+//! request — arrival to completion of all its disk work — is recorded,
+//! with reads and writes also aggregated separately. Determinism is
+//! end-to-end: same trace, same config → identical report.
+//!
+//! Per write request: hash → dedup engine decision → (optional on-disk
+//! index lookups) → surviving extents written through the RAID planner,
+//! with RMW pre-reads as dependent phases. A fully deduplicated request
+//! performs no disk I/O at all — that is POD's headline effect.
+//!
+//! Per read request: read-cache lookup per block; on any miss, the
+//! mapped physical extents (possibly fragmented by past dedup — read
+//! amplification) are fetched in one parallel phase.
+
+use crate::config::SystemConfig;
+use crate::metrics::{Metrics, Timeline};
+use crate::scheme::Scheme;
+use pod_dedup::engine::EngineCounters;
+use pod_dedup::{DedupConfig, DedupEngine};
+use pod_disk::engine::DiskStats;
+use pod_disk::{ArraySim, JobId, PhysOp, RaidGeometry};
+use pod_icache::{ICache, ICacheConfig};
+use pod_trace::Trace;
+use pod_types::{IoOp, Pba, PodError, PodResult, SimDuration, SimTime};
+
+/// Result of replaying one trace through one scheme.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Trace name.
+    pub trace: String,
+    /// All measured requests.
+    pub overall: Metrics,
+    /// Read requests only.
+    pub reads: Metrics,
+    /// Write requests only.
+    pub writes: Metrics,
+    /// Dedup-engine counters (write elimination, dedup volume, ...).
+    pub counters: EngineCounters,
+    /// Unique physical blocks holding data at the end (Fig. 10 metric).
+    pub capacity_used_blocks: u64,
+    /// Peak NVRAM consumed by the Map table (§IV-D2 metric).
+    pub nvram_peak_bytes: u64,
+    /// Read-cache hit rate over the measured region.
+    pub read_cache_hit_rate: f64,
+    /// Mean number of physical fragments per missed read (1.0 = never
+    /// fragmented; larger = read amplification).
+    pub read_fragmentation: f64,
+    /// Final per-disk statistics.
+    pub disk: Vec<DiskStats>,
+    /// iCache epochs closed during replay.
+    pub icache_epochs: u64,
+    /// iCache repartitions performed.
+    pub icache_repartitions: u64,
+    /// Final index-cache share of the memory budget.
+    pub final_index_fraction: f64,
+    /// Mean response time per arrival-time window (60 windows across the
+    /// replayed span) — the latency curve over the day.
+    pub timeline: Timeline,
+}
+
+impl ReplayReport {
+    /// Percentage of write requests removed from the disk I/O stream
+    /// (Fig. 11 y-axis).
+    pub fn writes_removed_pct(&self) -> f64 {
+        self.counters.removed_pct()
+    }
+
+    /// Capacity used in MiB.
+    pub fn capacity_used_mib(&self) -> f64 {
+        self.capacity_used_blocks as f64 * 4096.0 / (1024.0 * 1024.0)
+    }
+}
+
+/// Replays traces through one configured scheme.
+///
+/// ```
+/// use pod_core::{Scheme, SchemeRunner, SystemConfig};
+/// use pod_trace::TraceProfile;
+///
+/// let trace = TraceProfile::web_vm().scaled(0.003).generate(42);
+/// let runner = SchemeRunner::new(Scheme::Pod, SystemConfig::test_default()).unwrap();
+/// let report = runner.replay(&trace);
+/// assert!(report.writes_removed_pct() > 0.0);
+/// assert_eq!(report.overall.count(), trace.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemeRunner {
+    scheme: Scheme,
+    cfg: SystemConfig,
+}
+
+/// Size of the reserved on-disk index / swap regions, proportional to
+/// the working set but bounded (blocks).
+fn region_blocks(logical_blocks: u64) -> u64 {
+    (logical_blocks / 4).clamp(1_024, 1 << 18)
+}
+
+impl SchemeRunner {
+    /// Build a runner; validates the configuration.
+    pub fn new(scheme: Scheme, cfg: SystemConfig) -> PodResult<Self> {
+        cfg.validate()?;
+        Ok(Self { scheme, cfg })
+    }
+
+    /// The scheme under evaluation.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Replay `trace`, returning the full report.
+    ///
+    /// # Panics
+    /// Panics if the trace's working set exceeds the configured array
+    /// capacity (a configuration error surfaced loudly).
+    pub fn replay(&self, trace: &Trace) -> ReplayReport {
+        self.try_replay(trace)
+            .unwrap_or_else(|e| panic!("replay of {} under {}: {e}", trace.name, self.scheme))
+    }
+
+    /// Replay, surfacing errors.
+    pub fn try_replay(&self, trace: &Trace) -> PodResult<ReplayReport> {
+        let cfg = &self.cfg;
+        let scheme = self.scheme;
+
+        // ---- Sizing -------------------------------------------------
+        let logical_blocks = trace
+            .requests
+            .iter()
+            .map(|r| r.end_lba().raw())
+            .max()
+            .unwrap_or(0)
+            .max(1_024);
+        let overflow_blocks = logical_blocks / 2 + 4_096;
+        let region = region_blocks(logical_blocks);
+        let index_region_base = logical_blocks + overflow_blocks;
+        let swap_region_base = index_region_base + region;
+        let needed = swap_region_base + region;
+
+        let geometry = RaidGeometry::new(cfg.raid.clone());
+        let data_capacity = cfg.raid.data_disks() as u64 * cfg.disk.capacity_blocks;
+        if needed > data_capacity {
+            return Err(PodError::OutOfRange {
+                what: "working set (blocks)",
+                value: needed,
+                limit: data_capacity,
+            });
+        }
+
+        // The DRAM budget belongs to the dedup module (index cache +
+        // read cache, Fig. 7). Native is the stock array without the
+        // module, hence without a storage-node cache at all — the
+        // upstream buffer-cache effects are already captured in the
+        // traces (§IV-A).
+        let memory = if scheme.dedups() {
+            cfg.memory_bytes
+                .unwrap_or(((trace.memory_budget_bytes as f64) * cfg.memory_scale) as u64)
+                .max(1 << 20)
+        } else {
+            0
+        };
+        let index_fraction = if scheme.dedups() { cfg.index_fraction } else { 0.0 };
+
+        let mut icache = ICache::new(ICacheConfig {
+            total_bytes: memory,
+            initial_index_fraction: index_fraction,
+            epoch_requests: cfg.icache_epoch_requests,
+            swap_step_fraction: cfg.icache_swap_step,
+            min_fraction: cfg.icache_min_fraction,
+            hysteresis: 2.0,
+            read_miss_penalty_us: cfg.icache_read_penalty_us,
+            // Default: an eliminated write saves a RAID-5 small-write
+            // RMW (2 reads + 2 writes of disk work) plus its queueing
+            // amplification; a read miss saves one access.
+            write_miss_penalty_us: cfg.icache_write_penalty_us,
+            adaptive: scheme.adaptive_icache(),
+            read_policy: cfg.read_policy,
+        });
+
+        let mut engine = DedupEngine::new(
+            scheme.policy(),
+            DedupConfig {
+                select_threshold: cfg.select_threshold,
+                idedup_threshold: cfg.idedup_threshold,
+                index_page_fault_rate: cfg.index_page_fault_rate.max(1),
+                index_policy: cfg.index_policy,
+                index_budget_bytes: icache.index_bytes(),
+                logical_blocks,
+                overflow_blocks,
+            },
+        );
+
+        let mut sim = ArraySim::new(geometry, cfg.disk.clone(), cfg.scheduler);
+        if let Some(disk) = cfg.fail_disk {
+            sim.fail_disk(disk)?;
+        }
+
+        // ---- Replay -------------------------------------------------
+        let n = trace.requests.len();
+        let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
+        // (request index, arrival, job) for disk-bound requests.
+        let mut pending: Vec<(usize, SimTime, JobId)> = Vec::with_capacity(n);
+        // Direct completions for requests with no disk work.
+        let mut direct: Vec<(usize, SimDuration)> = Vec::new();
+
+        let mut lookup_counter: u64 = 0;
+        let mut swap_cursor: u64 = 0;
+        let mut frag_sum: u64 = 0;
+        let mut frag_reads: u64 = 0;
+        let mut read_hits_measured: u64 = 0;
+        let mut reads_measured: u64 = 0;
+
+        for (idx, req) in trace.requests.iter().enumerate() {
+            sim.run_until(req.arrival);
+            let measured = idx >= warmup;
+            match req.op {
+                IoOp::Write => {
+                    let hash_lat = if scheme.inline_hashing() {
+                        hash_span(req.nblocks, cfg)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    let outcome = engine.process_write(req)?;
+                    if scheme.dedups() {
+                        icache.on_index_victims(&outcome.index_victims);
+                        icache.on_index_misses(&outcome.index_miss_fps);
+                        let hits =
+                            req.chunks.len() as u64 - outcome.index_miss_fps.len() as u64;
+                        icache.on_index_hits(hits);
+                    }
+                    // Write-allocate: the storage cache retains freshly
+                    // written blocks, which primary-storage reads target
+                    // heavily (temporal locality, §II-A). I/O-Dedup keys
+                    // by content so duplicates share one slot.
+                    if scheme.dedups() {
+                        if scheme.content_addressed_cache() {
+                            for (_, fp) in req.write_chunks() {
+                                icache.read_fill_key(fp.prefix_u64());
+                            }
+                        } else {
+                            for lba in req.lbas() {
+                                icache.read_fill(lba);
+                            }
+                        }
+                    }
+                    let submit = req.arrival
+                        + hash_lat
+                        + SimDuration::from_micros(cfg.metadata_us);
+                    if outcome.disk_index_lookups == 0 && outcome.write_extents.is_empty() {
+                        // Fully deduplicated: no disk I/O at all.
+                        direct.push((idx, submit - req.arrival));
+                    } else {
+                        let phases = build_write_phases(
+                            &sim,
+                            &outcome.write_extents,
+                            outcome.disk_index_lookups,
+                            index_region_base,
+                            region,
+                            &mut lookup_counter,
+                        );
+                        let job = sim.submit_phases(submit, phases);
+                        pending.push((idx, req.arrival, job));
+                    }
+                }
+                IoOp::Read => {
+                    let mut all_hit = true;
+                    for lba in req.lbas() {
+                        let key = if scheme.content_addressed_cache() {
+                            // Content-addressed lookup: hit if *any* copy
+                            // of this block's content is cached.
+                            engine
+                                .content_of(lba)
+                                .map(|fp| fp.prefix_u64())
+                                .unwrap_or(lba.raw())
+                        } else {
+                            lba.raw()
+                        };
+                        if !icache.read_lookup_key(key) {
+                            all_hit = false;
+                        }
+                    }
+                    if measured {
+                        reads_measured += 1;
+                        if all_hit {
+                            read_hits_measured += 1;
+                        }
+                    }
+                    if all_hit {
+                        direct.push((idx, SimDuration::from_micros(cfg.cache_hit_us)));
+                    } else {
+                        let plan = engine.plan_read(req);
+                        if measured {
+                            frag_sum += plan.extents.len() as u64;
+                            frag_reads += 1;
+                        }
+                        let mut ops: Vec<PhysOp> = Vec::new();
+                        for &(pba, len) in &plan.extents {
+                            ops.extend(sim.geometry().plan_read(pba, len));
+                        }
+                        let submit =
+                            req.arrival + SimDuration::from_micros(cfg.metadata_us);
+                        let job = sim.submit_phases(submit, vec![ops]);
+                        pending.push((idx, req.arrival, job));
+                        for lba in req.lbas() {
+                            let key = if scheme.content_addressed_cache() {
+                                engine
+                                    .content_of(lba)
+                                    .map(|fp| fp.prefix_u64())
+                                    .unwrap_or(lba.raw())
+                            } else {
+                                lba.raw()
+                            };
+                            icache.read_fill_key(key);
+                        }
+                    }
+                }
+            }
+
+            // PostProcess: periodic background deduplication pass. The
+            // scan re-reads the queued blocks (charged as a background
+            // job) and the fingerprinting happens off the critical path.
+            if scheme == Scheme::PostProcess
+                && (idx + 1) as u64 % cfg.post_process_interval == 0
+            {
+                let scan = engine.post_process_scan(cfg.post_process_batch)?;
+                if !scan.read_extents.is_empty() {
+                    let mut ops: Vec<PhysOp> = Vec::new();
+                    for &(pba, len) in &scan.read_extents {
+                        ops.extend(sim.geometry().plan_read(pba, len));
+                    }
+                    sim.submit_phases(req.arrival, vec![ops]);
+                }
+            }
+
+            // iCache adaptation at epoch boundaries.
+            if let Some(rp) = icache.note_request(req.op.is_write()) {
+                let victims = engine.index_mut().resize_bytes(rp.index_bytes);
+                icache.on_index_victims(&victims);
+                if rp.swap_blocks > 0 {
+                    submit_swap_job(
+                        &mut sim,
+                        req.arrival,
+                        swap_region_base,
+                        region,
+                        &mut swap_cursor,
+                        rp.swap_blocks,
+                    );
+                }
+            }
+        }
+
+        // PostProcess: drain the remaining backlog so the capacity
+        // numbers reflect a completed background pass.
+        if scheme == Scheme::PostProcess {
+            while engine.scan_backlog() > 0 {
+                let scan = engine.post_process_scan(cfg.post_process_batch)?;
+                if scan.scanned_chunks == 0 {
+                    break;
+                }
+            }
+        }
+
+        sim.run_to_idle();
+
+        // ---- Collect ------------------------------------------------
+        let mut responses: Vec<Option<u64>> = vec![None; n];
+        for (idx, dur) in direct {
+            responses[idx] = Some(dur.as_micros());
+        }
+        for (idx, arrival, job) in pending {
+            let done = sim
+                .job_completion(job)
+                .expect("all jobs complete after run_to_idle");
+            responses[idx] = Some((done - arrival).as_micros());
+        }
+
+        let mut overall = Metrics::new();
+        let mut reads = Metrics::new();
+        let mut writes = Metrics::new();
+        let mut timeline_samples: Vec<(u64, u64)> = Vec::with_capacity(n - warmup);
+        for (idx, req) in trace.requests.iter().enumerate() {
+            if idx < warmup {
+                continue;
+            }
+            let us = responses[idx].expect("every request resolved");
+            overall.record(us);
+            timeline_samples.push((req.arrival.as_micros(), us));
+            if req.op.is_write() {
+                writes.record(us);
+            } else {
+                reads.record(us);
+            }
+        }
+        let timeline = Timeline::build(&timeline_samples, 60);
+
+        Ok(ReplayReport {
+            scheme: scheme.name().to_string(),
+            trace: trace.name.clone(),
+            overall,
+            reads,
+            writes,
+            counters: engine.counters(),
+            capacity_used_blocks: engine.store().used_blocks(),
+            nvram_peak_bytes: engine.store().nvram().peak_bytes(),
+            read_cache_hit_rate: if reads_measured == 0 {
+                0.0
+            } else {
+                read_hits_measured as f64 / reads_measured as f64
+            },
+            read_fragmentation: if frag_reads == 0 {
+                1.0
+            } else {
+                frag_sum as f64 / frag_reads as f64
+            },
+            disk: sim.disk_stats(),
+            icache_epochs: icache.epochs(),
+            icache_repartitions: icache.repartitions(),
+            final_index_fraction: icache.index_bytes() as f64
+                / (icache.index_bytes() + icache.read_bytes()).max(1) as f64,
+            timeline,
+        })
+    }
+}
+
+/// Fingerprinting latency for `nblocks` chunks with the configured
+/// worker count (span, not work: parallel lanes hash concurrently).
+fn hash_span(nblocks: u32, cfg: &SystemConfig) -> SimDuration {
+    let rounds = (nblocks as u64).div_ceil(cfg.hash_workers as u64);
+    SimDuration::from_micros(rounds * cfg.hash_us_per_chunk)
+}
+
+/// Assemble the dependent phases of a write job: on-disk index lookups
+/// (random reads in the index region) precede the data writes; each
+/// extent contributes its RAID write plan, with all extents' read phases
+/// merged and all write phases merged (they proceed in parallel).
+fn build_write_phases(
+    sim: &ArraySim,
+    extents: &[(Pba, u32)],
+    disk_lookups: u32,
+    index_region_base: u64,
+    region: u64,
+    lookup_counter: &mut u64,
+) -> Vec<Vec<PhysOp>> {
+    let mut lookup_phase: Vec<PhysOp> = Vec::new();
+    for _ in 0..disk_lookups {
+        // Spread lookups pseudo-randomly (deterministically) across the
+        // index region: hash-index probes are random reads.
+        let offset = (*lookup_counter).wrapping_mul(7_919) % region;
+        *lookup_counter += 1;
+        lookup_phase.extend(
+            sim.geometry()
+                .plan_read(Pba::new(index_region_base + offset), 1),
+        );
+    }
+
+    let mut pre_phase: Vec<PhysOp> = Vec::new();
+    let mut write_phase: Vec<PhysOp> = Vec::new();
+    for &(pba, len) in extents {
+        let plan = sim.geometry().plan_write(pba, len);
+        let mut phases = plan.phases.into_iter();
+        match (phases.next(), phases.next()) {
+            (Some(only), None) => write_phase.extend(only),
+            (Some(pre), Some(wr)) => {
+                pre_phase.extend(pre);
+                write_phase.extend(wr);
+            }
+            _ => {}
+        }
+    }
+
+    vec![lookup_phase, pre_phase, write_phase]
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// Charge iCache swap traffic as a sequential write job in the reserved
+/// swap region (not tied to any request's latency, but it does occupy
+/// the disks).
+fn submit_swap_job(
+    sim: &mut ArraySim,
+    at: SimTime,
+    swap_region_base: u64,
+    region: u64,
+    cursor: &mut u64,
+    blocks: u64,
+) {
+    let mut remaining = blocks;
+    let mut ops: Vec<PhysOp> = Vec::new();
+    while remaining > 0 {
+        let chunk = remaining.min(256);
+        let start = swap_region_base + (*cursor % region);
+        // Clamp runs that would spill past the region.
+        let len = chunk.min(region - (*cursor % region)) as u32;
+        for mut op in sim.geometry().plan_read(Pba::new(start), len) {
+            op.write = true;
+            ops.push(op);
+        }
+        *cursor += len as u64;
+        remaining -= len as u64;
+    }
+    sim.submit_phases(at, vec![ops]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_trace::TraceProfile;
+    use pod_types::Lba;
+
+    fn tiny_trace(name: &str) -> Trace {
+        let p = match name {
+            "web-vm" => TraceProfile::web_vm(),
+            "homes" => TraceProfile::homes(),
+            _ => TraceProfile::mail(),
+        };
+        p.scaled(0.004).generate(17)
+    }
+
+    fn runner(s: Scheme) -> SchemeRunner {
+        SchemeRunner::new(s, SystemConfig::test_default()).expect("valid config")
+    }
+
+    #[test]
+    fn all_schemes_replay_without_error() {
+        let t = tiny_trace("mail");
+        for s in Scheme::all() {
+            let rep = runner(s).replay(&t);
+            assert_eq!(rep.overall.count(), t.len(), "{s}: all requests measured");
+            assert!(rep.overall.mean_us() > 0.0, "{s}: nonzero response times");
+        }
+    }
+
+    #[test]
+    fn native_removes_nothing_select_removes_much() {
+        let t = tiny_trace("mail");
+        let native = runner(Scheme::Native).replay(&t);
+        let select = runner(Scheme::SelectDedupe).replay(&t);
+        assert_eq!(native.writes_removed_pct(), 0.0);
+        assert!(
+            select.writes_removed_pct() > 30.0,
+            "mail is heavily redundant: {}",
+            select.writes_removed_pct()
+        );
+    }
+
+    #[test]
+    fn select_beats_native_on_mail_writes() {
+        let t = tiny_trace("mail");
+        let native = runner(Scheme::Native).replay(&t);
+        let select = runner(Scheme::SelectDedupe).replay(&t);
+        assert!(
+            select.writes.mean_us() < native.writes.mean_us(),
+            "select {} vs native {}",
+            select.writes.mean_us(),
+            native.writes.mean_us()
+        );
+    }
+
+    #[test]
+    fn dedup_saves_capacity() {
+        let t = tiny_trace("mail");
+        let native = runner(Scheme::Native).replay(&t);
+        let full = runner(Scheme::FullDedupe).replay(&t);
+        let select = runner(Scheme::SelectDedupe).replay(&t);
+        assert!(full.capacity_used_blocks < native.capacity_used_blocks);
+        assert!(select.capacity_used_blocks < native.capacity_used_blocks);
+        assert!(
+            full.capacity_used_blocks <= select.capacity_used_blocks,
+            "Full-Dedupe saves the most capacity"
+        );
+    }
+
+    #[test]
+    fn nvram_is_zero_for_native_and_positive_for_select() {
+        let t = tiny_trace("web-vm");
+        assert_eq!(runner(Scheme::Native).replay(&t).nvram_peak_bytes, 0);
+        assert!(runner(Scheme::SelectDedupe).replay(&t).nvram_peak_bytes > 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = tiny_trace("homes");
+        let a = runner(Scheme::Pod).replay(&t);
+        let b = runner(Scheme::Pod).replay(&t);
+        assert_eq!(a.overall.mean_us(), b.overall.mean_us());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.capacity_used_blocks, b.capacity_used_blocks);
+    }
+
+    #[test]
+    fn warmup_exclusion_reduces_sample_count() {
+        let t = tiny_trace("homes");
+        let mut cfg = SystemConfig::test_default();
+        cfg.warmup_fraction = 0.5;
+        let rep = SchemeRunner::new(Scheme::Native, cfg)
+            .expect("valid")
+            .replay(&t);
+        assert!(rep.overall.count() <= t.len() - t.len() / 2 + 1);
+    }
+
+    #[test]
+    fn pod_adapts_partition() {
+        let t = tiny_trace("mail");
+        let mut cfg = SystemConfig::test_default();
+        cfg.icache_epoch_requests = 100;
+        let rep = SchemeRunner::new(Scheme::Pod, cfg).expect("valid").replay(&t);
+        assert!(rep.icache_epochs > 0);
+        // Select-Dedupe (non-adaptive) never repartitions.
+        let fixed = runner(Scheme::SelectDedupe).replay(&t);
+        assert_eq!(fixed.icache_repartitions, 0);
+    }
+
+    #[test]
+    fn read_cache_hits_happen() {
+        let t = tiny_trace("web-vm");
+        // The dedup module owns the read cache; Native (module absent)
+        // has none, so all its reads go to disk.
+        let native = runner(Scheme::Native).replay(&t);
+        assert_eq!(native.read_cache_hit_rate, 0.0);
+        let select = runner(Scheme::SelectDedupe).replay(&t);
+        assert!(
+            select.read_cache_hit_rate > 0.0,
+            "zipf reads must hit sometimes: {}",
+            select.read_cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn full_dedupe_fragments_reads_more_than_select() {
+        let t = tiny_trace("homes");
+        let full = runner(Scheme::FullDedupe).replay(&t);
+        let select = runner(Scheme::SelectDedupe).replay(&t);
+        assert!(
+            full.read_fragmentation >= select.read_fragmentation,
+            "full {} vs select {}",
+            full.read_fragmentation,
+            select.read_fragmentation
+        );
+    }
+
+    #[test]
+    fn oversized_trace_is_rejected() {
+        let mut cfg = SystemConfig::test_default();
+        // Test disk: 10k blocks/disk, 3 data disks = 30k blocks.
+        cfg.memory_bytes = Some(1 << 20);
+        let req = pod_types::IoRequest::write(
+            0,
+            SimTime::ZERO,
+            Lba::new(10_000_000),
+            vec![pod_types::Fingerprint::from_content_id(1)],
+        );
+        let trace = Trace {
+            name: "huge".into(),
+            requests: vec![req],
+            memory_budget_bytes: 1 << 20,
+        };
+        let r = SchemeRunner::new(Scheme::Native, cfg).expect("valid");
+        assert!(r.try_replay(&trace).is_err());
+    }
+
+    #[test]
+    fn post_process_saves_capacity_without_removing_writes() {
+        let t = tiny_trace("mail");
+        let native = runner(Scheme::Native).replay(&t);
+        let post = runner(Scheme::PostProcess).replay(&t);
+        // Same I/O path: nothing removed from the write stream.
+        assert_eq!(post.writes_removed_pct(), 0.0);
+        // But the background pass deduplicates stored data.
+        assert!(
+            post.capacity_used_blocks < native.capacity_used_blocks,
+            "post {} vs native {}",
+            post.capacity_used_blocks,
+            native.capacity_used_blocks
+        );
+        assert!(post.counters.deduped_blocks > 0);
+    }
+
+    #[test]
+    fn iodedup_content_cache_beats_lba_cache_on_duplicates() {
+        // I/O-Dedup's content-addressed cache shares slots between
+        // duplicate blocks, so on a redundancy-heavy trace its hit rate
+        // is at least that of the same-size LBA-keyed cache.
+        let t = tiny_trace("mail");
+        let iodedup = runner(Scheme::IODedup).replay(&t);
+        assert_eq!(iodedup.writes_removed_pct(), 0.0, "no write elimination");
+        assert!(iodedup.read_cache_hit_rate > 0.0);
+        // Capacity is Native-like: duplicates still occupy disk.
+        let native = runner(Scheme::Native).replay(&t);
+        assert_eq!(iodedup.capacity_used_blocks, native.capacity_used_blocks);
+    }
+
+    #[test]
+    fn degraded_array_replay_is_slower_and_pod_still_helps() {
+        let t = tiny_trace("mail");
+        let mut degraded_cfg = SystemConfig::test_default();
+        degraded_cfg.fail_disk = Some(1);
+        let healthy = runner(Scheme::Native).replay(&t);
+        let degraded = SchemeRunner::new(Scheme::Native, degraded_cfg.clone())
+            .expect("valid")
+            .replay(&t);
+        assert!(
+            degraded.reads.mean_us() >= healthy.reads.mean_us(),
+            "reconstruction reads cost: {} vs {}",
+            degraded.reads.mean_us(),
+            healthy.reads.mean_us()
+        );
+        // POD's write elimination still pays off in degraded mode.
+        let degraded_pod = SchemeRunner::new(Scheme::Pod, degraded_cfg)
+            .expect("valid")
+            .replay(&t);
+        assert!(degraded_pod.overall.mean_us() < degraded.overall.mean_us());
+    }
+
+    #[test]
+    fn fail_disk_validation() {
+        let mut cfg = SystemConfig::test_default();
+        cfg.fail_disk = Some(99);
+        assert!(cfg.validate().is_err());
+        cfg.fail_disk = Some(1);
+        assert!(cfg.validate().is_ok());
+        cfg.raid = pod_disk::RaidConfig::single();
+        assert!(cfg.validate().is_err(), "degraded mode needs RAID-5");
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let trace = Trace {
+            name: "empty".into(),
+            requests: vec![],
+            memory_budget_bytes: 1 << 20,
+        };
+        let rep = runner(Scheme::Pod).replay(&trace);
+        assert_eq!(rep.overall.count(), 0);
+        assert_eq!(rep.writes_removed_pct(), 0.0);
+    }
+}

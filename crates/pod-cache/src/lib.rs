@@ -1,0 +1,41 @@
+//! # pod-cache
+//!
+//! Cache substrate for the POD deduplication system.
+//!
+//! POD's iCache (paper §III-C) partitions one DRAM budget between an
+//! **index cache** (hot fingerprint entries, LRU with a `Count` heat
+//! field) and a **read cache** (4 KiB data blocks), and keeps a **ghost
+//! cache** (metadata-only shadow) behind each to estimate the benefit of
+//! growing it — the mechanism ARC introduced. This crate provides those
+//! building blocks, plus an LFU and a sharded concurrent cache used by
+//! ablations and parallel sweeps:
+//!
+//! * [`LruCache`] — O(1) LRU over a slab-allocated intrusive list. All
+//!   caches here support **online resizing** ([`LruCache::set_capacity`]),
+//!   which is what iCache's Swap Module exercises every epoch.
+//! * [`GhostCache`] — key-only LRU that records would-have-been hits.
+//! * [`ArcCache`] — the full ARC(c) policy (Megiddo & Modha, FAST'03),
+//!   cited by the paper as the origin of ghost-based adaptation.
+//! * [`LfuCache`] — O(1) LFU, an ablation alternative for the index table.
+//! * [`ClockCache`] — CLOCK/second-chance, the OS-page-cache classic.
+//! * [`ShardedCache`] — N-way sharded `Mutex<LruCache>` for concurrent use.
+//! * [`CacheStats`] — atomic hit/miss/eviction counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arc;
+pub mod clock;
+pub mod ghost;
+pub mod lfu;
+pub mod lru;
+pub mod sharded;
+pub mod stats;
+
+pub use arc::ArcCache;
+pub use clock::ClockCache;
+pub use ghost::GhostCache;
+pub use lfu::LfuCache;
+pub use lru::LruCache;
+pub use sharded::ShardedCache;
+pub use stats::CacheStats;

@@ -1,0 +1,149 @@
+//! Atomic cache statistics.
+//!
+//! The iCache Access Monitor "is responsible for monitoring the intensity
+//! and hit rate of the incoming read and write requests" (paper §III-A).
+//! `CacheStats` is the counter block it reads: plain relaxed atomics —
+//! the counters are independent monotonic tallies, no cross-counter
+//! ordering is needed (see *Rust Atomics and Locks*, ch. 2/3: Relaxed is
+//! sufficient for counters whose reads tolerate small skew).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Hit/miss/insert/eviction counters, safe to update from many threads.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// New zeroed counter block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a hit.
+    #[inline]
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Relaxed);
+    }
+
+    /// Count a miss.
+    #[inline]
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Relaxed);
+    }
+
+    /// Count an insert.
+    #[inline]
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Relaxed);
+    }
+
+    /// Count an eviction.
+    #[inline]
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Relaxed);
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Total inserts.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Relaxed)
+    }
+
+    /// Total evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Relaxed)
+    }
+
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when there were no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+
+    /// Reset every counter to zero (start of an iCache epoch).
+    pub fn reset(&self) {
+        self.hits.store(0, Relaxed);
+        self.misses.store(0, Relaxed);
+        self.inserts.store(0, Relaxed);
+        self.evictions.store(0, Relaxed);
+    }
+
+    /// Snapshot the counters as `(hits, misses, inserts, evictions)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (self.hits(), self.misses(), self.inserts(), self.evictions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counting() {
+        let s = CacheStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insert();
+        s.record_eviction();
+        assert_eq!(s.snapshot(), (2, 1, 1, 1));
+        assert_eq!(s.lookups(), 3);
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_ratio_is_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = CacheStats::new();
+        s.record_hit();
+        s.reset();
+        assert_eq!(s.snapshot(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let s = Arc::new(CacheStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.record_hit();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("counter thread");
+        }
+        assert_eq!(s.hits(), 40_000);
+    }
+}

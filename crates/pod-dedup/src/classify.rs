@@ -1,0 +1,292 @@
+//! Write-request classification (paper Fig. 5).
+//!
+//! After fingerprinting, each chunk of a write request either has a
+//! *candidate* — a live physical block already storing the same content —
+//! or is new. Select-Dedupe then sorts the request into:
+//!
+//! 1. **Fully redundant & sequential** — every chunk has a candidate and
+//!    the candidates form one ascending physical run → deduplicate the
+//!    whole request (it is *removed* from the disk I/O stream).
+//! 2. **Scattered partial** — some redundancy, but no sequential
+//!    candidate run of at least the threshold → write everything
+//!    (deduplicating would fragment future reads for negligible gain).
+//! 3. **Contiguous partial** — at least one sequential candidate run of
+//!    ≥ threshold chunks → deduplicate those runs, write the rest.
+//!
+//! The same machinery classifies for iDedup (runs ≥ its own, larger,
+//! threshold; no full-request special case — small requests are bypassed
+//! wholesale) and Full-Dedupe (every candidate chunk is deduplicated,
+//! sequential or not).
+
+use pod_types::Pba;
+
+/// Per-chunk dedup candidate: `Some(pba)` when a live copy of the
+/// chunk's content exists at `pba`.
+pub type ChunkCandidate = Option<Pba>;
+
+/// The category a write request falls into, with the chunk index ranges
+/// to deduplicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteClass {
+    /// Category 1: dedup all chunks (request removed from disk I/O).
+    FullyRedundantSequential,
+    /// Category 2: write all chunks, dedup nothing.
+    ScatteredPartial,
+    /// Category 3: dedup the given chunk ranges `(start, len)`, write
+    /// the rest.
+    ContiguousPartial(Vec<(usize, usize)>),
+    /// No chunk is redundant: plain unique write.
+    Unique,
+}
+
+impl WriteClass {
+    /// Chunk index ranges to deduplicate under this classification, given
+    /// the request length.
+    pub fn dedup_ranges(&self, nchunks: usize) -> Vec<(usize, usize)> {
+        match self {
+            WriteClass::FullyRedundantSequential => vec![(0, nchunks)],
+            WriteClass::ContiguousPartial(ranges) => ranges.clone(),
+            WriteClass::ScatteredPartial | WriteClass::Unique => Vec::new(),
+        }
+    }
+
+    /// `true` when the whole request is eliminated from disk I/O.
+    pub fn removes_request(&self) -> bool {
+        matches!(self, WriteClass::FullyRedundantSequential)
+    }
+}
+
+/// Maximal runs of consecutive chunks whose candidates exist and are
+/// physically sequential (`pba[i+1] == pba[i] + 1`). Returns
+/// `(start, len)` pairs.
+pub fn sequential_runs(candidates: &[ChunkCandidate]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < candidates.len() {
+        let Some(start_pba) = candidates[i] else {
+            i += 1;
+            continue;
+        };
+        let start = i;
+        let mut prev = start_pba;
+        i += 1;
+        while i < candidates.len() {
+            match candidates[i] {
+                Some(p) if p.raw() == prev.raw() + 1 => {
+                    prev = p;
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        runs.push((start, i - start));
+    }
+    runs
+}
+
+/// Classify a write request for **Select-Dedupe** with the given
+/// duplicate-run `threshold` (paper default 3).
+pub fn classify_for_select(candidates: &[ChunkCandidate], threshold: usize) -> WriteClass {
+    let redundant = candidates.iter().filter(|c| c.is_some()).count();
+    if redundant == 0 {
+        return WriteClass::Unique;
+    }
+    let runs = sequential_runs(candidates);
+    // Category 1: a single run covering the entire request.
+    if redundant == candidates.len() {
+        if let [(0, len)] = runs.as_slice() {
+            if *len == candidates.len() {
+                return WriteClass::FullyRedundantSequential;
+            }
+        }
+    }
+    // Category 3: below-threshold total redundancy never qualifies; and
+    // the deduplicated data must be long sequential runs.
+    let long_runs: Vec<(usize, usize)> = runs
+        .into_iter()
+        .filter(|&(_, len)| len >= threshold)
+        .collect();
+    if redundant >= threshold && !long_runs.is_empty() {
+        return WriteClass::ContiguousPartial(long_runs);
+    }
+    WriteClass::ScatteredPartial
+}
+
+/// Classify for **iDedup**: only sequential duplicate runs of at least
+/// `threshold` chunks are deduplicated; anything else — including fully
+/// redundant small requests — is written as-is. This is the
+/// capacity-oriented policy POD argues against.
+pub fn classify_for_idedup(candidates: &[ChunkCandidate], threshold: usize) -> WriteClass {
+    let long_runs: Vec<(usize, usize)> = sequential_runs(candidates)
+        .into_iter()
+        .filter(|&(_, len)| len >= threshold)
+        .collect();
+    if long_runs.is_empty() {
+        if candidates.iter().any(|c| c.is_some()) {
+            return WriteClass::ScatteredPartial;
+        }
+        return WriteClass::Unique;
+    }
+    if long_runs == [(0, candidates.len())] {
+        return WriteClass::FullyRedundantSequential;
+    }
+    WriteClass::ContiguousPartial(long_runs)
+}
+
+/// Classify for **Full-Dedupe**: every chunk with a candidate is
+/// deduplicated, regardless of layout. Scattered dedup is exactly what
+/// causes Full-Dedupe's fragmentation problem.
+pub fn classify_for_full(candidates: &[ChunkCandidate]) -> WriteClass {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        if c.is_some() {
+            match ranges.last_mut() {
+                Some((start, len)) if *start + *len == i => *len += 1,
+                _ => ranges.push((i, 1)),
+            }
+        }
+    }
+    if ranges.is_empty() {
+        return WriteClass::Unique;
+    }
+    if ranges == [(0, candidates.len())] {
+        return WriteClass::FullyRedundantSequential;
+    }
+    WriteClass::ContiguousPartial(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(vals: &[i64]) -> Vec<ChunkCandidate> {
+        // -1 = no candidate; otherwise the candidate PBA.
+        vals.iter()
+            .map(|&v| if v < 0 { None } else { Some(Pba::new(v as u64)) })
+            .collect()
+    }
+
+    #[test]
+    fn runs_detected() {
+        let cand = c(&[10, 11, 12, -1, 50, 99, 100]);
+        assert_eq!(sequential_runs(&cand), vec![(0, 3), (4, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn runs_split_on_non_sequential_candidates() {
+        let cand = c(&[10, 12, 13]);
+        assert_eq!(sequential_runs(&cand), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_candidates_no_runs() {
+        assert!(sequential_runs(&c(&[-1, -1])).is_empty());
+        assert!(sequential_runs(&[]).is_empty());
+    }
+
+    // --- Select-Dedupe ---
+
+    #[test]
+    fn select_cat1_fully_redundant_sequential() {
+        let cls = classify_for_select(&c(&[7, 8, 9, 10]), 3);
+        assert_eq!(cls, WriteClass::FullyRedundantSequential);
+        assert!(cls.removes_request());
+        assert_eq!(cls.dedup_ranges(4), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn select_single_block_fully_redundant_is_cat1() {
+        // The small-write case iDedup ignores and POD embraces.
+        let cls = classify_for_select(&c(&[42]), 3);
+        assert_eq!(cls, WriteClass::FullyRedundantSequential);
+    }
+
+    #[test]
+    fn select_cat2_scattered_below_threshold() {
+        let cls = classify_for_select(&c(&[5, -1, -1, 77]), 3);
+        assert_eq!(cls, WriteClass::ScatteredPartial);
+        assert!(cls.dedup_ranges(4).is_empty());
+    }
+
+    #[test]
+    fn select_cat3_contiguous_run_at_threshold() {
+        let cls = classify_for_select(&c(&[20, 21, 22, -1, -1]), 3);
+        assert_eq!(cls, WriteClass::ContiguousPartial(vec![(0, 3)]));
+        assert_eq!(cls.dedup_ranges(5), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn select_fully_redundant_but_scattered_is_not_cat1() {
+        // All chunks redundant but stored non-sequentially: deduping all
+        // of them would fragment reads. Runs of >= threshold still dedup.
+        let cls = classify_for_select(&c(&[10, 20, 30, 40]), 3);
+        assert_eq!(cls, WriteClass::ScatteredPartial);
+        let cls2 = classify_for_select(&c(&[10, 11, 12, 40]), 3);
+        assert_eq!(cls2, WriteClass::ContiguousPartial(vec![(0, 3)]));
+    }
+
+    #[test]
+    fn select_unique_request() {
+        assert_eq!(classify_for_select(&c(&[-1, -1]), 3), WriteClass::Unique);
+    }
+
+    #[test]
+    fn select_short_redundant_run_below_threshold_scattered() {
+        let cls = classify_for_select(&c(&[10, 11, -1, -1]), 3);
+        assert_eq!(cls, WriteClass::ScatteredPartial);
+    }
+
+    // --- iDedup ---
+
+    #[test]
+    fn idedup_bypasses_small_fully_redundant_requests() {
+        // 2-block fully redundant request, threshold 8: bypassed.
+        let cls = classify_for_idedup(&c(&[5, 6]), 8);
+        assert_eq!(cls, WriteClass::ScatteredPartial);
+        assert!(cls.dedup_ranges(2).is_empty());
+    }
+
+    #[test]
+    fn idedup_dedups_long_sequential_runs() {
+        let cand = c(&[10, 11, 12, 13, 14, 15, 16, 17, -1, -1]);
+        let cls = classify_for_idedup(&cand, 8);
+        assert_eq!(cls, WriteClass::ContiguousPartial(vec![(0, 8)]));
+    }
+
+    #[test]
+    fn idedup_full_request_run_is_cat1() {
+        let cand = c(&[10, 11, 12, 13, 14, 15, 16, 17]);
+        let cls = classify_for_idedup(&cand, 8);
+        assert_eq!(cls, WriteClass::FullyRedundantSequential);
+    }
+
+    #[test]
+    fn idedup_unique() {
+        assert_eq!(classify_for_idedup(&c(&[-1]), 8), WriteClass::Unique);
+    }
+
+    // --- Full-Dedupe ---
+
+    #[test]
+    fn full_dedups_every_candidate_even_scattered() {
+        let cls = classify_for_full(&c(&[10, -1, 99, -1]));
+        assert_eq!(
+            cls,
+            WriteClass::ContiguousPartial(vec![(0, 1), (2, 1)]),
+            "scattered chunks are deduplicated anyway"
+        );
+    }
+
+    #[test]
+    fn full_fully_redundant_any_layout_removes_request() {
+        // Even a scattered fully-redundant request is entirely deduped.
+        let cls = classify_for_full(&c(&[10, 50, 90]));
+        assert_eq!(cls, WriteClass::FullyRedundantSequential);
+        assert!(cls.removes_request());
+    }
+
+    #[test]
+    fn full_unique() {
+        assert_eq!(classify_for_full(&c(&[-1, -1])), WriteClass::Unique);
+    }
+}

@@ -1,0 +1,931 @@
+//! The dedup engine: write/read pipeline over store + index.
+//!
+//! One engine struct implements all four evaluated schemes via
+//! [`DedupPolicy`]; the mechanics (fingerprint lookup, candidate
+//! validation, category-driven dedup, placement, index maintenance) are
+//! shared, exactly mirroring Fig. 6's write process flow:
+//!
+//! 1. each chunk's fingerprint is queried in the Index table;
+//! 2. the request is classified (Fig. 5);
+//! 3. chunks in dedup ranges only update the Map table; the rest are
+//!    written to disk as usual;
+//! 4. consistency is enforced by the store's reference counts.
+//!
+//! The engine performs **no I/O itself**: a [`WriteOutcome`] reports the
+//! extents that must hit disk, the count of on-disk index lookups to
+//! charge (Full-Dedupe's miss penalty), and the index victims for the
+//! ghost caches. `pod-core` translates outcomes into simulator jobs.
+
+use crate::classify::{
+    classify_for_full, classify_for_idedup, classify_for_select, ChunkCandidate, WriteClass,
+};
+use crate::index::IndexTable;
+use crate::store::ChunkStore;
+use pod_hash::fnv::FnvBuildHasher;
+use pod_types::{Fingerprint, IoRequest, Lba, Pba, PodResult};
+use std::collections::HashMap;
+
+/// Which deduplication scheme the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DedupPolicy {
+    /// No deduplication: every write goes to disk (the paper's baseline).
+    Native,
+    /// Deduplicate every redundant chunk; the complete index lives on
+    /// disk, and a RAM-index miss costs an in-disk lookup.
+    FullDedupe,
+    /// Capacity-oriented: dedup only long sequential duplicate runs
+    /// (threshold in blocks); small requests bypass dedup entirely.
+    IDedup,
+    /// POD's request-based selective dedup (paper §III-B).
+    SelectDedupe,
+    /// Post-processing deduplication (El-Shimi et al., ATC'12; paper
+    /// Table I): writes go to disk unmodified; a background scan later
+    /// deduplicates stored data, saving capacity without reducing the
+    /// I/O traffic on the critical path.
+    PostProcess,
+    /// I/O Deduplication (Koller & Rangaswami, FAST'10; paper Table I):
+    /// no write elimination, but content identity is tracked so the
+    /// storage cache can be *content-addressed* — duplicate blocks share
+    /// one cache slot, boosting the effective read-cache size.
+    IODedup,
+}
+
+impl DedupPolicy {
+    /// Human-readable scheme name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DedupPolicy::Native => "Native",
+            DedupPolicy::FullDedupe => "Full-Dedupe",
+            DedupPolicy::IDedup => "iDedup",
+            DedupPolicy::SelectDedupe => "Select-Dedupe",
+            DedupPolicy::PostProcess => "Post-Process",
+            DedupPolicy::IODedup => "I/O-Dedup",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DedupConfig {
+    /// Select-Dedupe duplicate-run threshold (paper: 3).
+    pub select_threshold: usize,
+    /// iDedup sequence threshold in blocks (FAST'12 evaluates 2–32;
+    /// 8 blocks = 32 KiB is a representative midpoint).
+    pub idedup_threshold: usize,
+    /// Byte budget of the in-memory index table.
+    pub index_budget_bytes: u64,
+    /// Logical address space in blocks.
+    pub logical_blocks: u64,
+    /// Overflow region for redirected writes, blocks.
+    pub overflow_blocks: u64,
+    /// Full-Dedupe on-disk index page-fault rate: one in this many
+    /// RAM-index-miss consults actually reads an index page from disk
+    /// (a 4 KiB page holds ~64 entries and consecutive fingerprints of a
+    /// request cluster in containers, so most consults hit an already
+    /// resident page). 1 = every consult faults.
+    pub index_page_fault_rate: u64,
+    /// Replacement policy of the in-memory index table.
+    pub index_policy: crate::index::IndexPolicy,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        Self {
+            select_threshold: 3,
+            idedup_threshold: 8,
+            index_budget_bytes: 16 * 1024 * 1024,
+            logical_blocks: 1 << 20,
+            overflow_blocks: 1 << 19,
+            index_page_fault_rate: 8,
+            index_policy: crate::index::IndexPolicy::Lru,
+        }
+    }
+}
+
+/// What a write request did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// The classification the request received.
+    pub class: WriteClass,
+    /// Physical extents that must be written to disk (merged).
+    pub write_extents: Vec<(Pba, u32)>,
+    /// Chunks eliminated from the write stream.
+    pub deduped_blocks: u32,
+    /// Chunks actually written.
+    pub written_blocks: u32,
+    /// `true` when no disk write is needed at all (request removed).
+    pub removed: bool,
+    /// On-disk index lookups to charge before the write (Full-Dedupe).
+    pub disk_index_lookups: u32,
+    /// Index-table victims evicted while processing (ghost-index feed).
+    pub index_victims: Vec<Fingerprint>,
+    /// Fingerprints that missed the in-memory index (ghost-index probe
+    /// feed: a ghost hit on one of these means a larger index cache
+    /// would have detected the redundancy).
+    pub index_miss_fps: Vec<Fingerprint>,
+}
+
+/// What one PostProcess background pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Chunks examined (popped from the backlog).
+    pub scanned_chunks: u64,
+    /// Chunks remapped onto an existing copy (blocks freed).
+    pub deduped_chunks: u64,
+    /// Physical extents the scanner read back to fingerprint, merged —
+    /// charge these as background disk I/O.
+    pub read_extents: Vec<(Pba, u32)>,
+}
+
+/// What a read request needs from disk (after mapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPlan {
+    /// Physical extents to fetch, in logical order.
+    pub extents: Vec<(Pba, u32)>,
+}
+
+impl ReadPlan {
+    /// Number of separate physical extents (1 = unfragmented).
+    pub fn fragments(&self) -> usize {
+        self.extents.len()
+    }
+}
+
+/// Cumulative engine counters (Fig. 11 and capacity reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Write requests processed.
+    pub write_requests: u64,
+    /// Write requests fully removed from the disk I/O stream.
+    pub removed_requests: u64,
+    /// Small (≤ 2 blocks / 8 KiB) write requests seen.
+    pub small_write_requests: u64,
+    /// Small write requests removed — the class iDedup ignores and POD
+    /// targets (paper Table I, "Small writes Elimination").
+    pub removed_small_requests: u64,
+    /// Large (> 2 blocks) write requests seen.
+    pub large_write_requests: u64,
+    /// Large write requests removed (Table I, "Large writes
+    /// Elimination").
+    pub removed_large_requests: u64,
+    /// Chunks deduplicated.
+    pub deduped_blocks: u64,
+    /// Chunks written to disk.
+    pub written_blocks: u64,
+    /// In-disk index lookups charged.
+    pub disk_index_lookups: u64,
+}
+
+impl EngineCounters {
+    /// Percentage of write requests removed (Fig. 11's y-axis).
+    pub fn removed_pct(&self) -> f64 {
+        if self.write_requests == 0 {
+            return 0.0;
+        }
+        self.removed_requests as f64 * 100.0 / self.write_requests as f64
+    }
+
+    /// Percentage of small (≤ 8 KiB) write requests removed.
+    pub fn removed_small_pct(&self) -> f64 {
+        if self.small_write_requests == 0 {
+            return 0.0;
+        }
+        self.removed_small_requests as f64 * 100.0 / self.small_write_requests as f64
+    }
+
+    /// Percentage of large (> 8 KiB) write requests removed.
+    pub fn removed_large_pct(&self) -> f64 {
+        if self.large_write_requests == 0 {
+            return 0.0;
+        }
+        self.removed_large_requests as f64 * 100.0 / self.large_write_requests as f64
+    }
+}
+
+/// A deduplication engine with one policy.
+///
+/// ```
+/// use pod_dedup::{DedupConfig, DedupEngine, DedupPolicy};
+/// use pod_types::{Fingerprint, IoRequest, Lba, SimTime};
+///
+/// let mut engine = DedupEngine::new(DedupPolicy::SelectDedupe, DedupConfig::default());
+/// let chunks: Vec<Fingerprint> = (1..=3).map(Fingerprint::from_content_id).collect();
+///
+/// // First write stores the data...
+/// let w1 = IoRequest::write(0, SimTime::ZERO, Lba::new(0), chunks.clone());
+/// assert_eq!(engine.process_write(&w1).unwrap().written_blocks, 3);
+///
+/// // ...an identical write elsewhere is fully deduplicated: no disk I/O.
+/// let w2 = IoRequest::write(1, SimTime::from_micros(10), Lba::new(100), chunks);
+/// let outcome = engine.process_write(&w2).unwrap();
+/// assert!(outcome.removed);
+/// assert_eq!(engine.store().used_blocks(), 3);
+/// ```
+#[derive(Debug)]
+pub struct DedupEngine {
+    policy: DedupPolicy,
+    cfg: DedupConfig,
+    store: ChunkStore,
+    index: IndexTable,
+    /// Full-Dedupe's complete fingerprint index (the on-disk portion);
+    /// consulting it on a RAM miss costs a disk lookup.
+    disk_index: HashMap<Fingerprint, Pba, FnvBuildHasher>,
+    counters: EngineCounters,
+    /// Rolling consult counter driving the deterministic page-fault
+    /// model (see `DedupConfig::index_page_fault_rate`).
+    consults: u64,
+    /// PostProcess: chunks written but not yet scanned for duplicates.
+    scan_queue: std::collections::VecDeque<(Lba, Fingerprint)>,
+}
+
+impl DedupEngine {
+    /// Build an engine.
+    pub fn new(policy: DedupPolicy, cfg: DedupConfig) -> Self {
+        let store = ChunkStore::new(cfg.logical_blocks, cfg.overflow_blocks);
+        let index =
+            IndexTable::with_byte_budget_policy(cfg.index_budget_bytes, cfg.index_policy);
+        Self {
+            policy,
+            cfg,
+            store,
+            index,
+            disk_index: HashMap::default(),
+            counters: EngineCounters::default(),
+            consults: 0,
+            scan_queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> DedupPolicy {
+        self.policy
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DedupConfig {
+        &self.cfg
+    }
+
+    /// The underlying chunk store (capacity / NVRAM reporting).
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    /// The in-memory index table.
+    pub fn index(&self) -> &IndexTable {
+        &self.index
+    }
+
+    /// Mutable index access: iCache resizes it through this.
+    pub fn index_mut(&mut self) -> &mut IndexTable {
+        &mut self.index
+    }
+
+    /// Cumulative counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Process one write request, updating store/index state and
+    /// reporting the disk work required.
+    pub fn process_write(&mut self, req: &IoRequest) -> PodResult<WriteOutcome> {
+        debug_assert!(req.op.is_write());
+        self.counters.write_requests += 1;
+        let small = req.nblocks <= 2;
+        if small {
+            self.counters.small_write_requests += 1;
+        } else {
+            self.counters.large_write_requests += 1;
+        }
+
+        let mut victims: Vec<Fingerprint> = Vec::new();
+        let mut miss_fps: Vec<Fingerprint> = Vec::new();
+        let mut disk_lookups = 0u32;
+
+        // Native-like write paths: everything goes to disk unmodified.
+        // PostProcess defers dedup to the background scan; IODedup only
+        // tracks content identity for its content-addressed cache.
+        if matches!(
+            self.policy,
+            DedupPolicy::Native | DedupPolicy::PostProcess | DedupPolicy::IODedup
+        ) {
+            let extents = self.write_all_chunks(req, &[])?;
+            match self.policy {
+                DedupPolicy::PostProcess => {
+                    // Queue for the background deduplication pass.
+                    for (lba, fp) in req.write_chunks() {
+                        self.scan_queue.push_back((lba, fp));
+                    }
+                }
+                DedupPolicy::IODedup => {
+                    // Track where content lives so reads can be served
+                    // content-addressed; hot entries only, like POD.
+                    for (lba, fp) in req.write_chunks() {
+                        let pba = self.store.lookup(lba).expect("just written");
+                        if let Some(v) = self.index.upsert(fp, pba) {
+                            victims.push(v);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let written = req.nblocks;
+            self.counters.written_blocks += written as u64;
+            return Ok(WriteOutcome {
+                class: WriteClass::Unique,
+                write_extents: extents,
+                deduped_blocks: 0,
+                written_blocks: written,
+                removed: false,
+                disk_index_lookups: 0,
+                index_victims: victims,
+                index_miss_fps: miss_fps,
+            });
+        }
+
+        // 1. Candidate lookup per chunk.
+        let mut candidates: Vec<ChunkCandidate> = Vec::with_capacity(req.chunks.len());
+        for (_, fp) in req.write_chunks() {
+            let mut cand = self.index.query(&fp);
+            if cand.is_none() {
+                miss_fps.push(fp);
+            }
+            // Full-Dedupe falls through to the on-disk index: the paper's
+            // "traditional full data deduplication" keeps the complete
+            // hash table on disk, and every RAM-index miss pays an
+            // in-disk probe — the classic index-lookup disk bottleneck
+            // (§II-B). The per-request cap below models the locality of
+            // consecutive fingerprints within index pages.
+            if cand.is_none() && self.policy == DedupPolicy::FullDedupe {
+                self.consults += 1;
+                if self.consults % self.cfg.index_page_fault_rate == 0 {
+                    disk_lookups += 1;
+                }
+                if let Some(&pba) = self.disk_index.get(&fp) {
+                    cand = Some(pba);
+                    // Promote into the hot index.
+                    if let Some(v) = self.index.insert(fp, pba) {
+                        victims.push(v);
+                    }
+                }
+            }
+            // Validate: the candidate block must still hold this content.
+            if let Some(pba) = cand {
+                if self.store.content_at(pba) != Some(fp) {
+                    self.index.remove(&fp);
+                    self.disk_index.remove(&fp);
+                    cand = None;
+                }
+            }
+            candidates.push(cand);
+        }
+
+        // Cap charged on-disk lookups per request: fingerprints written
+        // together land in the same index container, so one request's
+        // positive lookups cluster on at most a couple of index pages.
+        disk_lookups = disk_lookups.min(2);
+
+        // 2. Classify.
+        let class = match self.policy {
+            DedupPolicy::Native | DedupPolicy::PostProcess | DedupPolicy::IODedup => {
+                unreachable!("handled above")
+            }
+            DedupPolicy::FullDedupe => classify_for_full(&candidates),
+            DedupPolicy::IDedup => classify_for_idedup(&candidates, self.cfg.idedup_threshold),
+            DedupPolicy::SelectDedupe => {
+                classify_for_select(&candidates, self.cfg.select_threshold)
+            }
+        };
+
+        // 3. Apply dedup ranges.
+        let ranges = class.dedup_ranges(req.chunks.len());
+        let mut dedup_mask = vec![false; req.chunks.len()];
+        for &(start, len) in &ranges {
+            for i in start..start + len {
+                dedup_mask[i] = true;
+            }
+        }
+        let mut deduped = 0u32;
+        for (i, (lba, fp)) in req.write_chunks().enumerate() {
+            if dedup_mask[i] {
+                let target = candidates[i].expect("dedup range implies candidate");
+                // Re-validate at application time: an earlier chunk of
+                // this same request (overlapping LBAs, repeated content)
+                // may have released or overwritten the candidate block
+                // since lookup. A stale candidate is written normally.
+                if self.store.content_at(target) == Some(fp) {
+                    self.store.dedup_to(lba, target)?;
+                    deduped += 1;
+                } else {
+                    dedup_mask[i] = false;
+                    self.index.remove(&fp);
+                }
+            }
+        }
+
+        // 4. Write the remaining chunks and refresh the index.
+        let extents = self.write_masked_chunks(req, &dedup_mask, &mut victims)?;
+        let written = req.nblocks - deduped;
+
+        self.counters.deduped_blocks += deduped as u64;
+        self.counters.written_blocks += written as u64;
+        self.counters.disk_index_lookups += disk_lookups as u64;
+        let removed = written == 0;
+        if removed {
+            self.counters.removed_requests += 1;
+            if small {
+                self.counters.removed_small_requests += 1;
+            } else {
+                self.counters.removed_large_requests += 1;
+            }
+        }
+
+        Ok(WriteOutcome {
+            class,
+            write_extents: extents,
+            deduped_blocks: deduped,
+            written_blocks: written,
+            removed,
+            disk_index_lookups: disk_lookups,
+            index_victims: victims,
+            index_miss_fps: miss_fps,
+        })
+    }
+
+    /// Plan a read: map the logical range to physical extents.
+    pub fn plan_read(&self, req: &IoRequest) -> ReadPlan {
+        debug_assert!(req.op.is_read());
+        ReadPlan {
+            extents: self.store.read_extents(req.lba, req.nblocks),
+        }
+    }
+
+    /// Content currently readable at a logical block (used by I/O-Dedup's
+    /// content-addressed cache). `None` for never-written blocks.
+    pub fn content_of(&self, lba: Lba) -> Option<Fingerprint> {
+        let pba = self.store.lookup(lba)?;
+        self.store.content_at(pba)
+    }
+
+    /// Chunks awaiting the PostProcess background scan.
+    pub fn scan_backlog(&self) -> usize {
+        self.scan_queue.len()
+    }
+
+    /// PostProcess only: run one background deduplication pass over up to
+    /// `max_chunks` queued chunks. Returns what the pass did; the caller
+    /// charges `read_extents` as background disk reads (the scanner must
+    /// re-read blocks to fingerprint them out-of-band).
+    pub fn post_process_scan(&mut self, max_chunks: usize) -> PodResult<ScanOutcome> {
+        debug_assert_eq!(self.policy, DedupPolicy::PostProcess);
+        let mut out = ScanOutcome::default();
+        let mut pbas: Vec<Pba> = Vec::new();
+        for _ in 0..max_chunks {
+            let Some((lba, fp)) = self.scan_queue.pop_front() else {
+                break;
+            };
+            out.scanned_chunks += 1;
+            // Skip chunks whose content was overwritten since queueing.
+            let Some(current) = self.store.lookup(lba) else {
+                continue;
+            };
+            if self.store.content_at(current) != Some(fp) {
+                continue;
+            }
+            pbas.push(current);
+            match self.disk_index.get(&fp) {
+                Some(&canon) if canon != current => {
+                    // A canonical copy exists elsewhere: verify it is
+                    // still live and identical, then remap and free the
+                    // duplicate.
+                    if self.store.content_at(canon) == Some(fp) {
+                        self.store.dedup_to(lba, canon)?;
+                        out.deduped_chunks += 1;
+                        self.counters.deduped_blocks += 1;
+                    } else {
+                        self.disk_index.insert(fp, current);
+                    }
+                }
+                Some(_) => {}
+                None => {
+                    self.disk_index.insert(fp, current);
+                }
+            }
+        }
+        out.read_extents = merge_extents(&{
+            let mut sorted = pbas;
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted
+        });
+        Ok(out)
+    }
+
+    /// Write every chunk (Native path).
+    fn write_all_chunks(
+        &mut self,
+        req: &IoRequest,
+        _unused: &[()],
+    ) -> PodResult<Vec<(Pba, u32)>> {
+        let mut pbas = Vec::with_capacity(req.chunks.len());
+        for (lba, fp) in req.write_chunks() {
+            pbas.push(self.store.write_unique(lba, fp, None)?);
+        }
+        Ok(merge_extents(&pbas))
+    }
+
+    /// Write chunks not covered by the dedup mask; maintain the index
+    /// for every chunk that now has a fresh physical copy.
+    fn write_masked_chunks(
+        &mut self,
+        req: &IoRequest,
+        dedup_mask: &[bool],
+        victims: &mut Vec<Fingerprint>,
+    ) -> PodResult<Vec<(Pba, u32)>> {
+        let mut pbas: Vec<Pba> = Vec::new();
+        for (i, (lba, fp)) in req.write_chunks().enumerate() {
+            if dedup_mask[i] {
+                continue;
+            }
+            let pba = self.store.write_unique(lba, fp, None)?;
+            pbas.push(pba);
+            // Index maintenance: remember where this content now lives.
+            if let Some(v) = self.index.upsert(fp, pba) {
+                victims.push(v);
+            }
+            if self.policy == DedupPolicy::FullDedupe {
+                self.disk_index.insert(fp, pba);
+            }
+        }
+        Ok(merge_extents(&pbas))
+    }
+}
+
+/// Merge an ordered PBA list into contiguous `(start, len)` extents.
+fn merge_extents(pbas: &[Pba]) -> Vec<(Pba, u32)> {
+    let mut out: Vec<(Pba, u32)> = Vec::new();
+    for &p in pbas {
+        match out.last_mut() {
+            Some((start, len)) if start.raw() + *len as u64 == p.raw() => *len += 1,
+            _ => out.push((p, 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_types::{Lba, SimTime};
+
+    fn fp(id: u64) -> Fingerprint {
+        Fingerprint::from_content_id(id)
+    }
+
+    fn wreq(id: u64, lba: u64, contents: &[u64]) -> IoRequest {
+        IoRequest::write(
+            id,
+            SimTime::from_micros(id),
+            Lba::new(lba),
+            contents.iter().copied().map(fp).collect(),
+        )
+    }
+
+    fn rreq(id: u64, lba: u64, n: u32) -> IoRequest {
+        IoRequest::read(id, SimTime::from_micros(id), Lba::new(lba), n)
+    }
+
+    fn engine(policy: DedupPolicy) -> DedupEngine {
+        DedupEngine::new(
+            policy,
+            DedupConfig {
+                logical_blocks: 10_000,
+                overflow_blocks: 10_000,
+                // Every consult faults, so lookup counts are exact.
+                index_page_fault_rate: 1,
+                ..DedupConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn native_writes_everything() {
+        let mut e = engine(DedupPolicy::Native);
+        let o1 = e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
+        assert_eq!(o1.written_blocks, 3);
+        assert_eq!(o1.write_extents, vec![(Pba::new(0), 3)]);
+        // Identical content rewritten: still written (no dedup).
+        let o2 = e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w2");
+        assert_eq!(o2.written_blocks, 3);
+        assert!(!o2.removed);
+        assert_eq!(e.store().used_blocks(), 6, "two full copies on disk");
+        assert_eq!(e.counters().removed_pct(), 0.0);
+    }
+
+    #[test]
+    fn select_removes_fully_redundant_sequential_request() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
+        let o = e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w2");
+        assert!(o.removed, "class {:?}", o.class);
+        assert_eq!(o.deduped_blocks, 3);
+        assert!(o.write_extents.is_empty());
+        assert_eq!(e.store().used_blocks(), 3, "single physical copy");
+        assert_eq!(e.store().nvram().entries(), 3, "3 redirected map entries");
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn select_removes_small_single_block_rewrite() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 5, &[42])).expect("w1");
+        // Same content, same location: the archetypal small redundant
+        // write POD eliminates.
+        let o = e.process_write(&wreq(1, 5, &[42])).expect("w2");
+        assert!(o.removed);
+        assert_eq!(e.store().used_blocks(), 1);
+        assert_eq!(e.store().nvram().entries(), 0, "same-location: no redirect");
+    }
+
+    #[test]
+    fn select_skips_scattered_partial() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1])).expect("seed 1");
+        e.process_write(&wreq(1, 100, &[2])).expect("seed 2");
+        // Request with 2 scattered duplicates (below threshold 3) + fresh.
+        let o = e.process_write(&wreq(2, 10, &[1, 99, 2, 98])).expect("w");
+        assert_eq!(o.class, WriteClass::ScatteredPartial);
+        assert_eq!(o.deduped_blocks, 0);
+        assert_eq!(o.written_blocks, 4, "category 2 writes everything");
+        // Subsequent read of 10..14 is a single extent: no fragmentation.
+        let plan = e.plan_read(&rreq(3, 10, 4));
+        assert_eq!(plan.fragments(), 1);
+    }
+
+    #[test]
+    fn select_dedups_contiguous_run_in_partial_request() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1, 2, 3, 4])).expect("seed");
+        // 6-block request: first 4 chunks duplicate the stored run.
+        let o = e
+            .process_write(&wreq(1, 100, &[1, 2, 3, 4, 50, 51]))
+            .expect("w");
+        assert_eq!(o.class, WriteClass::ContiguousPartial(vec![(0, 4)]));
+        assert_eq!(o.deduped_blocks, 4);
+        assert_eq!(o.written_blocks, 2);
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn full_dedupes_scattered_chunks_causing_fragmentation() {
+        let mut e = engine(DedupPolicy::FullDedupe);
+        e.process_write(&wreq(0, 0, &[1])).expect("seed1");
+        e.process_write(&wreq(1, 500, &[2])).expect("seed2");
+        let o = e.process_write(&wreq(2, 10, &[1, 99, 2])).expect("w");
+        assert_eq!(o.deduped_blocks, 2);
+        assert_eq!(o.written_blocks, 1);
+        // The read back is fragmented: 0, 11, 500.
+        let plan = e.plan_read(&rreq(3, 10, 3));
+        assert_eq!(plan.fragments(), 3, "read amplification under Full-Dedupe");
+    }
+
+    #[test]
+    fn full_disk_lookups_charged_on_ram_misses() {
+        let mut e = engine(DedupPolicy::FullDedupe);
+        // Cold unique chunks: each consults the on-disk index.
+        let o = e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w");
+        assert_eq!(o.disk_index_lookups, 2, "3 cold consults, capped at 2");
+        // Re-write after the hot index knows them: no disk lookups.
+        let o2 = e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w2");
+        assert_eq!(o2.disk_index_lookups, 0);
+        assert!(o2.removed);
+    }
+
+    #[test]
+    fn full_disk_lookups_capped_per_request() {
+        // Tiny RAM index so duplicates are only discoverable on disk.
+        let mut e = DedupEngine::new(
+            DedupPolicy::FullDedupe,
+            DedupConfig {
+                index_budget_bytes: crate::index::INDEX_ENTRY_BYTES,
+                logical_blocks: 10_000,
+                overflow_blocks: 10_000,
+                index_page_fault_rate: 1,
+                ..DedupConfig::default()
+            },
+        );
+        let contents: Vec<u64> = (1..=8).collect();
+        e.process_write(&wreq(0, 0, &contents)).expect("seed");
+        let o = e.process_write(&wreq(1, 100, &contents)).expect("w");
+        assert!(o.removed, "disk index found all 8 duplicates");
+        assert_eq!(o.disk_index_lookups, 2, "container locality caps the charge");
+    }
+
+    #[test]
+    fn full_finds_cold_duplicates_via_disk_index() {
+        // Tiny RAM index (1 entry) forces cold lookups through the disk
+        // index, which still finds the duplicates.
+        let mut e = DedupEngine::new(
+            DedupPolicy::FullDedupe,
+            DedupConfig {
+                index_budget_bytes: crate::index::INDEX_ENTRY_BYTES,
+                logical_blocks: 10_000,
+                overflow_blocks: 10_000,
+                index_page_fault_rate: 1,
+                ..DedupConfig::default()
+            },
+        );
+        e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("seed");
+        let o = e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w");
+        assert!(o.removed, "disk index found all duplicates");
+        assert!(o.disk_index_lookups > 0);
+    }
+
+    #[test]
+    fn idedup_bypasses_small_redundant_writes() {
+        let mut e = engine(DedupPolicy::IDedup);
+        e.process_write(&wreq(0, 0, &[7])).expect("seed");
+        let o = e.process_write(&wreq(1, 9, &[7])).expect("w");
+        assert!(!o.removed, "iDedup ignores small writes");
+        assert_eq!(o.written_blocks, 1);
+    }
+
+    #[test]
+    fn idedup_dedups_long_sequential_duplicates() {
+        let mut e = engine(DedupPolicy::IDedup);
+        let contents: Vec<u64> = (1..=8).collect();
+        e.process_write(&wreq(0, 0, &contents)).expect("seed");
+        let o = e.process_write(&wreq(1, 100, &contents)).expect("w");
+        assert!(o.removed, "8-block sequential duplicate run deduped");
+        assert_eq!(o.deduped_blocks, 8);
+    }
+
+    #[test]
+    fn stale_index_entries_are_dropped() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1])).expect("w1");
+        // Overwrite lba 0 with new content: pba 0 now holds fp(2).
+        e.process_write(&wreq(1, 0, &[2])).expect("w2");
+        // A new write of fp(1): index still maps fp(1)->pba0, but the
+        // content check must reject it and write fresh.
+        let o = e.process_write(&wreq(2, 50, &[1])).expect("w3");
+        assert!(!o.removed, "stale candidate must not be deduped");
+        assert_eq!(o.written_blocks, 1);
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn consistency_shared_block_never_overwritten() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
+        e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("dedup onto 0..3");
+        // Overwrite the original location with new data; the shared
+        // blocks must survive for lba 10..13.
+        e.process_write(&wreq(2, 0, &[7, 8, 9])).expect("w2");
+        let plan = e.plan_read(&rreq(3, 10, 3));
+        // lba 10..13 still maps to the original physical copy 0..3.
+        assert_eq!(plan.extents, vec![(Pba::new(0), 3)]);
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut e = engine(DedupPolicy::SelectDedupe);
+        e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
+        e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w2");
+        let c = e.counters();
+        assert_eq!(c.write_requests, 2);
+        assert_eq!(c.removed_requests, 1);
+        assert_eq!(c.deduped_blocks, 3);
+        assert_eq!(c.written_blocks, 3);
+        assert!((c.removed_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn read_of_unwritten_space_is_identity() {
+        let e = engine(DedupPolicy::SelectDedupe);
+        let plan = e.plan_read(&rreq(0, 123, 4));
+        assert_eq!(plan.extents, vec![(Pba::new(123), 4)]);
+    }
+
+    #[test]
+    fn merge_extents_merges() {
+        let pbas = [Pba::new(1), Pba::new(2), Pba::new(5), Pba::new(6), Pba::new(9)];
+        assert_eq!(
+            merge_extents(&pbas),
+            vec![(Pba::new(1), 2), (Pba::new(5), 2), (Pba::new(9), 1)]
+        );
+        assert!(merge_extents(&[]).is_empty());
+    }
+
+    #[test]
+    fn page_fault_rate_absorbs_most_consults() {
+        let mut e = DedupEngine::new(
+            DedupPolicy::FullDedupe,
+            DedupConfig {
+                logical_blocks: 10_000,
+                overflow_blocks: 10_000,
+                index_page_fault_rate: 8,
+                ..DedupConfig::default()
+            },
+        );
+        // 8 cold consults -> exactly one page fault.
+        let contents: Vec<u64> = (1..=8).collect();
+        let o = e.process_write(&wreq(0, 0, &contents)).expect("w");
+        assert_eq!(o.disk_index_lookups, 1);
+    }
+
+    #[test]
+    fn intra_request_stale_candidate_is_rewritten() {
+        // Regression (found by proptest): request 1 writes the same
+        // content to many consecutive LBAs; request 2 overwrites part of
+        // that range. When a chunk's dedup candidate is released or
+        // overwritten by an *earlier chunk of the same request*, the
+        // chunk must fall back to a normal write instead of erroring.
+        let mut e = engine(DedupPolicy::FullDedupe);
+        // Same content at lbas 112..123 — index ends up pointing at the
+        // most recent copy.
+        let contents = vec![0u64; 11];
+        e.process_write(&wreq(0, 112, &contents)).expect("w1");
+        // Overwrite the same range: chunk i dedups lba 112+i onto the
+        // candidate, releasing blocks later chunks had as candidates.
+        let o = e.process_write(&wreq(1, 112, &contents)).expect("w2 must not error");
+        assert_eq!(
+            o.deduped_blocks + o.written_blocks,
+            11,
+            "every chunk either deduped or written"
+        );
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn post_process_scan_dedups_backlog() {
+        let mut e = engine(DedupPolicy::PostProcess);
+        e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
+        e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("w2");
+        assert_eq!(e.scan_backlog(), 6);
+        assert_eq!(e.store().used_blocks(), 6, "nothing deduped inline");
+        let scan = e.post_process_scan(100).expect("scan");
+        assert_eq!(scan.scanned_chunks, 6);
+        assert_eq!(scan.deduped_chunks, 3, "second copy remapped");
+        assert_eq!(e.store().used_blocks(), 3);
+        assert!(!scan.read_extents.is_empty(), "scanner re-read the chunks");
+        assert_eq!(e.scan_backlog(), 0);
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn post_process_scan_skips_overwritten_chunks() {
+        let mut e = engine(DedupPolicy::PostProcess);
+        e.process_write(&wreq(0, 0, &[1])).expect("w1");
+        // Overwrite before the scanner gets there: the stale queue entry
+        // must be ignored, not misdeduped.
+        e.process_write(&wreq(1, 0, &[2])).expect("w2");
+        let scan = e.post_process_scan(10).expect("scan");
+        assert_eq!(scan.scanned_chunks, 2);
+        assert_eq!(scan.deduped_chunks, 0);
+        e.store().check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn post_process_scan_batches() {
+        let mut e = engine(DedupPolicy::PostProcess);
+        for i in 0..4u64 {
+            e.process_write(&wreq(i, i * 10, &[100 + i])).expect("w");
+        }
+        assert_eq!(e.scan_backlog(), 4);
+        let s1 = e.post_process_scan(3).expect("scan");
+        assert_eq!(s1.scanned_chunks, 3);
+        assert_eq!(e.scan_backlog(), 1);
+        let s2 = e.post_process_scan(3).expect("scan");
+        assert_eq!(s2.scanned_chunks, 1);
+    }
+
+    #[test]
+    fn iodedup_tracks_content_without_dedup() {
+        let mut e = engine(DedupPolicy::IODedup);
+        e.process_write(&wreq(0, 0, &[7, 8])).expect("w1");
+        let o = e.process_write(&wreq(1, 10, &[7, 8])).expect("w2");
+        assert!(!o.removed, "I/O-Dedup never eliminates writes");
+        assert_eq!(e.store().used_blocks(), 4, "both copies on disk");
+        assert_eq!(e.content_of(Lba::new(0)), Some(fp(7)));
+        assert_eq!(e.content_of(Lba::new(11)), Some(fp(8)));
+        assert_eq!(e.content_of(Lba::new(99)), None);
+    }
+
+    #[test]
+    fn index_victims_surface_for_ghost_feed() {
+        let mut e = DedupEngine::new(
+            DedupPolicy::SelectDedupe,
+            DedupConfig {
+                index_budget_bytes: 2 * crate::index::INDEX_ENTRY_BYTES,
+                logical_blocks: 10_000,
+                overflow_blocks: 10_000,
+                ..DedupConfig::default()
+            },
+        );
+        e.process_write(&wreq(0, 0, &[1, 2])).expect("w1");
+        let o = e.process_write(&wreq(1, 10, &[3, 4])).expect("w2");
+        assert_eq!(o.index_victims.len(), 2, "2-entry index evicts both");
+    }
+}

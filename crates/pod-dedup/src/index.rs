@@ -1,0 +1,380 @@
+//! The Index table: hot fingerprint entries in memory.
+//!
+//! "In order to reduce the memory space and processing overhead required
+//! to store and query the huge hash index table, POD only stores the hot
+//! hash index entries in memory. The Index table ... is organized in an
+//! LRU form and maintains the frequency of write requests by using the
+//! Count variable" (paper §III-B, Fig. 6).
+//!
+//! The table is sized in *bytes* because iCache trades its space against
+//! the read cache: each entry costs [`INDEX_ENTRY_BYTES`] (fingerprint +
+//! PBA + count + LRU links), and [`IndexTable::resize_bytes`] is the hook
+//! the Swap Module drives every epoch.
+
+use pod_cache::{LfuCache, LruCache};
+use pod_types::{Fingerprint, Pba};
+use serde::{Deserialize, Serialize};
+
+/// Modeled in-memory footprint of one hash-index entry: 32 B fingerprint
+/// + 8 B PBA + 4 B count + ~20 B of map/LRU overhead.
+pub const INDEX_ENTRY_BYTES: u64 = 64;
+
+/// Replacement policy for the hot-entry table. The paper uses LRU
+/// (§III-B); LFU is the ablation alternative suggested by the per-entry
+/// `Count` field (see the `index_policy` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IndexPolicy {
+    /// Least-recently-used (the paper's design).
+    #[default]
+    Lru,
+    /// Least-frequently-used (evict the coldest `Count`).
+    Lfu,
+}
+
+/// One hot index entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Where the content lives.
+    pub pba: Pba,
+    /// Write-frequency counter ("Count" in paper Fig. 6).
+    pub count: u32,
+}
+
+/// Policy-backed storage for the hot-entry table.
+#[derive(Debug)]
+enum Backing {
+    Lru(LruCache<Fingerprint, IndexEntry>),
+    Lfu(LfuCache<Fingerprint, IndexEntry>),
+}
+
+/// Table of hot fingerprints (LRU by default, LFU for the ablation).
+#[derive(Debug)]
+pub struct IndexTable {
+    backing: Backing,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+}
+
+impl IndexTable {
+    /// Index table with space for `capacity_entries` hot entries (LRU,
+    /// the paper's policy).
+    pub fn new(capacity_entries: usize) -> Self {
+        Self::with_policy(capacity_entries, IndexPolicy::Lru)
+    }
+
+    /// Index table with an explicit replacement policy.
+    pub fn with_policy(capacity_entries: usize, policy: IndexPolicy) -> Self {
+        let backing = match policy {
+            IndexPolicy::Lru => Backing::Lru(LruCache::new(capacity_entries)),
+            IndexPolicy::Lfu => Backing::Lfu(LfuCache::new(capacity_entries)),
+        };
+        Self {
+            backing,
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Index table sized by a byte budget.
+    pub fn with_byte_budget(bytes: u64) -> Self {
+        Self::new((bytes / INDEX_ENTRY_BYTES) as usize)
+    }
+
+    /// Index table sized by a byte budget with an explicit policy.
+    pub fn with_byte_budget_policy(bytes: u64, policy: IndexPolicy) -> Self {
+        Self::with_policy((bytes / INDEX_ENTRY_BYTES) as usize, policy)
+    }
+
+    /// The active replacement policy.
+    pub fn policy(&self) -> IndexPolicy {
+        match self.backing {
+            Backing::Lru(_) => IndexPolicy::Lru,
+            Backing::Lfu(_) => IndexPolicy::Lfu,
+        }
+    }
+
+    /// Query a fingerprint. A hit bumps the entry's `Count` (and, for
+    /// LFU, its replacement frequency) and returns the candidate PBA.
+    pub fn query(&mut self, fp: &Fingerprint) -> Option<Pba> {
+        let found = match &mut self.backing {
+            Backing::Lru(c) => c.get_mut(fp).map(|e| {
+                e.count += 1;
+                e.pba
+            }),
+            Backing::Lfu(c) => {
+                // LFU bumps frequency on get; update count via a second
+                // borrow-free step.
+                let hit = c.get(fp).map(|e| e.pba);
+                if hit.is_some() {
+                    if let Some(e) = c.peek(fp).copied() {
+                        c.insert(*fp, IndexEntry { pba: e.pba, count: e.count + 1 });
+                    }
+                }
+                hit
+            }
+        };
+        match found {
+            Some(pba) => {
+                self.hits += 1;
+                Some(pba)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up without statistics or promotion (test/diagnostic use).
+    pub fn peek(&self, fp: &Fingerprint) -> Option<IndexEntry> {
+        match &self.backing {
+            Backing::Lru(c) => c.peek(fp).copied(),
+            Backing::Lfu(c) => c.peek(fp).copied(),
+        }
+    }
+
+    /// Insert (or refresh) the location of a fingerprint with `Count`
+    /// reset to 0, as a fresh entry (paper: "initialized to 0").
+    /// Returns the evicted victim, which iCache feeds to the ghost index.
+    pub fn insert(&mut self, fp: Fingerprint, pba: Pba) -> Option<Fingerprint> {
+        self.inserts += 1;
+        let entry = IndexEntry { pba, count: 0 };
+        match &mut self.backing {
+            Backing::Lru(c) => c.insert(fp, entry).map(|(victim, _)| victim),
+            Backing::Lfu(c) => c.insert(fp, entry).map(|(victim, _)| victim),
+        }
+    }
+
+    /// Update an existing entry's location preserving its `Count`, or
+    /// insert a fresh entry. Used when a redundant-but-written chunk
+    /// (category 2) creates a newer copy of hot content. Returns the
+    /// evicted victim on insert.
+    pub fn upsert(&mut self, fp: Fingerprint, pba: Pba) -> Option<Fingerprint> {
+        match &mut self.backing {
+            Backing::Lru(c) => {
+                if let Some(e) = c.get_mut(&fp) {
+                    e.pba = pba;
+                    return None;
+                }
+            }
+            Backing::Lfu(c) => {
+                if let Some(e) = c.peek(&fp).copied() {
+                    c.insert(fp, IndexEntry { pba, count: e.count });
+                    return None;
+                }
+            }
+        }
+        self.insert(fp, pba)
+    }
+
+    /// Remove a (stale) entry — e.g. the physical block was overwritten
+    /// and the fingerprint no longer matches its content.
+    pub fn remove(&mut self, fp: &Fingerprint) -> Option<IndexEntry> {
+        match &mut self.backing {
+            Backing::Lru(c) => c.remove(fp),
+            Backing::Lfu(c) => c.remove(fp),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            Backing::Lru(c) => c.len(),
+            Backing::Lfu(c) => c.len(),
+        }
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        match &self.backing {
+            Backing::Lru(c) => c.capacity(),
+            Backing::Lfu(c) => c.capacity(),
+        }
+    }
+
+    /// Current byte footprint at capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity() as u64 * INDEX_ENTRY_BYTES
+    }
+
+    /// Resize to a new byte budget; spilled entries (coldest-first per
+    /// the policy) are returned so the Swap Module can stage them to the
+    /// reserved disk region and register them with the ghost index.
+    pub fn resize_bytes(&mut self, bytes: u64) -> Vec<Fingerprint> {
+        let entries = (bytes / INDEX_ENTRY_BYTES) as usize;
+        match &mut self.backing {
+            Backing::Lru(c) => c
+                .set_capacity(entries)
+                .into_iter()
+                .map(|(fp, _)| fp)
+                .collect(),
+            Backing::Lfu(c) => c
+                .set_capacity(entries)
+                .into_iter()
+                .map(|(fp, _)| fp)
+                .collect(),
+        }
+    }
+
+    /// `(hits, misses, inserts)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.inserts)
+    }
+
+    /// Reset the statistics counters (start of an iCache epoch).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.inserts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(id: u64) -> Fingerprint {
+        Fingerprint::from_content_id(id)
+    }
+
+    #[test]
+    fn query_hit_returns_pba_and_bumps_count() {
+        let mut t = IndexTable::new(4);
+        t.insert(fp(1), Pba::new(100));
+        assert_eq!(t.peek(&fp(1)).expect("present").count, 0);
+        assert_eq!(t.query(&fp(1)), Some(Pba::new(100)));
+        assert_eq!(t.peek(&fp(1)).expect("present").count, 1);
+        t.query(&fp(1));
+        assert_eq!(t.peek(&fp(1)).expect("present").count, 2);
+    }
+
+    #[test]
+    fn query_miss_counts() {
+        let mut t = IndexTable::new(4);
+        assert_eq!(t.query(&fp(9)), None);
+        assert_eq!(t.stats(), (0, 1, 0));
+    }
+
+    #[test]
+    fn lru_eviction_returns_victim() {
+        let mut t = IndexTable::new(2);
+        assert_eq!(t.insert(fp(1), Pba::new(1)), None);
+        assert_eq!(t.insert(fp(2), Pba::new(2)), None);
+        t.query(&fp(1)); // 2 becomes LRU
+        let victim = t.insert(fp(3), Pba::new(3));
+        assert_eq!(victim, Some(fp(2)));
+    }
+
+    #[test]
+    fn byte_budget_sizing() {
+        let t = IndexTable::with_byte_budget(10 * INDEX_ENTRY_BYTES + 7);
+        assert_eq!(t.capacity(), 10);
+        assert_eq!(t.capacity_bytes(), 10 * INDEX_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn resize_spills_lru_first() {
+        let mut t = IndexTable::with_byte_budget(4 * INDEX_ENTRY_BYTES);
+        for i in 0..4 {
+            t.insert(fp(i), Pba::new(i));
+        }
+        t.query(&fp(0));
+        let spilled = t.resize_bytes(2 * INDEX_ENTRY_BYTES);
+        assert_eq!(spilled, vec![fp(1), fp(2)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.peek(&fp(0)).is_some());
+        assert!(t.peek(&fp(3)).is_some());
+    }
+
+    #[test]
+    fn zero_budget_bounces_everything() {
+        let mut t = IndexTable::with_byte_budget(0);
+        assert_eq!(t.capacity(), 0);
+        t.insert(fp(1), Pba::new(1));
+        assert_eq!(t.query(&fp(1)), None);
+    }
+
+    #[test]
+    fn remove_stale_entry() {
+        let mut t = IndexTable::new(4);
+        t.insert(fp(1), Pba::new(1));
+        assert!(t.remove(&fp(1)).is_some());
+        assert_eq!(t.query(&fp(1)), None);
+        assert!(t.remove(&fp(1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_pba_and_resets_count() {
+        let mut t = IndexTable::new(4);
+        t.insert(fp(1), Pba::new(1));
+        t.query(&fp(1));
+        t.insert(fp(1), Pba::new(2));
+        let e = t.peek(&fp(1)).expect("present");
+        assert_eq!(e.pba, Pba::new(2));
+        assert_eq!(e.count, 0);
+    }
+
+    #[test]
+    fn lfu_policy_evicts_coldest() {
+        let mut t = IndexTable::with_policy(2, IndexPolicy::Lfu);
+        assert_eq!(t.policy(), IndexPolicy::Lfu);
+        t.insert(fp(1), Pba::new(1));
+        t.insert(fp(2), Pba::new(2));
+        // Heat up fp(2); fp(1) becomes the LFU victim even though it is
+        // not the LRU one.
+        t.query(&fp(2));
+        t.query(&fp(2));
+        t.query(&fp(1));
+        let victim = t.insert(fp(3), Pba::new(3));
+        assert_eq!(victim, Some(fp(1)));
+        assert!(t.peek(&fp(2)).is_some());
+    }
+
+    #[test]
+    fn lfu_query_tracks_count_and_location() {
+        let mut t = IndexTable::with_policy(4, IndexPolicy::Lfu);
+        t.insert(fp(1), Pba::new(10));
+        assert_eq!(t.query(&fp(1)), Some(Pba::new(10)));
+        assert!(t.peek(&fp(1)).expect("present").count >= 1);
+        t.upsert(fp(1), Pba::new(20));
+        assert_eq!(t.peek(&fp(1)).expect("present").pba, Pba::new(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lfu_resize_spills() {
+        let mut t = IndexTable::with_policy(4, IndexPolicy::Lfu);
+        for i in 0..4 {
+            t.insert(fp(i), Pba::new(i));
+        }
+        t.query(&fp(0));
+        let spilled = t.resize_bytes(2 * INDEX_ENTRY_BYTES);
+        assert_eq!(spilled.len(), 2);
+        assert!(!spilled.contains(&fp(0)), "hot entry survives the shrink");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn default_policy_is_lru() {
+        assert_eq!(IndexTable::new(4).policy(), IndexPolicy::Lru);
+        assert_eq!(IndexPolicy::default(), IndexPolicy::Lru);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut t = IndexTable::new(2);
+        t.insert(fp(1), Pba::new(1));
+        t.query(&fp(1));
+        t.query(&fp(2));
+        assert_eq!(t.stats(), (1, 1, 1));
+        t.reset_stats();
+        assert_eq!(t.stats(), (0, 0, 0));
+    }
+}

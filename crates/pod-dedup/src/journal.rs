@@ -1,0 +1,227 @@
+//! The NVRAM Map-table journal.
+//!
+//! "To prevent data loss in case of a power failure, the Map table data
+//! structure is stored in non-volatile RAM" (paper §III-B). This module
+//! is the byte-level format of that structure: an append-only journal of
+//! remap/clear records at exactly the paper's **20 bytes per entry**
+//! (§IV-D2), each self-checksummed so recovery can detect a torn tail
+//! write (the classic NVRAM failure mode) and stop at the last complete
+//! record.
+//!
+//! Recovery rebuilds the redirected LBA→PBA relation by replaying the
+//! journal in order; reference counts and content state are rebuilt by
+//! the store's scan, as in any journaled system.
+
+use pod_hash::fnv1a_64;
+use pod_types::{Lba, Pba, PodError, PodResult};
+use std::collections::HashMap;
+
+/// Bytes per journal entry: 8 (lba) + 8 (pba) + 1 (op) + 3 (checksum).
+pub const JOURNAL_ENTRY_BYTES: usize = 20;
+
+const OP_REMAP: u8 = 1;
+const OP_CLEAR: u8 = 2;
+
+/// Append-only journal of Map-table mutations.
+#[derive(Debug, Clone, Default)]
+pub struct MapJournal {
+    buf: Vec<u8>,
+}
+
+impl MapJournal {
+    /// Empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Journal over previously persisted bytes (e.g. read back from
+    /// NVRAM after a restart).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self { buf: bytes }
+    }
+
+    /// Record that `lba` now redirects to `pba`.
+    pub fn append_remap(&mut self, lba: Lba, pba: Pba) {
+        self.append(OP_REMAP, lba.raw(), pba.raw());
+    }
+
+    /// Record that `lba` is no longer redirected (maps home again or was
+    /// trimmed).
+    pub fn append_clear(&mut self, lba: Lba) {
+        self.append(OP_CLEAR, lba.raw(), 0);
+    }
+
+    fn append(&mut self, op: u8, lba: u64, pba: u64) {
+        let mut entry = [0u8; JOURNAL_ENTRY_BYTES];
+        entry[0..8].copy_from_slice(&lba.to_le_bytes());
+        entry[8..16].copy_from_slice(&pba.to_le_bytes());
+        entry[16] = op;
+        let sum = fnv1a_64(&entry[0..17]);
+        entry[17..20].copy_from_slice(&sum.to_le_bytes()[0..3]);
+        self.buf.extend_from_slice(&entry);
+    }
+
+    /// Raw persisted bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Complete entries recorded.
+    pub fn entries(&self) -> usize {
+        self.buf.len() / JOURNAL_ENTRY_BYTES
+    }
+
+    /// `true` when nothing was journalled.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Replay the journal, returning the redirected mapping it encodes.
+    ///
+    /// A torn final entry (incomplete length or bad checksum on the last
+    /// record) is tolerated and ignored — that is precisely the state an
+    /// interrupted NVRAM append leaves behind. Corruption anywhere
+    /// *before* the tail is an integrity error.
+    pub fn replay(&self) -> PodResult<HashMap<u64, u64>> {
+        let mut map = HashMap::new();
+        let complete = self.buf.len() / JOURNAL_ENTRY_BYTES;
+        for i in 0..complete {
+            let entry = &self.buf[i * JOURNAL_ENTRY_BYTES..(i + 1) * JOURNAL_ENTRY_BYTES];
+            let sum = fnv1a_64(&entry[0..17]);
+            if entry[17..20] != sum.to_le_bytes()[0..3] {
+                if i + 1 == complete {
+                    // Torn tail: stop replay here.
+                    break;
+                }
+                return Err(PodError::Inconsistency(format!(
+                    "journal entry {i} fails its checksum"
+                )));
+            }
+            let lba = u64::from_le_bytes(entry[0..8].try_into().expect("8 bytes"));
+            let pba = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+            match entry[16] {
+                OP_REMAP => {
+                    map.insert(lba, pba);
+                }
+                OP_CLEAR => {
+                    map.remove(&lba);
+                }
+                other => {
+                    if i + 1 == complete {
+                        break;
+                    }
+                    return Err(PodError::Inconsistency(format!(
+                        "journal entry {i} has unknown op {other}"
+                    )));
+                }
+            }
+        }
+        Ok(map)
+    }
+
+    /// Compact the journal to a checkpoint of `mapping` (one remap entry
+    /// per live redirection). Returns the bytes saved.
+    pub fn checkpoint(&mut self, mapping: &HashMap<u64, u64>) -> usize {
+        let before = self.buf.len();
+        let mut fresh = MapJournal::new();
+        let mut entries: Vec<(&u64, &u64)> = mapping.iter().collect();
+        entries.sort_unstable();
+        for (&lba, &pba) in entries {
+            fresh.append_remap(Lba::new(lba), Pba::new(pba));
+        }
+        self.buf = fresh.buf;
+        before.saturating_sub(self.buf.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_size_matches_paper() {
+        let mut j = MapJournal::new();
+        j.append_remap(Lba::new(1), Pba::new(2));
+        assert_eq!(j.bytes().len(), 20, "§IV-D2: 20 bytes per entry");
+        assert_eq!(j.entries(), 1);
+    }
+
+    #[test]
+    fn replay_rebuilds_mapping() {
+        let mut j = MapJournal::new();
+        j.append_remap(Lba::new(1), Pba::new(100));
+        j.append_remap(Lba::new(2), Pba::new(100));
+        j.append_remap(Lba::new(1), Pba::new(200)); // supersedes
+        j.append_clear(Lba::new(2));
+        let map = j.replay().expect("clean journal replays");
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(&1), Some(&200));
+    }
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        assert!(MapJournal::new().replay().expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let mut j = MapJournal::new();
+        j.append_remap(Lba::new(1), Pba::new(100));
+        j.append_remap(Lba::new(2), Pba::new(200));
+        // Simulate a power cut mid-append: drop 7 bytes of the tail.
+        let mut bytes = j.bytes().to_vec();
+        bytes.truncate(bytes.len() - 7);
+        let recovered = MapJournal::from_bytes(bytes).replay().expect("tolerates tail");
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered.get(&1), Some(&100));
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_is_tolerated() {
+        let mut j = MapJournal::new();
+        j.append_remap(Lba::new(1), Pba::new(100));
+        j.append_remap(Lba::new(2), Pba::new(200));
+        let mut bytes = j.bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // scribble the final checksum
+        let recovered = MapJournal::from_bytes(bytes).replay().expect("tail only");
+        assert_eq!(recovered.len(), 1);
+    }
+
+    #[test]
+    fn mid_journal_corruption_is_an_error() {
+        let mut j = MapJournal::new();
+        j.append_remap(Lba::new(1), Pba::new(100));
+        j.append_remap(Lba::new(2), Pba::new(200));
+        j.append_remap(Lba::new(3), Pba::new(300));
+        let mut bytes = j.bytes().to_vec();
+        bytes[5] ^= 0xFF; // corrupt the FIRST entry
+        assert!(MapJournal::from_bytes(bytes).replay().is_err());
+    }
+
+    #[test]
+    fn checkpoint_compacts() {
+        let mut j = MapJournal::new();
+        for i in 0..100u64 {
+            j.append_remap(Lba::new(i % 4), Pba::new(i));
+        }
+        let before = j.bytes().len();
+        let live = j.replay().expect("replay");
+        let saved = j.checkpoint(&live);
+        assert_eq!(j.entries(), 4, "only live redirections remain");
+        assert_eq!(saved, before - 4 * JOURNAL_ENTRY_BYTES);
+        assert_eq!(j.replay().expect("recheck"), live);
+    }
+
+    #[test]
+    fn checkpoint_is_deterministic() {
+        let mut map = HashMap::new();
+        map.insert(5u64, 50u64);
+        map.insert(1, 10);
+        let mut a = MapJournal::new();
+        let mut b = MapJournal::new();
+        a.checkpoint(&map);
+        b.checkpoint(&map);
+        assert_eq!(a.bytes(), b.bytes(), "sorted checkpoint is stable");
+    }
+}

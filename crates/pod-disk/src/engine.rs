@@ -1,0 +1,887 @@
+//! The discrete-event array simulator.
+//!
+//! [`ArraySim`] services multi-phase jobs over a set of simulated disks.
+//! A *job* is an ordered list of phases; each phase is a set of
+//! [`PhysOp`]s that may proceed in parallel across disks, and a phase
+//! only starts once the previous one fully completes. This models
+//! RAID-5 read-modify-write (read old data + parity → write new data +
+//! parity) as well as dedup metadata I/O that must precede data I/O.
+//!
+//! Each disk owns a pending queue drained by the configured
+//! [`SchedulerKind`]; service times come from the [`DiskSpec`] mechanical
+//! model. Event ordering is `(time, sequence)` with a strictly
+//! monotonic sequence, so simulations are fully deterministic.
+
+use crate::raid::{PhysOp, RaidGeometry, WritePlan};
+use crate::sched::{PendingView, SchedulerKind};
+use crate::spec::DiskSpec;
+use pod_types::{Pba, SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct JobId(usize);
+
+#[derive(Debug)]
+enum EventKind {
+    /// A phase's ops enter the disk queues.
+    PhaseArrive { job: usize },
+    /// An in-flight op on `disk` finishes.
+    OpComplete { disk: usize, job: usize },
+    /// A background write-cache flush on `disk` finishes.
+    FlushComplete { disk: usize },
+}
+
+#[derive(Debug)]
+struct Event {
+    at_us: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_us == other.at_us && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops
+        // first.
+        (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedOp {
+    op: PhysOp,
+    arrival_us: u64,
+    job: usize,
+}
+
+/// Per-disk utilisation counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct DiskStats {
+    /// Ops serviced.
+    pub ops: u64,
+    /// Blocks read from media.
+    pub blocks_read: u64,
+    /// Blocks written to media.
+    pub blocks_written: u64,
+    /// Time the head was busy, µs.
+    pub busy_us: u64,
+    /// Total time ops waited in queue before dispatch, µs.
+    pub queue_wait_us: u64,
+    /// Largest pending-queue depth observed.
+    pub max_queue_depth: usize,
+}
+
+#[derive(Debug)]
+struct DiskState {
+    head: u64,
+    busy: bool,
+    direction_up: bool,
+    pending: Vec<QueuedOp>,
+    stats: DiskStats,
+    /// Dirty writes admitted to the on-drive write-back cache, awaiting
+    /// an idle moment to flush to media.
+    dirty: std::collections::VecDeque<PhysOp>,
+    dirty_blocks: u64,
+}
+
+impl DiskState {
+    fn new() -> Self {
+        Self {
+            head: 0,
+            busy: false,
+            direction_up: true,
+            pending: Vec::new(),
+            stats: DiskStats::default(),
+            dirty: std::collections::VecDeque::new(),
+            dirty_blocks: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct JobState {
+    phases: Vec<Vec<PhysOp>>,
+    current_phase: usize,
+    outstanding: usize,
+    finish: Option<SimTime>,
+}
+
+/// Discrete-event simulator for one disk array.
+pub struct ArraySim {
+    geometry: RaidGeometry,
+    spec: DiskSpec,
+    sched: SchedulerKind,
+    clock: SimTime,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    disks: Vec<DiskState>,
+    jobs: Vec<JobState>,
+    /// Failed members (RAID-5 degraded mode).
+    failed: Vec<bool>,
+}
+
+impl ArraySim {
+    /// Build a simulator for `geometry` over identical `spec` disks.
+    pub fn new(geometry: RaidGeometry, spec: DiskSpec, sched: SchedulerKind) -> Self {
+        let ndisks = geometry.ndisks();
+        Self {
+            geometry,
+            spec,
+            sched,
+            clock: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            seq: 0,
+            disks: (0..ndisks).map(|_| DiskState::new()).collect(),
+            jobs: Vec::new(),
+            failed: vec![false; ndisks],
+        }
+    }
+
+    /// Fail a member disk. Subsequent reads addressing it are served in
+    /// degraded mode (reconstruction from the surviving members);
+    /// writes addressed to it are dropped (the data is recoverable from
+    /// parity). Only redundant levels support this.
+    pub fn fail_disk(&mut self, disk: usize) -> pod_types::PodResult<()> {
+        if self.geometry.config().level != crate::spec::RaidLevel::Raid5 {
+            return Err(pod_types::PodError::InvalidConfig(
+                "degraded mode requires a redundant RAID level".into(),
+            ));
+        }
+        if disk >= self.disks.len() {
+            return Err(pod_types::PodError::OutOfRange {
+                what: "disk",
+                value: disk as u64,
+                limit: self.disks.len() as u64,
+            });
+        }
+        if self.failed.iter().filter(|f| **f).count() >= 1 && !self.failed[disk] {
+            return Err(pod_types::PodError::InvalidConfig(
+                "RAID-5 survives only a single disk failure".into(),
+            ));
+        }
+        self.failed[disk] = true;
+        Ok(())
+    }
+
+    /// Mark a failed disk replaced (healthy but empty); run
+    /// [`ArraySim::submit_rebuild`] to restore its contents.
+    pub fn repair_disk(&mut self, disk: usize) {
+        if let Some(f) = self.failed.get_mut(disk) {
+            *f = false;
+        }
+    }
+
+    /// Whether any member is currently failed.
+    pub fn is_degraded(&self) -> bool {
+        self.failed.iter().any(|f| *f)
+    }
+
+    /// Submit a rebuild of `disk` covering the first `region_blocks` of
+    /// each member: every stripe chunk is read from all survivors and
+    /// the reconstructed data written to the replacement. Returns the
+    /// rebuild job (one phase per chunk pair, sequentially dependent —
+    /// rebuild proceeds stripe group by stripe group).
+    pub fn submit_rebuild(&mut self, at: SimTime, disk: usize, region_blocks: u64) -> JobId {
+        const CHUNK: u64 = 256;
+        let mut phases: Vec<Vec<PhysOp>> = Vec::new();
+        let mut off = 0;
+        while off < region_blocks {
+            let len = CHUNK.min(region_blocks - off) as u32;
+            let mut reads: Vec<PhysOp> = Vec::new();
+            for d in 0..self.disks.len() {
+                if d != disk && !self.failed[d] {
+                    reads.push(PhysOp { disk: d, lba: off, nblocks: len, write: false });
+                }
+            }
+            let write = vec![PhysOp { disk, lba: off, nblocks: len, write: true }];
+            phases.push(reads);
+            phases.push(write);
+            off += len as u64;
+        }
+        self.submit_phases(at, phases)
+    }
+
+    /// Rewrite ops for degraded mode: reads addressing a failed disk
+    /// become reconstruction reads on every survivor; writes to a failed
+    /// disk are dropped.
+    fn degrade_ops(&self, ops: Vec<PhysOp>) -> Vec<PhysOp> {
+        if !self.is_degraded() {
+            return ops;
+        }
+        let mut out: Vec<PhysOp> = Vec::new();
+        for op in ops {
+            if !self.failed[op.disk] {
+                out.push(op);
+                continue;
+            }
+            if op.write {
+                // Data will be reconstructed from parity later; the
+                // parity ops of the same plan keep redundancy current.
+                continue;
+            }
+            // Reconstruction: read the same local extent from every
+            // surviving member.
+            for d in 0..self.disks.len() {
+                if d == op.disk || self.failed[d] {
+                    continue;
+                }
+                out.push(PhysOp { disk: d, lba: op.lba, nblocks: op.nblocks, write: false });
+            }
+        }
+        out
+    }
+
+    /// The array's address arithmetic.
+    pub fn geometry(&self) -> &RaidGeometry {
+        &self.geometry
+    }
+
+    /// The per-disk mechanical model.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Total data capacity in blocks (excludes parity).
+    pub fn data_capacity_blocks(&self) -> u64 {
+        self.geometry.config().data_disks() as u64 * self.spec.capacity_blocks
+    }
+
+    /// Current simulation clock (advances as events are processed).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Submit a job of dependent phases starting at `at` (which must not
+    /// be earlier than any previously submitted job's start; trace replay
+    /// naturally satisfies this).
+    pub fn submit_phases(&mut self, at: SimTime, phases: Vec<Vec<PhysOp>>) -> JobId {
+        // Degraded-mode transform, then drop empty phases up front so
+        // phase advancement never stalls.
+        let phases: Vec<Vec<PhysOp>> = phases
+            .into_iter()
+            .map(|p| self.degrade_ops(p))
+            .filter(|p| !p.is_empty())
+            .collect();
+        let id = self.jobs.len();
+        if phases.is_empty() {
+            // Pure-metadata job: completes instantly at submission.
+            self.jobs.push(JobState {
+                phases,
+                current_phase: 0,
+                outstanding: 0,
+                finish: Some(at),
+            });
+            return JobId(id);
+        }
+        self.jobs.push(JobState {
+            phases,
+            current_phase: 0,
+            outstanding: 0,
+            finish: None,
+        });
+        self.push_event(at, EventKind::PhaseArrive { job: id });
+        JobId(id)
+    }
+
+    /// Submit a read of `[pba, pba+nblocks)` through the RAID mapping.
+    pub fn submit_read(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
+        let ops = self.geometry.plan_read(pba, nblocks);
+        self.submit_phases(at, vec![ops])
+    }
+
+    /// Submit a write of `[pba, pba+nblocks)` including parity work.
+    pub fn submit_write(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
+        let WritePlan { phases } = self.geometry.plan_write(pba, nblocks);
+        self.submit_phases(at, phases)
+    }
+
+    /// Process events up to and including `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(ev) = self.events.peek() {
+            if ev.at_us > t.as_micros() {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked event exists");
+            self.clock = SimTime::from_micros(ev.at_us);
+            self.handle(ev);
+        }
+        self.clock = self.clock.max_of(t);
+    }
+
+    /// Drain every event; afterwards all submitted jobs are complete.
+    pub fn run_to_idle(&mut self) {
+        while let Some(ev) = self.events.pop() {
+            self.clock = SimTime::from_micros(ev.at_us);
+            self.handle(ev);
+        }
+    }
+
+    /// Completion time of `job`, if it has finished.
+    pub fn job_completion(&self, job: JobId) -> Option<SimTime> {
+        self.jobs.get(job.0).and_then(|j| j.finish)
+    }
+
+    /// Per-disk statistics.
+    pub fn disk_stats(&self) -> Vec<DiskStats> {
+        self.disks.iter().map(|d| d.stats).collect()
+    }
+
+    /// Sum of blocks physically written across disks (data + parity).
+    pub fn total_blocks_written(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats.blocks_written).sum()
+    }
+
+    /// Sum of blocks physically read across disks.
+    pub fn total_blocks_read(&self) -> u64 {
+        self.disks.iter().map(|d| d.stats.blocks_read).sum()
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Mean fraction of elapsed simulated time the disks spent busy
+    /// (0..=1); a utilization probe for load studies.
+    pub fn utilization(&self) -> f64 {
+        let elapsed = self.clock.as_micros();
+        if elapsed == 0 || self.disks.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.disks.iter().map(|d| d.stats.busy_us).sum();
+        (busy as f64 / (elapsed as f64 * self.disks.len() as f64)).min(1.0)
+    }
+
+    /// Mean queue wait per op across all disks, µs.
+    pub fn mean_queue_wait_us(&self) -> f64 {
+        let ops: u64 = self.disks.iter().map(|d| d.stats.ops).sum();
+        if ops == 0 {
+            return 0.0;
+        }
+        let wait: u64 = self.disks.iter().map(|d| d.stats.queue_wait_us).sum();
+        wait as f64 / ops as f64
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event {
+            at_us: at.as_micros(),
+            seq,
+            kind,
+        });
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::PhaseArrive { job } => {
+                let now = self.clock;
+                let ops = self.jobs[job].phases[self.jobs[job].current_phase].clone();
+                self.jobs[job].outstanding = ops.len();
+                let mut touched: Vec<usize> = Vec::with_capacity(ops.len());
+                for op in ops {
+                    debug_assert!(op.disk < self.disks.len(), "op addressed to missing disk");
+                    let d = &mut self.disks[op.disk];
+                    d.pending.push(QueuedOp {
+                        op,
+                        arrival_us: now.as_micros(),
+                        job,
+                    });
+                    d.stats.max_queue_depth = d.stats.max_queue_depth.max(d.pending.len());
+                    if !touched.contains(&op.disk) {
+                        touched.push(op.disk);
+                    }
+                }
+                for disk in touched {
+                    self.try_dispatch(disk);
+                }
+            }
+            EventKind::FlushComplete { disk } => {
+                self.disks[disk].busy = false;
+                self.try_dispatch(disk);
+            }
+            EventKind::OpComplete { disk, job } => {
+                self.disks[disk].busy = false;
+                let j = &mut self.jobs[job];
+                debug_assert!(j.outstanding > 0, "completion for idle job");
+                j.outstanding -= 1;
+                if j.outstanding == 0 {
+                    j.current_phase += 1;
+                    if j.current_phase < j.phases.len() {
+                        let now = self.clock;
+                        self.push_event(now, EventKind::PhaseArrive { job });
+                    } else {
+                        j.finish = Some(self.clock);
+                    }
+                }
+                self.try_dispatch(disk);
+            }
+        }
+    }
+
+    fn try_dispatch(&mut self, disk: usize) {
+        let now = self.clock;
+        let d = &mut self.disks[disk];
+        if d.busy {
+            return;
+        }
+        if d.pending.is_empty() {
+            // Idle: flush one cached dirty write to media.
+            if let Some(op) = d.dirty.pop_front() {
+                let distance = d.head.abs_diff(op.lba);
+                let service = self.spec.service_time(distance, op.nblocks);
+                d.head = op.lba + op.nblocks as u64;
+                d.busy = true;
+                d.dirty_blocks -= op.nblocks as u64;
+                d.stats.busy_us += service.as_micros();
+                d.stats.blocks_written += op.nblocks as u64;
+                let done = now + service;
+                self.push_event(done, EventKind::FlushComplete { disk });
+            }
+            return;
+        }
+        let views: Vec<PendingView> = d
+            .pending
+            .iter()
+            .map(|q| PendingView {
+                lba: q.op.lba,
+                arrival_us: q.arrival_us,
+            })
+            .collect();
+        let (idx, dir) = self.sched.pick(&views, d.head, d.direction_up);
+        d.direction_up = dir;
+        let q = d.pending.swap_remove(idx);
+
+        // Write-back cache admission: an admitted write completes at
+        // interface transfer speed and is flushed later; media blocks
+        // are accounted at flush time.
+        let cache_room = self
+            .spec
+            .write_cache_blocks
+            .saturating_sub(d.dirty_blocks);
+        if q.op.write && self.spec.write_cache_blocks > 0 && q.op.nblocks as u64 <= cache_room
+        {
+            let service = self.spec.service_time(0, q.op.nblocks);
+            d.dirty.push_back(q.op);
+            d.dirty_blocks += q.op.nblocks as u64;
+            d.busy = true;
+            d.stats.ops += 1;
+            d.stats.busy_us += service.as_micros();
+            d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
+            let done = now + service;
+            self.push_event(done, EventKind::OpComplete { disk, job: q.job });
+            return;
+        }
+
+        let distance = d.head.abs_diff(q.op.lba);
+        let service = self.spec.service_time(distance, q.op.nblocks);
+        d.head = q.op.lba + q.op.nblocks as u64;
+        d.busy = true;
+        d.stats.ops += 1;
+        d.stats.busy_us += service.as_micros();
+        d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
+        if q.op.write {
+            d.stats.blocks_written += q.op.nblocks as u64;
+        } else {
+            d.stats.blocks_read += q.op.nblocks as u64;
+        }
+        let done = now + service;
+        self.push_event(
+            done,
+            EventKind::OpComplete {
+                disk,
+                job: q.job,
+            },
+        );
+    }
+}
+
+/// Convenience: service a single isolated request on an idle array and
+/// return its latency. Used heavily in unit tests and microbenches.
+pub fn isolated_latency(sim: &mut ArraySim, at: SimTime, pba: Pba, nblocks: u32, write: bool) -> SimDuration {
+    let job = if write {
+        sim.submit_write(at, pba, nblocks)
+    } else {
+        sim.submit_read(at, pba, nblocks)
+    };
+    sim.run_to_idle();
+    sim.job_completion(job).expect("job ran to completion") - at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RaidConfig, RaidLevel};
+
+    fn single_sim() -> ArraySim {
+        ArraySim::new(
+            RaidGeometry::new(RaidConfig::single()),
+            DiskSpec::test_disk(),
+            SchedulerKind::Fifo,
+        )
+    }
+
+    fn raid5_sim() -> ArraySim {
+        ArraySim::new(
+            RaidGeometry::new(RaidConfig::paper_raid5()),
+            DiskSpec::test_disk(),
+            SchedulerKind::Fifo,
+        )
+    }
+
+    #[test]
+    fn single_read_latency_matches_model() {
+        let mut sim = single_sim();
+        // Head at 0; read 1 block at lba 10000: seek(10000)=1000 + rot 5000
+        // + xfer 10 = 6010us.
+        let lat = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(10_000), 1, false);
+        assert_eq!(lat.as_micros(), 6_010);
+    }
+
+    #[test]
+    fn sequential_read_after_read_is_transfer_only() {
+        let mut sim = single_sim();
+        let j1 = sim.submit_read(SimTime::ZERO, Pba::new(100), 4);
+        sim.run_to_idle();
+        let t1 = sim.job_completion(j1).expect("j1 done");
+        // Head now at 104; read continues at 104.
+        let j2 = sim.submit_read(t1, Pba::new(104), 4);
+        sim.run_to_idle();
+        let t2 = sim.job_completion(j2).expect("j2 done");
+        assert_eq!((t2 - t1).as_micros(), 40, "4 blocks * 10us, no seek");
+    }
+
+    #[test]
+    fn queueing_delays_second_job() {
+        let mut sim = single_sim();
+        let j1 = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1, );
+        let j2 = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1);
+        sim.run_to_idle();
+        let t1 = sim.job_completion(j1).expect("j1");
+        let t2 = sim.job_completion(j2).expect("j2");
+        assert!(t2 > t1, "second job waits for the first");
+        // Second job: head already at 5001, seek distance 1.
+        assert!(t2.as_micros() > t1.as_micros());
+    }
+
+    #[test]
+    fn rmw_write_takes_two_phases() {
+        let mut sim = raid5_sim();
+        // Small 1-block write: phase1 reads (data + parity), phase2 writes.
+        // Use a non-zero PBA so the pre-reads pay a real seek.
+        let w = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(1_000), 1, true);
+        // Phase 1: parallel reads on two disks (~5.3ms with seek+rotation);
+        // phase 2: dependent writes (~5.1ms). Two dependent random
+        // accesses ≈ 10.4ms; well under 4 serial accesses.
+        let single_read = {
+            let mut fresh = raid5_sim();
+            isolated_latency(&mut fresh, SimTime::ZERO, Pba::new(1_000), 1, false)
+        };
+        assert!(
+            w.as_micros() > single_read.as_micros() + 4_000,
+            "has a dependent second phase: write {w:?} vs read {single_read:?}"
+        );
+        assert!(w.as_micros() < 4 * single_read.as_micros());
+        let stats = sim.disk_stats();
+        let total_ops: u64 = stats.iter().map(|s| s.ops).sum();
+        assert_eq!(total_ops, 4, "RMW = 2 reads + 2 writes");
+    }
+
+    #[test]
+    fn full_stripe_write_single_phase() {
+        let mut sim = raid5_sim();
+        let _ = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(0), 48, true);
+        let stats = sim.disk_stats();
+        let reads: u64 = stats.iter().map(|s| s.blocks_read).sum();
+        let writes: u64 = stats.iter().map(|s| s.blocks_written).sum();
+        assert_eq!(reads, 0, "full stripe needs no pre-reads");
+        assert_eq!(writes, 64, "48 data + 16 parity");
+    }
+
+    #[test]
+    fn reads_fan_out_across_disks() {
+        let mut sim = raid5_sim();
+        // 32-block read spans units on two disks; they run concurrently,
+        // so latency is far less than 2x a single-disk access.
+        let lat = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(0), 32, false);
+        let serial_estimate = 2 * (100 + 5_000 + 160);
+        assert!(
+            lat.as_micros() < serial_estimate,
+            "parallel fan-out expected: {lat:?}"
+        );
+        let stats = sim.disk_stats();
+        assert!(stats.iter().filter(|s| s.ops > 0).count() >= 2);
+    }
+
+    #[test]
+    fn empty_job_completes_at_submit_time() {
+        let mut sim = single_sim();
+        let at = SimTime::from_micros(123);
+        let j = sim.submit_phases(at, vec![]);
+        assert_eq!(sim.job_completion(j), Some(at));
+    }
+
+    #[test]
+    fn empty_phases_are_skipped() {
+        let mut sim = single_sim();
+        let ops = vec![PhysOp { disk: 0, lba: 0, nblocks: 1, write: false }];
+        let j = sim.submit_phases(SimTime::ZERO, vec![vec![], ops, vec![]]);
+        sim.run_to_idle();
+        assert!(sim.job_completion(j).is_some());
+    }
+
+    #[test]
+    fn run_until_is_incremental() {
+        let mut sim = single_sim();
+        let j = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1);
+        sim.run_until(SimTime::from_micros(10));
+        assert!(sim.job_completion(j).is_none(), "op still in flight");
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.job_completion(j).is_some());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sim = raid5_sim();
+            let mut jobs = Vec::new();
+            for i in 0..50u64 {
+                let at = SimTime::from_micros(i * 100);
+                if i % 3 == 0 {
+                    jobs.push(sim.submit_write(at, Pba::new(i * 7 % 2_000), 4));
+                } else {
+                    jobs.push(sim.submit_read(at, Pba::new(i * 13 % 2_000), 8));
+                }
+            }
+            sim.run_to_idle();
+            jobs.iter()
+                .map(|j| sim.job_completion(*j).expect("done").as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = single_sim();
+        let _ = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(1_000), 4, true);
+        let s = &sim.disk_stats()[0];
+        assert_eq!(s.ops, 1);
+        assert_eq!(s.blocks_written, 4);
+        assert_eq!(s.blocks_read, 0);
+        assert!(s.busy_us > 0);
+    }
+
+    #[test]
+    fn sstf_reorders_queue() {
+        // Two ops queued while disk busy: SSTF services the nearer one
+        // first even though it arrived later.
+        let mk = |sched| {
+            let mut sim = ArraySim::new(
+                RaidGeometry::new(RaidConfig::single()),
+                DiskSpec::test_disk(),
+                sched,
+            );
+            // Occupy the disk with a long op at lba 0.
+            let _busy = sim.submit_read(SimTime::ZERO, Pba::new(0), 100);
+            // Queue: far op arrives first, near op second.
+            let far = sim.submit_read(SimTime::from_micros(1), Pba::new(9_000), 1);
+            let near = sim.submit_read(SimTime::from_micros(2), Pba::new(150), 1);
+            sim.run_to_idle();
+            (
+                sim.job_completion(far).expect("far"),
+                sim.job_completion(near).expect("near"),
+            )
+        };
+        let (far_fifo, near_fifo) = mk(SchedulerKind::Fifo);
+        assert!(far_fifo < near_fifo, "FIFO services in arrival order");
+        let (far_sstf, near_sstf) = mk(SchedulerKind::Sstf);
+        assert!(near_sstf < far_sstf, "SSTF jumps to the near op");
+    }
+
+    #[test]
+    fn raid0_striping_parallelizes() {
+        let mut sim = ArraySim::new(
+            RaidGeometry::new(RaidConfig {
+                level: RaidLevel::Raid0,
+                ndisks: 4,
+                stripe_unit_blocks: 16,
+            }),
+            DiskSpec::test_disk(),
+            SchedulerKind::Fifo,
+        );
+        let _ = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(0), 64, false);
+        let active = sim.disk_stats().iter().filter(|s| s.ops > 0).count();
+        assert_eq!(active, 4, "64 blocks = one unit on each disk");
+    }
+
+    #[test]
+    fn degraded_read_reconstructs_from_survivors() {
+        let mut healthy = raid5_sim();
+        let healthy_lat =
+            isolated_latency(&mut healthy, SimTime::ZERO, Pba::new(1_000), 4, false);
+
+        let mut sim = raid5_sim();
+        // pba 1000 maps to disk 3 (stripe 20, parity on 0).
+        let (victim, _) = sim.geometry().map_block(Pba::new(1_000));
+        sim.fail_disk(victim).expect("raid5 tolerates one failure");
+        let degraded_lat =
+            isolated_latency(&mut sim, SimTime::ZERO, Pba::new(1_000), 4, false);
+        // Reconstruction reads hit every survivor.
+        let active = sim.disk_stats().iter().filter(|s| s.ops > 0).count();
+        assert_eq!(active, 3, "all survivors read for reconstruction");
+        assert!(
+            degraded_lat >= healthy_lat,
+            "degraded {degraded_lat:?} vs healthy {healthy_lat:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_write_drops_failed_disk_ops() {
+        let mut sim = raid5_sim();
+        let (victim, _) = sim.geometry().map_block(Pba::new(0));
+        sim.fail_disk(victim).expect("fail");
+        let _ = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(0), 1, true);
+        let stats = sim.disk_stats();
+        assert_eq!(stats[victim].ops, 0, "no I/O to the failed member");
+        let parity_writes: u64 = stats.iter().map(|s| s.blocks_written).sum();
+        assert!(parity_writes > 0, "parity still updated");
+    }
+
+    #[test]
+    fn rebuild_writes_the_replacement() {
+        let mut sim = raid5_sim();
+        sim.fail_disk(2).expect("fail");
+        sim.repair_disk(2);
+        let job = sim.submit_rebuild(SimTime::ZERO, 2, 1_024);
+        sim.run_to_idle();
+        assert!(sim.job_completion(job).is_some());
+        let stats = sim.disk_stats();
+        assert_eq!(stats[2].blocks_written, 1_024, "replacement fully rewritten");
+        for d in [0usize, 1, 3] {
+            assert_eq!(stats[d].blocks_read, 1_024, "survivor {d} fully read");
+        }
+        assert!(!sim.is_degraded());
+    }
+
+    #[test]
+    fn failure_injection_guard_rails() {
+        // Non-redundant level refuses.
+        let mut r0 = ArraySim::new(
+            RaidGeometry::new(RaidConfig {
+                level: RaidLevel::Raid0,
+                ndisks: 4,
+                stripe_unit_blocks: 16,
+            }),
+            DiskSpec::test_disk(),
+            SchedulerKind::Fifo,
+        );
+        assert!(r0.fail_disk(0).is_err());
+
+        let mut sim = raid5_sim();
+        assert!(sim.fail_disk(99).is_err(), "unknown disk");
+        sim.fail_disk(1).expect("first failure ok");
+        assert!(sim.fail_disk(2).is_err(), "double failure not survivable");
+        assert!(sim.fail_disk(1).is_ok(), "re-failing the same disk is idempotent");
+    }
+
+    #[test]
+    fn write_cache_absorbs_small_writes() {
+        let mut spec = DiskSpec::test_disk();
+        spec.write_cache_blocks = 64;
+        let mut cached = ArraySim::new(
+            RaidGeometry::new(RaidConfig::single()),
+            spec,
+            SchedulerKind::Fifo,
+        );
+        // Random small write: with the cache it completes at transfer
+        // speed (4 blocks * 10us = 40us) instead of ~6ms.
+        let lat = isolated_latency(&mut cached, SimTime::ZERO, Pba::new(5_000), 4, true);
+        assert_eq!(lat.as_micros(), 40, "admitted at interface speed");
+        // The flush still reaches the media eventually.
+        assert_eq!(cached.disk_stats()[0].blocks_written, 4, "flushed to media");
+    }
+
+    #[test]
+    fn write_cache_overflow_falls_back_to_media() {
+        let mut spec = DiskSpec::test_disk();
+        spec.write_cache_blocks = 4;
+        let mut sim = ArraySim::new(
+            RaidGeometry::new(RaidConfig::single()),
+            spec,
+            SchedulerKind::Fifo,
+        );
+        // First write fills the cache; the second (submitted before any
+        // idle time to flush) must go straight to media.
+        let j1 = sim.submit_write(SimTime::ZERO, Pba::new(5_000), 4);
+        let j2 = sim.submit_write(SimTime::ZERO, Pba::new(6_000), 4);
+        sim.run_to_idle();
+        let t1 = sim.job_completion(j1).expect("j1");
+        let t2 = sim.job_completion(j2).expect("j2");
+        assert_eq!(t1.as_micros(), 40, "first admitted");
+        assert!(
+            (t2 - t1).as_micros() > 5_000,
+            "second pays a media access: {:?}",
+            t2 - t1
+        );
+    }
+
+    #[test]
+    fn write_cache_disabled_by_default() {
+        let mut sim = single_sim();
+        let lat = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(5_000), 4, true);
+        assert!(lat.as_micros() > 5_000, "no cache: media write");
+    }
+
+    #[test]
+    fn flushes_happen_during_idle_and_reads_wait_at_most_one_flush() {
+        let mut spec = DiskSpec::test_disk();
+        spec.write_cache_blocks = 64;
+        let mut sim = ArraySim::new(
+            RaidGeometry::new(RaidConfig::single()),
+            spec,
+            SchedulerKind::Fifo,
+        );
+        let _w = sim.submit_write(SimTime::ZERO, Pba::new(5_000), 4);
+        // Long idle gap: the flush runs in the background.
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.disk_stats()[0].blocks_written, 4, "flush done during idle");
+        let r = sim.submit_read(SimTime::from_secs(1), Pba::new(5_000), 4);
+        sim.run_to_idle();
+        assert!(sim.job_completion(r).is_some());
+    }
+
+    #[test]
+    fn utilization_and_queue_wait_probes() {
+        let mut sim = single_sim();
+        assert_eq!(sim.utilization(), 0.0, "no time elapsed");
+        // Two back-to-back ops: the second waits for the first.
+        sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1);
+        sim.submit_read(SimTime::ZERO, Pba::new(100), 1);
+        sim.run_to_idle();
+        let u = sim.utilization();
+        assert!(u > 0.9, "serial ops keep the single disk busy: {u}");
+        assert!(sim.mean_queue_wait_us() > 0.0, "second op queued");
+    }
+
+    #[test]
+    fn data_capacity_excludes_parity() {
+        let sim = raid5_sim();
+        assert_eq!(
+            sim.data_capacity_blocks(),
+            3 * DiskSpec::test_disk().capacity_blocks
+        );
+    }
+}

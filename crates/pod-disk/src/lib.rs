@@ -1,0 +1,39 @@
+//! # pod-disk
+//!
+//! Discrete-event storage simulator substituting for the paper's physical
+//! testbed (Xeon X3440, two RocketRAID 2640 controllers, eight WDC
+//! WD1600AAJS SATA disks in Linux MD RAID).
+//!
+//! The components:
+//!
+//! * [`spec`] — disk mechanical parameters ([`DiskSpec`], with a
+//!   WD1600AAJS-calibrated preset) and array geometry ([`RaidConfig`]).
+//! * [`sched`] — per-disk I/O schedulers (FIFO, SSTF, elevator/SCAN).
+//! * [`raid`] — RAID-0/RAID-5 address mapping and write planning,
+//!   including the RAID-5 small-write read-modify-write penalty and
+//!   full-stripe write detection. The RMW penalty is the mechanism that
+//!   makes each *eliminated* write so valuable to POD, so it is modelled
+//!   explicitly.
+//! * [`engine`] — the event engine ([`ArraySim`]): multi-phase jobs
+//!   (e.g. RMW read-phase → write-phase) over per-disk queues, driven by
+//!   a binary-heap event loop; completion times per job.
+//! * [`alloc`] — the physical block store: extent allocator with
+//!   reference counts (dedup shares blocks; `Count` pins them).
+//! * [`nvram`] — NVRAM accounting for the Map table (§IV-D2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod engine;
+pub mod nvram;
+pub mod raid;
+pub mod sched;
+pub mod spec;
+
+pub use alloc::BlockStore;
+pub use engine::{ArraySim, DiskStats, JobId};
+pub use nvram::NvramModel;
+pub use raid::{PhysOp, RaidGeometry, WritePlan};
+pub use sched::SchedulerKind;
+pub use spec::{DiskSpec, RaidConfig, RaidLevel};

@@ -1,0 +1,456 @@
+//! RAID address mapping and write planning.
+//!
+//! The evaluation array is a 4-disk RAID-5 with a 64 KiB stripe unit
+//! (paper §IV-B). RAID-5 small writes pay the classic read-modify-write
+//! penalty — pre-read of old data and old parity, then write of new data
+//! and new parity — which quadruples the disk ops of a small write. That
+//! penalty is exactly why eliminating redundant small writes (POD's whole
+//! point) buys so much performance, so the planner here models it
+//! faithfully, including the full-stripe fast path and the
+//! reconstruct-write alternative Linux MD uses when most of a stripe is
+//! being overwritten.
+
+use crate::spec::{RaidConfig, RaidLevel};
+use pod_types::Pba;
+
+/// One physical operation addressed to a member disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhysOp {
+    /// Member disk index.
+    pub disk: usize,
+    /// Disk-local block address.
+    pub lba: u64,
+    /// Blocks transferred.
+    pub nblocks: u32,
+    /// `true` for a write.
+    pub write: bool,
+}
+
+/// A write decomposed into dependent phases: every op of phase *i* must
+/// complete before any op of phase *i+1* starts. RMW = [reads, writes];
+/// full-stripe = [writes].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WritePlan {
+    /// Ordered phases.
+    pub phases: Vec<Vec<PhysOp>>,
+}
+
+impl WritePlan {
+    /// Total blocks moved across all phases.
+    pub fn total_blocks(&self) -> u64 {
+        self.phases
+            .iter()
+            .flatten()
+            .map(|op| op.nblocks as u64)
+            .sum()
+    }
+
+    /// Total op count.
+    pub fn total_ops(&self) -> usize {
+        self.phases.iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Address arithmetic for a configured array.
+#[derive(Clone, Debug)]
+pub struct RaidGeometry {
+    cfg: RaidConfig,
+}
+
+impl RaidGeometry {
+    /// Build geometry for a validated config.
+    pub fn new(cfg: RaidConfig) -> Self {
+        debug_assert!(cfg.validate().is_ok());
+        Self { cfg }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &RaidConfig {
+        &self.cfg
+    }
+
+    /// Number of member disks.
+    pub fn ndisks(&self) -> usize {
+        self.cfg.ndisks
+    }
+
+    /// Data blocks per full stripe.
+    pub fn stripe_data_blocks(&self) -> u64 {
+        self.cfg.data_disks() as u64 * self.cfg.stripe_unit_blocks
+    }
+
+    /// Map a data block address to `(disk, disk-local block)`.
+    pub fn map_block(&self, pba: Pba) -> (usize, u64) {
+        let u = self.cfg.stripe_unit_blocks;
+        let n = self.cfg.ndisks as u64;
+        match self.cfg.level {
+            RaidLevel::Single => (0, pba.raw()),
+            RaidLevel::Raid0 => {
+                let unit = pba.raw() / u;
+                let off = pba.raw() % u;
+                let disk = (unit % n) as usize;
+                let local = (unit / n) * u + off;
+                (disk, local)
+            }
+            RaidLevel::Raid5 => {
+                let data_disks = n - 1;
+                let unit = pba.raw() / u;
+                let off = pba.raw() % u;
+                let stripe = unit / data_disks;
+                let unit_in_stripe = unit % data_disks;
+                let parity_disk = (stripe % n) as usize;
+                let disk = ((parity_disk as u64 + 1 + unit_in_stripe) % n) as usize;
+                let local = stripe * u + off;
+                (disk, local)
+            }
+        }
+    }
+
+    /// Parity disk of the stripe containing data block `pba`
+    /// (RAID-5 only).
+    pub fn parity_disk(&self, pba: Pba) -> Option<usize> {
+        if self.cfg.level != RaidLevel::Raid5 {
+            return None;
+        }
+        let stripe = self.stripe_of(pba);
+        Some((stripe % self.cfg.ndisks as u64) as usize)
+    }
+
+    /// Stripe number containing data block `pba`.
+    pub fn stripe_of(&self, pba: Pba) -> u64 {
+        pba.raw() / self.stripe_data_blocks()
+    }
+
+    /// Plan a read of `[pba, pba + nblocks)`: one op per disk-contiguous
+    /// fragment, merged where fragments abut on the same disk.
+    pub fn plan_read(&self, pba: Pba, nblocks: u32) -> Vec<PhysOp> {
+        let mut ops: Vec<PhysOp> = Vec::new();
+        let mut cur = pba.raw();
+        let end = pba.raw() + nblocks as u64;
+        let u = self.cfg.stripe_unit_blocks;
+        while cur < end {
+            // Extent within the current stripe unit.
+            let unit_end = (cur / u + 1) * u;
+            let frag_end = end.min(unit_end);
+            let len = (frag_end - cur) as u32;
+            let (disk, local) = self.map_block(Pba::new(cur));
+            // Merge with the previous op when physically contiguous.
+            if let Some(last) = ops.last_mut() {
+                if last.disk == disk
+                    && !last.write
+                    && last.lba + last.nblocks as u64 == local
+                {
+                    last.nblocks += len;
+                    cur = frag_end;
+                    continue;
+                }
+            }
+            ops.push(PhysOp {
+                disk,
+                lba: local,
+                nblocks: len,
+                write: false,
+            });
+            cur = frag_end;
+        }
+        ops
+    }
+
+    /// Plan a write of `[pba, pba + nblocks)` including parity
+    /// maintenance.
+    pub fn plan_write(&self, pba: Pba, nblocks: u32) -> WritePlan {
+        match self.cfg.level {
+            RaidLevel::Single | RaidLevel::Raid0 => {
+                let mut ops = self.plan_read(pba, nblocks);
+                for op in &mut ops {
+                    op.write = true;
+                }
+                WritePlan { phases: vec![ops] }
+            }
+            RaidLevel::Raid5 => self.plan_raid5_write(pba, nblocks),
+        }
+    }
+
+    fn plan_raid5_write(&self, pba: Pba, nblocks: u32) -> WritePlan {
+        let sdb = self.stripe_data_blocks();
+        let u = self.cfg.stripe_unit_blocks;
+        let mut reads: Vec<PhysOp> = Vec::new();
+        let mut writes: Vec<PhysOp> = Vec::new();
+
+        let mut cur = pba.raw();
+        let end = pba.raw() + nblocks as u64;
+        while cur < end {
+            let stripe = cur / sdb;
+            let stripe_start = stripe * sdb;
+            let stripe_end = stripe_start + sdb;
+            let seg_start = cur;
+            let seg_end = end.min(stripe_end);
+            let touched = seg_end - seg_start;
+            let parity_disk = (stripe % self.cfg.ndisks as u64) as usize;
+
+            // Offsets within the stripe unit covered by this segment
+            // determine the parity extent (parity block i covers data
+            // offset i of every unit in the stripe).
+            let (off_lo, off_hi) = if touched >= u {
+                // Covers at least one whole unit: every offset is touched.
+                (0, u - 1)
+            } else {
+                // At most two unit fragments; union their offset ranges.
+                let mut lo = u64::MAX;
+                let mut hi = 0u64;
+                let mut b = seg_start;
+                while b < seg_end {
+                    let frag_end = seg_end.min(((b / u) + 1) * u);
+                    lo = lo.min(b % u);
+                    hi = hi.max((frag_end - 1) % u);
+                    b = frag_end;
+                }
+                (lo, hi)
+            };
+            let parity_lba = stripe * u + off_lo;
+            let parity_len = (off_hi - off_lo + 1) as u32;
+
+            // Data ops for this segment.
+            let data_writes: Vec<PhysOp> = {
+                let mut v = self.plan_read(Pba::new(seg_start), touched as u32);
+                for op in &mut v {
+                    op.write = true;
+                }
+                v
+            };
+
+            if touched == sdb {
+                // Full-stripe write: compute parity from new data, no reads.
+                writes.extend(data_writes);
+                writes.push(PhysOp {
+                    disk: parity_disk,
+                    lba: stripe * u,
+                    nblocks: u as u32,
+                    write: true,
+                });
+            } else if touched * 2 > sdb {
+                // Reconstruct-write: read the *untouched* data of the
+                // stripe, then write new data + parity.
+                let mut b = stripe_start;
+                while b < stripe_end {
+                    if b >= seg_start && b < seg_end {
+                        b = seg_end;
+                        continue;
+                    }
+                    let frag_end = if b < seg_start {
+                        seg_start.min(((b / u) + 1) * u)
+                    } else {
+                        stripe_end.min(((b / u) + 1) * u)
+                    };
+                    let (disk, local) = self.map_block(Pba::new(b));
+                    let len = (frag_end - b) as u32;
+                    if let Some(last) = reads.last_mut() {
+                        if last.disk == disk && last.lba + last.nblocks as u64 == local {
+                            last.nblocks += len;
+                            b = frag_end;
+                            continue;
+                        }
+                    }
+                    reads.push(PhysOp {
+                        disk,
+                        lba: local,
+                        nblocks: len,
+                        write: false,
+                    });
+                    b = frag_end;
+                }
+                writes.extend(data_writes);
+                writes.push(PhysOp {
+                    disk: parity_disk,
+                    lba: stripe * u,
+                    nblocks: u as u32,
+                    write: true,
+                });
+            } else {
+                // Read-modify-write: pre-read old data + old parity.
+                for op in &data_writes {
+                    reads.push(PhysOp {
+                        disk: op.disk,
+                        lba: op.lba,
+                        nblocks: op.nblocks,
+                        write: false,
+                    });
+                }
+                reads.push(PhysOp {
+                    disk: parity_disk,
+                    lba: parity_lba,
+                    nblocks: parity_len,
+                    write: false,
+                });
+                writes.extend(data_writes);
+                writes.push(PhysOp {
+                    disk: parity_disk,
+                    lba: parity_lba,
+                    nblocks: parity_len,
+                    write: true,
+                });
+            }
+            cur = seg_end;
+        }
+
+        if reads.is_empty() {
+            WritePlan {
+                phases: vec![writes],
+            }
+        } else {
+            WritePlan {
+                phases: vec![reads, writes],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RaidConfig;
+
+    fn raid5() -> RaidGeometry {
+        RaidGeometry::new(RaidConfig::paper_raid5()) // 4 disks, u=16
+    }
+
+    #[test]
+    fn single_maps_identity() {
+        let g = RaidGeometry::new(RaidConfig::single());
+        assert_eq!(g.map_block(Pba::new(1234)), (0, 1234));
+    }
+
+    #[test]
+    fn raid0_round_robin_units() {
+        let g = RaidGeometry::new(RaidConfig {
+            level: RaidLevel::Raid0,
+            ndisks: 4,
+            stripe_unit_blocks: 16,
+        });
+        assert_eq!(g.map_block(Pba::new(0)), (0, 0));
+        assert_eq!(g.map_block(Pba::new(16)), (1, 0));
+        assert_eq!(g.map_block(Pba::new(64)), (0, 16));
+        assert_eq!(g.map_block(Pba::new(17)), (1, 1));
+    }
+
+    #[test]
+    fn raid5_parity_rotates() {
+        let g = raid5();
+        // stripe 0: parity disk 0; data units on disks 1,2,3
+        assert_eq!(g.parity_disk(Pba::new(0)), Some(0));
+        assert_eq!(g.map_block(Pba::new(0)), (1, 0));
+        assert_eq!(g.map_block(Pba::new(16)), (2, 0));
+        assert_eq!(g.map_block(Pba::new(32)), (3, 0));
+        // stripe 1 (data blocks 48..96): parity disk 1; first data unit disk 2
+        assert_eq!(g.parity_disk(Pba::new(48)), Some(1));
+        assert_eq!(g.map_block(Pba::new(48)), (2, 16));
+    }
+
+    #[test]
+    fn raid5_data_never_lands_on_parity_disk() {
+        let g = raid5();
+        for pba in 0..500u64 {
+            let (disk, _) = g.map_block(Pba::new(pba));
+            let parity = g.parity_disk(Pba::new(pba)).expect("raid5");
+            assert_ne!(disk, parity, "pba {pba}");
+        }
+    }
+
+    #[test]
+    fn plan_read_single_fragment() {
+        let g = raid5();
+        let ops = g.plan_read(Pba::new(0), 8);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0], PhysOp { disk: 1, lba: 0, nblocks: 8, write: false });
+    }
+
+    #[test]
+    fn plan_read_spans_units() {
+        let g = raid5();
+        let ops = g.plan_read(Pba::new(8), 16); // blocks 8..24: unit0 tail + unit1 head
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0], PhysOp { disk: 1, lba: 8, nblocks: 8, write: false });
+        assert_eq!(ops[1], PhysOp { disk: 2, lba: 0, nblocks: 8, write: false });
+    }
+
+    #[test]
+    fn plan_read_merges_contiguous_same_disk() {
+        let g = RaidGeometry::new(RaidConfig::single());
+        let ops = g.plan_read(Pba::new(100), 64);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].nblocks, 64);
+    }
+
+    #[test]
+    fn small_write_is_rmw() {
+        let g = raid5();
+        let plan = g.plan_write(Pba::new(0), 4);
+        assert_eq!(plan.phases.len(), 2, "read phase then write phase");
+        let reads = &plan.phases[0];
+        let writes = &plan.phases[1];
+        // Old data + old parity reads.
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().all(|op| !op.write));
+        assert!(reads.iter().any(|op| op.disk == 0), "parity pre-read on disk 0");
+        // New data + new parity writes.
+        assert_eq!(writes.len(), 2);
+        assert!(writes.iter().all(|op| op.write));
+        // 4 ops for a 4-block write: the small-write penalty.
+        assert_eq!(plan.total_ops(), 4);
+    }
+
+    #[test]
+    fn full_stripe_write_has_no_reads() {
+        let g = raid5();
+        // Full stripe = 48 data blocks (3 units of 16).
+        let plan = g.plan_write(Pba::new(0), 48);
+        assert_eq!(plan.phases.len(), 1);
+        let writes = &plan.phases[0];
+        assert_eq!(writes.len(), 4, "3 data units + 1 parity unit");
+        assert!(writes.iter().all(|op| op.write));
+        let parity_ops: Vec<_> = writes.iter().filter(|op| op.disk == 0).collect();
+        assert_eq!(parity_ops.len(), 1);
+        assert_eq!(parity_ops[0].nblocks, 16);
+    }
+
+    #[test]
+    fn majority_write_uses_reconstruct() {
+        let g = raid5();
+        // 32 of 48 blocks: reconstruct-write reads the untouched 16.
+        let plan = g.plan_write(Pba::new(0), 32);
+        assert_eq!(plan.phases.len(), 2);
+        let reads = &plan.phases[0];
+        let read_blocks: u64 = reads.iter().map(|op| op.nblocks as u64).sum();
+        assert_eq!(read_blocks, 16, "reads only the untouched unit");
+        let writes = &plan.phases[1];
+        assert_eq!(writes.iter().filter(|op| op.disk == 0).count(), 1);
+    }
+
+    #[test]
+    fn multi_stripe_write_decomposes_per_stripe() {
+        let g = raid5();
+        // 96 blocks = exactly stripes 0 and 1, both full.
+        let plan = g.plan_write(Pba::new(0), 96);
+        assert_eq!(plan.phases.len(), 1);
+        assert_eq!(plan.phases[0].len(), 8);
+    }
+
+    #[test]
+    fn parity_extent_matches_data_offsets() {
+        let g = raid5();
+        // Write blocks 4..8 (offsets 4..8 within unit 0).
+        let plan = g.plan_write(Pba::new(4), 4);
+        let reads = &plan.phases[0];
+        let parity_read = reads.iter().find(|op| op.disk == 0).expect("parity read");
+        assert_eq!(parity_read.lba, 4);
+        assert_eq!(parity_read.nblocks, 4);
+    }
+
+    #[test]
+    fn write_plan_block_accounting() {
+        let g = raid5();
+        let plan = g.plan_write(Pba::new(0), 4);
+        // RMW: read 4 + parity 4, write 4 + parity 4 = 16 blocks moved.
+        assert_eq!(plan.total_blocks(), 16);
+    }
+}

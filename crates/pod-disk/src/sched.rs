@@ -1,0 +1,161 @@
+//! Per-disk I/O schedulers.
+//!
+//! The paper's testbed ran Linux MD over stock HDDs; the queue discipline
+//! matters because Select-Dedupe's win partly comes from *shortening the
+//! disk queue* ("the significant number of reduced write requests ...
+//! greatly shortens the length of the disk I/O queue", §IV-B). We provide
+//! FIFO (MD's effective order under trace replay), SSTF, and a LOOK-style
+//! elevator for the `scheduler_ablation` bench.
+
+use serde::{Deserialize, Serialize};
+
+/// Queue discipline used by each simulated disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// First-in first-out.
+    #[default]
+    Fifo,
+    /// Shortest seek time first (greedy).
+    Sstf,
+    /// LOOK elevator: service in the current direction, reverse at the
+    /// last pending request.
+    Elevator,
+}
+
+impl SchedulerKind {
+    /// Pick the index of the next op to service from `pending`.
+    ///
+    /// * `head` — current head position (disk-local block).
+    /// * `direction_up` — elevator state: sweeping toward higher blocks.
+    ///
+    /// Returns `(index, new_direction_up)`. `pending` must be non-empty.
+    pub fn pick(
+        &self,
+        pending: &[PendingView],
+        head: u64,
+        direction_up: bool,
+    ) -> (usize, bool) {
+        debug_assert!(!pending.is_empty());
+        match self {
+            SchedulerKind::Fifo => {
+                // Earliest arrival; ties by submission order (stable min).
+                let mut best = 0;
+                for (i, op) in pending.iter().enumerate().skip(1) {
+                    if op.arrival_us < pending[best].arrival_us {
+                        best = i;
+                    }
+                }
+                (best, direction_up)
+            }
+            SchedulerKind::Sstf => {
+                let mut best = 0;
+                let mut best_dist = pending[0].lba.abs_diff(head);
+                for (i, op) in pending.iter().enumerate().skip(1) {
+                    let d = op.lba.abs_diff(head);
+                    if d < best_dist {
+                        best = i;
+                        best_dist = d;
+                    }
+                }
+                (best, direction_up)
+            }
+            SchedulerKind::Elevator => {
+                // Nearest pending request in the sweep direction; if none,
+                // reverse.
+                let in_dir = |lba: u64| {
+                    if direction_up {
+                        lba >= head
+                    } else {
+                        lba <= head
+                    }
+                };
+                let candidate = pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, op)| in_dir(op.lba))
+                    .min_by_key(|(_, op)| op.lba.abs_diff(head));
+                match candidate {
+                    Some((i, _)) => (i, direction_up),
+                    None => {
+                        let (i, _) = pending
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, op)| op.lba.abs_diff(head))
+                            .expect("pending non-empty");
+                        (i, !direction_up)
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The slice of op state a scheduler is allowed to see.
+#[derive(Clone, Copy, Debug)]
+pub struct PendingView {
+    /// Disk-local target block.
+    pub lba: u64,
+    /// Arrival time in µs (for FIFO ordering).
+    pub arrival_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(lba: u64, arrival_us: u64) -> PendingView {
+        PendingView { lba, arrival_us }
+    }
+
+    #[test]
+    fn fifo_picks_earliest_arrival() {
+        let pending = [view(100, 30), view(50, 10), view(70, 20)];
+        let (i, _) = SchedulerKind::Fifo.pick(&pending, 0, true);
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn fifo_tie_breaks_by_submission_order() {
+        let pending = [view(100, 10), view(50, 10)];
+        let (i, _) = SchedulerKind::Fifo.pick(&pending, 0, true);
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn sstf_picks_nearest() {
+        let pending = [view(100, 1), view(55, 2), view(70, 3)];
+        let (i, _) = SchedulerKind::Sstf.pick(&pending, 60, true);
+        assert_eq!(i, 1); // |55-60| = 5 is minimal
+    }
+
+    #[test]
+    fn elevator_continues_direction() {
+        let pending = [view(40, 1), view(80, 2), view(65, 3)];
+        // Head at 60 sweeping up: nearest >= 60 is 65.
+        let (i, up) = SchedulerKind::Elevator.pick(&pending, 60, true);
+        assert_eq!(i, 2);
+        assert!(up);
+    }
+
+    #[test]
+    fn elevator_reverses_at_end() {
+        let pending = [view(40, 1), view(10, 2)];
+        // Head at 60 sweeping up: nothing above, reverse and take nearest.
+        let (i, up) = SchedulerKind::Elevator.pick(&pending, 60, true);
+        assert_eq!(i, 0); // 40 is nearest below
+        assert!(!up, "direction flips");
+    }
+
+    #[test]
+    fn elevator_down_sweep() {
+        let pending = [view(40, 1), view(80, 2)];
+        let (i, up) = SchedulerKind::Elevator.pick(&pending, 60, false);
+        assert_eq!(i, 0);
+        assert!(!up);
+    }
+
+    #[test]
+    fn default_is_fifo() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Fifo);
+    }
+}

@@ -1,0 +1,271 @@
+//! Disk and array specifications.
+//!
+//! The mechanical model is the standard three-term HDD service time:
+//! `seek(distance) + rotational latency + transfer`, with seek modelled
+//! as `min_seek + (max_seek - min_seek) * sqrt(d / capacity)` (the usual
+//! square-root approximation of arm acceleration) and rotation as half a
+//! revolution for any non-sequential access. Sequential continuation
+//! (head already at the target block) pays transfer time only.
+
+use pod_types::{PodError, PodResult, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Mechanical parameters of one disk drive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Usable capacity in 4 KiB blocks.
+    pub capacity_blocks: u64,
+    /// Track-to-track (minimum non-zero) seek, µs.
+    pub min_seek_us: u64,
+    /// Full-stroke seek, µs.
+    pub max_seek_us: u64,
+    /// Spindle speed, revolutions per minute.
+    pub rpm: u32,
+    /// Sustained transfer time per 4 KiB block, µs.
+    pub transfer_us_per_block: u64,
+    /// On-drive volatile write-back cache, in blocks (0 = disabled, the
+    /// default: the paper's evaluation measures media writes, as do
+    /// battery-less production arrays that disable drive caches for
+    /// durability). When enabled, admitted writes complete at interface
+    /// transfer speed and are flushed to media when the disk idles.
+    pub write_cache_blocks: u64,
+}
+
+impl DiskSpec {
+    /// WDC WD1600AAJS (the paper's data disks): 160 GB, 7200 rpm,
+    /// ~0.8 ms track-to-track, ~8.9 ms avg seek (max ~17 ms), ~95 MB/s
+    /// sustained → ~42 µs per 4 KiB block.
+    pub fn wd1600aajs() -> Self {
+        Self {
+            capacity_blocks: 160 * 1024 * 1024 / 4, // 160 GB of 4 KiB blocks
+            min_seek_us: 800,
+            max_seek_us: 17_000,
+            rpm: 7200,
+            transfer_us_per_block: 42,
+            write_cache_blocks: 0,
+        }
+    }
+
+    /// A small, fast disk for unit tests: latencies are round numbers so
+    /// expected service times are easy to compute by hand.
+    pub fn test_disk() -> Self {
+        Self {
+            capacity_blocks: 10_000,
+            min_seek_us: 100,
+            max_seek_us: 1_000,
+            rpm: 6_000, // 10 ms/rev -> 5 ms half-rev
+            transfer_us_per_block: 10,
+            write_cache_blocks: 0,
+        }
+    }
+
+    /// Time for one full platter revolution.
+    pub fn revolution(&self) -> SimDuration {
+        SimDuration::from_micros(60_000_000 / self.rpm as u64)
+    }
+
+    /// Average rotational latency (half a revolution).
+    pub fn avg_rotational_latency(&self) -> SimDuration {
+        SimDuration::from_micros(60_000_000 / self.rpm as u64 / 2)
+    }
+
+    /// Seek time for a head movement of `distance` blocks.
+    pub fn seek_time(&self, distance: u64) -> SimDuration {
+        if distance == 0 {
+            return SimDuration::ZERO;
+        }
+        let frac = (distance as f64 / self.capacity_blocks as f64).min(1.0);
+        let us = self.min_seek_us as f64
+            + (self.max_seek_us - self.min_seek_us) as f64 * frac.sqrt();
+        SimDuration::from_micros(us.round() as u64)
+    }
+
+    /// Full service time for an access at `distance` blocks from the
+    /// current head position, transferring `nblocks`.
+    ///
+    /// `distance == 0` models sequential continuation: no seek, no
+    /// rotational delay, pure media transfer.
+    pub fn service_time(&self, distance: u64, nblocks: u32) -> SimDuration {
+        let transfer = SimDuration::from_micros(self.transfer_us_per_block * nblocks as u64);
+        if distance == 0 {
+            transfer
+        } else {
+            self.seek_time(distance) + self.avg_rotational_latency() + transfer
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> PodResult<()> {
+        if self.capacity_blocks == 0 {
+            return Err(PodError::InvalidConfig("disk capacity is zero".into()));
+        }
+        if self.rpm == 0 {
+            return Err(PodError::InvalidConfig("rpm is zero".into()));
+        }
+        if self.max_seek_us < self.min_seek_us {
+            return Err(PodError::InvalidConfig(
+                "max seek shorter than min seek".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// RAID organisation of the array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaidLevel {
+    /// Single disk (no striping).
+    Single,
+    /// Striping, no redundancy.
+    Raid0,
+    /// Striping with rotating parity; small writes pay read-modify-write.
+    Raid5,
+}
+
+/// Array geometry configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RaidConfig {
+    /// RAID level.
+    pub level: RaidLevel,
+    /// Number of member disks.
+    pub ndisks: usize,
+    /// Stripe unit in 4 KiB blocks (paper: 64 KiB → 16 blocks).
+    pub stripe_unit_blocks: u64,
+}
+
+impl RaidConfig {
+    /// The paper's evaluation array: 4-disk RAID-5, 64 KiB stripe unit
+    /// (§IV-B).
+    pub fn paper_raid5() -> Self {
+        Self {
+            level: RaidLevel::Raid5,
+            ndisks: 4,
+            stripe_unit_blocks: 16,
+        }
+    }
+
+    /// Single-disk configuration.
+    pub fn single() -> Self {
+        Self {
+            level: RaidLevel::Single,
+            ndisks: 1,
+            stripe_unit_blocks: 16,
+        }
+    }
+
+    /// Data disks per stripe (excludes parity).
+    pub fn data_disks(&self) -> usize {
+        match self.level {
+            RaidLevel::Single => 1,
+            RaidLevel::Raid0 => self.ndisks,
+            RaidLevel::Raid5 => self.ndisks - 1,
+        }
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> PodResult<()> {
+        if self.ndisks == 0 {
+            return Err(PodError::InvalidConfig("array needs at least 1 disk".into()));
+        }
+        if self.stripe_unit_blocks == 0 {
+            return Err(PodError::InvalidConfig("stripe unit is zero".into()));
+        }
+        match self.level {
+            RaidLevel::Single if self.ndisks != 1 => Err(PodError::InvalidConfig(
+                "Single level requires exactly 1 disk".into(),
+            )),
+            RaidLevel::Raid5 if self.ndisks < 3 => Err(PodError::InvalidConfig(
+                "RAID-5 requires at least 3 disks".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revolution_math() {
+        let d = DiskSpec::test_disk();
+        assert_eq!(d.revolution().as_micros(), 10_000);
+        assert_eq!(d.avg_rotational_latency().as_micros(), 5_000);
+        let w = DiskSpec::wd1600aajs();
+        assert_eq!(w.revolution().as_micros(), 8_333);
+    }
+
+    #[test]
+    fn seek_zero_distance_is_free() {
+        let d = DiskSpec::test_disk();
+        assert_eq!(d.seek_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seek_grows_with_distance_and_saturates() {
+        let d = DiskSpec::test_disk();
+        let near = d.seek_time(1);
+        let mid = d.seek_time(2_500); // quarter of capacity -> sqrt = .5
+        let far = d.seek_time(10_000);
+        let beyond = d.seek_time(1_000_000);
+        assert!(near >= SimDuration::from_micros(100));
+        assert!(near < mid && mid < far);
+        assert_eq!(mid.as_micros(), 100 + 450); // 100 + 900*0.5
+        assert_eq!(far.as_micros(), 1_000);
+        assert_eq!(beyond, far, "distance clamps at full stroke");
+    }
+
+    #[test]
+    fn sequential_service_is_transfer_only() {
+        let d = DiskSpec::test_disk();
+        assert_eq!(d.service_time(0, 4).as_micros(), 40);
+    }
+
+    #[test]
+    fn random_service_includes_seek_and_rotation() {
+        let d = DiskSpec::test_disk();
+        // seek(10000)=1000, rot=5000, transfer 1 block = 10
+        assert_eq!(d.service_time(10_000, 1).as_micros(), 6_010);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(DiskSpec::wd1600aajs().validate().is_ok());
+        let mut bad = DiskSpec::test_disk();
+        bad.capacity_blocks = 0;
+        assert!(bad.validate().is_err());
+        let mut bad2 = DiskSpec::test_disk();
+        bad2.max_seek_us = 10;
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn raid_config_validation() {
+        assert!(RaidConfig::paper_raid5().validate().is_ok());
+        assert!(RaidConfig::single().validate().is_ok());
+        let bad = RaidConfig {
+            level: RaidLevel::Raid5,
+            ndisks: 2,
+            stripe_unit_blocks: 16,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = RaidConfig {
+            level: RaidLevel::Single,
+            ndisks: 2,
+            stripe_unit_blocks: 16,
+        };
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn data_disks_per_level() {
+        assert_eq!(RaidConfig::paper_raid5().data_disks(), 3);
+        let r0 = RaidConfig {
+            level: RaidLevel::Raid0,
+            ndisks: 4,
+            stripe_unit_blocks: 16,
+        };
+        assert_eq!(r0.data_disks(), 4);
+        assert_eq!(RaidConfig::single().data_disks(), 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! FIU SyLab trace format support.
+//!
+//! The paper's traces come from the FIU SyLab collection (Koller &
+//! Rangaswami, FAST'10): text lines of per-block records,
+//!
+//! ```text
+//! <timestamp> <pid> <process> <lba> <blocks> <W|R> <major> <minor> <hash>
+//! ```
+//!
+//! one line per (4 KiB) block, with the content hash of written blocks.
+//! This module parses and emits that shape so the real traces (or any
+//! trace exported in the same dialect) can be replayed through POD
+//! unchanged. Hashes may be 32-hex-digit MD5 (zero-extended) or
+//! 64-hex-digit SHA-256; read records may carry `*` in the hash column.
+
+use pod_types::{Fingerprint, IoOp, PodError, PodResult};
+
+/// One parsed per-block trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Timestamp in µs.
+    pub ts_us: u64,
+    /// Originating process id.
+    pub pid: u32,
+    /// Process name.
+    pub process: String,
+    /// Block address (4 KiB units).
+    pub lba: u64,
+    /// Blocks covered by this record (usually 1).
+    pub nblocks: u32,
+    /// Read or write.
+    pub op: IoOp,
+    /// Content hash for writes; `Fingerprint::ZERO` when absent.
+    pub hash: Fingerprint,
+}
+
+/// Parse one trace line. `line_no` is used for error reporting only.
+pub fn parse_line(line: &str, line_no: usize) -> PodResult<BlockRecord> {
+    let err = |reason: &str| PodError::TraceParse {
+        line: line_no,
+        reason: reason.to_string(),
+    };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 9 {
+        return Err(err(&format!("expected 9 fields, got {}", fields.len())));
+    }
+    let ts_us: u64 = fields[0].parse().map_err(|_| err("bad timestamp"))?;
+    let pid: u32 = fields[1].parse().map_err(|_| err("bad pid"))?;
+    let process = fields[2].to_string();
+    let lba: u64 = fields[3].parse().map_err(|_| err("bad lba"))?;
+    let nblocks: u32 = fields[4].parse().map_err(|_| err("bad block count"))?;
+    if nblocks == 0 {
+        return Err(err("zero-length record"));
+    }
+    let op = match fields[5] {
+        "W" | "w" => IoOp::Write,
+        "R" | "r" => IoOp::Read,
+        other => return Err(err(&format!("bad op '{other}'"))),
+    };
+    // fields[6], fields[7]: major/minor device numbers — validated as
+    // numeric but otherwise unused.
+    let _major: u32 = fields[6].parse().map_err(|_| err("bad major"))?;
+    let _minor: u32 = fields[7].parse().map_err(|_| err("bad minor"))?;
+    let hash = parse_hash(fields[8]).ok_or_else(|| err("bad hash"))?;
+    Ok(BlockRecord {
+        ts_us,
+        pid,
+        process,
+        lba,
+        nblocks,
+        op,
+        hash,
+    })
+}
+
+fn parse_hash(s: &str) -> Option<Fingerprint> {
+    if s == "*" || s == "-" {
+        return Some(Fingerprint::ZERO);
+    }
+    match s.len() {
+        64 => Fingerprint::from_hex(s),
+        32 => {
+            // MD5: place in the first 16 bytes, zero the rest.
+            let mut bytes = [0u8; 32];
+            for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+                let hi = (chunk[0] as char).to_digit(16)?;
+                let lo = (chunk[1] as char).to_digit(16)?;
+                bytes[i] = ((hi << 4) | lo) as u8;
+            }
+            Some(Fingerprint::from_bytes(bytes))
+        }
+        _ => None,
+    }
+}
+
+/// Parse a whole trace body; `#`-prefixed lines and blank lines are
+/// skipped.
+pub fn parse_str(body: &str) -> PodResult<Vec<BlockRecord>> {
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(trimmed, i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Render one record in the canonical dialect.
+pub fn format_record(r: &BlockRecord) -> String {
+    let hash = if r.op.is_write() {
+        r.hash.to_hex()
+    } else {
+        "*".to_string()
+    };
+    format!(
+        "{} {} {} {} {} {} 8 0 {}",
+        r.ts_us,
+        r.pid,
+        r.process,
+        r.lba,
+        r.nblocks,
+        if r.op.is_write() { "W" } else { "R" },
+        hash
+    )
+}
+
+/// Render a whole trace body.
+pub fn format_records(records: &[BlockRecord]) -> String {
+    let mut s = String::with_capacity(records.len() * 96);
+    for r in records {
+        s.push_str(&format_record(r));
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHA: &str = "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+
+    #[test]
+    fn parse_write_line() {
+        let line = format!("1000 42 httpd 512 1 W 8 0 {SHA}");
+        let r = parse_line(&line, 1).expect("parse");
+        assert_eq!(r.ts_us, 1000);
+        assert_eq!(r.pid, 42);
+        assert_eq!(r.process, "httpd");
+        assert_eq!(r.lba, 512);
+        assert_eq!(r.nblocks, 1);
+        assert_eq!(r.op, IoOp::Write);
+        assert_eq!(r.hash.to_hex(), SHA);
+    }
+
+    #[test]
+    fn parse_read_line_with_star_hash() {
+        let r = parse_line("5 1 mail 100 2 R 8 0 *", 1).expect("parse");
+        assert_eq!(r.op, IoOp::Read);
+        assert_eq!(r.hash, Fingerprint::ZERO);
+        assert_eq!(r.nblocks, 2);
+    }
+
+    #[test]
+    fn parse_md5_hash_zero_extends() {
+        let md5 = "d41d8cd98f00b204e9800998ecf8427e";
+        let line = format!("1 1 p 0 1 W 8 0 {md5}");
+        let r = parse_line(&line, 1).expect("parse");
+        assert_eq!(&r.hash.as_bytes()[..4], &[0xd4, 0x1d, 0x8c, 0xd9]);
+        assert_eq!(&r.hash.as_bytes()[16..], &[0u8; 16]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_line("", 1).is_err());
+        assert!(parse_line("1 2 3", 1).is_err());
+        assert!(parse_line("x 1 p 0 1 W 8 0 *", 1).is_err());
+        assert!(parse_line("1 1 p 0 1 X 8 0 *", 1).is_err());
+        assert!(parse_line("1 1 p 0 0 W 8 0 *", 2).is_err(), "zero length");
+        assert!(parse_line("1 1 p 0 1 W 8 0 nothex", 1).is_err());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let e = parse_line("garbage", 17).expect_err("must fail");
+        match e {
+            PodError::TraceParse { line, .. } => assert_eq!(line, 17),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_str_skips_comments_and_blanks() {
+        let body = format!(
+            "# header\n\n1 1 p 0 1 W 8 0 {SHA}\n   \n2 1 p 1 1 R 8 0 *\n"
+        );
+        let recs = parse_str(&body).expect("parse");
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_format_parse() {
+        let body = format!("1 1 p 0 1 W 8 0 {SHA}\n9 2 q 5 3 R 8 0 *\n");
+        let recs = parse_str(&body).expect("parse");
+        let out = format_records(&recs);
+        let again = parse_str(&out).expect("reparse");
+        assert_eq!(recs, again);
+    }
+}

@@ -1,0 +1,256 @@
+//! Request reconstruction.
+//!
+//! "Because the original request data have been split into several small
+//! data chunks with a fixed size ..., the original requests are
+//! reconstructed according to their timestamp, LBA and length" (§IV-A).
+//! This module merges runs of per-block [`BlockRecord`]s that share a
+//! timestamp and operation and are LBA-contiguous back into multi-block
+//! [`IoRequest`]s.
+
+use crate::fiu::BlockRecord;
+use crate::synth::Trace;
+use pod_types::{Fingerprint, IoOp, IoRequest, Lba, SimTime};
+
+/// Merge per-block records into original requests.
+///
+/// Records are processed in input order (the order the tracer emitted
+/// them); a record extends the request under construction when its
+/// timestamp and op match and its LBA continues the run. Anything else
+/// starts a new request.
+pub fn reconstruct_requests(records: &[BlockRecord]) -> Vec<IoRequest> {
+    let mut out: Vec<IoRequest> = Vec::new();
+    let mut id = 0u64;
+
+    struct Pending {
+        ts_us: u64,
+        op: IoOp,
+        lba: u64,
+        chunks: Vec<Fingerprint>,
+        nblocks: u32,
+    }
+
+    let mut cur: Option<Pending> = None;
+
+    let flush = |cur: &mut Option<Pending>, out: &mut Vec<IoRequest>, id: &mut u64| {
+        if let Some(p) = cur.take() {
+            let req = match p.op {
+                IoOp::Write => IoRequest::write(
+                    *id,
+                    SimTime::from_micros(p.ts_us),
+                    Lba::new(p.lba),
+                    p.chunks,
+                ),
+                IoOp::Read => IoRequest::read(
+                    *id,
+                    SimTime::from_micros(p.ts_us),
+                    Lba::new(p.lba),
+                    p.nblocks,
+                ),
+            };
+            out.push(req);
+            *id += 1;
+        }
+    };
+
+    for r in records {
+        let continues = match &cur {
+            Some(p) => {
+                p.ts_us == r.ts_us && p.op == r.op && p.lba + p.nblocks as u64 == r.lba
+            }
+            None => false,
+        };
+        if continues {
+            let p = cur.as_mut().expect("checked above");
+            p.nblocks += r.nblocks;
+            if p.op == IoOp::Write {
+                for _ in 0..r.nblocks {
+                    p.chunks.push(r.hash);
+                }
+            }
+        } else {
+            flush(&mut cur, &mut out, &mut id);
+            let chunks = if r.op == IoOp::Write {
+                vec![r.hash; r.nblocks as usize]
+            } else {
+                Vec::new()
+            };
+            cur = Some(Pending {
+                ts_us: r.ts_us,
+                op: r.op,
+                lba: r.lba,
+                chunks,
+                nblocks: r.nblocks,
+            });
+        }
+    }
+    flush(&mut cur, &mut out, &mut id);
+    out
+}
+
+/// Reconstruct a full [`Trace`] from records, with a name and memory
+/// budget attached.
+pub fn trace_from_records(
+    name: &str,
+    records: &[BlockRecord],
+    memory_budget_bytes: u64,
+) -> Trace {
+    Trace {
+        name: name.to_string(),
+        requests: reconstruct_requests(records),
+        memory_budget_bytes,
+    }
+}
+
+/// Split a trace back into per-block records (the inverse operation,
+/// used by the FIU writer and by round-trip tests).
+pub fn split_into_records(trace: &Trace) -> Vec<BlockRecord> {
+    let mut out = Vec::new();
+    for r in &trace.requests {
+        match r.op {
+            IoOp::Write => {
+                for (lba, fp) in r.write_chunks() {
+                    out.push(BlockRecord {
+                        ts_us: r.arrival.as_micros(),
+                        pid: 0,
+                        process: trace.name.clone(),
+                        lba: lba.raw(),
+                        nblocks: 1,
+                        op: IoOp::Write,
+                        hash: fp,
+                    });
+                }
+            }
+            IoOp::Read => {
+                for lba in r.lbas() {
+                    out.push(BlockRecord {
+                        ts_us: r.arrival.as_micros(),
+                        pid: 0,
+                        process: trace.name.clone(),
+                        lba: lba.raw(),
+                        nblocks: 1,
+                        op: IoOp::Read,
+                        hash: Fingerprint::ZERO,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::TraceProfile;
+
+    fn rec(ts: u64, lba: u64, op: IoOp, hash_id: u64) -> BlockRecord {
+        BlockRecord {
+            ts_us: ts,
+            pid: 1,
+            process: "p".into(),
+            lba,
+            nblocks: 1,
+            op,
+            hash: Fingerprint::from_content_id(hash_id),
+        }
+    }
+
+    #[test]
+    fn contiguous_same_ts_writes_merge() {
+        let records = vec![
+            rec(100, 10, IoOp::Write, 1),
+            rec(100, 11, IoOp::Write, 2),
+            rec(100, 12, IoOp::Write, 3),
+        ];
+        let reqs = reconstruct_requests(&records);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].nblocks, 3);
+        assert_eq!(reqs[0].lba, Lba::new(10));
+        assert_eq!(reqs[0].chunks[2], Fingerprint::from_content_id(3));
+    }
+
+    #[test]
+    fn timestamp_change_splits() {
+        let records = vec![
+            rec(100, 10, IoOp::Write, 1),
+            rec(101, 11, IoOp::Write, 2),
+        ];
+        let reqs = reconstruct_requests(&records);
+        assert_eq!(reqs.len(), 2);
+    }
+
+    #[test]
+    fn lba_gap_splits() {
+        let records = vec![
+            rec(100, 10, IoOp::Write, 1),
+            rec(100, 13, IoOp::Write, 2),
+        ];
+        let reqs = reconstruct_requests(&records);
+        assert_eq!(reqs.len(), 2);
+    }
+
+    #[test]
+    fn op_change_splits() {
+        let records = vec![
+            rec(100, 10, IoOp::Write, 1),
+            rec(100, 11, IoOp::Read, 0),
+        ];
+        let reqs = reconstruct_requests(&records);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs[0].op.is_write());
+        assert!(reqs[1].op.is_read());
+    }
+
+    #[test]
+    fn read_merge_has_no_chunks() {
+        let records = vec![rec(5, 0, IoOp::Read, 0), rec(5, 1, IoOp::Read, 0)];
+        let reqs = reconstruct_requests(&records);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].nblocks, 2);
+        assert!(reqs[0].chunks.is_empty());
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(reconstruct_requests(&[]).is_empty());
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let records = vec![
+            rec(1, 0, IoOp::Write, 1),
+            rec(2, 5, IoOp::Read, 0),
+            rec(3, 9, IoOp::Write, 2),
+        ];
+        let reqs = reconstruct_requests(&records);
+        let ids: Vec<u64> = reqs.iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn split_then_reconstruct_roundtrips() {
+        // A synthetic trace split into per-block records and merged back
+        // must be identical (same sizes, lbas, chunk fingerprints).
+        let t = TraceProfile::web_vm().scaled(0.005).generate(9);
+        let records = split_into_records(&t);
+        let rebuilt = reconstruct_requests(&records);
+        assert_eq!(rebuilt.len(), t.requests.len());
+        for (a, b) in t.requests.iter().zip(rebuilt.iter()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.lba, b.lba);
+            assert_eq!(a.nblocks, b.nblocks);
+            assert_eq!(a.chunks, b.chunks);
+            assert_eq!(a.arrival, b.arrival);
+        }
+    }
+
+    #[test]
+    fn fiu_text_roundtrip_through_reconstruction() {
+        let t = TraceProfile::homes().scaled(0.003).generate(4);
+        let records = split_into_records(&t);
+        let text = crate::fiu::format_records(&records);
+        let parsed = crate::fiu::parse_str(&text).expect("parse");
+        let rebuilt = trace_from_records("homes", &parsed, t.memory_budget_bytes);
+        assert_eq!(rebuilt.requests.len(), t.requests.len());
+    }
+}

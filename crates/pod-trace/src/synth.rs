@@ -1,0 +1,546 @@
+//! Synthetic trace generator.
+//!
+//! Generates block-level request streams whose *measured* statistics
+//! match what the paper publishes about the FIU traces (see
+//! [`crate::profile`]). The generator is fully deterministic given a
+//! seed, so every figure regenerated from these traces is reproducible
+//! bit-for-bit.
+//!
+//! ## Mechanics
+//!
+//! * **Burstiness** — a two-state Markov phase process (write-intensive /
+//!   read-intensive) with geometric phase lengths drives the read/write
+//!   mix, reproducing the interleaved bursts iCache exploits.
+//! * **Redundancy structure** — every write request is labelled
+//!   fully-redundant / partially-contiguous / partially-scattered /
+//!   unique per the profile's [`WriteMix`](crate::profile::WriteMix).
+//!   Redundant content is drawn from previously generated *runs* (the
+//!   content sequence of an earlier write) under a Zipf popularity skew,
+//!   so hot content is re-written often — exactly the temporal locality
+//!   §II-A measures.
+//! * **Same-location rewrites** — a configured fraction of redundant
+//!   writes re-target the LBA that already holds the content. These are
+//!   I/O redundancy but not capacity redundancy: the Fig. 2 gap.
+//! * **Reads** — Zipf-popular over previously written extents, with a
+//!   sequential-follow component, giving the read cache realistic
+//!   locality.
+
+use crate::dist::{Discrete, Exponential, Zipf};
+use crate::profile::TraceProfile;
+use pod_types::{Fingerprint, IoRequest, Lba, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A named sequence of I/O requests in arrival order.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Trace name (profile name it was generated from, or file name).
+    pub name: String,
+    /// Requests sorted by arrival time.
+    pub requests: Vec<IoRequest>,
+    /// DRAM budget the paper pairs with this trace (bytes).
+    pub memory_budget_bytes: u64,
+}
+
+impl Trace {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Count of write requests.
+    pub fn write_count(&self) -> usize {
+        self.requests.iter().filter(|r| r.op.is_write()).count()
+    }
+
+    /// Fraction of requests that are writes.
+    pub fn write_ratio(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.write_count() as f64 / self.len() as f64
+    }
+
+    /// Mean request size in KiB.
+    pub fn mean_request_kib(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let blocks: u64 = self.requests.iter().map(|r| r.nblocks as u64).sum();
+        blocks as f64 * 4.0 / self.len() as f64
+    }
+
+    /// Wall-clock span of the trace.
+    pub fn duration(&self) -> SimTime {
+        self.requests.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO)
+    }
+
+    /// A prefix of the trace (cheap way to shorten replay in tests).
+    pub fn prefix(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            requests: self.requests.iter().take(n).cloned().collect(),
+            memory_budget_bytes: self.memory_budget_bytes,
+        }
+    }
+}
+
+/// One previously generated write: the content-id sequence and where it
+/// was addressed. Redundant writes replay slices of these.
+#[derive(Clone, Debug)]
+struct Run {
+    lba: u64,
+    contents: Vec<u64>,
+}
+
+/// Cap on the run/extent history windows: redundancy references recent
+/// history (temporal locality), and the caps bound generator memory.
+const RUN_WINDOW: usize = 8_192;
+
+struct Generator {
+    profile: TraceProfile,
+    rng: StdRng,
+    clock_us: f64,
+    burst_gap: Exponential,
+    idle_gap: Exponential,
+    size_dist: Discrete<u32>,
+    run_zipf: Zipf,
+    read_zipf: Zipf,
+    in_write_phase: bool,
+    phase_left: u32,
+    next_content: u64,
+    /// Ring buffer of recent runs, newest at the back.
+    runs: Vec<Run>,
+    /// Sequential-allocation cursor for fresh data placement.
+    alloc_cursor: u64,
+    /// Last read end (for sequential-follow reads).
+    last_read_end: u64,
+    next_id: u64,
+}
+
+impl TraceProfile {
+    /// Generate a synthetic trace with this profile and `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid profile {}: {e}", self.name));
+        let mut g = Generator::new(self.clone(), seed);
+        let mut requests = Vec::with_capacity(self.n_requests);
+        for _ in 0..self.n_requests {
+            requests.push(g.next_request());
+        }
+        Trace {
+            name: self.name.clone(),
+            requests,
+            memory_budget_bytes: self.memory_budget_bytes,
+        }
+    }
+}
+
+impl Generator {
+    fn new(profile: TraceProfile, seed: u64) -> Self {
+        let size_dist = Discrete::new(&profile.size_weights);
+        let burst_gap = Exponential::new(profile.burst_gap_us);
+        let idle_gap = Exponential::new(profile.idle_gap_us);
+        let run_zipf = Zipf::new(RUN_WINDOW, profile.content_zipf_theta);
+        let read_zipf = Zipf::new(RUN_WINDOW, profile.read_zipf_theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_write_phase = rng.random::<f64>() < profile.burst.write_phase_fraction;
+        Self {
+            rng,
+            clock_us: 0.0,
+            burst_gap,
+            idle_gap,
+            size_dist,
+            run_zipf,
+            read_zipf,
+            in_write_phase,
+            phase_left: 0,
+            next_content: 1,
+            runs: Vec::new(),
+            alloc_cursor: 0,
+            last_read_end: 0,
+            next_id: 0,
+            profile,
+        }
+    }
+
+    fn next_request(&mut self) -> IoRequest {
+        // Phase transitions insert a long idle gap; within a phase,
+        // requests arrive densely (the burst). The 1 µs floor keeps
+        // timestamps strictly increasing, which the FIU round-trip
+        // (reconstruction merges on equal timestamps) relies on.
+        if self.advance_phase() {
+            self.clock_us += self.idle_gap.sample(&mut self.rng);
+        }
+        self.clock_us += self.burst_gap.sample(&mut self.rng).max(1.0);
+        let arrival = SimTime::from_micros(self.clock_us as u64);
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let write_prob = if self.in_write_phase {
+            self.profile.burst.write_phase_write_prob
+        } else {
+            self.profile.burst.read_phase_write_prob
+        };
+        let is_write = self.rng.random::<f64>() < write_prob;
+        let nblocks = self.size_dist.sample(&mut self.rng);
+
+        if is_write {
+            self.gen_write(id, arrival, nblocks)
+        } else {
+            self.gen_read(id, arrival, nblocks)
+        }
+    }
+
+    /// Returns `true` when a new phase just started.
+    fn advance_phase(&mut self) -> bool {
+        let transition = self.phase_left == 0;
+        if transition {
+            // Phases strictly alternate; durations are geometric with
+            // means proportioned so the expected *time* split matches
+            // `write_phase_fraction`. Alternation (vs. i.i.d. phase
+            // choice) keeps the realised write ratio close to the
+            // Table II target even in short traces.
+            self.in_write_phase = !self.in_write_phase;
+            let wf = self.profile.burst.write_phase_fraction.clamp(0.01, 0.99);
+            let base = self.profile.burst.mean_phase_len.max(1.0);
+            let mean = if self.in_write_phase {
+                2.0 * base * wf
+            } else {
+                2.0 * base * (1.0 - wf)
+            };
+            let u: f64 = self.rng.random();
+            self.phase_left = (-mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()).ceil() as u32;
+            self.phase_left = self.phase_left.max(1);
+        }
+        self.phase_left -= 1;
+        transition
+    }
+
+    /// Pick a previously generated run with at least `min_len` contents.
+    /// Returns its index, or `None` when history is too shallow.
+    fn pick_run(&mut self, min_len: usize) -> Option<usize> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        // Deep references: periodic jobs re-write old content; rank is
+        // uniform over the whole history window. Otherwise Zipf with
+        // rank 0 = most recent run (temporal locality).
+        let deep = self.rng.random::<f64>() < self.profile.deep_reference_fraction;
+        for _ in 0..8 {
+            let rank = if deep {
+                self.rng.random_range(0..self.runs.len())
+            } else {
+                self.run_zipf.sample(&mut self.rng) % self.runs.len()
+            };
+            let idx = self.runs.len() - 1 - rank;
+            if self.runs[idx].contents.len() >= min_len {
+                return Some(idx);
+            }
+        }
+        // Fall back to a linear scan from the newest.
+        self.runs
+            .iter()
+            .rposition(|r| r.contents.len() >= min_len)
+    }
+
+    fn fresh_content(&mut self) -> u64 {
+        let id = self.next_content;
+        self.next_content += 1;
+        id
+    }
+
+    /// Allocate a fresh logical extent for new data, wrapping within the
+    /// working set.
+    fn fresh_lba(&mut self, nblocks: u32) -> u64 {
+        let ws = self.profile.working_set_blocks;
+        if self.alloc_cursor + nblocks as u64 > ws {
+            self.alloc_cursor = 0;
+        }
+        let lba = self.alloc_cursor;
+        self.alloc_cursor += nblocks as u64;
+        lba
+    }
+
+    fn remember_run(&mut self, lba: u64, contents: Vec<u64>) {
+        if self.runs.len() == RUN_WINDOW {
+            self.runs.remove(0);
+        }
+        self.runs.push(Run { lba, contents });
+    }
+
+    fn gen_write(&mut self, id: u64, arrival: SimTime, nblocks: u32) -> IoRequest {
+        let mix = &self.profile.write_mix;
+        let boost = if nblocks <= 2 {
+            self.profile.small_write_redundancy_boost
+        } else {
+            0.0
+        };
+        let p_full = mix.full_redundant + boost;
+        let p_contig = mix.partial_contiguous;
+        let p_scatter = mix.partial_scattered;
+        let u: f64 = self.rng.random::<f64>();
+
+        let (lba, contents) = if u < p_full {
+            self.compose_full_redundant(nblocks)
+        } else if u < p_full + p_contig && nblocks >= 4 {
+            self.compose_partial_contiguous(nblocks)
+        } else if u < p_full + p_contig + p_scatter && nblocks >= 2 {
+            self.compose_partial_scattered(nblocks)
+        } else {
+            self.compose_unique(nblocks)
+        };
+
+        self.remember_run(lba, contents.clone());
+        let chunks: Vec<Fingerprint> = contents
+            .iter()
+            .map(|&c| Fingerprint::from_content_id(c))
+            .collect();
+        IoRequest::write(id, arrival, Lba::new(lba), chunks)
+    }
+
+    fn compose_unique(&mut self, nblocks: u32) -> (u64, Vec<u64>) {
+        let contents: Vec<u64> = (0..nblocks).map(|_| self.fresh_content()).collect();
+        let lba = self.fresh_lba(nblocks);
+        (lba, contents)
+    }
+
+    fn compose_full_redundant(&mut self, nblocks: u32) -> (u64, Vec<u64>) {
+        let Some(run_idx) = self.pick_run(nblocks as usize) else {
+            return self.compose_unique(nblocks);
+        };
+        let run_lba = self.runs[run_idx].lba;
+        let contents: Vec<u64> = self.runs[run_idx].contents[..nblocks as usize].to_vec();
+        let same_loc = self.rng.random::<f64>() < self.profile.same_location_fraction;
+        let lba = if same_loc {
+            // Rewrite the original location with identical content.
+            run_lba
+        } else {
+            self.fresh_lba(nblocks)
+        };
+        (lba, contents)
+    }
+
+    fn compose_partial_contiguous(&mut self, nblocks: u32) -> (u64, Vec<u64>) {
+        // Redundant prefix of at least 3 chunks (the Select-Dedupe
+        // threshold), at least half the request.
+        let run_len = ((nblocks / 2).max(3)).min(nblocks);
+        let Some(run_idx) = self.pick_run(run_len as usize) else {
+            return self.compose_unique(nblocks);
+        };
+        let mut contents: Vec<u64> =
+            self.runs[run_idx].contents[..run_len as usize].to_vec();
+        for _ in run_len..nblocks {
+            let c = self.fresh_content();
+            contents.push(c);
+        }
+        let lba = self.fresh_lba(nblocks);
+        (lba, contents)
+    }
+
+    fn compose_partial_scattered(&mut self, nblocks: u32) -> (u64, Vec<u64>) {
+        // 1-2 duplicate chunks at scattered positions (below the
+        // threshold of 3), drawn from *different* runs so they are not
+        // stored contiguously.
+        let mut contents: Vec<u64> = (0..nblocks).map(|_| self.fresh_content()).collect();
+        let dup_count = if nblocks >= 3 { 2 } else { 1 };
+        for d in 0..dup_count {
+            if let Some(run_idx) = self.pick_run(1) {
+                let run = &self.runs[run_idx];
+                let pick = self.rng.random_range(0..run.contents.len());
+                let pos = if d == 0 { 0 } else { (nblocks / 2) as usize };
+                contents[pos] = run.contents[pick];
+            }
+        }
+        let lba = self.fresh_lba(nblocks);
+        (lba, contents)
+    }
+
+    fn gen_read(&mut self, id: u64, arrival: SimTime, nblocks: u32) -> IoRequest {
+        let ws = self.profile.working_set_blocks;
+        let style: f64 = self.rng.random();
+        let (lba, len) = if style < 0.15 {
+            // Sequential follow-on from the previous read.
+            let lba = self.last_read_end % ws;
+            (lba, nblocks)
+        } else if style < 0.90 {
+            // Popular previously written extent.
+            if self.runs.is_empty() {
+                (self.rng.random_range(0..ws), nblocks)
+            } else {
+                let rank = self.read_zipf.sample(&mut self.rng) % self.runs.len();
+                let idx = self.runs.len() - 1 - rank;
+                let run = &self.runs[idx];
+                let len = nblocks.min(run.contents.len() as u32);
+                (run.lba, len.max(1))
+            }
+        } else {
+            // Cold random read.
+            (self.rng.random_range(0..ws), nblocks)
+        };
+        let lba = lba.min(ws.saturating_sub(len as u64));
+        self.last_read_end = lba + len as u64;
+        IoRequest::read(id, arrival, Lba::new(lba), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(name: &str) -> Trace {
+        let p = match name {
+            "web-vm" => TraceProfile::web_vm(),
+            "homes" => TraceProfile::homes(),
+            "mail" => TraceProfile::mail(),
+            _ => unreachable!(),
+        };
+        p.scaled(0.05).generate(42)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let t = small("web-vm");
+        assert_eq!(t.len(), TraceProfile::web_vm().scaled(0.05).n_requests);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let t = small("mail");
+        for w in t.requests.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let t = small("homes");
+        for (i, r) in t.requests.iter().enumerate() {
+            assert_eq!(r.id.0, i as u64);
+        }
+    }
+
+    #[test]
+    fn write_ratio_near_profile_target() {
+        for name in ["web-vm", "homes", "mail"] {
+            let t = small(name);
+            let want = match name {
+                "web-vm" => 0.698,
+                "homes" => 0.805,
+                "mail" => 0.785,
+                _ => unreachable!(),
+            };
+            let got = t.write_ratio();
+            assert!(
+                (got - want).abs() < 0.06,
+                "{name}: write ratio {got:.3} vs target {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_size_near_table2() {
+        for (name, want) in [("web-vm", 14.8), ("homes", 13.1), ("mail", 40.8)] {
+            let t = small(name);
+            let got = t.mean_request_kib();
+            assert!(
+                (got - want).abs() / want < 0.25,
+                "{name}: mean size {got:.1} KiB vs target {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn writes_carry_fingerprints_reads_do_not() {
+        let t = small("web-vm");
+        for r in &t.requests {
+            if r.op.is_write() {
+                assert_eq!(r.chunks.len(), r.nblocks as usize);
+            } else {
+                assert!(r.chunks.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn lbas_stay_in_working_set() {
+        let p = TraceProfile::homes().scaled(0.05);
+        let ws = p.working_set_blocks;
+        let t = p.generate(1);
+        for r in &t.requests {
+            assert!(
+                r.end_lba().raw() <= ws,
+                "request beyond working set: {:?} (ws={ws})",
+                r
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let p = TraceProfile::mail().scaled(0.01);
+        let a = p.generate(7);
+        let b = p.generate(7);
+        assert_eq!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = TraceProfile::mail().scaled(0.01);
+        let a = p.generate(7);
+        let b = p.generate(8);
+        assert_ne!(a.requests, b.requests);
+    }
+
+    #[test]
+    fn redundancy_exists_in_generated_writes() {
+        // A mail-profile trace must contain many repeated fingerprints.
+        let t = small("mail");
+        let mut seen = std::collections::HashSet::new();
+        let mut dup_chunks = 0u64;
+        let mut total = 0u64;
+        for r in t.requests.iter().filter(|r| r.op.is_write()) {
+            for fp in &r.chunks {
+                total += 1;
+                if !seen.insert(*fp) {
+                    dup_chunks += 1;
+                }
+            }
+        }
+        let ratio = dup_chunks as f64 / total as f64;
+        assert!(ratio > 0.4, "mail should be heavily redundant: {ratio:.3}");
+    }
+
+    #[test]
+    fn prefix_truncates() {
+        let t = small("web-vm");
+        let p = t.prefix(10);
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.requests[..], t.requests[..10]);
+    }
+
+    #[test]
+    fn bursts_alternate() {
+        // There should be both read-dominant and write-dominant windows.
+        let t = small("mail");
+        let window = 200;
+        let mut write_heavy = 0;
+        let mut read_heavy = 0;
+        for chunk in t.requests.chunks(window) {
+            let w = chunk.iter().filter(|r| r.op.is_write()).count() as f64 / chunk.len() as f64;
+            if w > 0.85 {
+                write_heavy += 1;
+            }
+            if w < 0.5 {
+                read_heavy += 1;
+            }
+        }
+        assert!(write_heavy > 0, "no write bursts found");
+        assert!(read_heavy > 0, "no read bursts found");
+    }
+}

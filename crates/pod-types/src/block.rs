@@ -1,0 +1,176 @@
+//! Block addressing: logical (`Lba`) and physical (`Pba`) block addresses.
+//!
+//! POD deduplicates at a fixed 4 KiB chunk granularity, so one "block"
+//! here is one dedup chunk. `Lba` is the address a client (file system)
+//! uses; `Pba` is where the block physically lives after the dedup layer
+//! has had its say. The Map table in `pod-dedup` maintains the m-to-1
+//! `Lba -> Pba` relation described in §III-B of the paper.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Size of one deduplication chunk / logical block, in bytes.
+pub const BLOCK_BYTES: u64 = 4096;
+
+/// `log2(BLOCK_BYTES)`, for cheap byte/block conversions.
+pub const BLOCK_SHIFT: u32 = 12;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Construct from a raw block number.
+            #[inline]
+            pub const fn new(block: u64) -> Self {
+                Self(block)
+            }
+
+            /// The raw block number.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Construct from a byte offset (must be block-aligned in
+            /// callers that care; this truncates).
+            #[inline]
+            pub const fn from_byte_offset(bytes: u64) -> Self {
+                Self(bytes >> BLOCK_SHIFT)
+            }
+
+            /// Byte offset of the start of this block.
+            #[inline]
+            pub const fn byte_offset(self) -> u64 {
+                self.0 << BLOCK_SHIFT
+            }
+
+            /// The address `n` blocks after this one.
+            #[inline]
+            pub const fn add(self, n: u64) -> Self {
+                Self(self.0 + n)
+            }
+
+            /// Distance in blocks to `other` (absolute value).
+            #[inline]
+            pub const fn distance(self, other: Self) -> u64 {
+                self.0.abs_diff(other.0)
+            }
+
+            /// Whether `self + len` immediately precedes `other`
+            /// (i.e. `[self, self+len)` and `other` are contiguous).
+            #[inline]
+            pub const fn is_contiguous_with(self, len: u64, other: Self) -> bool {
+                self.0 + len == other.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// Logical block address, as seen by the file system above POD.
+    Lba,
+    "Lba"
+);
+
+addr_newtype!(
+    /// Physical block address on the (simulated) storage array, after
+    /// deduplication remapping.
+    Pba,
+    "Pba"
+);
+
+/// Convert a byte count to the number of whole blocks it occupies
+/// (rounding up).
+#[inline]
+pub const fn bytes_to_blocks_ceil(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_constants_agree() {
+        assert_eq!(1u64 << BLOCK_SHIFT, BLOCK_BYTES);
+    }
+
+    #[test]
+    fn byte_offset_roundtrip() {
+        for b in [0u64, 1, 7, 1 << 20] {
+            let lba = Lba::new(b);
+            assert_eq!(Lba::from_byte_offset(lba.byte_offset()), lba);
+        }
+    }
+
+    #[test]
+    fn from_byte_offset_truncates_within_block() {
+        assert_eq!(Lba::from_byte_offset(4095), Lba::new(0));
+        assert_eq!(Lba::from_byte_offset(4096), Lba::new(1));
+        assert_eq!(Lba::from_byte_offset(8191), Lba::new(1));
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Pba::new(10);
+        let b = Pba::new(25);
+        assert_eq!(a.distance(b), 15);
+        assert_eq!(b.distance(a), 15);
+        assert_eq!(a.distance(a), 0);
+    }
+
+    #[test]
+    fn contiguity() {
+        let a = Pba::new(100);
+        assert!(a.is_contiguous_with(4, Pba::new(104)));
+        assert!(!a.is_contiguous_with(4, Pba::new(105)));
+        assert!(!a.is_contiguous_with(4, Pba::new(103)));
+    }
+
+    #[test]
+    fn bytes_to_blocks_rounds_up() {
+        assert_eq!(bytes_to_blocks_ceil(0), 0);
+        assert_eq!(bytes_to_blocks_ceil(1), 1);
+        assert_eq!(bytes_to_blocks_ceil(4096), 1);
+        assert_eq!(bytes_to_blocks_ceil(4097), 2);
+        assert_eq!(bytes_to_blocks_ceil(40 * 1024), 10);
+    }
+
+    #[test]
+    fn display_and_debug_format() {
+        assert_eq!(format!("{}", Lba::new(5)), "Lba5");
+        assert_eq!(format!("{:?}", Pba::new(5)), "Pba(5)");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Lba::new(1) < Lba::new(2));
+        let mut v = vec![Pba::new(3), Pba::new(1), Pba::new(2)];
+        v.sort();
+        assert_eq!(v, vec![Pba::new(1), Pba::new(2), Pba::new(3)]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Content fingerprints.
+//!
+//! A `Fingerprint` identifies the *content* of one 4 KiB chunk. In the
+//! real system it is the SHA-256 of the chunk data (computed by
+//! `pod-hash`); in trace replay it is carried in the trace record, exactly
+//! as the FIU traces carry per-chunk MD5 values. Two chunks are duplicates
+//! iff their fingerprints are equal — like the paper (and every
+//! production dedup system) we treat hash collisions as impossible.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes in a fingerprint (SHA-256 output size).
+pub const FINGERPRINT_BYTES: usize = 32;
+
+/// A 256-bit content fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fingerprint(pub [u8; FINGERPRINT_BYTES]);
+
+impl Fingerprint {
+    /// The all-zero fingerprint. Used as the canonical fingerprint of a
+    /// zero-filled chunk in synthetic traces.
+    pub const ZERO: Fingerprint = Fingerprint([0u8; FINGERPRINT_BYTES]);
+
+    /// Construct from raw bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; FINGERPRINT_BYTES]) -> Self {
+        Self(bytes)
+    }
+
+    /// Build a fingerprint that encodes a synthetic 64-bit content id.
+    ///
+    /// Trace generators label each distinct chunk content with a
+    /// `content_id`; this expands the id into a full-width fingerprint by
+    /// a splittable mix (SplitMix64 finalizer applied to four lanes), so
+    /// that the bytes look hash-like (uniform) while remaining a pure
+    /// function of the id. Distinct ids map to distinct fingerprints.
+    pub fn from_content_id(content_id: u64) -> Self {
+        #[inline]
+        fn splitmix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut out = [0u8; FINGERPRINT_BYTES];
+        // Lane 0 carries the raw id so the mapping is trivially injective;
+        // the remaining lanes are mixed so the value is well distributed
+        // for use as a HashMap key.
+        out[0..8].copy_from_slice(&content_id.to_le_bytes());
+        out[8..16].copy_from_slice(&splitmix(content_id ^ 0xA5A5_A5A5_A5A5_A5A5).to_le_bytes());
+        out[16..24].copy_from_slice(&splitmix(content_id.rotate_left(17)).to_le_bytes());
+        out[24..32].copy_from_slice(&splitmix(!content_id).to_le_bytes());
+        Self(out)
+    }
+
+    /// Recover the synthetic content id from a fingerprint produced by
+    /// [`Fingerprint::from_content_id`].
+    #[inline]
+    pub fn content_id(&self) -> u64 {
+        u64::from_le_bytes(self.0[0..8].try_into().expect("8 bytes"))
+    }
+
+    /// Raw bytes.
+    #[inline]
+    pub const fn as_bytes(&self) -> &[u8; FINGERPRINT_BYTES] {
+        &self.0
+    }
+
+    /// First eight bytes folded to a `u64`, useful as a cheap pre-hash
+    /// for sharding.
+    #[inline]
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_le_bytes(self.0[0..8].try_into().expect("8 bytes"))
+    }
+
+    /// Lowercase hex rendering of the full fingerprint.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(FINGERPRINT_BYTES * 2);
+        for b in &self.0 {
+            use core::fmt::Write;
+            write!(s, "{b:02x}").expect("write to String cannot fail");
+        }
+        s
+    }
+
+    /// Parse a fingerprint from a hex string (64 hex digits).
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        let hex = hex.trim();
+        if hex.len() != FINGERPRINT_BYTES * 2 {
+            return None;
+        }
+        let mut out = [0u8; FINGERPRINT_BYTES];
+        for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Self(out))
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short prefix is enough to tell fingerprints apart in logs.
+        write!(
+            f,
+            "Fp({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_id_roundtrip() {
+        for id in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let fp = Fingerprint::from_content_id(id);
+            assert_eq!(fp.content_id(), id);
+        }
+    }
+
+    #[test]
+    fn distinct_ids_distinct_fingerprints() {
+        let a = Fingerprint::from_content_id(1);
+        let b = Fingerprint::from_content_id(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_id_same_fingerprint() {
+        assert_eq!(
+            Fingerprint::from_content_id(777),
+            Fingerprint::from_content_id(777)
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let fp = Fingerprint::from_content_id(123_456_789);
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Fingerprint::from_hex(""), None);
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+        let almost = "a".repeat(63);
+        assert_eq!(Fingerprint::from_hex(&almost), None);
+        let bad_char = format!("{}g", "a".repeat(63));
+        assert_eq!(Fingerprint::from_hex(&bad_char), None);
+    }
+
+    #[test]
+    fn from_hex_accepts_surrounding_whitespace() {
+        let fp = Fingerprint::from_content_id(5);
+        let padded = format!("  {}\n", fp.to_hex());
+        assert_eq!(Fingerprint::from_hex(&padded), Some(fp));
+    }
+
+    #[test]
+    fn zero_fingerprint_is_zero_id() {
+        assert_eq!(Fingerprint::ZERO.content_id(), 0);
+        // But from_content_id(0) is NOT all-zero beyond the first lane —
+        // the mixed lanes distinguish "synthetic id 0" from the canonical
+        // zero-chunk fingerprint.
+        assert_ne!(Fingerprint::from_content_id(0), Fingerprint::ZERO);
+    }
+
+    #[test]
+    fn debug_is_short() {
+        let s = format!("{:?}", Fingerprint::from_content_id(9));
+        assert!(s.starts_with("Fp("));
+        assert!(s.len() < 20);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn content_id_roundtrip_holds(id in any::<u64>()) {
+                prop_assert_eq!(Fingerprint::from_content_id(id).content_id(), id);
+            }
+
+            #[test]
+            fn hex_roundtrip_holds(id in any::<u64>()) {
+                let fp = Fingerprint::from_content_id(id);
+                prop_assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+            }
+
+            #[test]
+            fn distinct_ids_never_collide(a in any::<u64>(), b in any::<u64>()) {
+                prop_assume!(a != b);
+                prop_assert_ne!(
+                    Fingerprint::from_content_id(a),
+                    Fingerprint::from_content_id(b)
+                );
+            }
+
+            #[test]
+            fn prefix_matches_first_lane(id in any::<u64>()) {
+                prop_assert_eq!(Fingerprint::from_content_id(id).prefix_u64(), id);
+            }
+        }
+    }
+
+}

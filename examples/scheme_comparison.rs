@@ -1,0 +1,64 @@
+//! Compare all five schemes on one of the paper's traces — the Fig. 8–11
+//! experiment as a runnable program.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison -- [web-vm|homes|mail] [scale]
+//! ```
+
+use pod::prelude::*;
+use pod_core::experiments::run_schemes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile_name = args.first().map(String::as_str).unwrap_or("mail");
+    let scale: f64 = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    let profile = match profile_name {
+        "web-vm" => TraceProfile::web_vm(),
+        "homes" => TraceProfile::homes(),
+        "mail" => TraceProfile::mail(),
+        other => {
+            eprintln!("unknown trace '{other}' (expected web-vm|homes|mail)");
+            std::process::exit(2);
+        }
+    };
+
+    println!("generating {profile_name} at scale {scale} ...");
+    let trace = profile.scaled(scale).generate(42);
+    let cfg = SystemConfig::paper_default();
+
+    println!("replaying {} requests through 5 schemes (parallel) ...\n", trace.len());
+    let reports = run_schemes(&Scheme::all(), &trace, &cfg);
+    let native_overall = reports[0].overall.mean_us();
+    let native_cap = reports[0].capacity_used_blocks as f64;
+
+    println!(
+        "{:<14} {:>11} {:>9} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "scheme", "overall(ms)", "vs nat", "read(ms)", "write(ms)", "removed%", "cap%", "frag"
+    );
+    for rep in &reports {
+        println!(
+            "{:<14} {:>11.2} {:>8.1}% {:>11.2} {:>11.2} {:>9.1} {:>9.1} {:>9.2}",
+            rep.scheme,
+            rep.overall.mean_ms(),
+            rep.overall.mean_us() * 100.0 / native_overall.max(1e-9),
+            rep.reads.mean_ms(),
+            rep.writes.mean_ms(),
+            rep.writes_removed_pct(),
+            rep.capacity_used_blocks as f64 * 100.0 / native_cap.max(1e-9),
+            rep.read_fragmentation,
+        );
+    }
+
+    println!(
+        "\ntail latency (p99, ms): {}",
+        reports
+            .iter()
+            .map(|r| format!("{}={:.1}", r.scheme, r.overall.percentile_us(99.0) as f64 / 1e3))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+}
