@@ -29,8 +29,7 @@ fn bench_threshold_sweep(c: &mut Criterion) {
             |b, &threshold| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.select_threshold = threshold;
-                let runner =
-                    SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+                let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
                 b.iter(|| {
                     let rep = runner.replay(&trace);
                     black_box((rep.writes_removed_pct(), rep.read_fragmentation))
@@ -95,8 +94,7 @@ fn bench_hash_workers(c: &mut Criterion) {
             |b, &workers| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.hash_workers = workers;
-                let runner =
-                    SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+                let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
                 b.iter(|| black_box(runner.replay(&trace)).writes.mean_us())
             },
         );

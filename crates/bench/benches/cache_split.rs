@@ -22,8 +22,7 @@ fn bench_split_points(c: &mut Criterion) {
             |b, &frac| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.index_fraction = frac;
-                let runner =
-                    SchemeRunner::new(Scheme::FullDedupe, cfg).expect("valid config");
+                let runner = SchemeRunner::new(Scheme::FullDedupe, cfg).expect("valid config");
                 b.iter(|| {
                     let rep = runner.replay(&trace);
                     black_box((rep.reads.mean_us(), rep.writes.mean_us()))

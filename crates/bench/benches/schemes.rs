@@ -14,8 +14,8 @@ fn bench_scheme_replays(c: &mut Criterion) {
         let trace = bench_trace(trace_name);
         let mut g = c.benchmark_group(format!("replay_{trace_name}"));
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_secs(1));
-    g.measurement_time(std::time::Duration::from_secs(4));
+        g.warm_up_time(std::time::Duration::from_secs(1));
+        g.measurement_time(std::time::Duration::from_secs(4));
         for scheme in Scheme::all() {
             g.bench_with_input(
                 BenchmarkId::from_parameter(scheme.name()),

@@ -72,5 +72,11 @@ fn bench_fig2(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generation, bench_table2, bench_fig1, bench_fig2);
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_table2,
+    bench_fig1,
+    bench_fig2
+);
 criterion_main!(benches);

@@ -78,8 +78,8 @@ fn emit(out: &Option<String>, name: &str, csv: &str) {
     if let Some(dir) = out {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {dir}: {e}")));
         let path = format!("{dir}/{name}.csv");
-        let mut f = std::fs::File::create(&path)
-            .unwrap_or_else(|e| die(&format!("create {path}: {e}")));
+        let mut f =
+            std::fs::File::create(&path).unwrap_or_else(|e| die(&format!("create {path}: {e}")));
         f.write_all(csv.as_bytes())
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     }
@@ -93,7 +93,11 @@ fn main() {
         args.scale, args.seed
     );
 
-    emit(&args.out, "table2", &table2_csv(&table2(args.scale, args.seed)));
+    emit(
+        &args.out,
+        "table2",
+        &table2_csv(&table2(args.scale, args.seed)),
+    );
     // Table I runs the extended scheme set on web-vm at a capped scale
     // (it is a qualitative-claims check, not a full evaluation).
     emit(

@@ -1,0 +1,538 @@
+//! Performance gate: replay the built-in synthetic traces under every
+//! scheme, record throughput and wall clock to `BENCH_<date>.json`, and
+//! fail if any measurement regressed past a tolerance against the most
+//! recent previous snapshot.
+//!
+//! ```text
+//! cargo run --release -p pod-bench --bin perfgate
+//! cargo run --release -p pod-bench --bin perfgate -- --report-only
+//! cargo run --release -p pod-bench --bin perfgate -- --tolerance 15 --dir bench-history
+//! ```
+//!
+//! Each run measures, per trace profile (`mail`, `web-vm`, `homes`):
+//!
+//! * one sequential replay per scheme — requests/second and wall clock,
+//! * one `grid` entry — all schemes through the experiment executor,
+//!
+//! plus the process peak RSS (`VmHWM` from `/proc/self/status`). The
+//! snapshot is plain JSON written without external crates; the
+//! comparison parses just enough JSON to read a previous snapshot back.
+
+use pod_core::experiments::run_schemes;
+use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_trace::{Trace, TraceProfile};
+use std::time::Instant;
+
+const TRACES: [&str; 3] = ["mail", "web-vm", "homes"];
+
+struct Args {
+    dir: String,
+    tolerance_pct: f64,
+    report_only: bool,
+    scale: f64,
+    reps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: ".".into(),
+        tolerance_pct: 10.0,
+        report_only: false,
+        scale: 0.1,
+        reps: 3,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--dir" => {
+                args.dir = argv
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| die("--dir needs a directory"));
+                i += 2;
+            }
+            "--tolerance" => {
+                args.tolerance_pct = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a percentage"));
+                if args.tolerance_pct < 0.0 {
+                    die("--tolerance must be non-negative");
+                }
+                i += 2;
+            }
+            "--report-only" => {
+                args.report_only = true;
+                i += 1;
+            }
+            "--scale" => {
+                args.scale = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+                if args.scale <= 0.0 {
+                    die("--scale must be positive");
+                }
+                i += 2;
+            }
+            "--reps" => {
+                args.reps = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs an integer"));
+                if args.reps == 0 {
+                    die("--reps must be at least 1");
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: perfgate [--dir DIR] [--tolerance PCT] [--scale F] \
+                     [--reps N] [--report-only]\n\
+                     replays the synthetic traces under every scheme (best of N\n\
+                     repetitions), writes BENCH_<date>.json, and exits non-zero\n\
+                     when throughput drops more than PCT% (default 10) below the\n\
+                     previous snapshot"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// One measured replay.
+struct Entry {
+    trace: String,
+    scheme: String,
+    requests: u64,
+    wall_s: f64,
+    requests_per_sec: f64,
+}
+
+fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    for scheme in Scheme::all() {
+        // Best of `reps`: a fresh runner each repetition (replay mutates
+        // engine state), the minimum wall clock as the measurement —
+        // the standard way to cut scheduler noise out of a perf gate.
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let runner = SchemeRunner::new(scheme, cfg.clone()).expect("valid config");
+            let t0 = Instant::now();
+            let rep = runner.replay(trace);
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+            // Touching the report keeps the replay from being optimised out.
+            assert!(rep.overall.mean_us() >= 0.0);
+        }
+        entries.push(Entry {
+            trace: trace_name.into(),
+            scheme: scheme.name().into(),
+            requests: trace.len() as u64,
+            wall_s: best,
+            requests_per_sec: trace.len() as f64 / best,
+        });
+    }
+    let mut best = f64::INFINITY;
+    let mut grid_requests = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let grid = run_schemes(&Scheme::all(), trace, cfg);
+        best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        grid_requests = trace.len() as u64 * grid.len() as u64;
+    }
+    entries.push(Entry {
+        trace: trace_name.into(),
+        scheme: "grid".into(),
+        requests: grid_requests,
+        wall_s: best,
+        requests_per_sec: grid_requests as f64 / best,
+    });
+    entries
+}
+
+/// Peak resident set size in KiB (`VmHWM`), 0 where procfs is absent.
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Today's date as `YYYY-MM-DD` from the system clock (civil-from-days,
+/// Gregorian; no date crate needed).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"date\": \"{date}\",\n"));
+    out.push_str(&format!("  \"bench_scale\": {scale},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"peak_rss_kib\": {rss_kib},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"trace\": \"{}\", \"scheme\": \"{}\", \"requests\": {}, \
+             \"wall_s\": {:.6}, \"requests_per_sec\": {:.2}}}{}\n",
+            e.trace,
+            e.scheme,
+            e.requests,
+            e.wall_s,
+            e.requests_per_sec,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough to load a previous snapshot.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    // Snapshots we write never escape anything beyond
+                    // these; reject the rest instead of mis-reading.
+                    let esc = self.bytes.get(self.pos + 1).copied();
+                    let lit = match esc {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    };
+                    s.push(lit);
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    s.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    Ok(v)
+}
+
+/// Previous snapshot throughputs keyed by `trace/scheme`.
+fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let root = parse_json(&body)?;
+    let entries = match root.get("entries") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(format!("{path}: no entries array")),
+    };
+    let mut out = Vec::new();
+    for e in entries {
+        let (Some(trace), Some(scheme), Some(rps)) = (
+            e.get("trace").and_then(Json::as_str),
+            e.get("scheme").and_then(Json::as_str),
+            e.get("requests_per_sec").and_then(Json::as_f64),
+        ) else {
+            return Err(format!("{path}: malformed entry"));
+        };
+        out.push((format!("{trace}/{scheme}"), rps));
+    }
+    Ok(out)
+}
+
+/// The most recent `BENCH_*.json` in `dir`, by name (dates sort).
+/// Today's own output is excluded so a same-day rerun still compares
+/// against the previous day's snapshot rather than itself.
+fn latest_snapshot(dir: &str, exclude: &str) -> Option<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json") && n != exclude)
+        .collect();
+    names.sort();
+    names.pop().map(|n| format!("{dir}/{n}"))
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = SystemConfig::paper_default();
+
+    println!(
+        "perfgate: replaying {} traces x {} schemes (+grid), scale {}, best of {} ...",
+        TRACES.len(),
+        Scheme::all().len(),
+        args.scale,
+        args.reps
+    );
+    let mut entries = Vec::new();
+    for name in TRACES {
+        let profile = match name {
+            "web-vm" => TraceProfile::web_vm(),
+            "homes" => TraceProfile::homes(),
+            _ => TraceProfile::mail(),
+        };
+        let trace = profile.scaled(args.scale).generate(pod_bench::BENCH_SEED);
+        entries.extend(measure(name, &trace, &cfg, args.reps));
+    }
+    let rss_kib = peak_rss_kib();
+
+    println!(
+        "\n{:<8} {:<14} {:>9} {:>9} {:>12}",
+        "trace", "scheme", "reqs", "wall(s)", "req/s"
+    );
+    for e in &entries {
+        println!(
+            "{:<8} {:<14} {:>9} {:>9.3} {:>12.0}",
+            e.trace, e.scheme, e.requests, e.wall_s, e.requests_per_sec
+        );
+    }
+    println!("peak RSS: {:.1} MiB", rss_kib as f64 / 1024.0);
+
+    let date = today();
+    let file_name = format!("BENCH_{date}.json");
+    let baseline = latest_snapshot(&args.dir, &file_name);
+
+    // Write the new snapshot first so a regression still leaves a record.
+    let path = format!("{}/{file_name}", args.dir);
+    let json = render_json(&date, &entries, rss_kib, args.scale, args.reps);
+    if let Err(e) = std::fs::write(&path, &json) {
+        die(&format!("writing {path}: {e}"));
+    }
+    println!("\nwrote {path}");
+
+    let Some(base_path) = baseline else {
+        println!(
+            "no previous snapshot in {} — baseline established",
+            args.dir
+        );
+        return;
+    };
+
+    let base = match load_baseline(&base_path) {
+        Ok(b) => b,
+        Err(e) => die(&format!("loading baseline: {e}")),
+    };
+    println!(
+        "comparing against {base_path} (tolerance {:.1}%)",
+        args.tolerance_pct
+    );
+    let mut regressions = 0usize;
+    for e in &entries {
+        let key = format!("{}/{}", e.trace, e.scheme);
+        let Some((_, old_rps)) = base.iter().find(|(k, _)| *k == key) else {
+            println!("  {key}: new measurement (no baseline)");
+            continue;
+        };
+        let delta_pct = (e.requests_per_sec - old_rps) / old_rps * 100.0;
+        let flag = if delta_pct < -args.tolerance_pct {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!("  {key:<22} {delta_pct:>+7.1}%{flag}");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "\n{regressions} measurement(s) regressed more than {:.1}%",
+            args.tolerance_pct
+        );
+        if !args.report_only {
+            std::process::exit(1);
+        }
+        println!("(--report-only: not failing)");
+    } else {
+        println!("\nno regressions beyond tolerance");
+    }
+}

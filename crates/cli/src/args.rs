@@ -13,6 +13,7 @@ pub struct CliArgs {
     pub scheme: Scheme,
     pub out: Option<String>,
     pub memory_mib: Option<u64>,
+    pub jobs: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -25,6 +26,7 @@ impl Default for CliArgs {
             scheme: Scheme::Pod,
             out: None,
             memory_mib: None,
+            jobs: None,
         }
     }
 }
@@ -55,8 +57,18 @@ impl CliArgs {
                 "--trace" => args.trace_path = Some(value.clone()),
                 "--out" => args.out = Some(value.clone()),
                 "--memory" => {
-                    args.memory_mib =
-                        Some(value.parse().map_err(|_| format!("bad --memory '{value}'"))?)
+                    args.memory_mib = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad --memory '{value}'"))?,
+                    )
+                }
+                "--jobs" => {
+                    let jobs: usize = value.parse().map_err(|_| format!("bad --jobs '{value}'"))?;
+                    if jobs == 0 {
+                        return Err("--jobs must be at least 1".into());
+                    }
+                    args.jobs = Some(jobs);
                 }
                 "--scheme" => {
                     args.scheme = match value.as_str() {
@@ -91,8 +103,7 @@ impl CliArgs {
     /// otherwise generated from the profile.
     pub fn load_trace(&self) -> Result<Trace, String> {
         if let Some(path) = &self.trace_path {
-            let body = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {path}: {e}"))?;
+            let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let records =
                 pod_trace::fiu::parse_str(&body).map_err(|e| format!("parsing {path}: {e}"))?;
             let budget = self
@@ -105,6 +116,14 @@ impl CliArgs {
         } else {
             let profile = self.resolve_profile()?;
             Ok(profile.scaled(self.scale).generate(self.seed))
+        }
+    }
+
+    /// Apply `--jobs` to the experiment executor's process-wide width
+    /// (replay grids run this many schemes/sweep points concurrently).
+    pub fn apply_jobs(&self) {
+        if let Some(jobs) = self.jobs {
+            pod_core::pool::set_default_width(jobs);
         }
     }
 
@@ -137,8 +156,20 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--profile", "homes", "--scale", "0.5", "--seed", "7", "--scheme", "select",
-            "--out", "x.fiu", "--memory", "64",
+            "--profile",
+            "homes",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--scheme",
+            "select",
+            "--out",
+            "x.fiu",
+            "--memory",
+            "64",
+            "--jobs",
+            "4",
         ])
         .expect("parse");
         assert_eq!(a.profile, "homes");
@@ -147,6 +178,7 @@ mod tests {
         assert_eq!(a.scheme, Scheme::SelectDedupe);
         assert_eq!(a.out.as_deref(), Some("x.fiu"));
         assert_eq!(a.memory_mib, Some(64));
+        assert_eq!(a.jobs, Some(4));
     }
 
     #[test]
@@ -156,12 +188,24 @@ mod tests {
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--scheme", "bogus"]).is_err());
         assert!(parse(&["--wat", "1"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn jobs_flag_sets_executor_width() {
+        let a = parse(&["--jobs", "5"]).expect("parse");
+        a.apply_jobs();
+        assert_eq!(pod_core::pool::default_width(), 5);
+        pod_core::pool::set_default_width(0);
     }
 
     #[test]
     fn profile_resolution() {
-        let mut a = CliArgs::default();
-        a.profile = "web-vm".into();
+        let mut a = CliArgs {
+            profile: "web-vm".into(),
+            ..Default::default()
+        };
         assert_eq!(a.resolve_profile().expect("known").name, "web-vm");
         a.profile = "nope".into();
         assert!(a.resolve_profile().is_err());
@@ -169,8 +213,10 @@ mod tests {
 
     #[test]
     fn memory_override_lands_in_config() {
-        let mut a = CliArgs::default();
-        a.memory_mib = Some(64);
+        let a = CliArgs {
+            memory_mib: Some(64),
+            ..Default::default()
+        };
         assert_eq!(a.system_config().memory_bytes, Some(64 * 1024 * 1024));
     }
 }

@@ -24,11 +24,27 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     );
 
     println!("\nI/O redundancy by request size (Fig. 1):");
-    println!("{:>9} {:>10} {:>10} {:>7}", "size", "total", "redundant", "ratio");
+    println!(
+        "{:>9} {:>10} {:>10} {:>7}",
+        "size", "total", "redundant", "ratio"
+    );
     for b in size_redundancy(&trace) {
-        let label = if b.kib >= 128 { ">=128K".to_string() } else { format!("{}K", b.kib) };
-        let ratio = if b.total == 0 { 0.0 } else { b.redundant as f64 / b.total as f64 };
-        println!("{label:>9} {:>10} {:>10} {:>6.1}%", b.total, b.redundant, ratio * 100.0);
+        let label = if b.kib >= 128 {
+            ">=128K".to_string()
+        } else {
+            format!("{}K", b.kib)
+        };
+        let ratio = if b.total == 0 {
+            0.0
+        } else {
+            b.redundant as f64 / b.total as f64
+        };
+        println!(
+            "{label:>9} {:>10} {:>10} {:>6.1}%",
+            b.total,
+            b.redundant,
+            ratio * 100.0
+        );
     }
 
     let bursts = detect_bursts(&trace, 50, 8);
@@ -50,7 +66,10 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         rb.same_location_blocks as f64 * 100.0 / rb.total().max(1) as f64,
         rb.capacity_redundancy_pct()
     );
-    println!("  capacity redundancy {:>5.1}%", rb.capacity_redundancy_pct());
+    println!(
+        "  capacity redundancy {:>5.1}%",
+        rb.capacity_redundancy_pct()
+    );
     println!("  gap                 {:>5.1} points", rb.gap_pct());
     Ok(())
 }

@@ -6,12 +6,14 @@ use pod_core::experiments::run_schemes;
 use pod_core::Scheme;
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
+    args.apply_jobs();
     let trace = args.load_trace()?;
     let cfg = args.system_config();
     println!(
-        "replaying {} requests of `{}` through 5 schemes (parallel) ...",
+        "replaying {} requests of `{}` through 5 schemes ({} workers) ...",
         trace.len(),
-        trace.name
+        trace.name,
+        pod_core::pool::default_width().min(Scheme::all().len())
     );
     let reports = run_schemes(&Scheme::all(), &trace, &cfg);
     let base = reports[0].overall.mean_us().max(1e-9);

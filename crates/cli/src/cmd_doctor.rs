@@ -10,13 +10,24 @@ use pod_dedup::{DedupConfig, DedupEngine, DedupPolicy};
 pub fn run(args: &CliArgs) -> Result<(), String> {
     let mut failures = 0usize;
     let mut check = |name: &str, ok: bool, detail: String| {
-        println!("  [{}] {name}{}", if ok { "ok" } else { "FAIL" }, if detail.is_empty() { String::new() } else { format!(" — {detail}") });
+        println!(
+            "  [{}] {name}{}",
+            if ok { "ok" } else { "FAIL" },
+            if detail.is_empty() {
+                String::new()
+            } else {
+                format!(" — {detail}")
+            }
+        );
         if !ok {
             failures += 1;
         }
     };
 
-    println!("pod doctor: verifying invariants on `{}` at scale {}\n", args.profile, args.scale);
+    println!(
+        "pod doctor: verifying invariants on `{}` at scale {}\n",
+        args.profile, args.scale
+    );
     let trace = args.load_trace()?;
     let cfg = args.system_config();
 
@@ -49,10 +60,14 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         check(
             &format!("{} store invariants + journal recovery", policy.name()),
             err.is_empty() && inv.is_ok() && jr.is_ok(),
-            [err, inv.err().map(|e| e.to_string()).unwrap_or_default(), jr.err().map(|e| e.to_string()).unwrap_or_default()]
-                .into_iter()
-                .find(|s| !s.is_empty())
-                .unwrap_or_default(),
+            [
+                err,
+                inv.err().map(|e| e.to_string()).unwrap_or_default(),
+                jr.err().map(|e| e.to_string()).unwrap_or_default(),
+            ]
+            .into_iter()
+            .find(|s| !s.is_empty())
+            .unwrap_or_default(),
         );
     }
 
@@ -63,7 +78,11 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     check(
         "replay determinism",
         a.overall.mean_us() == b.overall.mean_us() && a.counters == b.counters,
-        format!("{:.3} vs {:.3} ms", a.overall.mean_ms(), b.overall.mean_ms()),
+        format!(
+            "{:.3} vs {:.3} ms",
+            a.overall.mean_ms(),
+            b.overall.mean_ms()
+        ),
     );
 
     // 3. Headline shapes.
@@ -87,7 +106,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     );
     check(
         "NVRAM accounted in whole Map-table entries",
-        reports[2].nvram_peak_bytes % 20 == 0,
+        reports[2].nvram_peak_bytes.is_multiple_of(20),
         format!("{} bytes", reports[2].nvram_peak_bytes),
     );
 

@@ -5,6 +5,7 @@ use crate::args::CliArgs;
 use pod_core::SchemeRunner;
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
+    args.apply_jobs();
     let trace = args.load_trace()?;
     let cfg = args.system_config();
     let runner = SchemeRunner::new(args.scheme, cfg).map_err(|e| e.to_string())?;
@@ -19,7 +20,11 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     println!("done in {:?}\n", t0.elapsed());
 
     println!("response time (ms):    mean      p50      p95      p99      max");
-    for (label, m) in [("overall", &rep.overall), ("reads", &rep.reads), ("writes", &rep.writes)] {
+    for (label, m) in [
+        ("overall", &rep.overall),
+        ("reads", &rep.reads),
+        ("writes", &rep.writes),
+    ] {
         println!(
             "  {label:<18} {:>7.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
             m.mean_ms(),
@@ -53,7 +58,11 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         "disks: {} ops, {:.1} s busy, max queue depth {}",
         ops,
         busy as f64 / 1e6,
-        rep.disk.iter().map(|d| d.max_queue_depth).max().unwrap_or(0)
+        rep.disk
+            .iter()
+            .map(|d| d.max_queue_depth)
+            .max()
+            .unwrap_or(0)
     );
     if !rep.timeline.points.is_empty() {
         println!(
@@ -64,8 +73,11 @@ response-time over the day (peak {:.1} ms):
             rep.timeline.sparkline()
         );
     }
-    println!("
+    println!(
+        "
 latency histogram (overall):
-{}", rep.overall.histogram().render(40));
+{}",
+        rep.overall.histogram().render(40)
+    );
     Ok(())
 }

@@ -66,7 +66,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --trace <path>                  FIU-format trace file instead of a profile\n\
          \x20 --scheme <native|full|idedup|select|pod|post|iodedup>  scheme for `replay`\n\
          \x20 --out <path>                    output file for `gen`\n\
-         \x20 --memory <MiB>                  override the DRAM budget"
+         \x20 --memory <MiB>                  override the DRAM budget\n\
+         \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
+         \x20                                 (default: available parallelism)"
     );
     std::process::exit(code);
 }

@@ -156,9 +156,7 @@ impl SystemConfig {
                 )));
             }
             if self.raid.level != pod_disk::RaidLevel::Raid5 {
-                return Err(PodError::InvalidConfig(
-                    "fail_disk requires RAID-5".into(),
-                ));
+                return Err(PodError::InvalidConfig("fail_disk requires RAID-5".into()));
             }
         }
         Ok(())

@@ -7,6 +7,7 @@
 //! and cache pressure scale together) and a base seed for determinism.
 
 use crate::config::SystemConfig;
+use crate::pool::Executor;
 use crate::runner::{ReplayReport, SchemeRunner};
 use crate::scheme::Scheme;
 use pod_trace::stats::{redundancy_breakdown, size_redundancy, TraceStats};
@@ -30,19 +31,12 @@ pub fn run_scheme(scheme: Scheme, trace: &Trace, cfg: &SystemConfig) -> ReplayRe
         .replay(trace)
 }
 
-/// Run several schemes over one trace in parallel (one thread each).
+/// Run several schemes over one trace on the bounded executor.
+///
+/// Results come back in `schemes` order regardless of executor width,
+/// so reports are byte-identical for any `--jobs` setting.
 pub fn run_schemes(schemes: &[Scheme], trace: &Trace, cfg: &SystemConfig) -> Vec<ReplayReport> {
-    let mut out: Vec<Option<ReplayReport>> = Vec::new();
-    out.resize_with(schemes.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (slot, &scheme) in out.iter_mut().zip(schemes.iter()) {
-            s.spawn(move |_| {
-                *slot = Some(run_scheme(scheme, trace, cfg));
-            });
-        }
-    })
-    .expect("scheme replay thread panicked");
-    out.into_iter().map(|r| r.expect("spawned")).collect()
+    Executor::new().map(schemes, |&scheme| run_scheme(scheme, trace, cfg))
 }
 
 // ---------------------------------------------------------------------
@@ -172,33 +166,24 @@ pub struct Fig3Point {
 pub fn fig3(scale: f64, seed: u64) -> Vec<Fig3Point> {
     let trace = TraceProfile::mail().scaled(scale).generate(seed);
     let fractions = [0.2, 0.3, 0.5, 0.7, 0.8];
-    let mut points: Vec<Option<Fig3Point>> = Vec::new();
-    points.resize_with(fractions.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (slot, &f) in points.iter_mut().zip(fractions.iter()) {
-            let trace = &trace;
-            s.spawn(move |_| {
-                let mut cfg = SystemConfig::paper_default();
-                cfg.index_fraction = f;
-                // The §II-B motivation experiment uses a plain
-                // deduplication-based system: every RAM-index miss pays
-                // an in-disk lookup (no page-cache absorption), and the
-                // memory budget is sized so the sweep range straddles the
-                // workload's hot fingerprint set (the paper's 14-day-warmed
-                // index dwarfed memory; see DESIGN.md substitutions).
-                cfg.index_page_fault_rate = 1;
-                cfg.memory_scale = 0.01;
-                let rep = run_scheme(Scheme::FullDedupe, trace, &cfg);
-                *slot = Some(Fig3Point {
-                    index_fraction: f,
-                    read_ms: rep.reads.mean_ms(),
-                    write_ms: rep.writes.mean_ms(),
-                });
-            });
+    Executor::new().map(&fractions, |&f| {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.index_fraction = f;
+        // The §II-B motivation experiment uses a plain
+        // deduplication-based system: every RAM-index miss pays
+        // an in-disk lookup (no page-cache absorption), and the
+        // memory budget is sized so the sweep range straddles the
+        // workload's hot fingerprint set (the paper's 14-day-warmed
+        // index dwarfed memory; see DESIGN.md substitutions).
+        cfg.index_page_fault_rate = 1;
+        cfg.memory_scale = 0.01;
+        let rep = run_scheme(Scheme::FullDedupe, &trace, &cfg);
+        Fig3Point {
+            index_fraction: f,
+            read_ms: rep.reads.mean_ms(),
+            write_ms: rep.writes.mean_ms(),
         }
     })
-    .expect("fig3 sweep thread panicked");
-    points.into_iter().map(|p| p.expect("spawned")).collect()
 }
 
 /// Render Fig. 3 as CSV.
@@ -251,8 +236,7 @@ pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
         .zip(reports.iter())
         .map(|(scheme, rep)| Table1Row {
             scheme: rep.scheme.clone(),
-            capacity_saving_pct: 100.0
-                - rep.capacity_used_blocks as f64 * 100.0 / native_cap,
+            capacity_saving_pct: 100.0 - rep.capacity_used_blocks as f64 * 100.0 / native_cap,
             performance_gain_pct: 100.0 - rep.overall.mean_us() * 100.0 / native_rt,
             small_writes_removed_pct: rep.counters.removed_small_pct(),
             large_writes_removed_pct: rep.counters.removed_large_pct(),
@@ -357,9 +341,16 @@ impl SchemeComparison {
         let mut s = String::from("trace,Full-Dedupe,iDedup,Select-Dedupe,POD\n");
         for per_trace in &self.reports {
             s.push_str(&per_trace[0].trace);
-            for scheme in [Scheme::FullDedupe, Scheme::IDedup, Scheme::SelectDedupe, Scheme::Pod]
-            {
-                let si = Scheme::all().iter().position(|x| *x == scheme).expect("known");
+            for scheme in [
+                Scheme::FullDedupe,
+                Scheme::IDedup,
+                Scheme::SelectDedupe,
+                Scheme::Pod,
+            ] {
+                let si = Scheme::all()
+                    .iter()
+                    .position(|x| *x == scheme)
+                    .expect("known");
                 s.push_str(&format!(",{:.1}", per_trace[si].writes_removed_pct()));
             }
             s.push('\n');
@@ -493,20 +484,11 @@ fn sweep<P: Clone + Send + Sync + std::fmt::Debug>(
     params: &[P],
     configure: impl Fn(&P) -> (Scheme, SystemConfig) + Sync,
 ) -> Vec<SweepRow> {
-    let mut rows: Vec<Option<SweepRow>> = Vec::new();
-    rows.resize_with(params.len(), || None);
-    crossbeam::thread::scope(|s| {
-        for (slot, p) in rows.iter_mut().zip(params.iter()) {
-            let configure = &configure;
-            s.spawn(move |_| {
-                let (scheme, cfg) = configure(p);
-                let rep = run_scheme(scheme, trace, &cfg);
-                *slot = Some(SweepRow::from_report(format!("{p:?}"), &rep));
-            });
-        }
+    Executor::new().map(params, |p| {
+        let (scheme, cfg) = configure(p);
+        let rep = run_scheme(scheme, trace, &cfg);
+        SweepRow::from_report(format!("{p:?}"), &rep)
     })
-    .expect("sweep thread panicked");
-    rows.into_iter().map(|r| r.expect("spawned")).collect()
 }
 
 /// Ablation: Select-Dedupe duplicate-run threshold T (paper fixes 3).
@@ -527,7 +509,11 @@ pub fn scheduler_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
     let trace = TraceProfile::mail().scaled(scale).generate(seed);
     sweep(
         &trace,
-        &[SchedulerKind::Fifo, SchedulerKind::Sstf, SchedulerKind::Elevator],
+        &[
+            SchedulerKind::Fifo,
+            SchedulerKind::Sstf,
+            SchedulerKind::Elevator,
+        ],
         |&sched| {
             let mut cfg = SystemConfig::paper_default();
             cfg.scheduler = sched;
@@ -698,7 +684,12 @@ pub fn consolidated_comparison(scale: f64, seed: u64) -> Vec<ReplayReport> {
     let merged = pod_trace::merge_tenants(&tenants);
     let cfg = SystemConfig::paper_default();
     run_schemes(
-        &[Scheme::Native, Scheme::IDedup, Scheme::SelectDedupe, Scheme::Pod],
+        &[
+            Scheme::Native,
+            Scheme::IDedup,
+            Scheme::SelectDedupe,
+            Scheme::Pod,
+        ],
         &merged,
         &cfg,
     )
@@ -711,9 +702,12 @@ pub fn consolidated_csv(reports: &[ReplayReport]) -> String {
         .map(|r| r.overall.mean_us())
         .unwrap_or(1.0)
         .max(1e-9);
-    let base_cap = reports.first().map(|r| r.capacity_used_blocks).unwrap_or(1).max(1);
-    let mut s =
-        String::from("scheme,overall_ms,normalized_pct,removed_pct,capacity_pct\n");
+    let base_cap = reports
+        .first()
+        .map(|r| r.capacity_used_blocks)
+        .unwrap_or(1)
+        .max(1);
+    let mut s = String::from("scheme,overall_ms,normalized_pct,removed_pct,capacity_pct\n");
     for r in reports {
         s.push_str(&format!(
             "{},{:.3},{:.1},{:.1},{:.1}\n",
@@ -799,7 +793,10 @@ mod tests {
             assert!(r.capacity_saving_pct > 1.0, "{} saves capacity", r.scheme);
         }
         assert!(native.capacity_saving_pct.abs() < 1e-9);
-        assert!(iodedup.capacity_saving_pct.abs() < 5.0, "I/O-Dedup barely saves");
+        assert!(
+            iodedup.capacity_saving_pct.abs() < 5.0,
+            "I/O-Dedup barely saves"
+        );
         // Small-write elimination: POD yes, iDedup/Post/IODedup no.
         assert!(pod.small_writes_removed_pct > 10.0);
         assert!(select.small_writes_removed_pct > 10.0);
@@ -809,7 +806,10 @@ mod tests {
         // Performance: POD and I/O-Dedup improve on Native; Post-Process
         // does not meaningfully (no I/O-path savings).
         assert!(pod.performance_gain_pct > 10.0);
-        assert!(iodedup.performance_gain_pct > 0.0, "content cache helps reads");
+        assert!(
+            iodedup.performance_gain_pct > 0.0,
+            "content cache helps reads"
+        );
         assert!(post.performance_gain_pct < pod.performance_gain_pct);
         // Cache strategies.
         assert_eq!(pod.cache_strategy, "dynamic/adaptive");
@@ -841,7 +841,10 @@ mod tests {
         let native = get("Native");
         let full = get("Full-Dedupe");
         let select = get("Select-Dedupe");
-        assert!((native.fragmentation - 1.0).abs() < 1e-9, "native never fragments");
+        assert!(
+            (native.fragmentation - 1.0).abs() < 1e-9,
+            "native never fragments"
+        );
         assert!(
             full.restore_ms > native.restore_ms * 1.3,
             "Full-Dedupe restores slower (paper: 2.9x avg): {:.2} vs {:.2}",
@@ -857,7 +860,10 @@ mod tests {
             select.restore_ms,
             full.restore_ms
         );
-        assert!(full.fragmentation > 1.2, "clone restore crosses remap boundaries");
+        assert!(
+            full.fragmentation > 1.2,
+            "clone restore crosses remap boundaries"
+        );
         assert!(restore_csv(&rows).contains("Native"));
     }
 

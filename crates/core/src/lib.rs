@@ -28,10 +28,12 @@
 pub mod config;
 pub mod experiments;
 pub mod metrics;
+pub mod pool;
 pub mod runner;
 pub mod scheme;
 
 pub use config::SystemConfig;
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
-pub use runner::{ReplayReport, SchemeRunner};
+pub use pool::Executor;
+pub use runner::{ReplayReport, ReplaySizing, SchemeRunner};
 pub use scheme::Scheme;

@@ -292,7 +292,9 @@ mod tests {
 
     #[test]
     fn empty_histogram_renders_placeholder() {
-        assert!(LatencyHistogram::default().render(10).contains("no samples"));
+        assert!(LatencyHistogram::default()
+            .render(10)
+            .contains("no samples"));
     }
 
     #[test]

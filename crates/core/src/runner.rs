@@ -20,7 +20,7 @@ use crate::config::SystemConfig;
 use crate::metrics::{Metrics, Timeline};
 use crate::scheme::Scheme;
 use pod_dedup::engine::EngineCounters;
-use pod_dedup::{DedupConfig, DedupEngine};
+use pod_dedup::{DedupConfig, DedupEngine, WriteScratch};
 use pod_disk::engine::DiskStats;
 use pod_disk::{ArraySim, JobId, PhysOp, RaidGeometry};
 use pod_icache::{ICache, ICacheConfig};
@@ -101,6 +101,73 @@ fn region_blocks(logical_blocks: u64) -> u64 {
     (logical_blocks / 4).clamp(1_024, 1 << 18)
 }
 
+/// Per-replay sizing derived from trace statistics: the simulated
+/// array's region layout plus pre-sizing hints so every per-replay
+/// structure (engine tables, write scratch) is allocated once up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplaySizing {
+    /// Logical address space in blocks (trace max end LBA, floored at
+    /// 1024 so tiny traces still get a sane layout).
+    pub logical_blocks: u64,
+    /// Overflow region for redirected writes, blocks.
+    pub overflow_blocks: u64,
+    /// Reserved on-disk index / swap region size, blocks.
+    pub region_blocks: u64,
+    /// First block of the on-disk index region.
+    pub index_region_base: u64,
+    /// First block of the iCache swap region.
+    pub swap_region_base: u64,
+    /// Total array capacity the replay needs, blocks.
+    pub needed_blocks: u64,
+    /// Upper bound on distinct physical blocks the replay populates —
+    /// pre-sizes the engine's block-state tables.
+    pub expected_unique_blocks: u64,
+    /// Largest request in blocks — pre-sizes the write scratch.
+    pub max_request_blocks: usize,
+}
+
+impl ReplaySizing {
+    /// Compute the sizing for `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let logical_blocks = trace
+            .requests
+            .iter()
+            .map(|r| r.end_lba().raw())
+            .max()
+            .unwrap_or(0)
+            .max(1_024);
+        let overflow_blocks = logical_blocks / 2 + 4_096;
+        let region = region_blocks(logical_blocks);
+        let index_region_base = logical_blocks + overflow_blocks;
+        let swap_region_base = index_region_base + region;
+        let written_blocks: u64 = trace
+            .requests
+            .iter()
+            .filter(|r| r.op.is_write())
+            .map(|r| r.nblocks as u64)
+            .sum();
+        let max_request_blocks = trace
+            .requests
+            .iter()
+            .map(|r| r.nblocks as usize)
+            .max()
+            .unwrap_or(0);
+        Self {
+            logical_blocks,
+            overflow_blocks,
+            region_blocks: region,
+            index_region_base,
+            swap_region_base,
+            needed_blocks: swap_region_base + region,
+            // Every live block was written at least once, and the live
+            // set cannot exceed the logical span; the tables grow on
+            // demand if a pathological trace beats the estimate.
+            expected_unique_blocks: written_blocks.min(logical_blocks),
+            max_request_blocks,
+        }
+    }
+}
+
 impl SchemeRunner {
     /// Build a runner; validates the configuration.
     pub fn new(scheme: Scheme, cfg: SystemConfig) -> PodResult<Self> {
@@ -134,18 +201,13 @@ impl SchemeRunner {
         let scheme = self.scheme;
 
         // ---- Sizing -------------------------------------------------
-        let logical_blocks = trace
-            .requests
-            .iter()
-            .map(|r| r.end_lba().raw())
-            .max()
-            .unwrap_or(0)
-            .max(1_024);
-        let overflow_blocks = logical_blocks / 2 + 4_096;
-        let region = region_blocks(logical_blocks);
-        let index_region_base = logical_blocks + overflow_blocks;
-        let swap_region_base = index_region_base + region;
-        let needed = swap_region_base + region;
+        let sizing = ReplaySizing::from_trace(trace);
+        let logical_blocks = sizing.logical_blocks;
+        let overflow_blocks = sizing.overflow_blocks;
+        let region = sizing.region_blocks;
+        let index_region_base = sizing.index_region_base;
+        let swap_region_base = sizing.swap_region_base;
+        let needed = sizing.needed_blocks;
 
         let geometry = RaidGeometry::new(cfg.raid.clone());
         let data_capacity = cfg.raid.data_disks() as u64 * cfg.disk.capacity_blocks;
@@ -169,7 +231,11 @@ impl SchemeRunner {
         } else {
             0
         };
-        let index_fraction = if scheme.dedups() { cfg.index_fraction } else { 0.0 };
+        let index_fraction = if scheme.dedups() {
+            cfg.index_fraction
+        } else {
+            0.0
+        };
 
         let mut icache = ICache::new(ICacheConfig {
             total_bytes: memory,
@@ -197,6 +263,7 @@ impl SchemeRunner {
                 index_budget_bytes: icache.index_bytes(),
                 logical_blocks,
                 overflow_blocks,
+                expected_unique_blocks: sizing.expected_unique_blocks,
             },
         );
 
@@ -212,6 +279,9 @@ impl SchemeRunner {
         let mut pending: Vec<(usize, SimTime, JobId)> = Vec::with_capacity(n);
         // Direct completions for requests with no disk work.
         let mut direct: Vec<(usize, SimDuration)> = Vec::new();
+        // Reusable engine buffers: the write hot path allocates nothing
+        // in steady state (see pod-dedup's WriteScratch).
+        let mut scratch = WriteScratch::with_chunk_capacity(sizing.max_request_blocks.max(1));
 
         let mut lookup_counter: u64 = 0;
         let mut swap_cursor: u64 = 0;
@@ -230,12 +300,11 @@ impl SchemeRunner {
                     } else {
                         SimDuration::ZERO
                     };
-                    let outcome = engine.process_write(req)?;
+                    let summary = engine.process_write_into(req, &mut scratch)?;
                     if scheme.dedups() {
-                        icache.on_index_victims(&outcome.index_victims);
-                        icache.on_index_misses(&outcome.index_miss_fps);
-                        let hits =
-                            req.chunks.len() as u64 - outcome.index_miss_fps.len() as u64;
+                        icache.on_index_victims(&scratch.index_victims);
+                        icache.on_index_misses(&scratch.index_miss_fps);
+                        let hits = req.chunks.len() as u64 - scratch.index_miss_fps.len() as u64;
                         icache.on_index_hits(hits);
                     }
                     // Write-allocate: the storage cache retains freshly
@@ -253,17 +322,15 @@ impl SchemeRunner {
                             }
                         }
                     }
-                    let submit = req.arrival
-                        + hash_lat
-                        + SimDuration::from_micros(cfg.metadata_us);
-                    if outcome.disk_index_lookups == 0 && outcome.write_extents.is_empty() {
+                    let submit = req.arrival + hash_lat + SimDuration::from_micros(cfg.metadata_us);
+                    if summary.disk_index_lookups == 0 && scratch.write_extents.is_empty() {
                         // Fully deduplicated: no disk I/O at all.
                         direct.push((idx, submit - req.arrival));
                     } else {
                         let phases = build_write_phases(
                             &sim,
-                            &outcome.write_extents,
-                            outcome.disk_index_lookups,
+                            &scratch.write_extents,
+                            summary.disk_index_lookups,
                             index_region_base,
                             region,
                             &mut lookup_counter,
@@ -307,8 +374,7 @@ impl SchemeRunner {
                         for &(pba, len) in &plan.extents {
                             ops.extend(sim.geometry().plan_read(pba, len));
                         }
-                        let submit =
-                            req.arrival + SimDuration::from_micros(cfg.metadata_us);
+                        let submit = req.arrival + SimDuration::from_micros(cfg.metadata_us);
                         let job = sim.submit_phases(submit, vec![ops]);
                         pending.push((idx, req.arrival, job));
                         for lba in req.lbas() {
@@ -330,7 +396,7 @@ impl SchemeRunner {
             // scan re-reads the queued blocks (charged as a background
             // job) and the fingerprinting happens off the critical path.
             if scheme == Scheme::PostProcess
-                && (idx + 1) as u64 % cfg.post_process_interval == 0
+                && ((idx + 1) as u64).is_multiple_of(cfg.post_process_interval)
             {
                 let scan = engine.post_process_scan(cfg.post_process_batch)?;
                 if !scan.read_extents.is_empty() {
@@ -614,7 +680,9 @@ mod tests {
         let t = tiny_trace("mail");
         let mut cfg = SystemConfig::test_default();
         cfg.icache_epoch_requests = 100;
-        let rep = SchemeRunner::new(Scheme::Pod, cfg).expect("valid").replay(&t);
+        let rep = SchemeRunner::new(Scheme::Pod, cfg)
+            .expect("valid")
+            .replay(&t);
         assert!(rep.icache_epochs > 0);
         // Select-Dedupe (non-adaptive) never repartitions.
         let fixed = runner(Scheme::SelectDedupe).replay(&t);
@@ -743,5 +811,69 @@ mod tests {
         let rep = runner(Scheme::Pod).replay(&trace);
         assert_eq!(rep.overall.count(), 0);
         assert_eq!(rep.writes_removed_pct(), 0.0);
+    }
+
+    #[test]
+    fn sizing_floors_empty_trace() {
+        let trace = Trace {
+            name: "empty".into(),
+            requests: vec![],
+            memory_budget_bytes: 1 << 20,
+        };
+        let s = ReplaySizing::from_trace(&trace);
+        assert_eq!(s.logical_blocks, 1_024, "1024-block floor");
+        assert_eq!(s.overflow_blocks, 1_024 / 2 + 4_096);
+        assert_eq!(s.region_blocks, 1_024, "region clamp lower bound");
+        assert_eq!(s.index_region_base, s.logical_blocks + s.overflow_blocks);
+        assert_eq!(s.swap_region_base, s.index_region_base + s.region_blocks);
+        assert_eq!(s.needed_blocks, s.swap_region_base + s.region_blocks);
+        assert_eq!(s.expected_unique_blocks, 0);
+        assert_eq!(s.max_request_blocks, 0);
+    }
+
+    #[test]
+    fn sizing_tracks_trace_extent_and_write_volume() {
+        let fp = pod_types::Fingerprint::from_content_id;
+        let requests = vec![
+            pod_types::IoRequest::write(
+                0,
+                SimTime::ZERO,
+                Lba::new(10_000),
+                vec![fp(1), fp(2), fp(3)],
+            ),
+            pod_types::IoRequest::read(1, SimTime::from_micros(5), Lba::new(50_000), 8),
+            pod_types::IoRequest::write(2, SimTime::from_micros(9), Lba::new(30), vec![fp(4)]),
+        ];
+        let trace = Trace {
+            name: "t".into(),
+            requests,
+            memory_budget_bytes: 1 << 20,
+        };
+        let s = ReplaySizing::from_trace(&trace);
+        assert_eq!(s.logical_blocks, 50_008, "read at 50k + 8 blocks");
+        assert_eq!(s.region_blocks, (50_008 / 4).clamp(1_024, 1 << 18));
+        assert_eq!(s.expected_unique_blocks, 4, "write blocks only");
+        assert_eq!(s.max_request_blocks, 8, "largest request, read or write");
+        assert_eq!(s.needed_blocks, s.swap_region_base + s.region_blocks);
+    }
+
+    #[test]
+    fn sizing_caps_expected_blocks_at_logical_span() {
+        // More write traffic than address space: rewrites cannot create
+        // more live blocks than the span.
+        let fp = pod_types::Fingerprint::from_content_id;
+        let requests: Vec<_> = (0..2_000u64)
+            .map(|i| {
+                pod_types::IoRequest::write(i, SimTime::from_micros(i), Lba::new(0), vec![fp(i)])
+            })
+            .collect();
+        let trace = Trace {
+            name: "rw".into(),
+            requests,
+            memory_budget_bytes: 1 << 20,
+        };
+        let s = ReplaySizing::from_trace(&trace);
+        assert_eq!(s.logical_blocks, 1_024);
+        assert_eq!(s.expected_unique_blocks, 1_024, "capped at the span");
     }
 }

@@ -1,0 +1,33 @@
+//! Cross-thread determinism: a scheme grid must produce byte-identical
+//! reports no matter how many executor workers replay it. Replay is
+//! single-threaded per scheme and the executor merges results in input
+//! order, so the only way this can fail is a scheme runner picking up
+//! shared mutable state — exactly the regression this test guards.
+
+use pod_core::experiments::run_schemes;
+use pod_core::{pool, Scheme, SystemConfig};
+use pod_trace::TraceProfile;
+
+#[test]
+fn scheme_grid_is_byte_identical_across_executor_widths() {
+    let trace = TraceProfile::mail().scaled(0.004).generate(23);
+    let cfg = SystemConfig::test_default();
+    let schemes = Scheme::all();
+
+    let mut renders: Vec<(usize, String)> = Vec::new();
+    for width in [1usize, 2, 8] {
+        pool::set_default_width(width);
+        let reports = run_schemes(&schemes, &trace, &cfg);
+        assert_eq!(reports.len(), schemes.len(), "one report per scheme");
+        renders.push((width, format!("{reports:#?}")));
+    }
+    pool::set_default_width(0);
+
+    let (_, baseline) = &renders[0];
+    for (width, render) in &renders[1..] {
+        assert_eq!(
+            render, baseline,
+            "replay reports diverge between 1 and {width} workers"
+        );
+    }
+}

@@ -145,12 +145,10 @@ impl<K: Eq + Hash + Clone, V> ArcCache<K, V> {
             return;
         }
         if self.contains(&key) {
-            // Treat as an update + hit.
-            if self.t1.remove(&key).is_some() {
-                self.t2.insert(key, value);
-            } else {
-                self.t2.insert(key, value);
-            }
+            // Treat as an update + hit: promote out of T1 when resident
+            // there, land in T2 either way.
+            self.t1.remove(&key);
+            self.t2.insert(key, value);
             return;
         }
 
@@ -280,7 +278,7 @@ mod tests {
         c.get(&2); // 2 -> T2; T2 full
         c.insert(3, ());
         c.get(&3); // forces T2 eviction into B2
-        // Grow p first so a shrink is observable.
+                   // Grow p first so a shrink is observable.
         let evicted_to_b2: Vec<u64> = vec![1, 2, 3]
             .into_iter()
             .filter(|k| !c.contains(k))

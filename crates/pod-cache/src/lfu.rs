@@ -91,7 +91,10 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
             None
         };
         self.values.insert(key.clone(), (value, 1));
-        self.buckets.entry(1).or_insert_with(|| LruCache::new(usize::MAX)).insert(key, ());
+        self.buckets
+            .entry(1)
+            .or_insert_with(|| LruCache::new(usize::MAX))
+            .insert(key, ());
         evicted
     }
 
@@ -121,7 +124,10 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
         if bucket.is_empty() {
             self.buckets.remove(&freq);
         }
-        let (v, _) = self.values.remove(&key).expect("value exists for bucketed key");
+        let (v, _) = self
+            .values
+            .remove(&key)
+            .expect("value exists for bucketed key");
         Some((key, v))
     }
 

@@ -30,7 +30,9 @@ impl<K: Eq + Hash + Clone + AsShardKey, V: Clone> ShardedCache<K, V> {
         assert!(shards > 0, "at least one shard required");
         let per_shard = capacity.div_ceil(shards);
         Self {
-            shards: (0..shards).map(|_| Mutex::new(LruCache::new(per_shard))).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
             stats: CacheStats::default(),
         }
     }

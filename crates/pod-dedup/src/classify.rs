@@ -54,6 +54,50 @@ impl WriteClass {
     pub fn removes_request(&self) -> bool {
         matches!(self, WriteClass::FullyRedundantSequential)
     }
+
+    /// The allocation-free tag of this classification.
+    pub fn kind(&self) -> ClassKind {
+        match self {
+            WriteClass::FullyRedundantSequential => ClassKind::FullyRedundantSequential,
+            WriteClass::ScatteredPartial => ClassKind::ScatteredPartial,
+            WriteClass::ContiguousPartial(_) => ClassKind::ContiguousPartial,
+            WriteClass::Unique => ClassKind::Unique,
+        }
+    }
+}
+
+/// Allocation-free classification tag. The `*_into` classifiers return
+/// this and deposit the dedup ranges into caller-owned scratch, so the
+/// replay hot path never touches the heap; [`WriteClass`] remains the
+/// owned form for reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassKind {
+    /// Category 1: dedup all chunks (request removed from disk I/O).
+    FullyRedundantSequential,
+    /// Category 2: write all chunks, dedup nothing.
+    ScatteredPartial,
+    /// Category 3: dedup the scratch-resident ranges, write the rest.
+    ContiguousPartial,
+    /// No chunk is redundant: plain unique write.
+    Unique,
+}
+
+impl ClassKind {
+    /// `true` when the whole request is eliminated from disk I/O.
+    pub fn removes_request(&self) -> bool {
+        matches!(self, ClassKind::FullyRedundantSequential)
+    }
+
+    /// Rebuild the owned [`WriteClass`], attaching `ranges` for the
+    /// contiguous-partial case.
+    pub fn into_class(self, ranges: &[(usize, usize)]) -> WriteClass {
+        match self {
+            ClassKind::FullyRedundantSequential => WriteClass::FullyRedundantSequential,
+            ClassKind::ScatteredPartial => WriteClass::ScatteredPartial,
+            ClassKind::ContiguousPartial => WriteClass::ContiguousPartial(ranges.to_vec()),
+            ClassKind::Unique => WriteClass::Unique,
+        }
+    }
 }
 
 /// Maximal runs of consecutive chunks whose candidates exist and are
@@ -61,6 +105,13 @@ impl WriteClass {
 /// `(start, len)` pairs.
 pub fn sequential_runs(candidates: &[ChunkCandidate]) -> Vec<(usize, usize)> {
     let mut runs = Vec::new();
+    sequential_runs_into(candidates, &mut runs);
+    runs
+}
+
+/// [`sequential_runs`] into caller-owned scratch (cleared first).
+pub fn sequential_runs_into(candidates: &[ChunkCandidate], runs: &mut Vec<(usize, usize)>) {
+    runs.clear();
     let mut i = 0;
     while i < candidates.len() {
         let Some(start_pba) = candidates[i] else {
@@ -81,35 +132,51 @@ pub fn sequential_runs(candidates: &[ChunkCandidate]) -> Vec<(usize, usize)> {
         }
         runs.push((start, i - start));
     }
-    runs
 }
 
 /// Classify a write request for **Select-Dedupe** with the given
 /// duplicate-run `threshold` (paper default 3).
 pub fn classify_for_select(candidates: &[ChunkCandidate], threshold: usize) -> WriteClass {
+    let (mut runs, mut ranges) = (Vec::new(), Vec::new());
+    classify_for_select_into(candidates, threshold, &mut runs, &mut ranges).into_class(&ranges)
+}
+
+/// [`classify_for_select`] into caller-owned scratch: `runs` receives the
+/// sequential candidate runs, `ranges` the chunk index ranges to
+/// deduplicate (both cleared first). For the fully-redundant-sequential
+/// case `ranges` holds the single full-request range, so callers can
+/// drive the dedup loop off `ranges` uniformly for every class.
+pub fn classify_for_select_into(
+    candidates: &[ChunkCandidate],
+    threshold: usize,
+    runs: &mut Vec<(usize, usize)>,
+    ranges: &mut Vec<(usize, usize)>,
+) -> ClassKind {
+    runs.clear();
+    ranges.clear();
     let redundant = candidates.iter().filter(|c| c.is_some()).count();
     if redundant == 0 {
-        return WriteClass::Unique;
+        return ClassKind::Unique;
     }
-    let runs = sequential_runs(candidates);
+    sequential_runs_into(candidates, runs);
     // Category 1: a single run covering the entire request.
     if redundant == candidates.len() {
         if let [(0, len)] = runs.as_slice() {
             if *len == candidates.len() {
-                return WriteClass::FullyRedundantSequential;
+                ranges.push((0, candidates.len()));
+                return ClassKind::FullyRedundantSequential;
             }
         }
     }
     // Category 3: below-threshold total redundancy never qualifies; and
     // the deduplicated data must be long sequential runs.
-    let long_runs: Vec<(usize, usize)> = runs
-        .into_iter()
-        .filter(|&(_, len)| len >= threshold)
-        .collect();
-    if redundant >= threshold && !long_runs.is_empty() {
-        return WriteClass::ContiguousPartial(long_runs);
+    if redundant >= threshold {
+        ranges.extend(runs.iter().copied().filter(|&(_, len)| len >= threshold));
+        if !ranges.is_empty() {
+            return ClassKind::ContiguousPartial;
+        }
     }
-    WriteClass::ScatteredPartial
+    ClassKind::ScatteredPartial
 }
 
 /// Classify for **iDedup**: only sequential duplicate runs of at least
@@ -117,27 +184,48 @@ pub fn classify_for_select(candidates: &[ChunkCandidate], threshold: usize) -> W
 /// redundant small requests — is written as-is. This is the
 /// capacity-oriented policy POD argues against.
 pub fn classify_for_idedup(candidates: &[ChunkCandidate], threshold: usize) -> WriteClass {
-    let long_runs: Vec<(usize, usize)> = sequential_runs(candidates)
-        .into_iter()
-        .filter(|&(_, len)| len >= threshold)
-        .collect();
-    if long_runs.is_empty() {
+    let (mut runs, mut ranges) = (Vec::new(), Vec::new());
+    classify_for_idedup_into(candidates, threshold, &mut runs, &mut ranges).into_class(&ranges)
+}
+
+/// [`classify_for_idedup`] into caller-owned scratch (see
+/// [`classify_for_select_into`] for the scratch contract).
+pub fn classify_for_idedup_into(
+    candidates: &[ChunkCandidate],
+    threshold: usize,
+    runs: &mut Vec<(usize, usize)>,
+    ranges: &mut Vec<(usize, usize)>,
+) -> ClassKind {
+    sequential_runs_into(candidates, runs);
+    ranges.clear();
+    ranges.extend(runs.iter().copied().filter(|&(_, len)| len >= threshold));
+    if ranges.is_empty() {
         if candidates.iter().any(|c| c.is_some()) {
-            return WriteClass::ScatteredPartial;
+            return ClassKind::ScatteredPartial;
         }
-        return WriteClass::Unique;
+        return ClassKind::Unique;
     }
-    if long_runs == [(0, candidates.len())] {
-        return WriteClass::FullyRedundantSequential;
+    if ranges[..] == [(0, candidates.len())] {
+        return ClassKind::FullyRedundantSequential;
     }
-    WriteClass::ContiguousPartial(long_runs)
+    ClassKind::ContiguousPartial
 }
 
 /// Classify for **Full-Dedupe**: every chunk with a candidate is
 /// deduplicated, regardless of layout. Scattered dedup is exactly what
 /// causes Full-Dedupe's fragmentation problem.
 pub fn classify_for_full(candidates: &[ChunkCandidate]) -> WriteClass {
-    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut ranges = Vec::new();
+    classify_for_full_into(candidates, &mut ranges).into_class(&ranges)
+}
+
+/// [`classify_for_full`] into caller-owned scratch (see
+/// [`classify_for_select_into`] for the scratch contract).
+pub fn classify_for_full_into(
+    candidates: &[ChunkCandidate],
+    ranges: &mut Vec<(usize, usize)>,
+) -> ClassKind {
+    ranges.clear();
     for (i, c) in candidates.iter().enumerate() {
         if c.is_some() {
             match ranges.last_mut() {
@@ -147,12 +235,12 @@ pub fn classify_for_full(candidates: &[ChunkCandidate]) -> WriteClass {
         }
     }
     if ranges.is_empty() {
-        return WriteClass::Unique;
+        return ClassKind::Unique;
     }
-    if ranges == [(0, candidates.len())] {
-        return WriteClass::FullyRedundantSequential;
+    if ranges[..] == [(0, candidates.len())] {
+        return ClassKind::FullyRedundantSequential;
     }
-    WriteClass::ContiguousPartial(ranges)
+    ClassKind::ContiguousPartial
 }
 
 #[cfg(test)]
@@ -162,7 +250,13 @@ mod tests {
     fn c(vals: &[i64]) -> Vec<ChunkCandidate> {
         // -1 = no candidate; otherwise the candidate PBA.
         vals.iter()
-            .map(|&v| if v < 0 { None } else { Some(Pba::new(v as u64)) })
+            .map(|&v| {
+                if v < 0 {
+                    None
+                } else {
+                    Some(Pba::new(v as u64))
+                }
+            })
             .collect()
     }
 
@@ -288,5 +382,71 @@ mod tests {
     #[test]
     fn full_unique() {
         assert_eq!(classify_for_full(&c(&[-1, -1])), WriteClass::Unique);
+    }
+
+    // --- scratch-based variants ---
+
+    #[test]
+    fn into_variants_agree_with_owned_classifiers() {
+        let cases = [
+            c(&[7, 8, 9, 10]),
+            c(&[42]),
+            c(&[5, -1, -1, 77]),
+            c(&[20, 21, 22, -1, -1]),
+            c(&[10, 20, 30, 40]),
+            c(&[10, 11, 12, 40]),
+            c(&[-1, -1]),
+            c(&[10, -1, 99, -1]),
+            c(&[]),
+        ];
+        let (mut runs, mut ranges) = (Vec::new(), Vec::new());
+        for cand in &cases {
+            for threshold in [1, 3, 8] {
+                let kind = classify_for_select_into(cand, threshold, &mut runs, &mut ranges);
+                assert_eq!(
+                    kind.into_class(&ranges),
+                    classify_for_select(cand, threshold),
+                    "select {cand:?} t={threshold}"
+                );
+                let kind = classify_for_idedup_into(cand, threshold, &mut runs, &mut ranges);
+                assert_eq!(
+                    kind.into_class(&ranges),
+                    classify_for_idedup(cand, threshold),
+                    "idedup {cand:?} t={threshold}"
+                );
+            }
+            let kind = classify_for_full_into(cand, &mut ranges);
+            assert_eq!(
+                kind.into_class(&ranges),
+                classify_for_full(cand),
+                "full {cand:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_fill_full_range_for_cat1() {
+        // The scratch contract: FullyRedundantSequential deposits the
+        // single full-request range so callers drive dedup off `ranges`.
+        let (mut runs, mut ranges) = (Vec::new(), Vec::new());
+        let kind = classify_for_select_into(&c(&[7, 8, 9]), 3, &mut runs, &mut ranges);
+        assert_eq!(kind, ClassKind::FullyRedundantSequential);
+        assert!(kind.removes_request());
+        assert_eq!(ranges, vec![(0, 3)]);
+
+        let kind = classify_for_idedup_into(&c(&[7, 8, 9]), 3, &mut runs, &mut ranges);
+        assert_eq!(kind, ClassKind::FullyRedundantSequential);
+        assert_eq!(ranges, vec![(0, 3)]);
+
+        let kind = classify_for_full_into(&c(&[10, 50, 90]), &mut ranges);
+        assert_eq!(kind, ClassKind::FullyRedundantSequential);
+        assert_eq!(ranges, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn kind_roundtrips_through_write_class() {
+        let cls = classify_for_select(&c(&[20, 21, 22, -1, -1]), 3);
+        assert_eq!(cls.kind(), ClassKind::ContiguousPartial);
+        assert_eq!(cls.kind().into_class(&[(0, 3)]), cls);
     }
 }

@@ -17,13 +17,13 @@
 //! ghost caches. `pod-core` translates outcomes into simulator jobs.
 
 use crate::classify::{
-    classify_for_full, classify_for_idedup, classify_for_select, ChunkCandidate, WriteClass,
+    classify_for_full_into, classify_for_idedup_into, classify_for_select_into, ChunkCandidate,
+    ClassKind, WriteClass,
 };
 use crate::index::IndexTable;
 use crate::store::ChunkStore;
-use pod_hash::fnv::FnvBuildHasher;
+use crate::table::FpMap;
 use pod_types::{Fingerprint, IoRequest, Lba, Pba, PodResult};
-use std::collections::HashMap;
 
 /// Which deduplication scheme the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +86,11 @@ pub struct DedupConfig {
     pub index_page_fault_rate: u64,
     /// Replacement policy of the in-memory index table.
     pub index_policy: crate::index::IndexPolicy,
+    /// Expected number of distinct physical blocks the replay will
+    /// populate (from trace statistics). Used to pre-size the store's
+    /// block-state tables and the on-disk index so steady-state inserts
+    /// never pause to rehash. 0 = unknown; tables grow on demand.
+    pub expected_unique_blocks: u64,
 }
 
 impl Default for DedupConfig {
@@ -98,6 +103,7 @@ impl Default for DedupConfig {
             overflow_blocks: 1 << 19,
             index_page_fault_rate: 8,
             index_policy: crate::index::IndexPolicy::Lru,
+            expected_unique_blocks: 0,
         }
     }
 }
@@ -123,6 +129,103 @@ pub struct WriteOutcome {
     /// feed: a ghost hit on one of these means a larger index cache
     /// would have detected the redundancy).
     pub index_miss_fps: Vec<Fingerprint>,
+}
+
+/// Reusable buffers for [`DedupEngine::process_write_into`].
+///
+/// The replay loop owns one `WriteScratch` and threads it through every
+/// write, so the steady-state hot path performs **zero heap
+/// allocations**: every vector the engine needs — the outgoing extents,
+/// ghost-cache feeds, per-chunk candidates, classification runs/ranges —
+/// lives here and is reused (cleared, capacity retained) call to call.
+///
+/// After a call returns, the three public vectors hold that write's
+/// results; they are valid until the next `process_write_into` call.
+#[derive(Debug, Default)]
+pub struct WriteScratch {
+    /// Physical extents that must be written to disk (merged).
+    pub write_extents: Vec<(Pba, u32)>,
+    /// Index-table victims evicted while processing (ghost-index feed).
+    pub index_victims: Vec<Fingerprint>,
+    /// Fingerprints that missed the in-memory index (ghost probe feed).
+    pub index_miss_fps: Vec<Fingerprint>,
+    /// Per-chunk dedup candidates (step 1 of Fig. 6).
+    candidates: Vec<ChunkCandidate>,
+    /// Which chunks the classification deduplicates.
+    dedup_mask: Vec<bool>,
+    /// Freshly written PBAs awaiting extent merging.
+    pbas: Vec<Pba>,
+    /// Sequential candidate runs (classification scratch).
+    runs: Vec<(usize, usize)>,
+    /// Chunk index ranges to deduplicate.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl WriteScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for requests of up to `max_chunks` chunks, so
+    /// even the first write allocates nothing.
+    pub fn with_chunk_capacity(max_chunks: usize) -> Self {
+        Self {
+            write_extents: Vec::with_capacity(max_chunks),
+            index_victims: Vec::with_capacity(max_chunks),
+            index_miss_fps: Vec::with_capacity(max_chunks),
+            candidates: Vec::with_capacity(max_chunks),
+            dedup_mask: Vec::with_capacity(max_chunks),
+            pbas: Vec::with_capacity(max_chunks),
+            runs: Vec::with_capacity(max_chunks),
+            ranges: Vec::with_capacity(max_chunks),
+        }
+    }
+
+    /// Clear all buffers, retaining capacity.
+    fn reset(&mut self) {
+        self.write_extents.clear();
+        self.index_victims.clear();
+        self.index_miss_fps.clear();
+        self.candidates.clear();
+        self.dedup_mask.clear();
+        self.pbas.clear();
+        self.runs.clear();
+        self.ranges.clear();
+    }
+
+    /// Convert this call's scratch contents plus its [`WriteSummary`]
+    /// into the owned [`WriteOutcome`] (the allocating compatibility
+    /// form).
+    pub fn into_outcome(self, summary: WriteSummary) -> WriteOutcome {
+        WriteOutcome {
+            class: summary.kind.into_class(&self.ranges),
+            write_extents: self.write_extents,
+            deduped_blocks: summary.deduped_blocks,
+            written_blocks: summary.written_blocks,
+            removed: summary.removed,
+            disk_index_lookups: summary.disk_index_lookups,
+            index_victims: self.index_victims,
+            index_miss_fps: self.index_miss_fps,
+        }
+    }
+}
+
+/// Allocation-free result of [`DedupEngine::process_write_into`]: the
+/// `Copy` counterpart of [`WriteOutcome`], with the vectors left in the
+/// caller's [`WriteScratch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// The classification the request received.
+    pub kind: ClassKind,
+    /// Chunks eliminated from the write stream.
+    pub deduped_blocks: u32,
+    /// Chunks actually written.
+    pub written_blocks: u32,
+    /// `true` when no disk write is needed at all (request removed).
+    pub removed: bool,
+    /// On-disk index lookups to charge before the write (Full-Dedupe).
+    pub disk_index_lookups: u32,
 }
 
 /// What one PostProcess background pass did.
@@ -229,7 +332,7 @@ pub struct DedupEngine {
     index: IndexTable,
     /// Full-Dedupe's complete fingerprint index (the on-disk portion);
     /// consulting it on a RAM miss costs a disk lookup.
-    disk_index: HashMap<Fingerprint, Pba, FnvBuildHasher>,
+    disk_index: FpMap,
     counters: EngineCounters,
     /// Rolling consult counter driving the deterministic page-fault
     /// model (see `DedupConfig::index_page_fault_rate`).
@@ -239,17 +342,26 @@ pub struct DedupEngine {
 }
 
 impl DedupEngine {
-    /// Build an engine.
+    /// Build an engine. When `cfg.expected_unique_blocks` is set, the
+    /// store's block-state tables and (for policies that keep one) the
+    /// on-disk index are pre-sized so replay inserts never rehash.
     pub fn new(policy: DedupPolicy, cfg: DedupConfig) -> Self {
-        let store = ChunkStore::new(cfg.logical_blocks, cfg.overflow_blocks);
-        let index =
-            IndexTable::with_byte_budget_policy(cfg.index_budget_bytes, cfg.index_policy);
+        let expected = cfg.expected_unique_blocks as usize;
+        let store = ChunkStore::with_capacity(cfg.logical_blocks, cfg.overflow_blocks, expected);
+        let index = IndexTable::with_byte_budget_policy(cfg.index_budget_bytes, cfg.index_policy);
+        let disk_index = if expected > 0
+            && matches!(policy, DedupPolicy::FullDedupe | DedupPolicy::PostProcess)
+        {
+            FpMap::with_capacity(expected)
+        } else {
+            FpMap::new()
+        };
         Self {
             policy,
             cfg,
             store,
             index,
-            disk_index: HashMap::default(),
+            disk_index,
             counters: EngineCounters::default(),
             consults: 0,
             scan_queue: std::collections::VecDeque::new(),
@@ -288,8 +400,31 @@ impl DedupEngine {
 
     /// Process one write request, updating store/index state and
     /// reporting the disk work required.
+    ///
+    /// Allocating convenience wrapper over [`process_write_into`]; the
+    /// replay hot path threads a reusable [`WriteScratch`] through the
+    /// `_into` form instead.
+    ///
+    /// [`process_write_into`]: DedupEngine::process_write_into
     pub fn process_write(&mut self, req: &IoRequest) -> PodResult<WriteOutcome> {
+        let mut scratch = WriteScratch::new();
+        let summary = self.process_write_into(req, &mut scratch)?;
+        Ok(scratch.into_outcome(summary))
+    }
+
+    /// Process one write request using caller-owned scratch buffers.
+    ///
+    /// Identical semantics to [`DedupEngine::process_write`], but all
+    /// vector results land in `scratch` (cleared first) and the returned
+    /// [`WriteSummary`] is `Copy` — in steady state (warm buffers, warm
+    /// tables) this path performs no heap allocation at all.
+    pub fn process_write_into(
+        &mut self,
+        req: &IoRequest,
+        scratch: &mut WriteScratch,
+    ) -> PodResult<WriteSummary> {
         debug_assert!(req.op.is_write());
+        scratch.reset();
         self.counters.write_requests += 1;
         let small = req.nblocks <= 2;
         if small {
@@ -298,8 +433,6 @@ impl DedupEngine {
             self.counters.large_write_requests += 1;
         }
 
-        let mut victims: Vec<Fingerprint> = Vec::new();
-        let mut miss_fps: Vec<Fingerprint> = Vec::new();
         let mut disk_lookups = 0u32;
 
         // Native-like write paths: everything goes to disk unmodified.
@@ -309,7 +442,7 @@ impl DedupEngine {
             self.policy,
             DedupPolicy::Native | DedupPolicy::PostProcess | DedupPolicy::IODedup
         ) {
-            let extents = self.write_all_chunks(req, &[])?;
+            self.write_all_chunks_into(req, scratch)?;
             match self.policy {
                 DedupPolicy::PostProcess => {
                     // Queue for the background deduplication pass.
@@ -323,7 +456,7 @@ impl DedupEngine {
                     for (lba, fp) in req.write_chunks() {
                         let pba = self.store.lookup(lba).expect("just written");
                         if let Some(v) = self.index.upsert(fp, pba) {
-                            victims.push(v);
+                            scratch.index_victims.push(v);
                         }
                     }
                 }
@@ -331,24 +464,20 @@ impl DedupEngine {
             }
             let written = req.nblocks;
             self.counters.written_blocks += written as u64;
-            return Ok(WriteOutcome {
-                class: WriteClass::Unique,
-                write_extents: extents,
+            return Ok(WriteSummary {
+                kind: ClassKind::Unique,
                 deduped_blocks: 0,
                 written_blocks: written,
                 removed: false,
                 disk_index_lookups: 0,
-                index_victims: victims,
-                index_miss_fps: miss_fps,
             });
         }
 
         // 1. Candidate lookup per chunk.
-        let mut candidates: Vec<ChunkCandidate> = Vec::with_capacity(req.chunks.len());
         for (_, fp) in req.write_chunks() {
             let mut cand = self.index.query(&fp);
             if cand.is_none() {
-                miss_fps.push(fp);
+                scratch.index_miss_fps.push(fp);
             }
             // Full-Dedupe falls through to the on-disk index: the paper's
             // "traditional full data deduplication" keeps the complete
@@ -358,14 +487,14 @@ impl DedupEngine {
             // consecutive fingerprints within index pages.
             if cand.is_none() && self.policy == DedupPolicy::FullDedupe {
                 self.consults += 1;
-                if self.consults % self.cfg.index_page_fault_rate == 0 {
+                if self.consults.is_multiple_of(self.cfg.index_page_fault_rate) {
                     disk_lookups += 1;
                 }
-                if let Some(&pba) = self.disk_index.get(&fp) {
+                if let Some(pba) = self.disk_index.get(&fp) {
                     cand = Some(pba);
                     // Promote into the hot index.
                     if let Some(v) = self.index.insert(fp, pba) {
-                        victims.push(v);
+                        scratch.index_victims.push(v);
                     }
                 }
             }
@@ -377,7 +506,7 @@ impl DedupEngine {
                     cand = None;
                 }
             }
-            candidates.push(cand);
+            scratch.candidates.push(cand);
         }
 
         // Cap charged on-disk lookups per request: fingerprints written
@@ -385,30 +514,39 @@ impl DedupEngine {
         // positive lookups cluster on at most a couple of index pages.
         disk_lookups = disk_lookups.min(2);
 
-        // 2. Classify.
-        let class = match self.policy {
+        // 2. Classify, depositing dedup ranges into scratch.
+        let kind = match self.policy {
             DedupPolicy::Native | DedupPolicy::PostProcess | DedupPolicy::IODedup => {
                 unreachable!("handled above")
             }
-            DedupPolicy::FullDedupe => classify_for_full(&candidates),
-            DedupPolicy::IDedup => classify_for_idedup(&candidates, self.cfg.idedup_threshold),
-            DedupPolicy::SelectDedupe => {
-                classify_for_select(&candidates, self.cfg.select_threshold)
+            DedupPolicy::FullDedupe => {
+                classify_for_full_into(&scratch.candidates, &mut scratch.ranges)
             }
+            DedupPolicy::IDedup => classify_for_idedup_into(
+                &scratch.candidates,
+                self.cfg.idedup_threshold,
+                &mut scratch.runs,
+                &mut scratch.ranges,
+            ),
+            DedupPolicy::SelectDedupe => classify_for_select_into(
+                &scratch.candidates,
+                self.cfg.select_threshold,
+                &mut scratch.runs,
+                &mut scratch.ranges,
+            ),
         };
 
         // 3. Apply dedup ranges.
-        let ranges = class.dedup_ranges(req.chunks.len());
-        let mut dedup_mask = vec![false; req.chunks.len()];
-        for &(start, len) in &ranges {
-            for i in start..start + len {
-                dedup_mask[i] = true;
+        scratch.dedup_mask.resize(req.chunks.len(), false);
+        for &(start, len) in &scratch.ranges {
+            for m in &mut scratch.dedup_mask[start..start + len] {
+                *m = true;
             }
         }
         let mut deduped = 0u32;
         for (i, (lba, fp)) in req.write_chunks().enumerate() {
-            if dedup_mask[i] {
-                let target = candidates[i].expect("dedup range implies candidate");
+            if scratch.dedup_mask[i] {
+                let target = scratch.candidates[i].expect("dedup range implies candidate");
                 // Re-validate at application time: an earlier chunk of
                 // this same request (overlapping LBAs, repeated content)
                 // may have released or overwritten the candidate block
@@ -417,14 +555,14 @@ impl DedupEngine {
                     self.store.dedup_to(lba, target)?;
                     deduped += 1;
                 } else {
-                    dedup_mask[i] = false;
+                    scratch.dedup_mask[i] = false;
                     self.index.remove(&fp);
                 }
             }
         }
 
         // 4. Write the remaining chunks and refresh the index.
-        let extents = self.write_masked_chunks(req, &dedup_mask, &mut victims)?;
+        self.write_masked_chunks_into(req, scratch)?;
         let written = req.nblocks - deduped;
 
         self.counters.deduped_blocks += deduped as u64;
@@ -440,15 +578,12 @@ impl DedupEngine {
             }
         }
 
-        Ok(WriteOutcome {
-            class,
-            write_extents: extents,
+        Ok(WriteSummary {
+            kind,
             deduped_blocks: deduped,
             written_blocks: written,
             removed,
             disk_index_lookups: disk_lookups,
-            index_victims: victims,
-            index_miss_fps: miss_fps,
         })
     }
 
@@ -494,17 +629,16 @@ impl DedupEngine {
             }
             pbas.push(current);
             match self.disk_index.get(&fp) {
-                Some(&canon) if canon != current => {
-                    // A canonical copy exists elsewhere: verify it is
-                    // still live and identical, then remap and free the
-                    // duplicate.
-                    if self.store.content_at(canon) == Some(fp) {
-                        self.store.dedup_to(lba, canon)?;
-                        out.deduped_chunks += 1;
-                        self.counters.deduped_blocks += 1;
-                    } else {
-                        self.disk_index.insert(fp, current);
-                    }
+                // A canonical copy exists elsewhere and is still live
+                // and identical: remap and free the duplicate.
+                Some(canon) if canon != current && self.store.content_at(canon) == Some(fp) => {
+                    self.store.dedup_to(lba, canon)?;
+                    out.deduped_chunks += 1;
+                    self.counters.deduped_blocks += 1;
+                }
+                // Stale canonical entry: this copy becomes canonical.
+                Some(canon) if canon != current => {
+                    self.disk_index.insert(fp, current);
                 }
                 Some(_) => {}
                 None => {
@@ -521,56 +655,64 @@ impl DedupEngine {
         Ok(out)
     }
 
-    /// Write every chunk (Native path).
-    fn write_all_chunks(
+    /// Write every chunk (Native path), leaving merged extents in
+    /// `scratch.write_extents`.
+    fn write_all_chunks_into(
         &mut self,
         req: &IoRequest,
-        _unused: &[()],
-    ) -> PodResult<Vec<(Pba, u32)>> {
-        let mut pbas = Vec::with_capacity(req.chunks.len());
+        scratch: &mut WriteScratch,
+    ) -> PodResult<()> {
         for (lba, fp) in req.write_chunks() {
-            pbas.push(self.store.write_unique(lba, fp, None)?);
+            let pba = self.store.write_unique(lba, fp, None)?;
+            scratch.pbas.push(pba);
         }
-        Ok(merge_extents(&pbas))
+        merge_extents_into(&scratch.pbas, &mut scratch.write_extents);
+        Ok(())
     }
 
     /// Write chunks not covered by the dedup mask; maintain the index
-    /// for every chunk that now has a fresh physical copy.
-    fn write_masked_chunks(
+    /// for every chunk that now has a fresh physical copy. Merged
+    /// extents land in `scratch.write_extents`.
+    fn write_masked_chunks_into(
         &mut self,
         req: &IoRequest,
-        dedup_mask: &[bool],
-        victims: &mut Vec<Fingerprint>,
-    ) -> PodResult<Vec<(Pba, u32)>> {
-        let mut pbas: Vec<Pba> = Vec::new();
+        scratch: &mut WriteScratch,
+    ) -> PodResult<()> {
         for (i, (lba, fp)) in req.write_chunks().enumerate() {
-            if dedup_mask[i] {
+            if scratch.dedup_mask[i] {
                 continue;
             }
             let pba = self.store.write_unique(lba, fp, None)?;
-            pbas.push(pba);
+            scratch.pbas.push(pba);
             // Index maintenance: remember where this content now lives.
             if let Some(v) = self.index.upsert(fp, pba) {
-                victims.push(v);
+                scratch.index_victims.push(v);
             }
             if self.policy == DedupPolicy::FullDedupe {
                 self.disk_index.insert(fp, pba);
             }
         }
-        Ok(merge_extents(&pbas))
+        merge_extents_into(&scratch.pbas, &mut scratch.write_extents);
+        Ok(())
     }
 }
 
 /// Merge an ordered PBA list into contiguous `(start, len)` extents.
 fn merge_extents(pbas: &[Pba]) -> Vec<(Pba, u32)> {
-    let mut out: Vec<(Pba, u32)> = Vec::new();
+    let mut out = Vec::new();
+    merge_extents_into(pbas, &mut out);
+    out
+}
+
+/// [`merge_extents`] into caller-owned scratch (cleared first).
+fn merge_extents_into(pbas: &[Pba], out: &mut Vec<(Pba, u32)>) {
+    out.clear();
     for &p in pbas {
         match out.last_mut() {
             Some((start, len)) if start.raw() + *len as u64 == p.raw() => *len += 1,
             _ => out.push((p, 1)),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -718,7 +860,10 @@ mod tests {
         e.process_write(&wreq(0, 0, &contents)).expect("seed");
         let o = e.process_write(&wreq(1, 100, &contents)).expect("w");
         assert!(o.removed, "disk index found all 8 duplicates");
-        assert_eq!(o.disk_index_lookups, 2, "container locality caps the charge");
+        assert_eq!(
+            o.disk_index_lookups, 2,
+            "container locality caps the charge"
+        );
     }
 
     #[test]
@@ -778,7 +923,8 @@ mod tests {
     fn consistency_shared_block_never_overwritten() {
         let mut e = engine(DedupPolicy::SelectDedupe);
         e.process_write(&wreq(0, 0, &[1, 2, 3])).expect("w1");
-        e.process_write(&wreq(1, 10, &[1, 2, 3])).expect("dedup onto 0..3");
+        e.process_write(&wreq(1, 10, &[1, 2, 3]))
+            .expect("dedup onto 0..3");
         // Overwrite the original location with new data; the shared
         // blocks must survive for lba 10..13.
         e.process_write(&wreq(2, 0, &[7, 8, 9])).expect("w2");
@@ -810,7 +956,13 @@ mod tests {
 
     #[test]
     fn merge_extents_merges() {
-        let pbas = [Pba::new(1), Pba::new(2), Pba::new(5), Pba::new(6), Pba::new(9)];
+        let pbas = [
+            Pba::new(1),
+            Pba::new(2),
+            Pba::new(5),
+            Pba::new(6),
+            Pba::new(9),
+        ];
         assert_eq!(
             merge_extents(&pbas),
             vec![(Pba::new(1), 2), (Pba::new(5), 2), (Pba::new(9), 1)]
@@ -849,7 +1001,9 @@ mod tests {
         e.process_write(&wreq(0, 112, &contents)).expect("w1");
         // Overwrite the same range: chunk i dedups lba 112+i onto the
         // candidate, releasing blocks later chunks had as candidates.
-        let o = e.process_write(&wreq(1, 112, &contents)).expect("w2 must not error");
+        let o = e
+            .process_write(&wreq(1, 112, &contents))
+            .expect("w2 must not error");
         assert_eq!(
             o.deduped_blocks + o.written_blocks,
             11,

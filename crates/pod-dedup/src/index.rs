@@ -109,7 +109,13 @@ impl IndexTable {
                 let hit = c.get(fp).map(|e| e.pba);
                 if hit.is_some() {
                     if let Some(e) = c.peek(fp).copied() {
-                        c.insert(*fp, IndexEntry { pba: e.pba, count: e.count + 1 });
+                        c.insert(
+                            *fp,
+                            IndexEntry {
+                                pba: e.pba,
+                                count: e.count + 1,
+                            },
+                        );
                     }
                 }
                 hit
@@ -161,7 +167,13 @@ impl IndexTable {
             }
             Backing::Lfu(c) => {
                 if let Some(e) = c.peek(&fp).copied() {
-                    c.insert(fp, IndexEntry { pba, count: e.count });
+                    c.insert(
+                        fp,
+                        IndexEntry {
+                            pba,
+                            count: e.count,
+                        },
+                    );
                     return None;
                 }
             }

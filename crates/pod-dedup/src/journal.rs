@@ -171,7 +171,9 @@ mod tests {
         // Simulate a power cut mid-append: drop 7 bytes of the tail.
         let mut bytes = j.bytes().to_vec();
         bytes.truncate(bytes.len() - 7);
-        let recovered = MapJournal::from_bytes(bytes).replay().expect("tolerates tail");
+        let recovered = MapJournal::from_bytes(bytes)
+            .replay()
+            .expect("tolerates tail");
         assert_eq!(recovered.len(), 1);
         assert_eq!(recovered.get(&1), Some(&100));
     }

@@ -31,9 +31,13 @@ pub mod engine;
 pub mod index;
 pub mod journal;
 pub mod store;
+pub mod table;
 
-pub use classify::{classify_for_select, ChunkCandidate, WriteClass};
-pub use engine::{DedupConfig, DedupEngine, DedupPolicy, ReadPlan, WriteOutcome};
+pub use classify::{classify_for_select, ChunkCandidate, ClassKind, WriteClass};
+pub use engine::{
+    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, WriteOutcome, WriteScratch, WriteSummary,
+};
 pub use index::{IndexPolicy, IndexTable, INDEX_ENTRY_BYTES};
 pub use journal::{MapJournal, JOURNAL_ENTRY_BYTES};
 pub use store::ChunkStore;
+pub use table::ShardedMap;

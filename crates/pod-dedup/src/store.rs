@@ -17,10 +17,9 @@
 //! 20-byte-per-entry footprint is the §IV-D2 overhead number.
 
 use crate::journal::MapJournal;
+use crate::table::ShardedMap;
 use pod_disk::{BlockStore, NvramModel};
-use pod_hash::fnv::FnvBuildHasher;
 use pod_types::{Fingerprint, Lba, Pba, PodError, PodResult};
-use std::collections::HashMap;
 
 /// Mapping + refcount + content state of the deduplicated block space.
 #[derive(Debug)]
@@ -31,11 +30,11 @@ pub struct ChunkStore {
     /// offset by `logical_blocks`.
     overflow: BlockStore,
     /// Current physical location of each written logical block.
-    mapping: HashMap<u64, u64, FnvBuildHasher>,
+    mapping: ShardedMap<u64, u64>,
     /// Reference count per live physical block.
-    refs: HashMap<u64, u32, FnvBuildHasher>,
+    refs: ShardedMap<u64, u32>,
     /// Content currently stored in each live physical block.
-    content: HashMap<u64, Fingerprint, FnvBuildHasher>,
+    content: ShardedMap<u64, Fingerprint>,
     /// NVRAM accounting for redirected (deduplicated) map entries.
     nvram: NvramModel,
     /// Count of mapping entries whose PBA differs from home.
@@ -49,12 +48,24 @@ impl ChunkStore {
     /// A store over `logical_blocks` of addressable space with an
     /// overflow region of `overflow_blocks` for redirected writes.
     pub fn new(logical_blocks: u64, overflow_blocks: u64) -> Self {
+        Self::with_capacity(logical_blocks, overflow_blocks, 0)
+    }
+
+    /// Like [`ChunkStore::new`], but with the block-state tables
+    /// pre-sized for `expected_blocks` live entries (from trace
+    /// statistics), so steady-state replay never rehashes. 0 = grow on
+    /// demand.
+    pub fn with_capacity(
+        logical_blocks: u64,
+        overflow_blocks: u64,
+        expected_blocks: usize,
+    ) -> Self {
         Self {
             logical_blocks,
             overflow: BlockStore::new(overflow_blocks),
-            mapping: HashMap::default(),
-            refs: HashMap::default(),
-            content: HashMap::default(),
+            mapping: sized_table(expected_blocks),
+            refs: sized_table(expected_blocks),
+            content: sized_table(expected_blocks),
             nvram: NvramModel::new(),
             redirected: 0,
             journal: MapJournal::new(),
@@ -69,12 +80,8 @@ impl ChunkStore {
     /// Compact the journal to the live redirected set, returning bytes
     /// saved. (A deployment would do this when the NVRAM region fills.)
     pub fn checkpoint_journal(&mut self) -> usize {
-        let live: std::collections::HashMap<u64, u64> = self
-            .mapping
-            .iter()
-            .filter(|(&l, &p)| l != p)
-            .map(|(&l, &p)| (l, p))
-            .collect();
+        let live: std::collections::HashMap<u64, u64> =
+            self.mapping.iter().filter(|&(l, p)| l != p).collect();
         self.journal.checkpoint(&live)
     }
 
@@ -82,12 +89,8 @@ impl ChunkStore {
     /// redirected mapping — the crash-recovery correctness property.
     pub fn verify_journal_recovery(&self) -> PodResult<()> {
         let recovered = self.journal.replay()?;
-        let live: std::collections::HashMap<u64, u64> = self
-            .mapping
-            .iter()
-            .filter(|(&l, &p)| l != p)
-            .map(|(&l, &p)| (l, p))
-            .collect();
+        let live: std::collections::HashMap<u64, u64> =
+            self.mapping.iter().filter(|&(l, p)| l != p).collect();
         if recovered != live {
             return Err(PodError::Inconsistency(format!(
                 "journal recovers {} redirections, live state has {}",
@@ -111,17 +114,17 @@ impl ChunkStore {
 
     /// Current physical location of `lba`, if it has ever been written.
     pub fn lookup(&self, lba: Lba) -> Option<Pba> {
-        self.mapping.get(&lba.raw()).copied().map(Pba::new)
+        self.mapping.get(&lba.raw()).map(Pba::new)
     }
 
     /// Content stored at a physical block, if live.
     pub fn content_at(&self, pba: Pba) -> Option<Fingerprint> {
-        self.content.get(&pba.raw()).copied()
+        self.content.get(&pba.raw())
     }
 
     /// Reference count of a physical block (0 = free).
     pub fn refcount(&self, pba: Pba) -> u32 {
-        self.refs.get(&pba.raw()).copied().unwrap_or(0)
+        self.refs.get(&pba.raw()).unwrap_or(0)
     }
 
     /// Whether `pba` is referenced by more than one logical block.
@@ -158,7 +161,7 @@ impl ChunkStore {
         preallocated: Option<Pba>,
     ) -> PodResult<Pba> {
         let home = lba.raw();
-        let current = self.mapping.get(&home).copied();
+        let current = self.mapping.get(&home);
         // Whether this LBA still holds a claim on its old block when we
         // reach the claim step (released blocks may be recycled by the
         // allocator as the new target, so the original `current` alone
@@ -177,7 +180,7 @@ impl ChunkStore {
             }
             p.raw()
         } else {
-            let home_refs = self.refs.get(&home).copied().unwrap_or(0);
+            let home_refs = self.refs.get(&home).unwrap_or(0);
             let in_place_ok = home_refs == 0 || (current == Some(home) && home_refs == 1);
             if in_place_ok {
                 if let Some(old) = current {
@@ -200,10 +203,10 @@ impl ChunkStore {
         // block we still exclusively own.
         let in_place_overwrite = holds_old_claim && current == Some(target);
         if !in_place_overwrite {
-            *self.refs.entry(target).or_insert(0) += 1;
+            *self.refs.get_or_insert(target, 0) += 1;
         }
         debug_assert_eq!(
-            self.refs.get(&target).copied().unwrap_or(0),
+            self.refs.get(&target).unwrap_or(0),
             1,
             "a freshly written block must be exclusively referenced"
         );
@@ -221,7 +224,7 @@ impl ChunkStore {
             return Err(PodError::NotAllocated(t));
         }
         let home = lba.raw();
-        let current = self.mapping.get(&home).copied();
+        let current = self.mapping.get(&home);
         if current == Some(t) {
             // Same-location rewrite of identical content: nothing changes.
             return Ok(());
@@ -229,7 +232,7 @@ impl ChunkStore {
         if let Some(old) = current {
             self.release(old)?;
         }
-        *self.refs.entry(t).or_insert(0) += 1;
+        *self.refs.get_or_insert(t, 0) += 1;
         self.mapping.insert(home, t);
         self.update_redirection(home, current, t);
         Ok(())
@@ -252,7 +255,7 @@ impl ChunkStore {
         let mut out: Vec<(Pba, u32)> = Vec::new();
         for i in 0..nblocks as u64 {
             let l = lba.raw() + i;
-            let p = self.mapping.get(&l).copied().unwrap_or(l);
+            let p = self.mapping.get(&l).unwrap_or(l);
             match out.last_mut() {
                 Some((start, len)) if start.raw() + *len as u64 == p => *len += 1,
                 _ => out.push((Pba::new(p), 1)),
@@ -271,25 +274,21 @@ impl ChunkStore {
     /// per-PBA refcounts equals the mapping size, every mapped PBA is
     /// live, and redirected-count/NVRAM agree.
     pub fn check_invariants(&self) -> PodResult<()> {
-        let total_refs: u64 = self.refs.values().map(|&c| c as u64).sum();
+        let total_refs: u64 = self.refs.iter().map(|(_, c)| c as u64).sum();
         if total_refs != self.mapping.len() as u64 {
             return Err(PodError::Inconsistency(format!(
                 "refcount sum {total_refs} != mapping size {}",
                 self.mapping.len()
             )));
         }
-        for (&lba, &pba) in &self.mapping {
+        for (lba, pba) in self.mapping.iter() {
             if !self.refs.contains_key(&pba) {
                 return Err(PodError::Inconsistency(format!(
                     "lba {lba} maps to dead pba {pba}"
                 )));
             }
         }
-        let redirected = self
-            .mapping
-            .iter()
-            .filter(|(&l, &p)| l != p)
-            .count() as u64;
+        let redirected = self.mapping.iter().filter(|&(l, p)| l != p).count() as u64;
         if redirected != self.redirected {
             return Err(PodError::Inconsistency(format!(
                 "redirected count {} != recomputed {redirected}",
@@ -317,8 +316,7 @@ impl ChunkStore {
                 self.content.remove(&pba);
                 if pba >= self.logical_blocks {
                     // Return the overflow block to its allocator.
-                    self.overflow
-                        .decref(Pba::new(pba - self.logical_blocks))?;
+                    self.overflow.decref(Pba::new(pba - self.logical_blocks))?;
                 }
                 Ok(())
             }
@@ -350,6 +348,15 @@ impl ChunkStore {
         } else if was_redirected {
             self.journal.append_clear(Lba::new(home));
         }
+    }
+}
+
+/// A block-state table, pre-sized when an expected entry count is known.
+fn sized_table<V: Copy>(expected: usize) -> ShardedMap<u64, V> {
+    if expected > 0 {
+        ShardedMap::with_capacity(expected)
+    } else {
+        ShardedMap::new()
     }
 }
 
@@ -484,11 +491,7 @@ mod tests {
         let ex = s.read_extents(Lba::new(10), 4);
         assert_eq!(
             ex,
-            vec![
-                (Pba::new(10), 1),
-                (Pba::new(500), 1),
-                (Pba::new(12), 2)
-            ],
+            vec![(Pba::new(10), 1), (Pba::new(500), 1), (Pba::new(12), 2)],
             "read amplification: 3 extents instead of 1"
         );
     }
@@ -526,7 +529,11 @@ mod tests {
     #[test]
     fn is_sequential_checks_runs() {
         assert!(ChunkStore::is_sequential(&[Pba::new(5)]));
-        assert!(ChunkStore::is_sequential(&[Pba::new(5), Pba::new(6), Pba::new(7)]));
+        assert!(ChunkStore::is_sequential(&[
+            Pba::new(5),
+            Pba::new(6),
+            Pba::new(7)
+        ]));
         assert!(!ChunkStore::is_sequential(&[Pba::new(5), Pba::new(7)]));
         assert!(!ChunkStore::is_sequential(&[Pba::new(7), Pba::new(6)]));
         assert!(ChunkStore::is_sequential(&[]));
@@ -552,16 +559,19 @@ mod tests {
         s.write_unique(Lba::new(1), fp(1), None).expect("w");
         s.dedup_to(Lba::new(2), Pba::new(1)).expect("dedup");
         s.dedup_to(Lba::new(3), Pba::new(1)).expect("dedup");
-        s.verify_journal_recovery().expect("recovery matches live state");
+        s.verify_journal_recovery()
+            .expect("recovery matches live state");
         // Un-redirect lba2 by overwriting it in place at home.
         s.write_unique(Lba::new(2), fp(9), None).expect("w2");
-        s.verify_journal_recovery().expect("clear entries replay too");
+        s.verify_journal_recovery()
+            .expect("clear entries replay too");
         assert_eq!(s.journal().entries(), 3, "2 remaps + 1 clear");
         // Checkpoint compacts to the single live redirection.
         let saved = s.checkpoint_journal();
         assert!(saved > 0);
         assert_eq!(s.journal().entries(), 1);
-        s.verify_journal_recovery().expect("post-checkpoint recovery");
+        s.verify_journal_recovery()
+            .expect("post-checkpoint recovery");
     }
 
     #[test]
@@ -570,12 +580,14 @@ mod tests {
         s.write_unique(Lba::new(1), fp(1), None).expect("w");
         s.dedup_to(Lba::new(2), Pba::new(1)).expect("d");
         // Overwrites of lba1 redirect into the 1-block overflow.
-        s.write_unique(Lba::new(1), fp(2), None).expect("first overflow");
+        s.write_unique(Lba::new(1), fp(2), None)
+            .expect("first overflow");
         // lba1 now exclusively owns the overflow block; another overwrite
         // while home remains pinned reuses... home pinned by lba2 still →
         // redirect again; old overflow block is freed first? Release
         // happens before claim, so the single overflow block recycles.
-        s.write_unique(Lba::new(1), fp(3), None).expect("recycled overflow");
+        s.write_unique(Lba::new(1), fp(3), None)
+            .expect("recycled overflow");
         s.check_invariants().expect("invariants");
     }
 }

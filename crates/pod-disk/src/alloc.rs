@@ -64,11 +64,7 @@ impl BlockStore {
             return Err(PodError::InvalidConfig("zero-length allocation".into()));
         }
         // Prefer recycled extents (first fit).
-        if let Some(idx) = self
-            .free_extents
-            .iter()
-            .position(|&(_, len)| len >= n)
-        {
+        if let Some(idx) = self.free_extents.iter().position(|&(_, len)| len >= n) {
             let (start, len) = self.free_extents[idx];
             if len == n {
                 self.free_extents.remove(idx);
@@ -142,9 +138,7 @@ impl BlockStore {
 
     fn release_extent(&mut self, start: u64, len: u64) {
         // Insert sorted; merge with neighbours.
-        let pos = self
-            .free_extents
-            .partition_point(|&(s, _)| s < start);
+        let pos = self.free_extents.partition_point(|&(s, _)| s < start);
         self.free_extents.insert(pos, (start, len));
         // Merge right then left.
         if pos + 1 < self.free_extents.len() {
@@ -197,14 +191,8 @@ mod tests {
     #[test]
     fn decref_free_block_errors() {
         let mut s = BlockStore::new(100);
-        assert_eq!(
-            s.decref(Pba::new(5)),
-            Err(PodError::NotAllocated(5))
-        );
-        assert_eq!(
-            s.incref(Pba::new(5)),
-            Err(PodError::NotAllocated(5))
-        );
+        assert_eq!(s.decref(Pba::new(5)), Err(PodError::NotAllocated(5)));
+        assert_eq!(s.incref(Pba::new(5)), Err(PodError::NotAllocated(5)));
     }
 
     #[test]

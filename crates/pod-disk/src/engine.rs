@@ -202,10 +202,20 @@ impl ArraySim {
             let mut reads: Vec<PhysOp> = Vec::new();
             for d in 0..self.disks.len() {
                 if d != disk && !self.failed[d] {
-                    reads.push(PhysOp { disk: d, lba: off, nblocks: len, write: false });
+                    reads.push(PhysOp {
+                        disk: d,
+                        lba: off,
+                        nblocks: len,
+                        write: false,
+                    });
                 }
             }
-            let write = vec![PhysOp { disk, lba: off, nblocks: len, write: true }];
+            let write = vec![PhysOp {
+                disk,
+                lba: off,
+                nblocks: len,
+                write: true,
+            }];
             phases.push(reads);
             phases.push(write);
             off += len as u64;
@@ -237,7 +247,12 @@ impl ArraySim {
                 if d == op.disk || self.failed[d] {
                     continue;
                 }
-                out.push(PhysOp { disk: d, lba: op.lba, nblocks: op.nblocks, write: false });
+                out.push(PhysOp {
+                    disk: d,
+                    lba: op.lba,
+                    nblocks: op.nblocks,
+                    write: false,
+                });
             }
         }
         out
@@ -467,12 +482,8 @@ impl ArraySim {
         // Write-back cache admission: an admitted write completes at
         // interface transfer speed and is flushed later; media blocks
         // are accounted at flush time.
-        let cache_room = self
-            .spec
-            .write_cache_blocks
-            .saturating_sub(d.dirty_blocks);
-        if q.op.write && self.spec.write_cache_blocks > 0 && q.op.nblocks as u64 <= cache_room
-        {
+        let cache_room = self.spec.write_cache_blocks.saturating_sub(d.dirty_blocks);
+        if q.op.write && self.spec.write_cache_blocks > 0 && q.op.nblocks as u64 <= cache_room {
             let service = self.spec.service_time(0, q.op.nblocks);
             d.dirty.push_back(q.op);
             d.dirty_blocks += q.op.nblocks as u64;
@@ -498,19 +509,19 @@ impl ArraySim {
             d.stats.blocks_read += q.op.nblocks as u64;
         }
         let done = now + service;
-        self.push_event(
-            done,
-            EventKind::OpComplete {
-                disk,
-                job: q.job,
-            },
-        );
+        self.push_event(done, EventKind::OpComplete { disk, job: q.job });
     }
 }
 
 /// Convenience: service a single isolated request on an idle array and
 /// return its latency. Used heavily in unit tests and microbenches.
-pub fn isolated_latency(sim: &mut ArraySim, at: SimTime, pba: Pba, nblocks: u32, write: bool) -> SimDuration {
+pub fn isolated_latency(
+    sim: &mut ArraySim,
+    at: SimTime,
+    pba: Pba,
+    nblocks: u32,
+    write: bool,
+) -> SimDuration {
     let job = if write {
         sim.submit_write(at, pba, nblocks)
     } else {
@@ -566,7 +577,7 @@ mod tests {
     #[test]
     fn queueing_delays_second_job() {
         let mut sim = single_sim();
-        let j1 = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1, );
+        let j1 = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1);
         let j2 = sim.submit_read(SimTime::ZERO, Pba::new(5_000), 1);
         sim.run_to_idle();
         let t1 = sim.job_completion(j1).expect("j1");
@@ -636,7 +647,12 @@ mod tests {
     #[test]
     fn empty_phases_are_skipped() {
         let mut sim = single_sim();
-        let ops = vec![PhysOp { disk: 0, lba: 0, nblocks: 1, write: false }];
+        let ops = vec![PhysOp {
+            disk: 0,
+            lba: 0,
+            nblocks: 1,
+            write: false,
+        }];
         let j = sim.submit_phases(SimTime::ZERO, vec![vec![], ops, vec![]]);
         sim.run_to_idle();
         assert!(sim.job_completion(j).is_some());
@@ -730,15 +746,13 @@ mod tests {
     #[test]
     fn degraded_read_reconstructs_from_survivors() {
         let mut healthy = raid5_sim();
-        let healthy_lat =
-            isolated_latency(&mut healthy, SimTime::ZERO, Pba::new(1_000), 4, false);
+        let healthy_lat = isolated_latency(&mut healthy, SimTime::ZERO, Pba::new(1_000), 4, false);
 
         let mut sim = raid5_sim();
         // pba 1000 maps to disk 3 (stripe 20, parity on 0).
         let (victim, _) = sim.geometry().map_block(Pba::new(1_000));
         sim.fail_disk(victim).expect("raid5 tolerates one failure");
-        let degraded_lat =
-            isolated_latency(&mut sim, SimTime::ZERO, Pba::new(1_000), 4, false);
+        let degraded_lat = isolated_latency(&mut sim, SimTime::ZERO, Pba::new(1_000), 4, false);
         // Reconstruction reads hit every survivor.
         let active = sim.disk_stats().iter().filter(|s| s.ops > 0).count();
         assert_eq!(active, 3, "all survivors read for reconstruction");
@@ -769,7 +783,10 @@ mod tests {
         sim.run_to_idle();
         assert!(sim.job_completion(job).is_some());
         let stats = sim.disk_stats();
-        assert_eq!(stats[2].blocks_written, 1_024, "replacement fully rewritten");
+        assert_eq!(
+            stats[2].blocks_written, 1_024,
+            "replacement fully rewritten"
+        );
         for d in [0usize, 1, 3] {
             assert_eq!(stats[d].blocks_read, 1_024, "survivor {d} fully read");
         }
@@ -794,7 +811,10 @@ mod tests {
         assert!(sim.fail_disk(99).is_err(), "unknown disk");
         sim.fail_disk(1).expect("first failure ok");
         assert!(sim.fail_disk(2).is_err(), "double failure not survivable");
-        assert!(sim.fail_disk(1).is_ok(), "re-failing the same disk is idempotent");
+        assert!(
+            sim.fail_disk(1).is_ok(),
+            "re-failing the same disk is idempotent"
+        );
     }
 
     #[test]
@@ -857,7 +877,11 @@ mod tests {
         let _w = sim.submit_write(SimTime::ZERO, Pba::new(5_000), 4);
         // Long idle gap: the flush runs in the background.
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.disk_stats()[0].blocks_written, 4, "flush done during idle");
+        assert_eq!(
+            sim.disk_stats()[0].blocks_written,
+            4,
+            "flush done during idle"
+        );
         let r = sim.submit_read(SimTime::from_secs(1), Pba::new(5_000), 4);
         sim.run_to_idle();
         assert!(sim.job_completion(r).is_some());

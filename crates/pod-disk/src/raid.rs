@@ -136,10 +136,7 @@ impl RaidGeometry {
             let (disk, local) = self.map_block(Pba::new(cur));
             // Merge with the previous op when physically contiguous.
             if let Some(last) = ops.last_mut() {
-                if last.disk == disk
-                    && !last.write
-                    && last.lba + last.nblocks as u64 == local
-                {
+                if last.disk == disk && !last.write && last.lba + last.nblocks as u64 == local {
                     last.nblocks += len;
                     cur = frag_end;
                     continue;
@@ -361,7 +358,15 @@ mod tests {
         let g = raid5();
         let ops = g.plan_read(Pba::new(0), 8);
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0], PhysOp { disk: 1, lba: 0, nblocks: 8, write: false });
+        assert_eq!(
+            ops[0],
+            PhysOp {
+                disk: 1,
+                lba: 0,
+                nblocks: 8,
+                write: false
+            }
+        );
     }
 
     #[test]
@@ -369,8 +374,24 @@ mod tests {
         let g = raid5();
         let ops = g.plan_read(Pba::new(8), 16); // blocks 8..24: unit0 tail + unit1 head
         assert_eq!(ops.len(), 2);
-        assert_eq!(ops[0], PhysOp { disk: 1, lba: 8, nblocks: 8, write: false });
-        assert_eq!(ops[1], PhysOp { disk: 2, lba: 0, nblocks: 8, write: false });
+        assert_eq!(
+            ops[0],
+            PhysOp {
+                disk: 1,
+                lba: 8,
+                nblocks: 8,
+                write: false
+            }
+        );
+        assert_eq!(
+            ops[1],
+            PhysOp {
+                disk: 2,
+                lba: 0,
+                nblocks: 8,
+                write: false
+            }
+        );
     }
 
     #[test]
@@ -391,7 +412,10 @@ mod tests {
         // Old data + old parity reads.
         assert_eq!(reads.len(), 2);
         assert!(reads.iter().all(|op| !op.write));
-        assert!(reads.iter().any(|op| op.disk == 0), "parity pre-read on disk 0");
+        assert!(
+            reads.iter().any(|op| op.disk == 0),
+            "parity pre-read on disk 0"
+        );
         // New data + new parity writes.
         assert_eq!(writes.len(), 2);
         assert!(writes.iter().all(|op| op.write));

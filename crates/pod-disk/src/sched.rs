@@ -29,12 +29,7 @@ impl SchedulerKind {
     /// * `direction_up` — elevator state: sweeping toward higher blocks.
     ///
     /// Returns `(index, new_direction_up)`. `pending` must be non-empty.
-    pub fn pick(
-        &self,
-        pending: &[PendingView],
-        head: u64,
-        direction_up: bool,
-    ) -> (usize, bool) {
+    pub fn pick(&self, pending: &[PendingView], head: u64, direction_up: bool) -> (usize, bool) {
         debug_assert!(!pending.is_empty());
         match self {
             SchedulerKind::Fifo => {

@@ -75,8 +75,8 @@ impl DiskSpec {
             return SimDuration::ZERO;
         }
         let frac = (distance as f64 / self.capacity_blocks as f64).min(1.0);
-        let us = self.min_seek_us as f64
-            + (self.max_seek_us - self.min_seek_us) as f64 * frac.sqrt();
+        let us =
+            self.min_seek_us as f64 + (self.max_seek_us - self.min_seek_us) as f64 * frac.sqrt();
         SimDuration::from_micros(us.round() as u64)
     }
 
@@ -165,7 +165,9 @@ impl RaidConfig {
     /// Validate invariants.
     pub fn validate(&self) -> PodResult<()> {
         if self.ndisks == 0 {
-            return Err(PodError::InvalidConfig("array needs at least 1 disk".into()));
+            return Err(PodError::InvalidConfig(
+                "array needs at least 1 disk".into(),
+            ));
         }
         if self.stripe_unit_blocks == 0 {
             return Err(PodError::InvalidConfig("stripe unit is zero".into()));

@@ -248,7 +248,9 @@ mod tests {
     #[test]
     fn quick_brown_fox() {
         assert_eq!(
-            hex(&Sha256::digest(b"The quick brown fox jumps over the lazy dog")),
+            hex(&Sha256::digest(
+                b"The quick brown fox jumps over the lazy dog"
+            )),
             "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
         );
     }

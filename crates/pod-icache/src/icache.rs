@@ -31,18 +31,20 @@ pub enum ReadCachePolicy {
     Arc,
 }
 
-/// Policy-backed read-cache storage.
+/// Policy-backed read-cache storage. The ARC variant is boxed: its
+/// four internal lists make it far larger than the LRU variant, and
+/// one cache lives per iCache, so the indirection costs nothing hot.
 #[derive(Debug)]
 enum ReadBacking {
     Lru(LruCache<u64, ()>),
-    Arc(ArcCache<u64, ()>),
+    Arc(Box<ArcCache<u64, ()>>),
 }
 
 impl ReadBacking {
     fn new(policy: ReadCachePolicy, entries: usize) -> Self {
         match policy {
             ReadCachePolicy::Lru => ReadBacking::Lru(LruCache::new(entries)),
-            ReadCachePolicy::Arc => ReadBacking::Arc(ArcCache::new(entries)),
+            ReadCachePolicy::Arc => ReadBacking::Arc(Box::new(ArcCache::new(entries))),
         }
     }
 
@@ -66,7 +68,11 @@ impl ReadBacking {
 
     fn set_capacity(&mut self, entries: usize) -> Vec<u64> {
         match self {
-            ReadBacking::Lru(c) => c.set_capacity(entries).into_iter().map(|(k, _)| k).collect(),
+            ReadBacking::Lru(c) => c
+                .set_capacity(entries)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect(),
             ReadBacking::Arc(c) => c.set_capacity(entries),
         }
     }
@@ -173,16 +179,14 @@ pub struct ICache {
 impl ICache {
     /// Build an iCache from a config.
     pub fn new(cfg: ICacheConfig) -> Self {
-        let index_bytes =
-            ((cfg.total_bytes as f64) * cfg.initial_index_fraction).round() as u64;
+        let index_bytes = ((cfg.total_bytes as f64) * cfg.initial_index_fraction).round() as u64;
         let read_bytes = cfg.total_bytes - index_bytes;
         let read_entries = (read_bytes / BLOCK_BYTES) as usize;
         // Ghosts remember as many entries as the *whole* budget could
         // hold: "The maximum size of an actual cache and its ghost cache
         // is set to be equal to the total size of the DRAM" (Fig. 7).
         let ghost_read_entries = (cfg.total_bytes / BLOCK_BYTES) as usize;
-        let ghost_index_entries =
-            (cfg.total_bytes / pod_dedup_entry_bytes()) as usize;
+        let ghost_index_entries = (cfg.total_bytes / pod_dedup_entry_bytes()) as usize;
         Self {
             index_bytes,
             read_bytes,
@@ -305,10 +309,8 @@ impl ICache {
     }
 
     fn decide(&mut self, snap: &EpochSnapshot) -> Option<Repartition> {
-        let benefit_index =
-            snap.ghost_index_hits as f64 * self.cfg.write_miss_penalty_us as f64;
-        let benefit_read =
-            snap.ghost_read_hits as f64 * self.cfg.read_miss_penalty_us as f64;
+        let benefit_index = snap.ghost_index_hits as f64 * self.cfg.write_miss_penalty_us as f64;
+        let benefit_read = snap.ghost_read_hits as f64 * self.cfg.read_miss_penalty_us as f64;
         if benefit_index <= 0.0 && benefit_read <= 0.0 {
             return None;
         }

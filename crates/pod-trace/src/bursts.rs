@@ -48,12 +48,18 @@ pub struct BurstReport {
 impl BurstReport {
     /// Number of write-intensive bursts.
     pub fn write_bursts(&self) -> usize {
-        self.phases.iter().filter(|p| p.kind == PhaseKind::WriteBurst).count()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::WriteBurst)
+            .count()
     }
 
     /// Number of read-intensive bursts.
     pub fn read_bursts(&self) -> usize {
-        self.phases.iter().filter(|p| p.kind == PhaseKind::ReadBurst).count()
+        self.phases
+            .iter()
+            .filter(|p| p.kind == PhaseKind::ReadBurst)
+            .count()
     }
 
     /// Mean burst length in requests.

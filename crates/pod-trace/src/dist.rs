@@ -112,7 +112,10 @@ impl<T: Clone> Discrete<T> {
     /// Draw one item.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
         let u: f64 = rng.random();
-        let i = self.cdf.partition_point(|&c| c < u).min(self.items.len() - 1);
+        let i = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.items.len() - 1);
         self.items[i].clone()
     }
 
@@ -159,7 +162,10 @@ mod tests {
             counts[z.sample(&mut r)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 5_000.0).abs() < 500.0, "uniform-ish: {counts:?}");
+            assert!(
+                (c as f64 - 5_000.0).abs() < 500.0,
+                "uniform-ish: {counts:?}"
+            );
         }
     }
 

@@ -193,9 +193,7 @@ mod tests {
 
     #[test]
     fn parse_str_skips_comments_and_blanks() {
-        let body = format!(
-            "# header\n\n1 1 p 0 1 W 8 0 {SHA}\n   \n2 1 p 1 1 R 8 0 *\n"
-        );
+        let body = format!("# header\n\n1 1 p 0 1 W 8 0 {SHA}\n   \n2 1 p 1 1 R 8 0 *\n");
         let recs = parse_str(&body).expect("parse");
         assert_eq!(recs.len(), 2);
     }

@@ -37,9 +37,9 @@ pub mod stats;
 pub mod synth;
 pub mod vm;
 
-pub use profile::{BurstModel, TraceProfile, WriteMix};
 pub use bursts::{detect_bursts, BurstReport, PhaseKind};
 pub use ops::merge_tenants;
+pub use profile::{BurstModel, TraceProfile, WriteMix};
 pub use reconstruct::reconstruct_requests;
 pub use stats::{RedundancyBreakdown, SizeBucket, TraceStats};
 pub use synth::Trace;

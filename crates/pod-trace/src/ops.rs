@@ -75,9 +75,8 @@ impl Trace {
             .iter()
             .map(|r| {
                 let mut r = r.clone();
-                r.arrival = SimTime::from_micros(
-                    (r.arrival.as_micros() as f64 * factor).round() as u64,
-                );
+                r.arrival =
+                    SimTime::from_micros((r.arrival.as_micros() as f64 * factor).round() as u64);
                 r
             })
             .collect();
@@ -156,7 +155,13 @@ mod tests {
         let head = t.slice_time(SimTime::ZERO, mid);
         let tail = t.slice_time(mid, SimTime::from_micros(u64::MAX));
         assert_eq!(head.len() + tail.len(), t.len());
-        assert!(tail.requests.first().map(|r| r.arrival.as_micros()).unwrap_or(0) < mid.as_micros());
+        assert!(
+            tail.requests
+                .first()
+                .map(|r| r.arrival.as_micros())
+                .unwrap_or(0)
+                < mid.as_micros()
+        );
         for (i, r) in tail.requests.iter().enumerate() {
             assert_eq!(r.id.0, i as u64, "ids renumbered");
         }
@@ -221,11 +226,13 @@ mod tests {
     #[test]
     fn merge_preserves_content_fingerprints() {
         let a = small(6);
-        let merged = merge_tenants(&[a.clone()]);
-        let fps: Vec<&Fingerprint> =
-            merged.requests.iter().flat_map(|r| r.chunks.iter()).collect();
-        let orig: Vec<&Fingerprint> =
-            a.requests.iter().flat_map(|r| r.chunks.iter()).collect();
+        let merged = merge_tenants(std::slice::from_ref(&a));
+        let fps: Vec<&Fingerprint> = merged
+            .requests
+            .iter()
+            .flat_map(|r| r.chunks.iter())
+            .collect();
+        let orig: Vec<&Fingerprint> = a.requests.iter().flat_map(|r| r.chunks.iter()).collect();
         assert_eq!(fps.len(), orig.len());
     }
 

@@ -137,13 +137,7 @@ impl TraceProfile {
         Self {
             name: "web-vm".into(),
             n_requests: 154_105,
-            size_weights: vec![
-                (1, 0.34),
-                (2, 0.24),
-                (4, 0.22),
-                (8, 0.12),
-                (16, 0.08),
-            ],
+            size_weights: vec![(1, 0.34), (2, 0.24), (4, 0.22), (8, 0.12), (16, 0.08)],
             working_set_blocks: 512 * 1024, // 2 GiB logical footprint
             write_mix: WriteMix {
                 full_redundant: 0.40,
@@ -175,13 +169,7 @@ impl TraceProfile {
     pub fn homes() -> Self {
         Self {
             name: "homes".into(),
-            size_weights: vec![
-                (1, 0.38),
-                (2, 0.26),
-                (4, 0.21),
-                (8, 0.10),
-                (16, 0.05),
-            ],
+            size_weights: vec![(1, 0.38), (2, 0.26), (4, 0.21), (8, 0.10), (16, 0.05)],
             n_requests: 64_819,
             working_set_blocks: 1024 * 1024, // 4 GiB
             write_mix: WriteMix {

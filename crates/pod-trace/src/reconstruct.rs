@@ -54,9 +54,7 @@ pub fn reconstruct_requests(records: &[BlockRecord]) -> Vec<IoRequest> {
 
     for r in records {
         let continues = match &cur {
-            Some(p) => {
-                p.ts_us == r.ts_us && p.op == r.op && p.lba + p.nblocks as u64 == r.lba
-            }
+            Some(p) => p.ts_us == r.ts_us && p.op == r.op && p.lba + p.nblocks as u64 == r.lba,
             None => false,
         };
         if continues {
@@ -89,11 +87,7 @@ pub fn reconstruct_requests(records: &[BlockRecord]) -> Vec<IoRequest> {
 
 /// Reconstruct a full [`Trace`] from records, with a name and memory
 /// budget attached.
-pub fn trace_from_records(
-    name: &str,
-    records: &[BlockRecord],
-    memory_budget_bytes: u64,
-) -> Trace {
+pub fn trace_from_records(name: &str, records: &[BlockRecord], memory_budget_bytes: u64) -> Trace {
     Trace {
         name: name.to_string(),
         requests: reconstruct_requests(records),
@@ -171,30 +165,21 @@ mod tests {
 
     #[test]
     fn timestamp_change_splits() {
-        let records = vec![
-            rec(100, 10, IoOp::Write, 1),
-            rec(101, 11, IoOp::Write, 2),
-        ];
+        let records = vec![rec(100, 10, IoOp::Write, 1), rec(101, 11, IoOp::Write, 2)];
         let reqs = reconstruct_requests(&records);
         assert_eq!(reqs.len(), 2);
     }
 
     #[test]
     fn lba_gap_splits() {
-        let records = vec![
-            rec(100, 10, IoOp::Write, 1),
-            rec(100, 13, IoOp::Write, 2),
-        ];
+        let records = vec![rec(100, 10, IoOp::Write, 1), rec(100, 13, IoOp::Write, 2)];
         let reqs = reconstruct_requests(&records);
         assert_eq!(reqs.len(), 2);
     }
 
     #[test]
     fn op_change_splits() {
-        let records = vec![
-            rec(100, 10, IoOp::Write, 1),
-            rec(100, 11, IoOp::Read, 0),
-        ];
+        let records = vec![rec(100, 10, IoOp::Write, 1), rec(100, 11, IoOp::Read, 0)];
         let reqs = reconstruct_requests(&records);
         assert_eq!(reqs.len(), 2);
         assert!(reqs[0].op.is_write());

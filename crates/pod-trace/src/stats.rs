@@ -60,8 +60,7 @@ impl TraceStats {
                 continue;
             }
             windows += 1;
-            let w = chunk.iter().filter(|r| r.op.is_write()).count() as f64
-                / chunk.len() as f64;
+            let w = chunk.iter().filter(|r| r.op.is_write()).count() as f64 / chunk.len() as f64;
             if w > 0.85 {
                 write_heavy += 1;
             }
@@ -126,11 +125,9 @@ pub fn size_redundancy(trace: &Trace) -> Vec<SizeBucket> {
             _ => 5,
         };
         totals[bi] += 1;
-        let all_redundant = r
-            .write_chunks()
-            .all(|(lba, fp)| {
-                lba_content.get(&lba.raw()) == Some(&fp) || content_seen.contains(&fp)
-            });
+        let all_redundant = r.write_chunks().all(|(lba, fp)| {
+            lba_content.get(&lba.raw()) == Some(&fp) || content_seen.contains(&fp)
+        });
         if all_redundant {
             redundants[bi] += 1;
         }
@@ -176,8 +173,7 @@ impl RedundancyBreakdown {
         if self.total() == 0 {
             return 0.0;
         }
-        (self.same_location_blocks + self.diff_location_blocks) as f64 * 100.0
-            / self.total() as f64
+        (self.same_location_blocks + self.diff_location_blocks) as f64 * 100.0 / self.total() as f64
     }
 
     /// Capacity redundancy (% of write data): different-location only.
@@ -290,10 +286,10 @@ mod tests {
     #[test]
     fn size_buckets_count_totals() {
         let t = trace_of(vec![
-            write(0, 0, &[1]),          // 4K
-            write(1, 10, &[2, 3]),      // 8K
-            write(2, 20, &[4, 5, 6, 7]),// 16K
-            write(3, 0, &[1]),          // 4K, fully redundant (same loc)
+            write(0, 0, &[1]),           // 4K
+            write(1, 10, &[2, 3]),       // 8K
+            write(2, 20, &[4, 5, 6, 7]), // 16K
+            write(3, 0, &[1]),           // 4K, fully redundant (same loc)
         ]);
         let buckets = size_redundancy(&t);
         assert_eq!(buckets[0].kib, 4);

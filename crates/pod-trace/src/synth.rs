@@ -77,7 +77,10 @@ impl Trace {
 
     /// Wall-clock span of the trace.
     pub fn duration(&self) -> SimTime {
-        self.requests.last().map(|r| r.arrival).unwrap_or(SimTime::ZERO)
+        self.requests
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// A prefix of the trace (cheap way to shorten replay in tests).
@@ -244,9 +247,7 @@ impl Generator {
             }
         }
         // Fall back to a linear scan from the newest.
-        self.runs
-            .iter()
-            .rposition(|r| r.contents.len() >= min_len)
+        self.runs.iter().rposition(|r| r.contents.len() >= min_len)
     }
 
     fn fresh_content(&mut self) -> u64 {
@@ -333,8 +334,7 @@ impl Generator {
         let Some(run_idx) = self.pick_run(run_len as usize) else {
             return self.compose_unique(nblocks);
         };
-        let mut contents: Vec<u64> =
-            self.runs[run_idx].contents[..run_len as usize].to_vec();
+        let mut contents: Vec<u64> = self.runs[run_idx].contents[..run_len as usize].to_vec();
         for _ in run_len..nblocks {
             let c = self.fresh_content();
             contents.push(c);

@@ -92,7 +92,11 @@ impl VmFleetConfig {
             }
         }
         Trace {
-            name: format!("vm-fleet({}x{}MiB)", self.n_vms, self.image_blocks * 4 / 1024),
+            name: format!(
+                "vm-fleet({}x{}MiB)",
+                self.n_vms,
+                self.image_blocks * 4 / 1024
+            ),
             requests,
             memory_budget_bytes: self.memory_budget_bytes,
         }
@@ -165,7 +169,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one VM")]
     fn zero_vms_rejected() {
-        let cfg = VmFleetConfig { n_vms: 0, ..small() };
+        let cfg = VmFleetConfig {
+            n_vms: 0,
+            ..small()
+        };
         let _ = cfg.generate(1);
     }
 }

@@ -68,7 +68,10 @@ mod tests {
             limit: 5,
         };
         assert_eq!(e.to_string(), "lba 10 out of range (limit 5)");
-        assert_eq!(PodError::NoSpace.to_string(), "physical allocator exhausted");
+        assert_eq!(
+            PodError::NoSpace.to_string(),
+            "physical allocator exhausted"
+        );
         assert!(PodError::TraceParse {
             line: 3,
             reason: "bad op".into()

@@ -216,5 +216,4 @@ mod tests {
             }
         }
     }
-
 }

@@ -145,7 +145,10 @@ mod tests {
     use super::*;
 
     fn fps(ids: &[u64]) -> Vec<Fingerprint> {
-        ids.iter().copied().map(Fingerprint::from_content_id).collect()
+        ids.iter()
+            .copied()
+            .map(Fingerprint::from_content_id)
+            .collect()
     }
 
     #[test]

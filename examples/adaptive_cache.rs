@@ -65,7 +65,11 @@ fn main() {
                     bar(frac, 24),
                     frac * 100.0,
                     rp.swap_blocks,
-                    if rp.index_grew { "index grew" } else { "read grew" }
+                    if rp.index_grew {
+                        "index grew"
+                    } else {
+                        "read grew"
+                    }
                 );
             }
         }

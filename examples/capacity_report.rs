@@ -39,8 +39,7 @@ fn main() {
             "scheme", "cap(MiB)", "saved%", "dedup blocks", "map entries", "nvram(KiB)"
         );
         for rep in &reports {
-            let saved = 100.0
-                - rep.capacity_used_blocks as f64 * 100.0 / native_cap.max(1) as f64;
+            let saved = 100.0 - rep.capacity_used_blocks as f64 * 100.0 / native_cap.max(1) as f64;
             println!(
                 "{:<14} {:>10.1} {:>9.1} {:>12} {:>12} {:>12.1}",
                 rep.scheme,

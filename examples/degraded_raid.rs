@@ -63,7 +63,12 @@ fn main() {
     println!(
         "\nrebuild traffic: replacement wrote {} blocks; survivors read {} blocks total",
         stats[2].blocks_written,
-        stats.iter().enumerate().filter(|(d, _)| *d != 2).map(|(_, s)| s.blocks_read).sum::<u64>()
+        stats
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| *d != 2)
+            .map(|(_, s)| s.blocks_read)
+            .sum::<u64>()
     );
     println!(
         "\nEvery write POD eliminates is also a write the degraded array never has to\n\

@@ -11,8 +11,8 @@
 //! ```
 
 use pod::prelude::*;
-use pod::trace::reconstruct::{split_into_records, trace_from_records};
 use pod::trace::fiu;
+use pod::trace::reconstruct::{split_into_records, trace_from_records};
 
 fn main() {
     let original = TraceProfile::homes().scaled(0.01).generate(7);
@@ -47,8 +47,8 @@ fn main() {
     assert_eq!(rebuilt.len(), original.len(), "reconstruction is lossless");
 
     // Equivalence check: identical replay results.
-    let runner = SchemeRunner::new(Scheme::Pod, SystemConfig::paper_default())
-        .expect("valid config");
+    let runner =
+        SchemeRunner::new(Scheme::Pod, SystemConfig::paper_default()).expect("valid config");
     let a = runner.replay(&original);
     let b = runner.replay(&rebuilt);
     println!(

@@ -41,7 +41,12 @@ fn main() {
     );
 
     let cfg = SystemConfig::paper_default();
-    let schemes = [Scheme::Native, Scheme::IDedup, Scheme::SelectDedupe, Scheme::Pod];
+    let schemes = [
+        Scheme::Native,
+        Scheme::IDedup,
+        Scheme::SelectDedupe,
+        Scheme::Pod,
+    ];
     let reports = run_schemes(&schemes, &consolidated, &cfg);
     let base = reports[0].overall.mean_us().max(1e-9);
 

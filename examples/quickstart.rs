@@ -50,8 +50,7 @@ fn main() {
         );
     }
 
-    let speedup =
-        (1.0 - pod.overall.mean_us() / native.overall.mean_us().max(1e-9)) * 100.0;
+    let speedup = (1.0 - pod.overall.mean_us() / native.overall.mean_us().max(1e-9)) * 100.0;
     println!(
         "\nPOD improved mean response time by {speedup:.1}% and eliminated {:.1}% of \
          write requests,\nusing {:.2} MB of NVRAM for the Map table.",

@@ -11,10 +11,7 @@ use pod_core::experiments::run_schemes;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let profile_name = args.first().map(String::as_str).unwrap_or("mail");
-    let scale: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
 
     let profile = match profile_name {
         "web-vm" => TraceProfile::web_vm(),
@@ -30,7 +27,10 @@ fn main() {
     let trace = profile.scaled(scale).generate(42);
     let cfg = SystemConfig::paper_default();
 
-    println!("replaying {} requests through 5 schemes (parallel) ...\n", trace.len());
+    println!(
+        "replaying {} requests through 5 schemes (parallel) ...\n",
+        trace.len()
+    );
     let reports = run_schemes(&Scheme::all(), &trace, &cfg);
     let native_overall = reports[0].overall.mean_us();
     let native_cap = reports[0].capacity_used_blocks as f64;
@@ -57,7 +57,11 @@ fn main() {
         "\ntail latency (p99, ms): {}",
         reports
             .iter()
-            .map(|r| format!("{}={:.1}", r.scheme, r.overall.percentile_us(99.0) as f64 / 1e3))
+            .map(|r| format!(
+                "{}={:.1}",
+                r.scheme,
+                r.overall.percentile_us(99.0) as f64 / 1e3
+            ))
             .collect::<Vec<_>>()
             .join("  ")
     );

@@ -1,0 +1,285 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros) with a deliberately simple runner: each
+//! benchmark is warmed up once and then timed over a fixed number of
+//! iterations, with mean wall-clock (and derived throughput) printed to
+//! stdout. No statistics, plots, or HTML reports.
+//!
+//! When invoked by `cargo test` (the harness passes `--test`), benches
+//! register-and-skip so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (after one warmup run).
+const MEASURE_ITERS: u32 = 10;
+
+/// True when the binary was launched by the test harness or asked to
+/// merely enumerate benchmarks, in which case bodies are skipped.
+fn skip_execution() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    skip: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            skip: skip_execution(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let skip = self.skip;
+        if !skip {
+            println!("group: {}", name.into());
+        }
+        BenchmarkGroup {
+            _c: self,
+            skip,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.skip, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    skip: bool,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores time budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores warm-up budgets.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a named benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.skip, self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.name, self.skip, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(
+    name: &str,
+    skip: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if skip {
+        return;
+    }
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let mean = b.total / b.iters;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            println!("  {name}: {mean:?}/iter, {mibs:.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / mean.as_secs_f64();
+            println!("  {name}: {mean:?}/iter, {eps:.0} elem/s");
+        }
+        None => println!("  {name}: {mean:?}/iter"),
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a warmup run plus a fixed iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Time `routine` on fresh values from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batch sizing hints; the shim treats all variants identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Benchmark identifier combining a name and a parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// Id rendered from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            name: param.to_string(),
+        }
+    }
+}
+
+/// Re-export matching criterion's convenience path.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Bytes(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_batched(
+                || vec![n; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_surface_runs() {
+        // Under `cargo test` the harness passes --test, so bodies skip;
+        // exercise the non-skipping path explicitly.
+        let mut c = Criterion { skip: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("mail").name, "mail");
+    }
+}

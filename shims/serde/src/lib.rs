@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without registry access, so the real `serde`
+//! cannot be fetched. The codebase uses serde only as derive annotations
+//! (`#[derive(Serialize, Deserialize)]`) on config/report types — all
+//! actual serialization in the repo is hand-rolled JSON. This shim keeps
+//! those annotations compiling: the traits are blanket-implemented
+//! markers, and the derives (re-exported from the sibling `serde_derive`
+//! proc-macro crate) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub mod de {
+    //! Mirrors `serde::de` just enough for `DeserializeOwned` bounds.
+
+    /// Marker mirroring `serde::de::DeserializeOwned`. Blanket-implemented.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Placeholder mirroring `serde::ser`.
+}

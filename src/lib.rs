@@ -28,9 +28,7 @@ pub use pod_types as types;
 
 /// Common imports for applications built on POD.
 pub mod prelude {
-    pub use pod_core::{
-        experiments, Metrics, ReplayReport, Scheme, SchemeRunner, SystemConfig,
-    };
+    pub use pod_core::{experiments, Metrics, ReplayReport, Scheme, SchemeRunner, SystemConfig};
     pub use pod_dedup::{DedupConfig, DedupEngine, WriteClass};
     pub use pod_disk::{DiskSpec, RaidConfig, RaidLevel, SchedulerKind};
     pub use pod_icache::ICacheConfig;

@@ -63,10 +63,7 @@ fn fig1_shape_small_writes_dominate_with_highest_redundancy() {
             }
         };
         let small = ratio(&buckets[0]);
-        let large = buckets[3..]
-            .iter()
-            .map(ratio)
-            .fold(0.0f64, f64::max);
+        let large = buckets[3..].iter().map(ratio).fold(0.0f64, f64::max);
         assert!(
             small >= large - 0.05,
             "{}: small-write redundancy {small:.2} vs large {large:.2}",
@@ -122,5 +119,8 @@ fn redundancy_volume_ordering_mail_webvm_homes() {
     let mail = io_red(TraceProfile::mail());
     let web = io_red(TraceProfile::web_vm());
     let homes = io_red(TraceProfile::homes());
-    assert!(mail > web && web > homes, "mail {mail:.1} web {web:.1} homes {homes:.1}");
+    assert!(
+        mail > web && web > homes,
+        "mail {mail:.1} web {web:.1} homes {homes:.1}"
+    );
 }

@@ -33,7 +33,9 @@ fn generated_artifacts_are_seed_stable() {
     }
     let c = experiments::fig2(0.004, 8);
     assert!(
-        a.iter().zip(c.iter()).any(|(x, y)| x.io_redundancy_pct != y.io_redundancy_pct),
+        a.iter()
+            .zip(c.iter())
+            .any(|(x, y)| x.io_redundancy_pct != y.io_redundancy_pct),
         "different seeds produce different workloads"
     );
 }

@@ -105,7 +105,10 @@ fn mail_gets_the_biggest_select_dedupe_win() {
             "mail reduction {mail:.2} must top {name} ({r:.2})"
         );
     }
-    assert!(mail > 0.5, "mail write-time reduction should be large: {mail:.2}");
+    assert!(
+        mail > 0.5,
+        "mail write-time reduction should be large: {mail:.2}"
+    );
 }
 
 #[test]
@@ -119,7 +122,10 @@ fn fragmentation_ordering_matches_design() {
         &homes,
         &cfg,
     );
-    assert!((reports[0].read_fragmentation - 1.0).abs() < 1e-9, "Native never fragments");
+    assert!(
+        (reports[0].read_fragmentation - 1.0).abs() < 1e-9,
+        "Native never fragments"
+    );
     assert!(
         reports[1].read_fragmentation >= reports[2].read_fragmentation,
         "Full {:.3} must fragment at least as much as Select {:.3}",
@@ -156,7 +162,10 @@ fn pod_adapts_while_select_does_not() {
     let mail = TraceProfile::mail().scaled(SCALE).generate(SEED);
     let reports = run_schemes(&[Scheme::SelectDedupe, Scheme::Pod], &mail, &cfg);
     assert_eq!(reports[0].icache_repartitions, 0);
-    assert!(reports[1].icache_repartitions > 0, "POD must adapt on mail bursts");
+    assert!(
+        reports[1].icache_repartitions > 0,
+        "POD must adapt on mail bursts"
+    );
 }
 
 #[test]

@@ -207,10 +207,7 @@ proptest! {
 
 fn arb_write_requests() -> impl Strategy<Value = Vec<(u8, Vec<u16>)>> {
     proptest::collection::vec(
-        (
-            any::<u8>(),
-            proptest::collection::vec(0u16..64, 1..12),
-        ),
+        (any::<u8>(), proptest::collection::vec(0u16..64, 1..12)),
         1..60,
     )
 }
@@ -313,7 +310,12 @@ struct SimJob {
 
 fn sim_job() -> impl Strategy<Value = SimJob> {
     (0u64..100_000, 0u64..8_000, 1u8..32, any::<bool>()).prop_map(|(at_us, pba, nblocks, write)| {
-        SimJob { at_us, pba, nblocks, write }
+        SimJob {
+            at_us,
+            pba,
+            nblocks,
+            write,
+        }
     })
 }
 
