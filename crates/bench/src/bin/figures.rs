@@ -103,13 +103,21 @@ fn main() {
     emit(
         &args.out,
         "table1",
-        &table1_csv(&table1(args.scale.min(0.1), args.seed)),
+        &table1_csv(
+            &table1(args.scale.min(0.1), args.seed)
+                .unwrap_or_else(|e| die(&format!("table1: {e}"))),
+        ),
     );
     emit(&args.out, "fig1", &fig1_csv(&fig1(args.scale, args.seed)));
     emit(&args.out, "fig2", &fig2_csv(&fig2(args.scale, args.seed)));
-    emit(&args.out, "fig3", &fig3_csv(&fig3(args.scale, args.seed)));
+    emit(
+        &args.out,
+        "fig3",
+        &fig3_csv(&fig3(args.scale, args.seed).unwrap_or_else(|e| die(&format!("fig3: {e}")))),
+    );
 
-    let cmp = scheme_comparison(args.scale, args.seed);
+    let cmp = scheme_comparison(args.scale, args.seed)
+        .unwrap_or_else(|e| die(&format!("scheme comparison: {e}")));
     emit(&args.out, "fig8", &cmp.fig8_csv());
     emit(&args.out, "fig9a", &cmp.fig9a_csv());
     emit(&args.out, "fig9b", &cmp.fig9b_csv());
@@ -125,32 +133,53 @@ fn main() {
     emit(
         &args.out,
         "ablation_threshold",
-        &sweep_csv("threshold", &threshold_sweep(ab_scale, args.seed)),
+        &sweep_csv(
+            "threshold",
+            &threshold_sweep(ab_scale, args.seed)
+                .unwrap_or_else(|e| die(&format!("threshold sweep: {e}"))),
+        ),
     );
     emit(
         &args.out,
         "ablation_scheduler",
-        &sweep_csv("scheduler", &scheduler_sweep(ab_scale, args.seed)),
+        &sweep_csv(
+            "scheduler",
+            &scheduler_sweep(ab_scale, args.seed)
+                .unwrap_or_else(|e| die(&format!("scheduler sweep: {e}"))),
+        ),
     );
     emit(
         &args.out,
         "ablation_memory",
-        &sweep_csv("memory_scale", &memory_sweep(ab_scale, args.seed)),
+        &sweep_csv(
+            "memory_scale",
+            &memory_sweep(ab_scale, args.seed)
+                .unwrap_or_else(|e| die(&format!("memory sweep: {e}"))),
+        ),
     );
     emit(
         &args.out,
         "restore",
-        &restore_csv(&restore_experiment(ab_scale, args.seed)),
+        &restore_csv(
+            &restore_experiment(ab_scale, args.seed)
+                .unwrap_or_else(|e| die(&format!("restore experiment: {e}"))),
+        ),
     );
     emit(
         &args.out,
         "load_sweep",
-        &sweep_csv("load", &load_sweep(ab_scale, args.seed)),
+        &sweep_csv(
+            "load",
+            &load_sweep(ab_scale, args.seed).unwrap_or_else(|e| die(&format!("load sweep: {e}"))),
+        ),
     );
     emit(
         &args.out,
         "consolidated",
-        &consolidated_csv(&consolidated_comparison(ab_scale, args.seed)),
+        &consolidated_csv(
+            &consolidated_comparison(ab_scale, args.seed)
+                .unwrap_or_else(|e| die(&format!("consolidated comparison: {e}"))),
+        ),
     );
 
     eprintln!("done in {:?}", t0.elapsed());

@@ -127,7 +127,9 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
         for _ in 0..reps {
             let runner = SchemeRunner::new(scheme, cfg.clone()).expect("valid config");
             let t0 = Instant::now();
-            let rep = runner.replay(trace);
+            let rep = runner
+                .try_replay(trace)
+                .unwrap_or_else(|e| die(&format!("{trace_name}/{scheme}: {e}")));
             best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
             // Touching the report keeps the replay from being optimised out.
             assert!(rep.overall.mean_us() >= 0.0);
@@ -144,7 +146,8 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
     let mut grid_requests = 0u64;
     for _ in 0..reps {
         let t0 = Instant::now();
-        let grid = run_schemes(&Scheme::all(), trace, cfg);
+        let grid = run_schemes(&Scheme::all(), trace, cfg)
+            .unwrap_or_else(|e| die(&format!("{trace_name}/grid: {e}")));
         best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
         grid_requests = trace.len() as u64 * grid.len() as u64;
     }

@@ -7,7 +7,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.05);
     let t0 = std::time::Instant::now();
-    let cmp = scheme_comparison(scale, DEFAULT_SEED);
+    let cmp = scheme_comparison(scale, DEFAULT_SEED).expect("replay");
     println!("fig8:\n{}", cmp.fig8_csv());
     println!("fig9a:\n{}", cmp.fig9a_csv());
     println!("fig9b:\n{}", cmp.fig9b_csv());
@@ -27,6 +27,9 @@ fn main() {
             pod.icache_repartitions, pod.final_index_fraction,
         );
     }
-    println!("fig3:\n{}", fig3_csv(&fig3(scale, DEFAULT_SEED)));
+    println!(
+        "fig3:\n{}",
+        fig3_csv(&fig3(scale, DEFAULT_SEED).expect("replay"))
+    );
     println!("elapsed: {:?}", t0.elapsed());
 }

@@ -15,7 +15,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         trace.name,
         pod_core::pool::default_width().min(Scheme::all().len())
     );
-    let reports = run_schemes(&Scheme::all(), &trace, &cfg);
+    let reports = run_schemes(&Scheme::all(), &trace, &cfg).map_err(|e| e.to_string())?;
     let base = reports[0].overall.mean_us().max(1e-9);
     let base_cap = reports[0].capacity_used_blocks.max(1);
 

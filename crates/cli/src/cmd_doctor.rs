@@ -73,8 +73,8 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
 
     // 2. Replay determinism.
     let runner = SchemeRunner::new(Scheme::Pod, cfg.clone()).map_err(|e| e.to_string())?;
-    let a = runner.replay(&trace);
-    let b = runner.replay(&trace);
+    let a = runner.try_replay(&trace).map_err(|e| e.to_string())?;
+    let b = runner.try_replay(&trace).map_err(|e| e.to_string())?;
     check(
         "replay determinism",
         a.overall.mean_us() == b.overall.mean_us() && a.counters == b.counters,
@@ -86,7 +86,8 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     );
 
     // 3. Headline shapes.
-    let reports = run_schemes(&[Scheme::Native, Scheme::IDedup, Scheme::Pod], &trace, &cfg);
+    let reports = run_schemes(&[Scheme::Native, Scheme::IDedup, Scheme::Pod], &trace, &cfg)
+        .map_err(|e| e.to_string())?;
     check(
         "POD beats Native on overall response time",
         reports[2].overall.mean_us() < reports[0].overall.mean_us(),

@@ -12,6 +12,7 @@ use crate::runner::{ReplayReport, SchemeRunner};
 use crate::scheme::Scheme;
 use pod_trace::stats::{redundancy_breakdown, size_redundancy, TraceStats};
 use pod_trace::{Trace, TraceProfile};
+use pod_types::PodResult;
 
 /// Default seed used by the published artifacts.
 pub const DEFAULT_SEED: u64 = 42;
@@ -24,19 +25,26 @@ pub fn paper_traces(scale: f64, seed: u64) -> Vec<Trace> {
         .collect()
 }
 
-/// Run one scheme over one trace with the paper config.
-pub fn run_scheme(scheme: Scheme, trace: &Trace, cfg: &SystemConfig) -> ReplayReport {
-    SchemeRunner::new(scheme, cfg.clone())
-        .expect("paper config is valid")
-        .replay(trace)
+/// Run one scheme over one trace with the paper config, surfacing
+/// configuration and replay errors.
+pub fn run_scheme(scheme: Scheme, trace: &Trace, cfg: &SystemConfig) -> PodResult<ReplayReport> {
+    SchemeRunner::new(scheme, cfg.clone())?.try_replay(trace)
 }
 
 /// Run several schemes over one trace on the bounded executor.
 ///
 /// Results come back in `schemes` order regardless of executor width,
-/// so reports are byte-identical for any `--jobs` setting.
-pub fn run_schemes(schemes: &[Scheme], trace: &Trace, cfg: &SystemConfig) -> Vec<ReplayReport> {
-    Executor::new().map(schemes, |&scheme| run_scheme(scheme, trace, cfg))
+/// so reports are byte-identical for any `--jobs` setting. The first
+/// error (in `schemes` order) wins.
+pub fn run_schemes(
+    schemes: &[Scheme],
+    trace: &Trace,
+    cfg: &SystemConfig,
+) -> PodResult<Vec<ReplayReport>> {
+    Executor::new()
+        .map(schemes, |&scheme| run_scheme(scheme, trace, cfg))
+        .into_iter()
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -163,27 +171,30 @@ pub struct Fig3Point {
 
 /// Fig. 3: sweep the fixed index/read split under Full-Dedupe on the
 /// mail trace ("driven by the original mail trace", §II-B).
-pub fn fig3(scale: f64, seed: u64) -> Vec<Fig3Point> {
+pub fn fig3(scale: f64, seed: u64) -> PodResult<Vec<Fig3Point>> {
     let trace = TraceProfile::mail().scaled(scale).generate(seed);
     let fractions = [0.2, 0.3, 0.5, 0.7, 0.8];
-    Executor::new().map(&fractions, |&f| {
-        let mut cfg = SystemConfig::paper_default();
-        cfg.index_fraction = f;
-        // The §II-B motivation experiment uses a plain
-        // deduplication-based system: every RAM-index miss pays
-        // an in-disk lookup (no page-cache absorption), and the
-        // memory budget is sized so the sweep range straddles the
-        // workload's hot fingerprint set (the paper's 14-day-warmed
-        // index dwarfed memory; see DESIGN.md substitutions).
-        cfg.index_page_fault_rate = 1;
-        cfg.memory_scale = 0.01;
-        let rep = run_scheme(Scheme::FullDedupe, &trace, &cfg);
-        Fig3Point {
-            index_fraction: f,
-            read_ms: rep.reads.mean_ms(),
-            write_ms: rep.writes.mean_ms(),
-        }
-    })
+    Executor::new()
+        .map(&fractions, |&f| {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.index_fraction = f;
+            // The §II-B motivation experiment uses a plain
+            // deduplication-based system: every RAM-index miss pays
+            // an in-disk lookup (no page-cache absorption), and the
+            // memory budget is sized so the sweep range straddles the
+            // workload's hot fingerprint set (the paper's 14-day-warmed
+            // index dwarfed memory; see DESIGN.md substitutions).
+            cfg.index_page_fault_rate = 1;
+            cfg.memory_scale = 0.01;
+            let rep = run_scheme(Scheme::FullDedupe, &trace, &cfg)?;
+            Ok(Fig3Point {
+                index_fraction: f,
+                read_ms: rep.reads.mean_ms(),
+                write_ms: rep.writes.mean_ms(),
+            })
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Render Fig. 3 as CSV.
@@ -224,14 +235,14 @@ pub struct Table1Row {
 /// Table I: run every implemented scheme — including Post-Process and
 /// I/O-Dedup — on the web-vm trace and measure the columns the paper
 /// presents qualitatively.
-pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
+pub fn table1(scale: f64, seed: u64) -> PodResult<Vec<Table1Row>> {
     let cfg = SystemConfig::paper_default();
     let trace = TraceProfile::web_vm().scaled(scale).generate(seed);
     let schemes = Scheme::extended();
-    let reports = run_schemes(&schemes, &trace, &cfg);
+    let reports = run_schemes(&schemes, &trace, &cfg)?;
     let native_cap = reports[0].capacity_used_blocks.max(1) as f64;
     let native_rt = reports[0].overall.mean_us().max(1e-9);
-    schemes
+    Ok(schemes
         .iter()
         .zip(reports.iter())
         .map(|(scheme, rep)| Table1Row {
@@ -248,7 +259,7 @@ pub fn table1(scale: f64, seed: u64) -> Vec<Table1Row> {
                 "none"
             },
         })
-        .collect()
+        .collect())
 }
 
 /// Render Table I as CSV.
@@ -283,14 +294,14 @@ pub struct SchemeComparison {
 }
 
 /// Run the full comparison (all five schemes × the three traces).
-pub fn scheme_comparison(scale: f64, seed: u64) -> SchemeComparison {
+pub fn scheme_comparison(scale: f64, seed: u64) -> PodResult<SchemeComparison> {
     let cfg = SystemConfig::paper_default();
     let traces = paper_traces(scale, seed);
     let reports = traces
         .iter()
         .map(|t| run_schemes(&Scheme::all(), t, &cfg))
-        .collect();
-    SchemeComparison { reports }
+        .collect::<PodResult<_>>()?;
+    Ok(SchemeComparison { reports })
 }
 
 impl SchemeComparison {
@@ -483,18 +494,21 @@ fn sweep<P: Clone + Send + Sync + std::fmt::Debug>(
     trace: &Trace,
     params: &[P],
     configure: impl Fn(&P) -> (Scheme, SystemConfig) + Sync,
-) -> Vec<SweepRow> {
-    Executor::new().map(params, |p| {
-        let (scheme, cfg) = configure(p);
-        let rep = run_scheme(scheme, trace, &cfg);
-        SweepRow::from_report(format!("{p:?}"), &rep)
-    })
+) -> PodResult<Vec<SweepRow>> {
+    Executor::new()
+        .map(params, |p| {
+            let (scheme, cfg) = configure(p);
+            let rep = run_scheme(scheme, trace, &cfg)?;
+            Ok(SweepRow::from_report(format!("{p:?}"), &rep))
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Ablation: Select-Dedupe duplicate-run threshold T (paper fixes 3).
 /// Lower T dedups more aggressively (more fragmentation risk); higher T
 /// forfeits small-write elimination.
-pub fn threshold_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
+pub fn threshold_sweep(scale: f64, seed: u64) -> PodResult<Vec<SweepRow>> {
     let trace = TraceProfile::web_vm().scaled(scale).generate(seed);
     sweep(&trace, &[1usize, 2, 3, 5, 8, 16], |&t| {
         let mut cfg = SystemConfig::paper_default();
@@ -504,7 +518,7 @@ pub fn threshold_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
 }
 
 /// Ablation: per-disk queue discipline under the Native baseline.
-pub fn scheduler_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
+pub fn scheduler_sweep(scale: f64, seed: u64) -> PodResult<Vec<SweepRow>> {
     use pod_disk::SchedulerKind;
     let trace = TraceProfile::mail().scaled(scale).generate(seed);
     sweep(
@@ -524,7 +538,7 @@ pub fn scheduler_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
 
 /// Ablation: DRAM budget sensitivity of POD (memory_scale multiples of
 /// the paper's per-trace budget).
-pub fn memory_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
+pub fn memory_sweep(scale: f64, seed: u64) -> PodResult<Vec<SweepRow>> {
     let trace = TraceProfile::mail().scaled(scale).generate(seed);
     sweep(&trace, &[0.01f64, 0.02, 0.03, 0.06, 0.12], |&m| {
         let mut cfg = SystemConfig::paper_default();
@@ -550,13 +564,13 @@ pub struct RestoreRow {
 
 /// §II: "the restore (read) times with deduplication are much higher
 /// than those without deduplication, by an average of 2.9x and up to
-/// 4.2x" — measured on VM disk images (the authors' SAR work [18]).
+/// 4.2x" — measured on VM disk images (the authors' SAR work \[18\]).
 /// Reproduce that setting: provision a fleet of near-identical VM
 /// images through each scheme's write path, then restore one clone with
 /// a sequential full-image read sweep. Deduplication remaps the clone
 /// onto the golden copy plus scattered private blocks, so the restore
 /// pays extra seeks; Native reads one contiguous region.
-pub fn restore_experiment(scale: f64, seed: u64) -> Vec<RestoreRow> {
+pub fn restore_experiment(scale: f64, seed: u64) -> PodResult<Vec<RestoreRow>> {
     use pod_trace::VmFleetConfig;
     use pod_types::{IoRequest, Lba, SimTime};
     let fleet = VmFleetConfig {
@@ -600,16 +614,15 @@ pub fn restore_experiment(scale: f64, seed: u64) -> Vec<RestoreRow> {
     let mut cfg = SystemConfig::paper_default();
     // Restore reads are cold by definition: measure the media, not the cache.
     cfg.memory_scale = 0.001;
-    let reports = run_schemes(&schemes, &trace, &cfg);
-    schemes
+    let reports = run_schemes(&schemes, &trace, &cfg)?;
+    Ok(reports
         .iter()
-        .zip(reports.iter())
-        .map(|(_, rep)| RestoreRow {
+        .map(|rep| RestoreRow {
             scheme: rep.scheme.clone(),
             restore_ms: rep.reads.mean_ms(),
             fragmentation: rep.read_fragmentation,
         })
-        .collect()
+        .collect())
 }
 
 /// Render the restore experiment as CSV (normalized to Native).
@@ -640,14 +653,14 @@ pub fn restore_csv(rows: &[RestoreRow]) -> String {
 /// Load sweep: compress the mail trace's inter-arrival times and watch
 /// Native collapse while POD absorbs the load (write elimination relieves
 /// the queues — the §IV-B mechanism, made explicit).
-pub fn load_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
+pub fn load_sweep(scale: f64, seed: u64) -> PodResult<Vec<SweepRow>> {
     let base = TraceProfile::mail().scaled(scale).generate(seed);
     let factors = [2.0f64, 1.0, 0.5, 0.25];
     let mut rows = Vec::new();
     for &f in &factors {
         let trace = base.scale_time(f);
         let cfg = SystemConfig::paper_default();
-        let reports = run_schemes(&[Scheme::Native, Scheme::Pod], &trace, &cfg);
+        let reports = run_schemes(&[Scheme::Native, Scheme::Pod], &trace, &cfg)?;
         rows.push(SweepRow {
             param: format!("x{:.2}-native", 1.0 / f),
             overall_ms: reports[0].overall.mean_ms(),
@@ -665,7 +678,7 @@ pub fn load_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
             capacity_mib: reports[1].capacity_used_mib(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------
@@ -675,7 +688,7 @@ pub fn load_sweep(scale: f64, seed: u64) -> Vec<SweepRow> {
 /// Consolidate the three paper workloads onto one array — the paper's
 /// titular Cloud deployment — and compare the schemes on the merged
 /// stream.
-pub fn consolidated_comparison(scale: f64, seed: u64) -> Vec<ReplayReport> {
+pub fn consolidated_comparison(scale: f64, seed: u64) -> PodResult<Vec<ReplayReport>> {
     let tenants: Vec<Trace> = TraceProfile::paper_traces()
         .into_iter()
         .enumerate()
@@ -775,7 +788,7 @@ mod tests {
 
     #[test]
     fn table1_matches_paper_claims() {
-        let rows = table1(0.01, DEFAULT_SEED);
+        let rows = table1(0.01, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 7);
         let get = |name: &str| rows.iter().find(|r| r.scheme == name).expect(name);
         let (native, full, idedup, select, pod, post, iodedup) = (
@@ -821,7 +834,7 @@ mod tests {
 
     #[test]
     fn consolidated_cloud_comparison_holds_headlines() {
-        let reports = consolidated_comparison(0.004, DEFAULT_SEED);
+        let reports = consolidated_comparison(0.004, DEFAULT_SEED).expect("replay");
         assert_eq!(reports.len(), 4);
         let native = &reports[0];
         let pod = &reports[3];
@@ -835,7 +848,7 @@ mod tests {
 
     #[test]
     fn restore_shows_dedup_read_amplification() {
-        let rows = restore_experiment(0.01, DEFAULT_SEED);
+        let rows = restore_experiment(0.01, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 3);
         let get = |n: &str| rows.iter().find(|r| r.scheme == n).expect(n);
         let native = get("Native");
@@ -869,7 +882,7 @@ mod tests {
 
     #[test]
     fn load_sweep_pod_absorbs_load_better() {
-        let rows = load_sweep(0.008, DEFAULT_SEED);
+        let rows = load_sweep(0.008, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 8);
         // At the highest load (last pair), POD's advantage over Native is
         // at least as large as at the lowest load (first pair).
@@ -885,7 +898,7 @@ mod tests {
 
     #[test]
     fn threshold_sweep_shape() {
-        let rows = threshold_sweep(0.01, DEFAULT_SEED);
+        let rows = threshold_sweep(0.01, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 6);
         // Lower thresholds remove at least roughly as many writes as
         // higher ones (layout feedback makes this noisy by a point or
@@ -905,7 +918,7 @@ mod tests {
 
     #[test]
     fn scheduler_sweep_runs_all_disciplines() {
-        let rows = scheduler_sweep(0.004, DEFAULT_SEED);
+        let rows = scheduler_sweep(0.004, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.overall_ms > 0.0, "{}: nonzero latency", r.param);
@@ -914,7 +927,7 @@ mod tests {
 
     #[test]
     fn memory_sweep_more_memory_never_hurts_much() {
-        let rows = memory_sweep(0.01, DEFAULT_SEED);
+        let rows = memory_sweep(0.01, DEFAULT_SEED).expect("replay");
         assert_eq!(rows.len(), 5);
         let smallest = rows.first().expect("rows").overall_ms;
         let largest = rows.last().expect("rows").overall_ms;
@@ -926,7 +939,7 @@ mod tests {
 
     #[test]
     fn comparison_reproduces_headline_shapes() {
-        let cmp = scheme_comparison(SCALE, DEFAULT_SEED);
+        let cmp = scheme_comparison(SCALE, DEFAULT_SEED).expect("replay");
         for (ti, trace_name) in ["web-vm", "homes", "mail"].iter().enumerate() {
             let native = cmp.report(ti, Scheme::Native);
             let select = cmp.report(ti, Scheme::SelectDedupe);

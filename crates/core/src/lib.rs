@@ -17,8 +17,11 @@
 //!   budgets) plus every knob the ablation benches sweep.
 //! * [`scheme`] — [`Scheme`]: Native / Full-Dedupe / iDedup /
 //!   Select-Dedupe / POD (= Select-Dedupe + adaptive iCache).
-//! * [`runner`] — [`SchemeRunner`]: deterministic trace replay producing
-//!   a [`ReplayReport`].
+//! * [`stack`] — the layered [`StorageStack`]: cache / dedup / disk
+//!   layers plus background tasks, composed declaratively from a
+//!   [`StackSpec`] with an observer threaded through every layer.
+//! * [`runner`] — [`SchemeRunner`]: deterministic trace replay driving a
+//!   [`StorageStack`] and producing a [`ReplayReport`].
 //! * [`metrics`] — response-time accumulators (mean, percentiles).
 //! * [`experiments`] — one function per table/figure of the paper.
 
@@ -31,9 +34,11 @@ pub mod metrics;
 pub mod pool;
 pub mod runner;
 pub mod scheme;
+pub mod stack;
 
 pub use config::SystemConfig;
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
 pub use pool::Executor;
 pub use runner::{ReplayReport, ReplaySizing, SchemeRunner};
 pub use scheme::Scheme;
+pub use stack::{StackCounters, StackObserver, StackSpec, StorageStack};

@@ -30,6 +30,13 @@ impl Metrics {
         self.samples.len()
     }
 
+    /// The raw samples in recording order (µs). Exposed so snapshot
+    /// tests can fingerprint the full distribution, not just the
+    /// derived statistics.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()

@@ -19,13 +19,11 @@
 use crate::config::SystemConfig;
 use crate::metrics::{Metrics, Timeline};
 use crate::scheme::Scheme;
+use crate::stack::{StackCounters, StorageStack};
 use pod_dedup::engine::EngineCounters;
-use pod_dedup::{DedupConfig, DedupEngine, WriteScratch};
 use pod_disk::engine::DiskStats;
-use pod_disk::{ArraySim, JobId, PhysOp, RaidGeometry};
-use pod_icache::{ICache, ICacheConfig};
 use pod_trace::Trace;
-use pod_types::{IoOp, Pba, PodError, PodResult, SimDuration, SimTime};
+use pod_types::PodResult;
 
 /// Result of replaying one trace through one scheme.
 #[derive(Debug, Clone)]
@@ -59,6 +57,10 @@ pub struct ReplayReport {
     pub icache_repartitions: u64,
     /// Final index-cache share of the memory budget.
     pub final_index_fraction: f64,
+    /// The full structured counter stream from the replay's
+    /// [`StackObserver`](crate::stack::StackObserver) — everything the
+    /// derived rates above were computed from.
+    pub stack: StackCounters,
     /// Mean response time per arrival-time window (60 windows across the
     /// replayed span) — the latency curve over the day.
     pub timeline: Timeline,
@@ -185,7 +187,10 @@ impl SchemeRunner {
         &self.cfg
     }
 
-    /// Replay `trace`, returning the full report.
+    /// Replay `trace`, panicking on failure — a convenience for tests,
+    /// benches and doctests where a replay error is a bug in the setup.
+    /// Production paths (CLI, experiments) use
+    /// [`try_replay`](Self::try_replay) and propagate the error.
     ///
     /// # Panics
     /// Panics if the trace's working set exceeds the configured array
@@ -196,260 +201,28 @@ impl SchemeRunner {
     }
 
     /// Replay, surfacing errors.
+    ///
+    /// The replay is a thin driver: the scheme is resolved once into a
+    /// declarative [`StackSpec`](crate::stack::StackSpec), the layered
+    /// [`StorageStack`] is composed from it, and every request flows
+    /// through the same code path — no scheme branching anywhere below
+    /// this line.
     pub fn try_replay(&self, trace: &Trace) -> PodResult<ReplayReport> {
         let cfg = &self.cfg;
-        let scheme = self.scheme;
-
-        // ---- Sizing -------------------------------------------------
-        let sizing = ReplaySizing::from_trace(trace);
-        let logical_blocks = sizing.logical_blocks;
-        let overflow_blocks = sizing.overflow_blocks;
-        let region = sizing.region_blocks;
-        let index_region_base = sizing.index_region_base;
-        let swap_region_base = sizing.swap_region_base;
-        let needed = sizing.needed_blocks;
-
-        let geometry = RaidGeometry::new(cfg.raid.clone());
-        let data_capacity = cfg.raid.data_disks() as u64 * cfg.disk.capacity_blocks;
-        if needed > data_capacity {
-            return Err(PodError::OutOfRange {
-                what: "working set (blocks)",
-                value: needed,
-                limit: data_capacity,
-            });
-        }
-
-        // The DRAM budget belongs to the dedup module (index cache +
-        // read cache, Fig. 7). Native is the stock array without the
-        // module, hence without a storage-node cache at all — the
-        // upstream buffer-cache effects are already captured in the
-        // traces (§IV-A).
-        let memory = if scheme.dedups() {
-            cfg.memory_bytes
-                .unwrap_or(((trace.memory_budget_bytes as f64) * cfg.memory_scale) as u64)
-                .max(1 << 20)
-        } else {
-            0
-        };
-        let index_fraction = if scheme.dedups() {
-            cfg.index_fraction
-        } else {
-            0.0
-        };
-
-        let mut icache = ICache::new(ICacheConfig {
-            total_bytes: memory,
-            initial_index_fraction: index_fraction,
-            epoch_requests: cfg.icache_epoch_requests,
-            swap_step_fraction: cfg.icache_swap_step,
-            min_fraction: cfg.icache_min_fraction,
-            hysteresis: 2.0,
-            read_miss_penalty_us: cfg.icache_read_penalty_us,
-            // Default: an eliminated write saves a RAID-5 small-write
-            // RMW (2 reads + 2 writes of disk work) plus its queueing
-            // amplification; a read miss saves one access.
-            write_miss_penalty_us: cfg.icache_write_penalty_us,
-            adaptive: scheme.adaptive_icache(),
-            read_policy: cfg.read_policy,
-        });
-
-        let mut engine = DedupEngine::new(
-            scheme.policy(),
-            DedupConfig {
-                select_threshold: cfg.select_threshold,
-                idedup_threshold: cfg.idedup_threshold,
-                index_page_fault_rate: cfg.index_page_fault_rate.max(1),
-                index_policy: cfg.index_policy,
-                index_budget_bytes: icache.index_bytes(),
-                logical_blocks,
-                overflow_blocks,
-                expected_unique_blocks: sizing.expected_unique_blocks,
-            },
-        );
-
-        let mut sim = ArraySim::new(geometry, cfg.disk.clone(), cfg.scheduler);
-        if let Some(disk) = cfg.fail_disk {
-            sim.fail_disk(disk)?;
-        }
+        let spec = self.scheme.stack_spec();
+        let mut stack = StorageStack::build(&spec, cfg, trace)?;
 
         // ---- Replay -------------------------------------------------
         let n = trace.requests.len();
         let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
-        // (request index, arrival, job) for disk-bound requests.
-        let mut pending: Vec<(usize, SimTime, JobId)> = Vec::with_capacity(n);
-        // Direct completions for requests with no disk work.
-        let mut direct: Vec<(usize, SimDuration)> = Vec::new();
-        // Reusable engine buffers: the write hot path allocates nothing
-        // in steady state (see pod-dedup's WriteScratch).
-        let mut scratch = WriteScratch::with_chunk_capacity(sizing.max_request_blocks.max(1));
-
-        let mut lookup_counter: u64 = 0;
-        let mut swap_cursor: u64 = 0;
-        let mut frag_sum: u64 = 0;
-        let mut frag_reads: u64 = 0;
-        let mut read_hits_measured: u64 = 0;
-        let mut reads_measured: u64 = 0;
-
         for (idx, req) in trace.requests.iter().enumerate() {
-            sim.run_until(req.arrival);
-            let measured = idx >= warmup;
-            match req.op {
-                IoOp::Write => {
-                    let hash_lat = if scheme.inline_hashing() {
-                        hash_span(req.nblocks, cfg)
-                    } else {
-                        SimDuration::ZERO
-                    };
-                    let summary = engine.process_write_into(req, &mut scratch)?;
-                    if scheme.dedups() {
-                        icache.on_index_victims(&scratch.index_victims);
-                        icache.on_index_misses(&scratch.index_miss_fps);
-                        let hits = req.chunks.len() as u64 - scratch.index_miss_fps.len() as u64;
-                        icache.on_index_hits(hits);
-                    }
-                    // Write-allocate: the storage cache retains freshly
-                    // written blocks, which primary-storage reads target
-                    // heavily (temporal locality, §II-A). I/O-Dedup keys
-                    // by content so duplicates share one slot.
-                    if scheme.dedups() {
-                        if scheme.content_addressed_cache() {
-                            for (_, fp) in req.write_chunks() {
-                                icache.read_fill_key(fp.prefix_u64());
-                            }
-                        } else {
-                            for lba in req.lbas() {
-                                icache.read_fill(lba);
-                            }
-                        }
-                    }
-                    let submit = req.arrival + hash_lat + SimDuration::from_micros(cfg.metadata_us);
-                    if summary.disk_index_lookups == 0 && scratch.write_extents.is_empty() {
-                        // Fully deduplicated: no disk I/O at all.
-                        direct.push((idx, submit - req.arrival));
-                    } else {
-                        let phases = build_write_phases(
-                            &sim,
-                            &scratch.write_extents,
-                            summary.disk_index_lookups,
-                            index_region_base,
-                            region,
-                            &mut lookup_counter,
-                        );
-                        let job = sim.submit_phases(submit, phases);
-                        pending.push((idx, req.arrival, job));
-                    }
-                }
-                IoOp::Read => {
-                    let mut all_hit = true;
-                    for lba in req.lbas() {
-                        let key = if scheme.content_addressed_cache() {
-                            // Content-addressed lookup: hit if *any* copy
-                            // of this block's content is cached.
-                            engine
-                                .content_of(lba)
-                                .map(|fp| fp.prefix_u64())
-                                .unwrap_or(lba.raw())
-                        } else {
-                            lba.raw()
-                        };
-                        if !icache.read_lookup_key(key) {
-                            all_hit = false;
-                        }
-                    }
-                    if measured {
-                        reads_measured += 1;
-                        if all_hit {
-                            read_hits_measured += 1;
-                        }
-                    }
-                    if all_hit {
-                        direct.push((idx, SimDuration::from_micros(cfg.cache_hit_us)));
-                    } else {
-                        let plan = engine.plan_read(req);
-                        if measured {
-                            frag_sum += plan.extents.len() as u64;
-                            frag_reads += 1;
-                        }
-                        let mut ops: Vec<PhysOp> = Vec::new();
-                        for &(pba, len) in &plan.extents {
-                            ops.extend(sim.geometry().plan_read(pba, len));
-                        }
-                        let submit = req.arrival + SimDuration::from_micros(cfg.metadata_us);
-                        let job = sim.submit_phases(submit, vec![ops]);
-                        pending.push((idx, req.arrival, job));
-                        for lba in req.lbas() {
-                            let key = if scheme.content_addressed_cache() {
-                                engine
-                                    .content_of(lba)
-                                    .map(|fp| fp.prefix_u64())
-                                    .unwrap_or(lba.raw())
-                            } else {
-                                lba.raw()
-                            };
-                            icache.read_fill_key(key);
-                        }
-                    }
-                }
-            }
-
-            // PostProcess: periodic background deduplication pass. The
-            // scan re-reads the queued blocks (charged as a background
-            // job) and the fingerprinting happens off the critical path.
-            if scheme == Scheme::PostProcess
-                && ((idx + 1) as u64).is_multiple_of(cfg.post_process_interval)
-            {
-                let scan = engine.post_process_scan(cfg.post_process_batch)?;
-                if !scan.read_extents.is_empty() {
-                    let mut ops: Vec<PhysOp> = Vec::new();
-                    for &(pba, len) in &scan.read_extents {
-                        ops.extend(sim.geometry().plan_read(pba, len));
-                    }
-                    sim.submit_phases(req.arrival, vec![ops]);
-                }
-            }
-
-            // iCache adaptation at epoch boundaries.
-            if let Some(rp) = icache.note_request(req.op.is_write()) {
-                let victims = engine.index_mut().resize_bytes(rp.index_bytes);
-                icache.on_index_victims(&victims);
-                if rp.swap_blocks > 0 {
-                    submit_swap_job(
-                        &mut sim,
-                        req.arrival,
-                        swap_region_base,
-                        region,
-                        &mut swap_cursor,
-                        rp.swap_blocks,
-                    );
-                }
-            }
+            stack.run_until(req.arrival);
+            stack.process_request(idx, req, idx >= warmup)?;
         }
-
-        // PostProcess: drain the remaining backlog so the capacity
-        // numbers reflect a completed background pass.
-        if scheme == Scheme::PostProcess {
-            while engine.scan_backlog() > 0 {
-                let scan = engine.post_process_scan(cfg.post_process_batch)?;
-                if scan.scanned_chunks == 0 {
-                    break;
-                }
-            }
-        }
-
-        sim.run_to_idle();
+        stack.finish()?;
 
         // ---- Collect ------------------------------------------------
-        let mut responses: Vec<Option<u64>> = vec![None; n];
-        for (idx, dur) in direct {
-            responses[idx] = Some(dur.as_micros());
-        }
-        for (idx, arrival, job) in pending {
-            let done = sim
-                .job_completion(job)
-                .expect("all jobs complete after run_to_idle");
-            responses[idx] = Some((done - arrival).as_micros());
-        }
-
+        let responses = stack.responses(n);
         let mut overall = Metrics::new();
         let mut reads = Metrics::new();
         let mut writes = Metrics::new();
@@ -469,120 +242,33 @@ impl SchemeRunner {
         }
         let timeline = Timeline::build(&timeline_samples, 60);
 
+        let counters = *stack.observer();
         Ok(ReplayReport {
-            scheme: scheme.name().to_string(),
+            scheme: spec.name.to_string(),
             trace: trace.name.clone(),
             overall,
             reads,
             writes,
-            counters: engine.counters(),
-            capacity_used_blocks: engine.store().used_blocks(),
-            nvram_peak_bytes: engine.store().nvram().peak_bytes(),
-            read_cache_hit_rate: if reads_measured == 0 {
-                0.0
-            } else {
-                read_hits_measured as f64 / reads_measured as f64
-            },
-            read_fragmentation: if frag_reads == 0 {
-                1.0
-            } else {
-                frag_sum as f64 / frag_reads as f64
-            },
-            disk: sim.disk_stats(),
-            icache_epochs: icache.epochs(),
-            icache_repartitions: icache.repartitions(),
-            final_index_fraction: icache.index_bytes() as f64
-                / (icache.index_bytes() + icache.read_bytes()).max(1) as f64,
+            counters: stack.dedup().counters(),
+            capacity_used_blocks: stack.dedup().capacity_used_blocks(),
+            nvram_peak_bytes: stack.dedup().nvram_peak_bytes(),
+            read_cache_hit_rate: counters.read_hit_rate(),
+            read_fragmentation: counters.read_fragmentation(),
+            disk: stack.disk().stats(),
+            icache_epochs: stack.cache().epochs(),
+            icache_repartitions: stack.cache().repartitions(),
+            final_index_fraction: stack.cache().index_fraction(),
+            stack: counters,
             timeline,
         })
     }
-}
-
-/// Fingerprinting latency for `nblocks` chunks with the configured
-/// worker count (span, not work: parallel lanes hash concurrently).
-fn hash_span(nblocks: u32, cfg: &SystemConfig) -> SimDuration {
-    let rounds = (nblocks as u64).div_ceil(cfg.hash_workers as u64);
-    SimDuration::from_micros(rounds * cfg.hash_us_per_chunk)
-}
-
-/// Assemble the dependent phases of a write job: on-disk index lookups
-/// (random reads in the index region) precede the data writes; each
-/// extent contributes its RAID write plan, with all extents' read phases
-/// merged and all write phases merged (they proceed in parallel).
-fn build_write_phases(
-    sim: &ArraySim,
-    extents: &[(Pba, u32)],
-    disk_lookups: u32,
-    index_region_base: u64,
-    region: u64,
-    lookup_counter: &mut u64,
-) -> Vec<Vec<PhysOp>> {
-    let mut lookup_phase: Vec<PhysOp> = Vec::new();
-    for _ in 0..disk_lookups {
-        // Spread lookups pseudo-randomly (deterministically) across the
-        // index region: hash-index probes are random reads.
-        let offset = (*lookup_counter).wrapping_mul(7_919) % region;
-        *lookup_counter += 1;
-        lookup_phase.extend(
-            sim.geometry()
-                .plan_read(Pba::new(index_region_base + offset), 1),
-        );
-    }
-
-    let mut pre_phase: Vec<PhysOp> = Vec::new();
-    let mut write_phase: Vec<PhysOp> = Vec::new();
-    for &(pba, len) in extents {
-        let plan = sim.geometry().plan_write(pba, len);
-        let mut phases = plan.phases.into_iter();
-        match (phases.next(), phases.next()) {
-            (Some(only), None) => write_phase.extend(only),
-            (Some(pre), Some(wr)) => {
-                pre_phase.extend(pre);
-                write_phase.extend(wr);
-            }
-            _ => {}
-        }
-    }
-
-    vec![lookup_phase, pre_phase, write_phase]
-        .into_iter()
-        .filter(|p| !p.is_empty())
-        .collect()
-}
-
-/// Charge iCache swap traffic as a sequential write job in the reserved
-/// swap region (not tied to any request's latency, but it does occupy
-/// the disks).
-fn submit_swap_job(
-    sim: &mut ArraySim,
-    at: SimTime,
-    swap_region_base: u64,
-    region: u64,
-    cursor: &mut u64,
-    blocks: u64,
-) {
-    let mut remaining = blocks;
-    let mut ops: Vec<PhysOp> = Vec::new();
-    while remaining > 0 {
-        let chunk = remaining.min(256);
-        let start = swap_region_base + (*cursor % region);
-        // Clamp runs that would spill past the region.
-        let len = chunk.min(region - (*cursor % region)) as u32;
-        for mut op in sim.geometry().plan_read(Pba::new(start), len) {
-            op.write = true;
-            ops.push(op);
-        }
-        *cursor += len as u64;
-        remaining -= len as u64;
-    }
-    sim.submit_phases(at, vec![ops]);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pod_trace::TraceProfile;
-    use pod_types::Lba;
+    use pod_types::{Lba, SimTime};
 
     fn tiny_trace(name: &str) -> Trace {
         let p = match name {

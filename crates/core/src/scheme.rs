@@ -1,5 +1,6 @@
 //! The five evaluated schemes.
 
+use crate::stack::{BackgroundKind, CacheKeying, StackSpec};
 use pod_dedup::DedupPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,33 @@ impl Scheme {
         matches!(self, Scheme::IODedup)
     }
 
+    /// The declarative stack this scheme composes. This is the single
+    /// point where a `Scheme` becomes layer configuration — the replay
+    /// driver consumes only the returned [`StackSpec`].
+    pub fn stack_spec(&self) -> StackSpec {
+        let mut background = Vec::new();
+        if matches!(self.policy(), DedupPolicy::PostProcess) {
+            background.push(BackgroundKind::PostProcessScan);
+        }
+        // Every stack closes iCache epochs — non-adaptive stacks still
+        // account requests (against a fixed or empty budget), they just
+        // never repartition.
+        background.push(BackgroundKind::IcacheRepartition);
+        StackSpec {
+            name: self.name(),
+            policy: self.policy(),
+            dedups: self.dedups(),
+            inline_hashing: self.inline_hashing(),
+            adaptive_icache: self.adaptive_icache(),
+            keying: if self.content_addressed_cache() {
+                CacheKeying::Content
+            } else {
+                CacheKeying::Lba
+            },
+            background,
+        }
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {
@@ -167,5 +195,70 @@ mod tests {
     fn names_and_display() {
         assert_eq!(Scheme::Pod.name(), "POD");
         assert_eq!(format!("{}", Scheme::SelectDedupe), "Select-Dedupe");
+    }
+
+    #[test]
+    fn stack_spec_mirrors_scheme_flags() {
+        for s in Scheme::extended() {
+            let spec = s.stack_spec();
+            assert_eq!(spec.name, s.name());
+            assert_eq!(spec.policy, s.policy());
+            assert_eq!(spec.dedups, s.dedups());
+            assert_eq!(spec.inline_hashing, s.inline_hashing());
+            assert_eq!(spec.adaptive_icache, s.adaptive_icache());
+            assert_eq!(
+                spec.keying == CacheKeying::Content,
+                s.content_addressed_cache()
+            );
+        }
+    }
+
+    #[test]
+    fn stack_spec_background_tasks() {
+        for s in Scheme::extended() {
+            let spec = s.stack_spec();
+            // Only Post-Process registers a scan; everyone closes epochs.
+            assert_eq!(
+                spec.has_background(BackgroundKind::PostProcessScan),
+                s == Scheme::PostProcess,
+                "{s}"
+            );
+            assert!(
+                spec.has_background(BackgroundKind::IcacheRepartition),
+                "{s}"
+            );
+            // Scan must precede epoch accounting (the monolithic loop's
+            // order, preserved by construction).
+            assert_eq!(
+                spec.background.last(),
+                Some(&BackgroundKind::IcacheRepartition)
+            );
+        }
+    }
+
+    #[test]
+    fn stack_spec_pod_vs_iodedup_composition() {
+        let pod = Scheme::Pod.stack_spec();
+        assert!(pod.adaptive_icache && pod.inline_hashing && pod.dedups);
+        assert_eq!(pod.keying, CacheKeying::Lba);
+        assert_eq!(pod.policy, DedupPolicy::SelectDedupe);
+
+        let io = Scheme::IODedup.stack_spec();
+        assert_eq!(io.keying, CacheKeying::Content);
+        assert!(!io.adaptive_icache);
+
+        let native = Scheme::Native.stack_spec();
+        assert!(!native.dedups && !native.inline_hashing);
+        assert_eq!(native.background, vec![BackgroundKind::IcacheRepartition]);
+
+        let post = Scheme::PostProcess.stack_spec();
+        assert!(post.dedups && !post.inline_hashing, "hashes out-of-band");
+        assert_eq!(
+            post.background,
+            vec![
+                BackgroundKind::PostProcessScan,
+                BackgroundKind::IcacheRepartition
+            ]
+        );
     }
 }

@@ -1,0 +1,121 @@
+//! Background work that rides along with the foreground request stream.
+//!
+//! Each [`BackgroundTask`] is registered by the [`StackSpec`] and runs
+//! after every request via [`BackgroundTask::after_request`]; the replay
+//! driver never branches on the scheme. Tasks see the other layers
+//! through [`LayerCtx`], so they compose the same primitives the
+//! foreground path uses (scans, cache accounting, disk submission).
+//!
+//! [`StackSpec`]: crate::stack::StackSpec
+
+use crate::stack::cache::CacheLayer;
+use crate::stack::dedup::DedupLayer;
+use crate::stack::disk::DiskBackend;
+use crate::stack::observer::StackObserver;
+use pod_types::{IoRequest, PodResult};
+
+/// Mutable views of the stack's layers handed to a background task.
+pub struct LayerCtx<'a> {
+    /// The cache layer.
+    pub cache: &'a mut CacheLayer,
+    /// The dedup layer.
+    pub dedup: &'a mut DedupLayer,
+    /// The disk backend.
+    pub disk: &'a mut dyn DiskBackend,
+    /// The stack's observer.
+    pub observer: &'a mut dyn StackObserver,
+}
+
+/// A unit of background work driven by the request stream.
+pub trait BackgroundTask {
+    /// Runs after every foreground request (in registration order).
+    fn after_request(
+        &mut self,
+        ctx: &mut LayerCtx<'_>,
+        idx: usize,
+        req: &IoRequest,
+    ) -> PodResult<()>;
+
+    /// Runs once after the last request, before the disks drain, so
+    /// end-of-replay metrics reflect completed background work.
+    fn drain(&mut self, ctx: &mut LayerCtx<'_>) -> PodResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+}
+
+/// Periodic post-process deduplication: every `interval` requests, scan
+/// up to `batch` queued chunks, charging the re-reads as a background
+/// disk job (the fingerprinting itself is off the critical path).
+#[derive(Debug)]
+pub struct PostProcessTask {
+    interval: u64,
+    batch: usize,
+}
+
+impl PostProcessTask {
+    /// Build with the configured scan cadence.
+    pub fn new(interval: u64, batch: usize) -> Self {
+        Self { interval, batch }
+    }
+}
+
+impl BackgroundTask for PostProcessTask {
+    fn after_request(
+        &mut self,
+        ctx: &mut LayerCtx<'_>,
+        idx: usize,
+        req: &IoRequest,
+    ) -> PodResult<()> {
+        if !((idx + 1) as u64).is_multiple_of(self.interval) {
+            return Ok(());
+        }
+        let scan = ctx.dedup.scan(self.batch)?;
+        ctx.observer.on_background_scan(&scan);
+        if !scan.read_extents.is_empty() {
+            ctx.disk.submit_scan_read(req.arrival, &scan.read_extents);
+        }
+        Ok(())
+    }
+
+    /// Drain the remaining backlog so the capacity numbers reflect a
+    /// completed background pass (no further disk charges: the replay
+    /// clock has stopped advancing).
+    fn drain(&mut self, ctx: &mut LayerCtx<'_>) -> PodResult<()> {
+        while ctx.dedup.scan_backlog() > 0 {
+            let scan = ctx.dedup.scan(self.batch)?;
+            ctx.observer.on_background_scan(&scan);
+            if scan.scanned_chunks == 0 {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// iCache adaptation: close epochs on every request and, when the
+/// cost-benefit accounting decides to repartition, resize the index
+/// table (feeding its victims to the ghost index) and charge the swap
+/// traffic to the disks.
+#[derive(Debug, Default)]
+pub struct RepartitionTask;
+
+impl BackgroundTask for RepartitionTask {
+    fn after_request(
+        &mut self,
+        ctx: &mut LayerCtx<'_>,
+        _idx: usize,
+        req: &IoRequest,
+    ) -> PodResult<()> {
+        if let Some(rp) = ctx.cache.note_request(req.op.is_write()) {
+            let victims = ctx.dedup.resize_index(rp.index_bytes);
+            ctx.cache.on_index_victims(&victims);
+            ctx.observer.on_repartition(&rp);
+            if rp.swap_blocks > 0 {
+                ctx.disk.submit_swap(req.arrival, rp.swap_blocks);
+                ctx.observer.on_swap(rp.swap_blocks);
+            }
+        }
+        Ok(())
+    }
+}

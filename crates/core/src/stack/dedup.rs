@@ -1,0 +1,114 @@
+//! The dedup layer: write-path policy engine plus its latency model.
+//!
+//! Wraps [`DedupEngine`] together with the reusable [`WriteScratch`]
+//! (the zero-allocation hot path) and the inline-fingerprinting cost
+//! model, so the replay driver sees one `process_write` instead of
+//! engine + scratch + hash bookkeeping.
+
+use pod_dedup::engine::EngineCounters;
+use pod_dedup::{
+    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, ScanOutcome, WriteScratch, WriteSummary,
+};
+use pod_types::{Fingerprint, IoRequest, Lba, PodResult, SimDuration};
+
+/// Write-path deduplication layer.
+#[derive(Debug)]
+pub struct DedupLayer {
+    engine: DedupEngine,
+    scratch: WriteScratch,
+    inline_hashing: bool,
+    hash_us_per_chunk: u64,
+    hash_workers: usize,
+}
+
+impl DedupLayer {
+    /// Build the layer over a configured engine.
+    pub fn new(
+        policy: DedupPolicy,
+        cfg: DedupConfig,
+        inline_hashing: bool,
+        hash_us_per_chunk: u64,
+        hash_workers: usize,
+        max_request_blocks: usize,
+    ) -> Self {
+        Self {
+            engine: DedupEngine::new(policy, cfg),
+            scratch: WriteScratch::with_chunk_capacity(max_request_blocks.max(1)),
+            inline_hashing,
+            hash_us_per_chunk,
+            hash_workers,
+        }
+    }
+
+    /// Fingerprinting latency charged on the write's critical path for
+    /// `nblocks` chunks (span, not work: parallel lanes hash
+    /// concurrently). Zero for stacks that hash out-of-band or not at
+    /// all.
+    pub fn hash_latency(&self, nblocks: u32) -> SimDuration {
+        if !self.inline_hashing {
+            return SimDuration::ZERO;
+        }
+        let rounds = (nblocks as u64).div_ceil(self.hash_workers as u64);
+        SimDuration::from_micros(rounds * self.hash_us_per_chunk)
+    }
+
+    /// Process one write through the policy engine. The surviving
+    /// extents and ghost-feed vectors land in [`DedupLayer::scratch`];
+    /// in steady state this allocates nothing.
+    pub fn process_write(&mut self, req: &IoRequest) -> PodResult<WriteSummary> {
+        self.engine.process_write_into(req, &mut self.scratch)
+    }
+
+    /// The last write's scratch results (valid until the next
+    /// [`DedupLayer::process_write`]).
+    pub fn scratch(&self) -> &WriteScratch {
+        &self.scratch
+    }
+
+    /// Map a read request onto physical extents.
+    pub fn plan_read(&self, req: &IoRequest) -> ReadPlan {
+        self.engine.plan_read(req)
+    }
+
+    /// The fingerprint currently stored at `lba`, if known.
+    pub fn content_of(&self, lba: Lba) -> Option<Fingerprint> {
+        self.engine.content_of(lba)
+    }
+
+    /// Resize the in-memory index to `bytes`, returning the evicted
+    /// fingerprints (ghost-index feed).
+    pub fn resize_index(&mut self, bytes: u64) -> Vec<Fingerprint> {
+        self.engine.index_mut().resize_bytes(bytes)
+    }
+
+    /// One background deduplication pass over up to `max_chunks` queued
+    /// chunks.
+    pub fn scan(&mut self, max_chunks: usize) -> PodResult<ScanOutcome> {
+        self.engine.post_process_scan(max_chunks)
+    }
+
+    /// Chunks written but not yet background-scanned.
+    pub fn scan_backlog(&self) -> usize {
+        self.engine.scan_backlog()
+    }
+
+    /// Cumulative engine counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.engine.counters()
+    }
+
+    /// Unique physical blocks holding data (Fig. 10 metric).
+    pub fn capacity_used_blocks(&self) -> u64 {
+        self.engine.store().used_blocks()
+    }
+
+    /// Peak NVRAM consumed by the Map table (§IV-D2 metric).
+    pub fn nvram_peak_bytes(&self) -> u64 {
+        self.engine.store().nvram().peak_bytes()
+    }
+
+    /// The wrapped engine (store/index inspection).
+    pub fn engine(&self) -> &DedupEngine {
+        &self.engine
+    }
+}

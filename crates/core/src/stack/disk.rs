@@ -1,0 +1,173 @@
+//! The disk layer: phase planning and submission behind a trait.
+//!
+//! [`DiskBackend`] is the seam the ROADMAP's multi-backend direction
+//! plugs into: the replay driver and background tasks speak extents and
+//! jobs, never RAID geometry. [`ArrayBackend`] is the paper's HDD
+//! RAID-5 array ([`ArraySim`]) plus the replay's reserved-region layout
+//! (on-disk index probes, iCache swap area).
+
+use crate::runner::ReplaySizing;
+use pod_disk::engine::DiskStats;
+use pod_disk::{ArraySim, JobId, PhysOp};
+use pod_types::{Pba, SimTime};
+
+/// Physical storage behind the stack. Object-safe so stacks can carry
+/// any backend; all submissions are deterministic given the call order.
+pub trait DiskBackend {
+    /// Advance simulated time to `t`, completing due work.
+    fn run_until(&mut self, t: SimTime);
+
+    /// Drain every outstanding job.
+    fn run_to_idle(&mut self);
+
+    /// Submit one write request's disk work: `index_lookups` random
+    /// reads in the reserved index region, then the extents' RMW
+    /// pre-reads, then the data+parity writes (dependent phases).
+    fn submit_write(&mut self, at: SimTime, extents: &[(Pba, u32)], index_lookups: u32) -> JobId;
+
+    /// Submit one read request's extents as a single parallel phase.
+    fn submit_read(&mut self, at: SimTime, extents: &[(Pba, u32)]) -> JobId;
+
+    /// Submit background scan reads (not tied to a request's latency).
+    fn submit_scan_read(&mut self, at: SimTime, extents: &[(Pba, u32)]);
+
+    /// Charge `blocks` of iCache swap traffic as sequential writes in
+    /// the reserved swap region.
+    fn submit_swap(&mut self, at: SimTime, blocks: u64);
+
+    /// Completion time of `job`, if it has finished.
+    fn completion(&self, job: JobId) -> Option<SimTime>;
+
+    /// Final per-disk statistics.
+    fn stats(&self) -> Vec<DiskStats>;
+}
+
+/// The default backend: the paper's simulated RAID array.
+pub struct ArrayBackend {
+    sim: ArraySim,
+    index_region_base: u64,
+    swap_region_base: u64,
+    region_blocks: u64,
+    /// Deterministic spreader for index-probe placement.
+    lookup_counter: u64,
+    /// Rolling write position in the swap region.
+    swap_cursor: u64,
+}
+
+impl ArrayBackend {
+    /// Wrap a simulator with the replay's region layout.
+    pub fn new(sim: ArraySim, sizing: &ReplaySizing) -> Self {
+        Self {
+            sim,
+            index_region_base: sizing.index_region_base,
+            swap_region_base: sizing.swap_region_base,
+            region_blocks: sizing.region_blocks,
+            lookup_counter: 0,
+            swap_cursor: 0,
+        }
+    }
+
+    /// The wrapped simulator.
+    pub fn sim(&self) -> &ArraySim {
+        &self.sim
+    }
+
+    /// Assemble the dependent phases of a write job: on-disk index
+    /// lookups (random reads in the index region) precede the data
+    /// writes; each extent contributes its RAID write plan, with all
+    /// extents' read phases merged and all write phases merged (they
+    /// proceed in parallel).
+    fn build_write_phases(
+        &mut self,
+        extents: &[(Pba, u32)],
+        disk_lookups: u32,
+    ) -> Vec<Vec<PhysOp>> {
+        let mut lookup_phase: Vec<PhysOp> = Vec::new();
+        for _ in 0..disk_lookups {
+            // Spread lookups pseudo-randomly (deterministically) across
+            // the index region: hash-index probes are random reads.
+            let offset = self.lookup_counter.wrapping_mul(7_919) % self.region_blocks;
+            self.lookup_counter += 1;
+            lookup_phase.extend(
+                self.sim
+                    .geometry()
+                    .plan_read(Pba::new(self.index_region_base + offset), 1),
+            );
+        }
+
+        let mut pre_phase: Vec<PhysOp> = Vec::new();
+        let mut write_phase: Vec<PhysOp> = Vec::new();
+        for &(pba, len) in extents {
+            let plan = self.sim.geometry().plan_write(pba, len);
+            let mut phases = plan.phases.into_iter();
+            match (phases.next(), phases.next()) {
+                (Some(only), None) => write_phase.extend(only),
+                (Some(pre), Some(wr)) => {
+                    pre_phase.extend(pre);
+                    write_phase.extend(wr);
+                }
+                _ => {}
+            }
+        }
+
+        vec![lookup_phase, pre_phase, write_phase]
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect()
+    }
+}
+
+impl DiskBackend for ArrayBackend {
+    fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    fn run_to_idle(&mut self) {
+        self.sim.run_to_idle();
+    }
+
+    fn submit_write(&mut self, at: SimTime, extents: &[(Pba, u32)], index_lookups: u32) -> JobId {
+        let phases = self.build_write_phases(extents, index_lookups);
+        self.sim.submit_phases(at, phases)
+    }
+
+    fn submit_read(&mut self, at: SimTime, extents: &[(Pba, u32)]) -> JobId {
+        let mut ops: Vec<PhysOp> = Vec::new();
+        for &(pba, len) in extents {
+            ops.extend(self.sim.geometry().plan_read(pba, len));
+        }
+        self.sim.submit_phases(at, vec![ops])
+    }
+
+    fn submit_scan_read(&mut self, at: SimTime, extents: &[(Pba, u32)]) {
+        let mut ops: Vec<PhysOp> = Vec::new();
+        for &(pba, len) in extents {
+            ops.extend(self.sim.geometry().plan_read(pba, len));
+        }
+        self.sim.submit_phases(at, vec![ops]);
+    }
+
+    fn submit_swap(&mut self, at: SimTime, blocks: u64) {
+        let mut remaining = blocks;
+        let mut ops: Vec<PhysOp> = Vec::new();
+        while remaining > 0 {
+            let chunk = remaining.min(256);
+            let start = self.swap_region_base + (self.swap_cursor % self.region_blocks);
+            // Clamp runs that would spill past the region.
+            let len =
+                chunk.min(self.region_blocks - (self.swap_cursor % self.region_blocks)) as u32;
+            ops.extend(self.sim.geometry().plan_stream_write(Pba::new(start), len));
+            self.swap_cursor += len as u64;
+            remaining -= len as u64;
+        }
+        self.sim.submit_phases(at, vec![ops]);
+    }
+
+    fn completion(&self, job: JobId) -> Option<SimTime> {
+        self.sim.job_completion(job)
+    }
+
+    fn stats(&self) -> Vec<DiskStats> {
+        self.sim.disk_stats()
+    }
+}

@@ -1,0 +1,331 @@
+//! The layered storage stack.
+//!
+//! A replay is a [`StorageStack`] driven by a thin loop: the stack is
+//! composed once from a declarative [`StackSpec`] and then processes
+//! requests with **zero scheme branching** — every scheme difference is
+//! a layer parameter or a registered background task.
+//!
+//! ```text
+//!             IoRequest stream (trace order)
+//!                        │
+//!            ┌───────────▼───────────┐
+//!            │      StorageStack     │  drives the layers, collects
+//!            │  (process_request)    │  per-request response times
+//!            └──┬────────┬────────┬──┘
+//!               │        │        │ after every request
+//!         reads │ writes │        ▼
+//!   ┌───────────▼──┐  ┌──▼───────────┐  ┌──────────────────┐
+//!   │  CacheLayer  │  │  DedupLayer  │  │ BackgroundTask[] │
+//!   │ iCache: keys,│  │ engine + the │  │ post-process scan│
+//!   │ fills, ghost │  │ write scratch│  │ iCache repartition│
+//!   └───────┬──────┘  └──────┬───────┘  └────────┬─────────┘
+//!           │ misses         │ extents           │ scans / swaps
+//!           └─────────┬──────┴────────────┬──────┘
+//!                     ▼                   ▼
+//!            ┌────────────────────────────────┐
+//!            │       dyn DiskBackend          │  phase planning +
+//!            │  (ArrayBackend → ArraySim)     │  simulated time
+//!            └────────────────────────────────┘
+//!                        │
+//!                 StackObserver  ◄── every layer reports events here
+//! ```
+//!
+//! Layer contracts are the traits in this module: [`DiskBackend`]
+//! (extents in, jobs out), [`BackgroundTask`] (runs after each request
+//! via [`LayerCtx`]), [`StackObserver`] (event hooks, default no-ops).
+
+mod background;
+mod cache;
+mod dedup;
+mod disk;
+mod observer;
+mod spec;
+
+pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask};
+pub use cache::CacheLayer;
+pub use dedup::DedupLayer;
+pub use disk::{ArrayBackend, DiskBackend};
+pub use observer::{StackCounters, StackObserver};
+pub use spec::{BackgroundKind, CacheKeying, StackSpec};
+
+use crate::config::SystemConfig;
+use crate::runner::ReplaySizing;
+use pod_dedup::DedupConfig;
+use pod_disk::{ArraySim, JobId, RaidGeometry};
+use pod_icache::{ICache, ICacheConfig};
+use pod_trace::Trace;
+use pod_types::{IoOp, IoRequest, PodError, PodResult, SimDuration, SimTime};
+
+/// A composed storage stack: cache over dedup over disk, plus the
+/// background tasks and observer threaded through all of them.
+///
+/// Build one per replay with [`StorageStack::build`] (or
+/// [`StorageStack::with_observer`] for a custom event sink), then:
+///
+/// 1. [`run_until`](Self::run_until) each request's arrival,
+/// 2. [`process_request`](Self::process_request) it,
+/// 3. [`finish`](Self::finish) once, and
+/// 4. read [`responses`](Self::responses) and the layer accessors.
+pub struct StorageStack<O: StackObserver = StackCounters> {
+    cache: CacheLayer,
+    dedup: DedupLayer,
+    disk: Box<dyn DiskBackend>,
+    tasks: Vec<Box<dyn BackgroundTask>>,
+    observer: O,
+    /// (request index, arrival, job) for disk-bound requests.
+    pending: Vec<(usize, SimTime, JobId)>,
+    /// Direct completions for requests with no disk work.
+    direct: Vec<(usize, SimDuration)>,
+    metadata_us: u64,
+    cache_hit_us: u64,
+}
+
+impl StorageStack<StackCounters> {
+    /// Compose the stack described by `spec` for one replay of `trace`,
+    /// with the default counter-aggregating observer.
+    pub fn build(spec: &StackSpec, cfg: &SystemConfig, trace: &Trace) -> PodResult<Self> {
+        Self::with_observer(spec, cfg, trace, StackCounters::default())
+    }
+}
+
+impl<O: StackObserver> StorageStack<O> {
+    /// Compose the stack described by `spec`, reporting layer events to
+    /// `observer`.
+    pub fn with_observer(
+        spec: &StackSpec,
+        cfg: &SystemConfig,
+        trace: &Trace,
+        observer: O,
+    ) -> PodResult<Self> {
+        let sizing = ReplaySizing::from_trace(trace);
+
+        let geometry = RaidGeometry::new(cfg.raid.clone());
+        let data_capacity = cfg.raid.data_disks() as u64 * cfg.disk.capacity_blocks;
+        if sizing.needed_blocks > data_capacity {
+            return Err(PodError::OutOfRange {
+                what: "working set (blocks)",
+                value: sizing.needed_blocks,
+                limit: data_capacity,
+            });
+        }
+
+        // The DRAM budget belongs to the dedup module (index cache +
+        // read cache, Fig. 7). A stack without the module is the stock
+        // array without a storage-node cache at all — the upstream
+        // buffer-cache effects are already captured in the traces
+        // (§IV-A).
+        let memory = if spec.dedups {
+            cfg.memory_bytes
+                .unwrap_or(((trace.memory_budget_bytes as f64) * cfg.memory_scale) as u64)
+                .max(1 << 20)
+        } else {
+            0
+        };
+        let index_fraction = if spec.dedups { cfg.index_fraction } else { 0.0 };
+
+        let icache = ICache::new(ICacheConfig {
+            total_bytes: memory,
+            initial_index_fraction: index_fraction,
+            epoch_requests: cfg.icache_epoch_requests,
+            swap_step_fraction: cfg.icache_swap_step,
+            min_fraction: cfg.icache_min_fraction,
+            hysteresis: 2.0,
+            read_miss_penalty_us: cfg.icache_read_penalty_us,
+            // Default: an eliminated write saves a RAID-5 small-write
+            // RMW (2 reads + 2 writes of disk work) plus its queueing
+            // amplification; a read miss saves one access.
+            write_miss_penalty_us: cfg.icache_write_penalty_us,
+            adaptive: spec.adaptive_icache,
+            read_policy: cfg.read_policy,
+        });
+
+        let dedup = DedupLayer::new(
+            spec.policy,
+            DedupConfig {
+                select_threshold: cfg.select_threshold,
+                idedup_threshold: cfg.idedup_threshold,
+                index_page_fault_rate: cfg.index_page_fault_rate.max(1),
+                index_policy: cfg.index_policy,
+                index_budget_bytes: icache.index_bytes(),
+                logical_blocks: sizing.logical_blocks,
+                overflow_blocks: sizing.overflow_blocks,
+                expected_unique_blocks: sizing.expected_unique_blocks,
+            },
+            spec.inline_hashing,
+            cfg.hash_us_per_chunk,
+            cfg.hash_workers,
+            sizing.max_request_blocks,
+        );
+
+        let mut sim = ArraySim::new(geometry, cfg.disk.clone(), cfg.scheduler);
+        if let Some(disk) = cfg.fail_disk {
+            sim.fail_disk(disk)?;
+        }
+
+        let tasks: Vec<Box<dyn BackgroundTask>> = spec
+            .background
+            .iter()
+            .map(|kind| -> Box<dyn BackgroundTask> {
+                match kind {
+                    BackgroundKind::PostProcessScan => Box::new(PostProcessTask::new(
+                        cfg.post_process_interval,
+                        cfg.post_process_batch,
+                    )),
+                    BackgroundKind::IcacheRepartition => Box::new(RepartitionTask),
+                }
+            })
+            .collect();
+
+        Ok(Self {
+            cache: CacheLayer::new(icache, spec.keying, spec.dedups),
+            dedup,
+            disk: Box::new(ArrayBackend::new(sim, &sizing)),
+            tasks,
+            observer,
+            pending: Vec::with_capacity(trace.requests.len()),
+            direct: Vec::new(),
+            metadata_us: cfg.metadata_us,
+            cache_hit_us: cfg.cache_hit_us,
+        })
+    }
+
+    /// Advance the disk backend to `t`, completing due work.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.disk.run_until(t);
+    }
+
+    /// Process one request through the layers, then run every registered
+    /// background task. `measured` is `false` during warm-up.
+    pub fn process_request(
+        &mut self,
+        idx: usize,
+        req: &IoRequest,
+        measured: bool,
+    ) -> PodResult<()> {
+        match req.op {
+            IoOp::Write => self.on_write(idx, req, measured)?,
+            IoOp::Read => self.on_read(idx, req, measured),
+        }
+        self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))
+    }
+
+    /// The write path: hash latency → dedup decision → ghost-index
+    /// traffic → write-allocate → disk submission (or a direct
+    /// completion when the request was fully deduplicated).
+    fn on_write(&mut self, idx: usize, req: &IoRequest, measured: bool) -> PodResult<()> {
+        let hash_lat = self.dedup.hash_latency(req.nblocks);
+        let summary = self.dedup.process_write(req)?;
+        self.cache
+            .observe_index_traffic(req.chunks.len() as u64, self.dedup.scratch());
+        self.cache.write_allocate(req);
+        self.observer.on_write(&summary, measured);
+
+        let submit = req.arrival + hash_lat + SimDuration::from_micros(self.metadata_us);
+        if summary.disk_index_lookups == 0 && self.dedup.scratch().write_extents.is_empty() {
+            // Fully deduplicated: no disk I/O at all.
+            self.direct.push((idx, submit - req.arrival));
+        } else {
+            let job = self.disk.submit_write(
+                submit,
+                &self.dedup.scratch().write_extents,
+                summary.disk_index_lookups,
+            );
+            self.pending.push((idx, req.arrival, job));
+        }
+        Ok(())
+    }
+
+    /// The read path: cache lookup → direct completion on a full hit,
+    /// else fetch the (possibly fragmented) physical extents and fill
+    /// the cache.
+    fn on_read(&mut self, idx: usize, req: &IoRequest, measured: bool) {
+        let all_hit = self.cache.lookup_request(&self.dedup, req);
+        self.observer.on_read_lookup(all_hit, measured);
+        if all_hit {
+            self.direct
+                .push((idx, SimDuration::from_micros(self.cache_hit_us)));
+        } else {
+            let plan = self.dedup.plan_read(req);
+            self.observer
+                .on_read_fragments(plan.extents.len() as u64, measured);
+            let submit = req.arrival + SimDuration::from_micros(self.metadata_us);
+            let job = self.disk.submit_read(submit, &plan.extents);
+            self.pending.push((idx, req.arrival, job));
+            self.cache.fill_request(&self.dedup, req);
+        }
+    }
+
+    /// Run every background task against the layers, tolerating the
+    /// task list and the layers being disjoint borrows of `self`.
+    fn run_tasks(
+        &mut self,
+        mut f: impl FnMut(&mut dyn BackgroundTask, &mut LayerCtx<'_>) -> PodResult<()>,
+    ) -> PodResult<()> {
+        let mut tasks = std::mem::take(&mut self.tasks);
+        let mut result = Ok(());
+        for task in &mut tasks {
+            let mut ctx = LayerCtx {
+                cache: &mut self.cache,
+                dedup: &mut self.dedup,
+                disk: self.disk.as_mut(),
+                observer: &mut self.observer,
+            };
+            result = f(task.as_mut(), &mut ctx);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.tasks = tasks;
+        result
+    }
+
+    /// End of trace: drain every background task, then run the disks to
+    /// idle so all pending jobs have completion times.
+    pub fn finish(&mut self) -> PodResult<()> {
+        self.run_tasks(|task, ctx| task.drain(ctx))?;
+        self.disk.run_to_idle();
+        Ok(())
+    }
+
+    /// Per-request response times (µs), indexed by request position.
+    /// `None` only for requests never processed. Call after
+    /// [`finish`](Self::finish).
+    ///
+    /// # Panics
+    /// Panics if a submitted job has not completed (i.e.
+    /// [`finish`](Self::finish) was not called).
+    pub fn responses(&self, n: usize) -> Vec<Option<u64>> {
+        let mut responses: Vec<Option<u64>> = vec![None; n];
+        for &(idx, dur) in &self.direct {
+            responses[idx] = Some(dur.as_micros());
+        }
+        for &(idx, arrival, job) in &self.pending {
+            let done = self
+                .disk
+                .completion(job)
+                .expect("all jobs complete after finish()");
+            responses[idx] = Some((done - arrival).as_micros());
+        }
+        responses
+    }
+
+    /// The cache layer.
+    pub fn cache(&self) -> &CacheLayer {
+        &self.cache
+    }
+
+    /// The dedup layer.
+    pub fn dedup(&self) -> &DedupLayer {
+        &self.dedup
+    }
+
+    /// The disk backend.
+    pub fn disk(&self) -> &dyn DiskBackend {
+        self.disk.as_ref()
+    }
+
+    /// The observer, for reading accumulated events.
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+}

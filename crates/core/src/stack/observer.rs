@@ -1,0 +1,163 @@
+//! Per-layer event hooks.
+//!
+//! Every layer reports what it did through one [`StackObserver`], so a
+//! replay produces a single structured counter stream instead of ad-hoc
+//! locals scattered through the loop. The default observer,
+//! [`StackCounters`], aggregates exactly what [`ReplayReport`] needs;
+//! custom observers (tracing, per-epoch dumps) implement the trait and
+//! run via [`StorageStack::with_observer`].
+//!
+//! [`ReplayReport`]: crate::ReplayReport
+//! [`StorageStack::with_observer`]: crate::stack::StorageStack::with_observer
+
+use pod_dedup::{ScanOutcome, WriteSummary};
+use pod_icache::Repartition;
+
+/// Receives one callback per layer event. All methods default to no-ops
+/// so observers only implement what they consume.
+pub trait StackObserver {
+    /// A read request finished its cache lookup pass (`hit` = every
+    /// block of the request was cached). `measured` is `false` during
+    /// warm-up.
+    fn on_read_lookup(&mut self, hit: bool, measured: bool) {
+        let _ = (hit, measured);
+    }
+
+    /// A missed read was mapped onto `fragments` physical extents.
+    fn on_read_fragments(&mut self, fragments: u64, measured: bool) {
+        let _ = (fragments, measured);
+    }
+
+    /// The dedup layer processed a write request.
+    fn on_write(&mut self, summary: &WriteSummary, measured: bool) {
+        let _ = (summary, measured);
+    }
+
+    /// The cache layer repartitioned its DRAM budget.
+    fn on_repartition(&mut self, rp: &Repartition) {
+        let _ = rp;
+    }
+
+    /// A background deduplication scan completed one pass.
+    fn on_background_scan(&mut self, scan: &ScanOutcome) {
+        let _ = scan;
+    }
+
+    /// Swap-region traffic was charged to the disks.
+    fn on_swap(&mut self, blocks: u64) {
+        let _ = blocks;
+    }
+}
+
+/// The default observer: aggregate counters for [`ReplayReport`] and
+/// the `perfgate`/`figures` binaries.
+///
+/// [`ReplayReport`]: crate::ReplayReport
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackCounters {
+    /// Read requests in the measured region.
+    pub reads_measured: u64,
+    /// Measured read requests fully served from cache.
+    pub read_hits_measured: u64,
+    /// Total physical fragments over measured missed reads.
+    pub frag_sum: u64,
+    /// Measured reads that went to disk (fragmentation denominator).
+    pub frag_reads: u64,
+    /// Write requests processed by the dedup layer (all, incl. warm-up).
+    pub writes_processed: u64,
+    /// Writes fully eliminated from the disk stream (all, incl. warm-up).
+    pub writes_eliminated: u64,
+    /// Cache repartitions observed.
+    pub repartitions: u64,
+    /// Swap-region blocks charged to the disks.
+    pub swap_blocks: u64,
+    /// Background deduplication passes run.
+    pub background_scans: u64,
+    /// Chunks examined by background passes.
+    pub background_scanned_chunks: u64,
+}
+
+impl StackCounters {
+    /// Read-cache hit rate over the measured region (0 when no reads).
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.reads_measured == 0 {
+            0.0
+        } else {
+            self.read_hits_measured as f64 / self.reads_measured as f64
+        }
+    }
+
+    /// Mean physical fragments per missed read (1.0 = never fragmented).
+    pub fn read_fragmentation(&self) -> f64 {
+        if self.frag_reads == 0 {
+            1.0
+        } else {
+            self.frag_sum as f64 / self.frag_reads as f64
+        }
+    }
+}
+
+impl StackObserver for StackCounters {
+    fn on_read_lookup(&mut self, hit: bool, measured: bool) {
+        if measured {
+            self.reads_measured += 1;
+            if hit {
+                self.read_hits_measured += 1;
+            }
+        }
+    }
+
+    fn on_read_fragments(&mut self, fragments: u64, measured: bool) {
+        if measured {
+            self.frag_sum += fragments;
+            self.frag_reads += 1;
+        }
+    }
+
+    fn on_write(&mut self, summary: &WriteSummary, _measured: bool) {
+        self.writes_processed += 1;
+        if summary.removed {
+            self.writes_eliminated += 1;
+        }
+    }
+
+    fn on_repartition(&mut self, _rp: &Repartition) {
+        self.repartitions += 1;
+    }
+
+    fn on_background_scan(&mut self, scan: &ScanOutcome) {
+        self.background_scans += 1;
+        self.background_scanned_chunks += scan.scanned_chunks;
+    }
+
+    fn on_swap(&mut self, blocks: u64) {
+        self.swap_blocks += blocks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_fragmentation_defaults() {
+        let c = StackCounters::default();
+        assert_eq!(c.read_hit_rate(), 0.0);
+        assert_eq!(c.read_fragmentation(), 1.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = StackCounters::default();
+        c.on_read_lookup(true, true);
+        c.on_read_lookup(false, true);
+        c.on_read_lookup(true, false); // warm-up: ignored
+        c.on_read_fragments(3, true);
+        c.on_swap(7);
+        assert_eq!(c.reads_measured, 2);
+        assert_eq!(c.read_hits_measured, 1);
+        assert!((c.read_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((c.read_fragmentation() - 3.0).abs() < 1e-12);
+        assert_eq!(c.swap_blocks, 7);
+    }
+}

@@ -1,0 +1,71 @@
+//! Declarative stack composition.
+//!
+//! A [`StackSpec`] says *which* layers a scheme stacks and with *which*
+//! policies — it is pure data, built once per replay by
+//! [`Scheme::stack_spec`](crate::Scheme::stack_spec). The replay driver
+//! never branches on the scheme again: everything scheme-specific is
+//! resolved here and consumed by [`StorageStack::build`].
+//!
+//! [`StorageStack::build`]: crate::stack::StorageStack::build
+
+use pod_dedup::DedupPolicy;
+
+/// How the read cache keys blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKeying {
+    /// By logical block address (the paper's design; one slot per LBA).
+    Lba,
+    /// By content fingerprint prefix (I/O-Dedup: duplicate blocks share
+    /// one slot).
+    Content,
+}
+
+/// A background task the stack registers and runs after every request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackgroundKind {
+    /// Periodic out-of-line deduplication scan (Post-Process schemes).
+    /// Also drains its backlog when the replay finishes.
+    PostProcessScan,
+    /// iCache epoch accounting and (for adaptive stacks) cost-benefit
+    /// repartitioning with swap-region traffic.
+    IcacheRepartition,
+}
+
+/// Complete, declarative description of one storage stack.
+///
+/// Everything a [`Scheme`](crate::Scheme) used to mean by inline
+/// branching in the replay loop lives here as plain data:
+///
+/// | field | layer it configures |
+/// |---|---|
+/// | `policy` | [`DedupLayer`](crate::stack::DedupLayer) write-path policy |
+/// | `dedups` | whether the dedup module (and its DRAM budget) exists |
+/// | `inline_hashing` | fingerprinting latency on the write's critical path |
+/// | `adaptive_icache` | [`CacheLayer`](crate::stack::CacheLayer) repartitioning |
+/// | `keying` | read-cache key derivation |
+/// | `background` | registered [`BackgroundTask`](crate::stack::BackgroundTask)s, in run order |
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSpec {
+    /// Display name (the paper's figure labels).
+    pub name: &'static str,
+    /// Dedup policy driving the write path.
+    pub policy: DedupPolicy,
+    /// Whether the scheme deduplicates at all; a non-dedup stack has no
+    /// storage-node cache budget (the stock array of §IV-A).
+    pub dedups: bool,
+    /// Whether fingerprinting is charged on the write's critical path.
+    pub inline_hashing: bool,
+    /// Whether the iCache adapts its index/read partition.
+    pub adaptive_icache: bool,
+    /// Read-cache key derivation.
+    pub keying: CacheKeying,
+    /// Background tasks, in the order they run after each request.
+    pub background: Vec<BackgroundKind>,
+}
+
+impl StackSpec {
+    /// `true` when the spec registers `kind`.
+    pub fn has_background(&self, kind: BackgroundKind) -> bool {
+        self.background.contains(&kind)
+    }
+}

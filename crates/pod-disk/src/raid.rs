@@ -27,8 +27,8 @@ pub struct PhysOp {
 }
 
 /// A write decomposed into dependent phases: every op of phase *i* must
-/// complete before any op of phase *i+1* starts. RMW = [reads, writes];
-/// full-stripe = [writes].
+/// complete before any op of phase *i+1* starts. RMW = \[reads, writes\];
+/// full-stripe = \[writes\].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WritePlan {
     /// Ordered phases.
@@ -149,6 +149,18 @@ impl RaidGeometry {
                 write: false,
             });
             cur = frag_end;
+        }
+        ops
+    }
+
+    /// Plan a parity-less streaming write of `[pba, pba + nblocks)`:
+    /// the same disk-contiguous fragments as [`RaidGeometry::plan_read`]
+    /// with the direction flipped. Used for bulk background traffic
+    /// (iCache swap-region writes) that bypasses RMW accounting.
+    pub fn plan_stream_write(&self, pba: Pba, nblocks: u32) -> Vec<PhysOp> {
+        let mut ops = self.plan_read(pba, nblocks);
+        for op in &mut ops {
+            op.write = true;
         }
         ops
     }

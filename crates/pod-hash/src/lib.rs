@@ -7,7 +7,7 @@
 //!   fingerprint function of the real data path.
 //! * [`fnv`] — FNV-1a, a cheap non-cryptographic hash used for internal
 //!   table sharding.
-//! * [`engine`] — the [`HashEngine`](engine::HashEngine) abstraction the
+//! * [`engine`] — the [`HashEngine`] abstraction the
 //!   dedup layer uses: it produces fingerprints *and* reports the
 //!   simulated computation latency that the paper charges on the write
 //!   path (32 µs per 4 KiB chunk, §IV-A). A crossbeam-based parallel

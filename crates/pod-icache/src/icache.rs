@@ -211,6 +211,12 @@ impl ICache {
         self.read_bytes
     }
 
+    /// Index-cache share of the live budget, in `[0, 1]` (0 when the
+    /// budget is empty — e.g. a scheme without a storage-node cache).
+    pub fn index_fraction(&self) -> f64 {
+        self.index_bytes as f64 / (self.index_bytes + self.read_bytes).max(1) as f64
+    }
+
     /// Epochs closed so far.
     pub fn epochs(&self) -> u64 {
         self.epochs

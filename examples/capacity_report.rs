@@ -32,7 +32,7 @@ fn main() {
             trace.len(),
             trace.write_ratio() * 100.0
         );
-        let reports = run_schemes(&schemes, &trace, &cfg);
+        let reports = run_schemes(&schemes, &trace, &cfg).expect("replay");
         let native_cap = reports[0].capacity_used_blocks;
         println!(
             "{:<14} {:>10} {:>9} {:>12} {:>12} {:>12}",

@@ -47,7 +47,7 @@ fn main() {
         Scheme::SelectDedupe,
         Scheme::Pod,
     ];
-    let reports = run_schemes(&schemes, &consolidated, &cfg);
+    let reports = run_schemes(&schemes, &consolidated, &cfg).expect("replay");
     let base = reports[0].overall.mean_us().max(1e-9);
 
     println!(

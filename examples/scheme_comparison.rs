@@ -31,7 +31,7 @@ fn main() {
         "replaying {} requests through 5 schemes (parallel) ...\n",
         trace.len()
     );
-    let reports = run_schemes(&Scheme::all(), &trace, &cfg);
+    let reports = run_schemes(&Scheme::all(), &trace, &cfg).expect("replay");
     let native_overall = reports[0].overall.mean_us();
     let native_cap = reports[0].capacity_used_blocks as f64;
 

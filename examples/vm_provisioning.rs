@@ -31,7 +31,7 @@ fn main() {
     );
 
     let cfg = SystemConfig::paper_default();
-    let reports = run_schemes(&[Scheme::Native, Scheme::Pod], &trace, &cfg);
+    let reports = run_schemes(&[Scheme::Native, Scheme::Pod], &trace, &cfg).expect("replay");
     println!(
         "{:<10} {:>14} {:>11} {:>10}",
         "scheme", "prov. mean(ms)", "removed%", "cap(MiB)"
@@ -54,7 +54,10 @@ fn main() {
     );
 
     println!("\nrestoring one clone (sequential full-image read-back):");
-    print!("{}", restore_csv(&restore_experiment(0.05, 42)));
+    print!(
+        "{}",
+        restore_csv(&restore_experiment(0.05, 42).expect("replay"))
+    );
     println!(
         "\nThe restore penalty (paper §II: 2.9x average, up to 4.2x) is why POD's\n\
          Select-Dedupe refuses *scattered* dedup on primary workloads — on identical\n\

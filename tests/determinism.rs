@@ -43,7 +43,7 @@ fn generated_artifacts_are_seed_stable() {
 #[test]
 fn csv_artifacts_are_byte_identical_across_runs() {
     let run = || {
-        let cmp = experiments::scheme_comparison(0.004, 42);
+        let cmp = experiments::scheme_comparison(0.004, 42).expect("replay");
         format!(
             "{}{}{}{}{}",
             cmp.fig8_csv(),

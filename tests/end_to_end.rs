@@ -17,7 +17,8 @@ fn headline_select_dedupe_beats_idedup_everywhere() {
     // measure" — abstract.
     let cfg = SystemConfig::paper_default();
     for trace in traces() {
-        let reports = run_schemes(&[Scheme::IDedup, Scheme::SelectDedupe], &trace, &cfg);
+        let reports =
+            run_schemes(&[Scheme::IDedup, Scheme::SelectDedupe], &trace, &cfg).expect("replay");
         assert!(
             reports[1].overall.mean_us() < reports[0].overall.mean_us(),
             "{}: Select {:.0}us vs iDedup {:.0}us",
@@ -33,7 +34,7 @@ fn headline_capacity_savings_comparable_or_better_than_idedup() {
     // "POD achieves comparable or better capacity savings than iDedup."
     let cfg = SystemConfig::paper_default();
     for trace in traces() {
-        let reports = run_schemes(&[Scheme::IDedup, Scheme::Pod], &trace, &cfg);
+        let reports = run_schemes(&[Scheme::IDedup, Scheme::Pod], &trace, &cfg).expect("replay");
         assert!(
             reports[1].capacity_used_blocks <= reports[0].capacity_used_blocks,
             "{}: POD {} vs iDedup {} blocks",
@@ -50,7 +51,7 @@ fn full_dedupe_degrades_homes() {
     // homes trace."
     let cfg = SystemConfig::paper_default();
     let homes = TraceProfile::homes().scaled(SCALE).generate(SEED);
-    let reports = run_schemes(&[Scheme::Native, Scheme::FullDedupe], &homes, &cfg);
+    let reports = run_schemes(&[Scheme::Native, Scheme::FullDedupe], &homes, &cfg).expect("replay");
     assert!(
         reports[1].writes.mean_us() > reports[0].writes.mean_us(),
         "Full-Dedupe homes writes {:.0}us must exceed Native {:.0}us",
@@ -69,7 +70,8 @@ fn write_elimination_ordering_full_select_idedup() {
             &[Scheme::FullDedupe, Scheme::SelectDedupe, Scheme::IDedup],
             &trace,
             &cfg,
-        );
+        )
+        .expect("replay");
         let (full, select, idedup) = (
             reports[0].writes_removed_pct(),
             reports[1].writes_removed_pct(),
@@ -90,7 +92,8 @@ fn mail_gets_the_biggest_select_dedupe_win() {
     let cfg = SystemConfig::paper_default();
     let mut reductions = Vec::new();
     for trace in traces() {
-        let reports = run_schemes(&[Scheme::Native, Scheme::SelectDedupe], &trace, &cfg);
+        let reports =
+            run_schemes(&[Scheme::Native, Scheme::SelectDedupe], &trace, &cfg).expect("replay");
         let reduction = 1.0 - reports[1].writes.mean_us() / reports[0].writes.mean_us();
         reductions.push((trace.name.clone(), reduction));
     }
@@ -121,7 +124,8 @@ fn fragmentation_ordering_matches_design() {
         &[Scheme::Native, Scheme::FullDedupe, Scheme::SelectDedupe],
         &homes,
         &cfg,
-    );
+    )
+    .expect("replay");
     assert!(
         (reports[0].read_fragmentation - 1.0).abs() < 1e-9,
         "Native never fragments"
@@ -140,7 +144,7 @@ fn nvram_overhead_is_modest_and_proportional() {
     // small in absolute terms.
     let cfg = SystemConfig::paper_default();
     for trace in traces() {
-        let rep = experiments::run_scheme(Scheme::Pod, &trace, &cfg);
+        let rep = experiments::run_scheme(Scheme::Pod, &trace, &cfg).expect("replay");
         assert_eq!(
             rep.nvram_peak_bytes % 20,
             0,
@@ -160,7 +164,7 @@ fn nvram_overhead_is_modest_and_proportional() {
 fn pod_adapts_while_select_does_not() {
     let cfg = SystemConfig::paper_default();
     let mail = TraceProfile::mail().scaled(SCALE).generate(SEED);
-    let reports = run_schemes(&[Scheme::SelectDedupe, Scheme::Pod], &mail, &cfg);
+    let reports = run_schemes(&[Scheme::SelectDedupe, Scheme::Pod], &mail, &cfg).expect("replay");
     assert_eq!(reports[0].icache_repartitions, 0);
     assert!(
         reports[1].icache_repartitions > 0,
@@ -178,7 +182,8 @@ fn table1_baselines_behave_as_classified() {
         &[Scheme::Native, Scheme::PostProcess, Scheme::IODedup],
         &mail,
         &cfg,
-    );
+    )
+    .expect("replay");
     let (native, post, iodedup) = (&reports[0], &reports[1], &reports[2]);
     assert_eq!(post.writes_removed_pct(), 0.0);
     assert!(post.capacity_used_blocks < native.capacity_used_blocks);
