@@ -9,8 +9,8 @@
 //!   storage controllers more powerful").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pod_bench::bench_trace;
-use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_bench::{bench_replay, bench_trace};
+use pod_core::{Scheme, SystemConfig};
 use pod_dedup::IndexPolicy;
 use pod_disk::SchedulerKind;
 use pod_icache::ReadCachePolicy;
@@ -29,9 +29,9 @@ fn bench_threshold_sweep(c: &mut Criterion) {
             |b, &threshold| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.select_threshold = threshold;
-                let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+                let scheme = Scheme::SelectDedupe;
                 b.iter(|| {
-                    let rep = runner.replay(&trace);
+                    let rep = bench_replay(scheme, &trace, &cfg);
                     black_box((rep.writes_removed_pct(), rep.read_fragmentation))
                 })
             },
@@ -54,8 +54,12 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &sched, |b, &sched| {
             let mut cfg = SystemConfig::paper_default();
             cfg.scheduler = sched;
-            let runner = SchemeRunner::new(Scheme::Native, cfg).expect("valid config");
-            b.iter(|| black_box(runner.replay(&trace)).overall.mean_us())
+            let scheme = Scheme::Native;
+            b.iter(|| {
+                black_box(bench_replay(scheme, &trace, &cfg))
+                    .overall
+                    .mean_us()
+            })
         });
     }
     g.finish();
@@ -71,9 +75,9 @@ fn bench_icache_epoch_sweep(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &epoch| {
             let mut cfg = SystemConfig::paper_default();
             cfg.icache_epoch_requests = epoch;
-            let runner = SchemeRunner::new(Scheme::Pod, cfg).expect("valid config");
+            let scheme = Scheme::Pod;
             b.iter(|| {
-                let rep = runner.replay(&trace);
+                let rep = bench_replay(scheme, &trace, &cfg);
                 black_box((rep.overall.mean_us(), rep.icache_repartitions))
             })
         });
@@ -94,8 +98,12 @@ fn bench_hash_workers(c: &mut Criterion) {
             |b, &workers| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.hash_workers = workers;
-                let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
-                b.iter(|| black_box(runner.replay(&trace)).writes.mean_us())
+                let scheme = Scheme::SelectDedupe;
+                b.iter(|| {
+                    black_box(bench_replay(scheme, &trace, &cfg))
+                        .writes
+                        .mean_us()
+                })
             },
         );
     }
@@ -112,9 +120,9 @@ fn bench_index_policy(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             let mut cfg = SystemConfig::paper_default();
             cfg.index_policy = policy;
-            let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+            let scheme = Scheme::SelectDedupe;
             b.iter(|| {
-                let rep = runner.replay(&trace);
+                let rep = bench_replay(scheme, &trace, &cfg);
                 black_box((rep.writes_removed_pct(), rep.writes.mean_us()))
             })
         });
@@ -132,9 +140,9 @@ fn bench_read_policy(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
             let mut cfg = SystemConfig::paper_default();
             cfg.read_policy = policy;
-            let runner = SchemeRunner::new(Scheme::SelectDedupe, cfg).expect("valid config");
+            let scheme = Scheme::SelectDedupe;
             b.iter(|| {
-                let rep = runner.replay(&trace);
+                let rep = bench_replay(scheme, &trace, &cfg);
                 black_box((rep.read_cache_hit_rate, rep.reads.mean_us()))
             })
         });

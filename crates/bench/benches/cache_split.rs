@@ -5,8 +5,8 @@
 //! sweep endpoints inside the loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pod_bench::bench_trace;
-use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_bench::{bench_replay, bench_trace};
+use pod_core::{Scheme, SystemConfig};
 use std::hint::black_box;
 
 fn bench_split_points(c: &mut Criterion) {
@@ -22,9 +22,9 @@ fn bench_split_points(c: &mut Criterion) {
             |b, &frac| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.index_fraction = frac;
-                let runner = SchemeRunner::new(Scheme::FullDedupe, cfg).expect("valid config");
+                let scheme = Scheme::FullDedupe;
                 b.iter(|| {
-                    let rep = runner.replay(&trace);
+                    let rep = bench_replay(scheme, &trace, &cfg);
                     black_box((rep.reads.mean_us(), rep.writes.mean_us()))
                 })
             },
@@ -44,9 +44,7 @@ fn bench_fig3_shape_gate(c: &mut Criterion) {
             let run = |frac: f64| {
                 let mut cfg = SystemConfig::paper_default();
                 cfg.index_fraction = frac;
-                SchemeRunner::new(Scheme::FullDedupe, cfg)
-                    .expect("valid")
-                    .replay(&trace)
+                bench_replay(Scheme::FullDedupe, &trace, &cfg)
             };
             let small_index = run(0.2);
             let big_index = run(0.8);

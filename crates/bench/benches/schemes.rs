@@ -5,8 +5,8 @@
 //! bench` doubles as a shape regression gate.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pod_bench::bench_trace;
-use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_bench::{bench_replay, bench_trace};
+use pod_core::{Scheme, SystemConfig};
 use std::hint::black_box;
 
 fn bench_scheme_replays(c: &mut Criterion) {
@@ -21,9 +21,12 @@ fn bench_scheme_replays(c: &mut Criterion) {
                 BenchmarkId::from_parameter(scheme.name()),
                 &scheme,
                 |b, &scheme| {
-                    let runner = SchemeRunner::new(scheme, SystemConfig::paper_default())
-                        .expect("valid config");
-                    b.iter(|| black_box(runner.replay(&trace)).overall.mean_us())
+                    let cfg = SystemConfig::paper_default();
+                    b.iter(|| {
+                        black_box(bench_replay(scheme, &trace, &cfg))
+                            .overall
+                            .mean_us()
+                    })
                 },
             );
         }
@@ -42,12 +45,8 @@ fn bench_fig8_shape_gate(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(4));
     g.bench_function("mail_native_vs_select", |b| {
         b.iter(|| {
-            let native = SchemeRunner::new(Scheme::Native, cfg.clone())
-                .expect("valid")
-                .replay(&trace);
-            let select = SchemeRunner::new(Scheme::SelectDedupe, cfg.clone())
-                .expect("valid")
-                .replay(&trace);
+            let native = bench_replay(Scheme::Native, &trace, &cfg);
+            let select = bench_replay(Scheme::SelectDedupe, &trace, &cfg);
             assert!(
                 select.overall.mean_us() < native.overall.mean_us(),
                 "Fig. 8: Select-Dedupe must beat Native on mail"

@@ -14,12 +14,15 @@
 //! * one sequential replay per scheme — requests/second and wall clock,
 //! * one `grid` entry — all schemes through the experiment executor,
 //!
-//! plus the process peak RSS (`VmHWM` from `/proc/self/status`). The
-//! snapshot is plain JSON written without external crates; the
-//! comparison parses just enough JSON to read a previous snapshot back.
+//! plus per-layer time shares (cache / dedup / disk, from the stack's
+//! observer counters) and the process peak RSS (`VmHWM` from
+//! `/proc/self/status`). The snapshot is plain JSON written without
+//! external crates; previous snapshots are read back through the shared
+//! `pod_core::obs::json` reader.
 
 use pod_core::experiments::run_schemes;
-use pod_core::{Scheme, SchemeRunner, SystemConfig};
+use pod_core::obs::json::{parse as parse_json, Json};
+use pod_core::{Layer, Scheme, StackCounters, SystemConfig};
 use pod_trace::{Trace, TraceProfile};
 use std::time::Instant;
 
@@ -115,24 +118,38 @@ struct Entry {
     requests: u64,
     wall_s: f64,
     requests_per_sec: f64,
+    /// Fraction of simulated layer time spent in each layer (cache /
+    /// dedup / disk, summing to ~1). Deterministic — a property of the
+    /// workload, not the wall clock — so snapshots can diff them.
+    layer_shares: [f64; 3],
+}
+
+fn layer_shares(stack: &StackCounters) -> [f64; 3] {
+    [
+        stack.layer_share(Layer::Cache),
+        stack.layer_share(Layer::Dedup),
+        stack.layer_share(Layer::Disk),
+    ]
 }
 
 fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> Vec<Entry> {
     let mut entries = Vec::new();
     for scheme in Scheme::all() {
-        // Best of `reps`: a fresh runner each repetition (replay mutates
+        // Best of `reps`: a fresh stack each repetition (replay mutates
         // engine state), the minimum wall clock as the measurement —
         // the standard way to cut scheduler noise out of a perf gate.
         let mut best = f64::INFINITY;
+        let mut shares = [0.0; 3];
         for _ in 0..reps {
-            let runner = SchemeRunner::new(scheme, cfg.clone()).expect("valid config");
             let t0 = Instant::now();
-            let rep = runner
-                .try_replay(trace)
+            let rep = scheme
+                .builder()
+                .config(cfg.clone())
+                .trace(trace)
+                .run()
                 .unwrap_or_else(|e| die(&format!("{trace_name}/{scheme}: {e}")));
             best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
-            // Touching the report keeps the replay from being optimised out.
-            assert!(rep.overall.mean_us() >= 0.0);
+            shares = layer_shares(&rep.stack);
         }
         entries.push(Entry {
             trace: trace_name.into(),
@@ -140,16 +157,25 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
             requests: trace.len() as u64,
             wall_s: best,
             requests_per_sec: trace.len() as f64 / best,
+            layer_shares: shares,
         });
     }
     let mut best = f64::INFINITY;
     let mut grid_requests = 0u64;
+    let mut grid_stack = StackCounters::default();
     for _ in 0..reps {
         let t0 = Instant::now();
         let grid = run_schemes(&Scheme::all(), trace, cfg)
             .unwrap_or_else(|e| die(&format!("{trace_name}/grid: {e}")));
         best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
         grid_requests = trace.len() as u64 * grid.len() as u64;
+        let mut total = StackCounters::default();
+        for rep in &grid {
+            total.cache_time_us += rep.stack.cache_time_us;
+            total.dedup_time_us += rep.stack.dedup_time_us;
+            total.disk_time_us += rep.stack.disk_time_us;
+        }
+        grid_stack = total;
     }
     entries.push(Entry {
         trace: trace_name.into(),
@@ -157,6 +183,7 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
         requests: grid_requests,
         wall_s: best,
         requests_per_sec: grid_requests as f64 / best,
+        layer_shares: layer_shares(&grid_stack),
     });
     entries
 }
@@ -206,209 +233,21 @@ fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: us
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"trace\": \"{}\", \"scheme\": \"{}\", \"requests\": {}, \
-             \"wall_s\": {:.6}, \"requests_per_sec\": {:.2}}}{}\n",
+             \"wall_s\": {:.6}, \"requests_per_sec\": {:.2}, \
+             \"cache_share\": {:.4}, \"dedup_share\": {:.4}, \"disk_share\": {:.4}}}{}\n",
             e.trace,
             e.scheme,
             e.requests,
             e.wall_s,
             e.requests_per_sec,
+            e.layer_shares[0],
+            e.layer_shares[1],
+            e.layer_shares[2],
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader — just enough to load a previous snapshot.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
-        Self {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    // Snapshots we write never escape anything beyond
-                    // these; reject the rest instead of mis-reading.
-                    let esc = self.bytes.get(self.pos + 1).copied();
-                    let lit = match esc {
-                        Some(b'"') => '"',
-                        Some(b'\\') => '\\',
-                        Some(b'/') => '/',
-                        Some(b'n') => '\n',
-                        Some(b't') => '\t',
-                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
-                    };
-                    s.push(lit);
-                    self.pos += 2;
-                }
-                Some(&b) => {
-                    s.push(b as char);
-                    self.pos += 1;
-                }
-                None => return Err("unterminated string".into()),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("bad array at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            pairs.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(format!("bad object at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-fn parse_json(s: &str) -> Result<Json, String> {
-    let mut p = Parser::new(s);
-    let v = p.value()?;
-    p.skip_ws();
-    Ok(v)
 }
 
 /// Previous snapshot throughputs keyed by `trace/scheme`.

@@ -37,11 +37,25 @@ pub fn bench_trace(name: &str) -> Trace {
 /// Replay `trace` through `scheme` under the paper configuration and
 /// return the mean overall response time in µs (the figure-8 metric).
 pub fn replay_mean_us(scheme: Scheme, trace: &Trace) -> f64 {
-    pod_core::SchemeRunner::new(scheme, SystemConfig::paper_default())
-        .expect("valid config")
-        .replay(trace)
+    scheme
+        .builder()
+        .config(SystemConfig::paper_default())
+        .trace(trace)
+        .run()
+        .expect("replay")
         .overall
         .mean_us()
+}
+
+/// Replay `trace` through `scheme` under `cfg`, panicking on error —
+/// the bench loops treat a failed replay as a harness bug.
+pub fn bench_replay(scheme: Scheme, trace: &Trace, cfg: &SystemConfig) -> pod_core::ReplayReport {
+    scheme
+        .builder()
+        .config(cfg.clone())
+        .trace(trace)
+        .run()
+        .expect("replay")
 }
 
 #[cfg(test)]

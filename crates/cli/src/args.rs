@@ -14,6 +14,13 @@ pub struct CliArgs {
     pub out: Option<String>,
     pub memory_mib: Option<u64>,
     pub jobs: Option<usize>,
+    /// `--trace-out <path>`: export an epoch-granular JSONL event trace
+    /// from `replay`/`compare`, consumable by `pod-cli stats`.
+    pub trace_out: Option<String>,
+    /// `--in <path>`: the JSONL trace `stats` reads.
+    pub input: Option<String>,
+    /// `--epoch <requests>`: requests per exported epoch (0 = auto).
+    pub epoch_requests: u64,
 }
 
 impl Default for CliArgs {
@@ -27,6 +34,9 @@ impl Default for CliArgs {
             out: None,
             memory_mib: None,
             jobs: None,
+            trace_out: None,
+            input: None,
+            epoch_requests: 0,
         }
     }
 }
@@ -56,6 +66,13 @@ impl CliArgs {
                 }
                 "--trace" => args.trace_path = Some(value.clone()),
                 "--out" => args.out = Some(value.clone()),
+                "--trace-out" => args.trace_out = Some(value.clone()),
+                "--in" => args.input = Some(value.clone()),
+                "--epoch" => {
+                    args.epoch_requests = value
+                        .parse()
+                        .map_err(|_| format!("bad --epoch '{value}'"))?
+                }
                 "--memory" => {
                     args.memory_mib = Some(
                         value
@@ -170,6 +187,12 @@ mod tests {
             "64",
             "--jobs",
             "4",
+            "--trace-out",
+            "t.jsonl",
+            "--in",
+            "s.jsonl",
+            "--epoch",
+            "512",
         ])
         .expect("parse");
         assert_eq!(a.profile, "homes");
@@ -179,6 +202,9 @@ mod tests {
         assert_eq!(a.out.as_deref(), Some("x.fiu"));
         assert_eq!(a.memory_mib, Some(64));
         assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.input.as_deref(), Some("s.jsonl"));
+        assert_eq!(a.epoch_requests, 512);
     }
 
     #[test]
@@ -190,6 +216,8 @@ mod tests {
         assert!(parse(&["--wat", "1"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--epoch", "soon"]).is_err());
+        assert!(parse(&["--trace-out"]).is_err());
     }
 
     #[test]

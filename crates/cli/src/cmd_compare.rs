@@ -1,9 +1,12 @@
 //! `pod-cli compare` — all five schemes side by side (the Fig. 8–11
-//! experiment).
+//! experiment). With `--trace-out <path>` every scheme's epoch-granular
+//! event trace is appended to one JSONL file (one `meta` section per
+//! scheme) for `pod-cli stats`.
 
 use crate::args::CliArgs;
-use pod_core::experiments::run_schemes;
-use pod_core::Scheme;
+use pod_core::experiments::{run_schemes, run_schemes_recorded};
+use pod_core::{ReplayReport, Scheme};
+use std::io::Write as _;
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
     args.apply_jobs();
@@ -15,7 +18,26 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         trace.name,
         pod_core::pool::default_width().min(Scheme::all().len())
     );
-    let reports = run_schemes(&Scheme::all(), &trace, &cfg).map_err(|e| e.to_string())?;
+    let reports: Vec<ReplayReport> = if let Some(path) = &args.trace_out {
+        let runs = run_schemes_recorded(&Scheme::all(), &trace, &cfg, args.epoch_requests)
+            .map_err(|e| e.to_string())?;
+        let mut file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut epochs = 0usize;
+        for (_, recorder, hists) in &runs {
+            recorder
+                .write_jsonl(&mut file, Some(hists))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            epochs += recorder.rows().len();
+        }
+        file.flush().map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {epochs} epochs across {} schemes to {path}",
+            runs.len()
+        );
+        runs.into_iter().map(|(report, _, _)| report).collect()
+    } else {
+        run_schemes(&Scheme::all(), &trace, &cfg).map_err(|e| e.to_string())?
+    };
     let base = reports[0].overall.mean_us().max(1e-9);
     let base_cap = reports[0].capacity_used_blocks.max(1);
 

@@ -4,7 +4,7 @@
 
 use crate::args::CliArgs;
 use pod_core::experiments::run_schemes;
-use pod_core::{Scheme, SchemeRunner};
+use pod_core::Scheme;
 use pod_dedup::{DedupConfig, DedupEngine, DedupPolicy};
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
@@ -72,9 +72,16 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
     }
 
     // 2. Replay determinism.
-    let runner = SchemeRunner::new(Scheme::Pod, cfg.clone()).map_err(|e| e.to_string())?;
-    let a = runner.try_replay(&trace).map_err(|e| e.to_string())?;
-    let b = runner.try_replay(&trace).map_err(|e| e.to_string())?;
+    let replay = || {
+        Scheme::Pod
+            .builder()
+            .config(cfg.clone())
+            .trace(&trace)
+            .run()
+            .map_err(|e| e.to_string())
+    };
+    let a = replay()?;
+    let b = replay()?;
     check(
         "replay determinism",
         a.overall.mean_us() == b.overall.mean_us() && a.counters == b.counters,

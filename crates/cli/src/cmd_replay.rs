@@ -1,14 +1,14 @@
 //! `pod-cli replay` — replay a trace through one scheme and print the
-//! full report.
+//! full report. With `--trace-out <path>` the replay also exports an
+//! epoch-granular JSONL event trace for `pod-cli stats`.
 
 use crate::args::CliArgs;
-use pod_core::SchemeRunner;
+use pod_core::obs::{Layer, LayerHistograms, TraceRecorder};
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
     args.apply_jobs();
     let trace = args.load_trace()?;
     let cfg = args.system_config();
-    let runner = SchemeRunner::new(args.scheme, cfg).map_err(|e| e.to_string())?;
     println!(
         "replaying {} requests of `{}` through {} ...",
         trace.len(),
@@ -16,8 +16,33 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         args.scheme
     );
     let t0 = std::time::Instant::now();
-    let rep = runner.try_replay(&trace).map_err(|e| e.to_string())?;
+    let mut builder = args
+        .scheme
+        .builder()
+        .config(cfg)
+        .trace(&trace)
+        .observer(LayerHistograms::new());
+    if args.trace_out.is_some() {
+        builder = builder.record(args.epoch_requests);
+    }
+    let (rep, mut chain) = builder.run_observed().map_err(|e| e.to_string())?;
     println!("done in {:?}\n", t0.elapsed());
+
+    if let Some(path) = &args.trace_out {
+        let hists = chain
+            .sink::<LayerHistograms>()
+            .cloned()
+            .expect("histograms attached above");
+        let recorder: TraceRecorder = chain.take_sink().expect("recorder attached above");
+        let mut file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        recorder
+            .write_jsonl(&mut file, Some(&hists))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {} epochs of event data to {path}\n",
+            recorder.rows().len()
+        );
+    }
 
     println!("response time (ms):    mean      p50      p95      p99      max");
     for (label, m) in [
@@ -41,10 +66,23 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         rep.capacity_used_mib()
     );
     println!(
+        "write classification: {} Cat-1, {} Cat-2, {} Cat-3, {} unique",
+        rep.stack.cat1_writes,
+        rep.stack.cat2_writes,
+        rep.stack.cat3_writes,
+        rep.stack.unique_writes
+    );
+    println!(
         "read-cache hit rate {:.1}%   read fragmentation {:.2}   NVRAM peak {:.2} KiB",
         rep.read_cache_hit_rate * 100.0,
         rep.read_fragmentation,
         rep.nvram_peak_bytes as f64 / 1024.0
+    );
+    println!(
+        "layer time shares: cache {:.1}%  dedup {:.1}%  disk {:.1}%",
+        rep.stack.layer_share(Layer::Cache) * 100.0,
+        rep.stack.layer_share(Layer::Dedup) * 100.0,
+        rep.stack.layer_share(Layer::Disk) * 100.0,
     );
     println!(
         "iCache: {} epochs, {} repartitions, final index share {:.0}%",

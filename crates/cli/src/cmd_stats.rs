@@ -1,0 +1,265 @@
+//! `pod-cli stats` — render a JSONL event trace (produced by
+//! `pod-cli replay --trace-out` or `pod-cli compare --trace-out`) as
+//! per-scheme tables, per-layer latency histograms and epoch-granular
+//! sparkline timelines.
+
+use crate::args::CliArgs;
+use pod_core::obs::json::{parse, Json};
+use pod_core::{LatencyHistogram, Layer};
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    let path = args
+        .input
+        .as_deref()
+        .ok_or("stats needs --in <trace.jsonl> (write one with replay --trace-out)")?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    print!("{}", render(&body)?);
+    Ok(())
+}
+
+/// One scheme's section of the JSONL file: a `meta` header, its epoch
+/// rows, and the closing `summary`.
+struct Section {
+    scheme: String,
+    trace: String,
+    epoch_requests: u64,
+    epochs: Vec<Json>,
+    summary: Option<Json>,
+}
+
+/// Render the whole JSONL document. Split from [`run`] so the golden
+/// snapshot test can diff the exact text the user sees.
+pub fn render(jsonl: &str) -> Result<String, String> {
+    let sections = parse_sections(jsonl)?;
+    if sections.is_empty() {
+        return Err("trace contains no meta line".into());
+    }
+    let mut out = String::new();
+    for s in &sections {
+        render_section(&mut out, s)?;
+    }
+    Ok(out)
+}
+
+fn parse_sections(jsonl: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", i + 1))?;
+        match kind {
+            "meta" => sections.push(Section {
+                scheme: req_str(&v, "scheme", i)?,
+                trace: req_str(&v, "trace", i)?,
+                epoch_requests: req_u64(&v, "epoch_requests", i)?,
+                epochs: Vec::new(),
+                summary: None,
+            }),
+            "epoch" => sections
+                .last_mut()
+                .ok_or_else(|| format!("line {}: epoch before meta", i + 1))?
+                .epochs
+                .push(v),
+            "summary" => {
+                sections
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: summary before meta", i + 1))?
+                    .summary = Some(v)
+            }
+            other => return Err(format!("line {}: unknown type \"{other}\"", i + 1)),
+        }
+    }
+    Ok(sections)
+}
+
+fn req_str(v: &Json, key: &str, line: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("line {}: missing \"{key}\"", line + 1))
+}
+
+fn req_u64(v: &Json, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {}: missing \"{key}\"", line + 1))
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Eight-level sparkline of `values`, scaled to their maximum.
+fn sparkline(values: &[u64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1) as f64;
+    values
+        .iter()
+        .map(|&v| {
+            let lvl = (v as f64 / max * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[lvl.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let sum = s
+        .summary
+        .as_ref()
+        .ok_or_else(|| format!("section {}/{} has no summary line", s.scheme, s.trace))?;
+    let g = |key: &str| -> Result<u64, String> {
+        sum.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("summary missing \"{key}\""))
+    };
+
+    let requests = g("requests")?;
+    let reads = g("reads")?;
+    let read_hits = g("read_hits")?;
+    let writes = g("writes")?;
+    let (cat1, cat2, cat3, unique) = (g("cat1")?, g("cat2")?, g("cat3")?, g("unique")?);
+    let (deduped, written) = (g("deduped_blocks")?, g("written_blocks")?);
+    let (frag_sum, frag_reads) = (g("frag_sum")?, g("frag_reads")?);
+    let (cache_us, dedup_us, disk_us) = (g("cache_us")?, g("dedup_us")?, g("disk_us")?);
+
+    writeln!(
+        out,
+        "== {} / {} ({} requests/epoch, {} epochs) ==\n",
+        s.scheme,
+        s.trace,
+        s.epoch_requests,
+        s.epochs.len()
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "requests {requests}   reads {reads} (cache hit {:.1}%)   writes {writes}",
+        pct(read_hits, reads)
+    )
+    .expect("write to string");
+    if frag_reads > 0 {
+        writeln!(
+            out,
+            "read fragmentation: {:.2} fragments per missed read",
+            frag_sum as f64 / frag_reads as f64
+        )
+        .expect("write to string");
+    }
+
+    writeln!(out, "\nwrite classification:").expect("write to string");
+    for (label, n) in [
+        ("Cat-1 fully-redundant sequential", cat1),
+        ("Cat-2 scattered partial", cat2),
+        ("Cat-3 contiguous partial", cat3),
+        ("unique", unique),
+    ] {
+        writeln!(out, "  {label:<34} {n:>9}  {:>5.1}%", pct(n, writes)).expect("write to string");
+    }
+    writeln!(
+        out,
+        "  chunks: {deduped} eliminated, {written} written to disk"
+    )
+    .expect("write to string");
+
+    let (reparts, swaps, scans, scanned) = (
+        g("repartitions")?,
+        g("swap_blocks")?,
+        g("scans")?,
+        g("scanned_chunks")?,
+    );
+    writeln!(
+        out,
+        "\nbackground: {reparts} repartitions, {swaps} swap blocks, {scans} scans ({scanned} chunks)"
+    )
+    .expect("write to string");
+
+    let total_us = (cache_us + dedup_us + disk_us).max(1);
+    writeln!(
+        out,
+        "layer time: cache {:.1}%  dedup {:.1}%  disk {:.1}%  (total {:.1} s)",
+        pct(cache_us, total_us),
+        pct(dedup_us, total_us),
+        pct(disk_us, total_us),
+        (cache_us + dedup_us + disk_us) as f64 / 1e6
+    )
+    .expect("write to string");
+
+    if s.epochs.len() > 1 {
+        writeln!(out, "\ntimeline ({} epochs):", s.epochs.len()).expect("write to string");
+        for (label, key) in [
+            ("writes", "writes"),
+            ("chunks eliminated", "deduped_blocks"),
+            ("dedup layer µs", "dedup_us"),
+        ] {
+            let series: Vec<u64> = s
+                .epochs
+                .iter()
+                .map(|e| e.get(key).and_then(Json::as_u64).unwrap_or(0))
+                .collect();
+            writeln!(out, "  {label:<18} {}", sparkline(&series)).expect("write to string");
+        }
+    }
+
+    for layer in Layer::ALL {
+        let Some(arr) = sum
+            .get(&format!("hist_{}", layer.name()))
+            .and_then(Json::as_arr)
+        else {
+            continue;
+        };
+        let mut buckets = [0u64; 28];
+        if arr.len() != buckets.len() {
+            return Err(format!(
+                "hist_{}: expected 28 buckets, got {}",
+                layer.name(),
+                arr.len()
+            ));
+        }
+        for (slot, v) in buckets.iter_mut().zip(arr) {
+            *slot = v
+                .as_u64()
+                .ok_or_else(|| format!("hist_{}: non-integer bucket", layer.name()))?;
+        }
+        let hist = LatencyHistogram::from_buckets(buckets);
+        if hist.total() > 0 {
+            writeln!(out, "\nlatency histogram — {} layer:", layer.name())
+                .expect("write to string");
+            out.push_str(&hist.render(30));
+        }
+    }
+    out.push('\n');
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0, 5, 10]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+    }
+
+    #[test]
+    fn render_rejects_truncated_traces() {
+        assert!(render("").is_err(), "no meta");
+        let meta = r#"{"type":"meta","version":1,"scheme":"POD","trace":"t","epoch_requests":4,"epochs":0}"#;
+        assert!(
+            render(meta).unwrap_err().contains("no summary"),
+            "meta without summary"
+        );
+        assert!(render("{\"type\":\"epoch\"}").is_err(), "epoch before meta");
+    }
+}

@@ -1,0 +1,11 @@
+//! Library surface of `pod-cli`, so integration tests can drive the
+//! subcommand logic (argument parsing, the `stats` renderer) without
+//! spawning the binary.
+
+pub mod args;
+pub mod cmd_analyze;
+pub mod cmd_compare;
+pub mod cmd_doctor;
+pub mod cmd_gen;
+pub mod cmd_replay;
+pub mod cmd_stats;

@@ -5,17 +5,13 @@
 //! pod-cli analyze  --trace mail.fiu            # Table II / Fig.1 / Fig.2 stats
 //! pod-cli analyze  --profile mail --scale 0.05 # same, from a generated trace
 //! pod-cli replay   --scheme pod --profile mail --scale 0.05
+//! pod-cli replay   --scheme pod --trace-out pod.jsonl   # + event trace
 //! pod-cli compare  --profile mail --scale 0.05 # all five schemes
+//! pod-cli stats    --in pod.jsonl              # render an event trace
 //! ```
 
-mod args;
-mod cmd_analyze;
-mod cmd_compare;
-mod cmd_doctor;
-mod cmd_gen;
-mod cmd_replay;
-
-use args::CliArgs;
+use pod_cli::args::CliArgs;
+use pod_cli::{cmd_analyze, cmd_compare, cmd_doctor, cmd_gen, cmd_replay, cmd_stats};
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +31,7 @@ fn main() {
         "analyze" => cmd_analyze::run(&args),
         "replay" => cmd_replay::run(&args),
         "compare" => cmd_compare::run(&args),
+        "stats" => cmd_stats::run(&args),
         "doctor" => cmd_doctor::run(&args),
         "help" | "--help" | "-h" => usage_and_exit(0),
         other => {
@@ -57,6 +54,7 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 analyze  workload statistics (Table II, Fig. 1, Fig. 2)\n\
          \x20 replay   replay a trace through one scheme\n\
          \x20 compare  replay a trace through all five schemes\n\
+         \x20 stats    render a JSONL event trace written by --trace-out\n\
          \x20 doctor   verify internal invariants end to end\n\
          \n\
          options:\n\
@@ -66,6 +64,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --trace <path>                  FIU-format trace file instead of a profile\n\
          \x20 --scheme <native|full|idedup|select|pod|post|iodedup>  scheme for `replay`\n\
          \x20 --out <path>                    output file for `gen`\n\
+         \x20 --trace-out <path>              JSONL event trace from `replay`/`compare`\n\
+         \x20 --epoch <requests>              requests per exported epoch (default: auto)\n\
+         \x20 --in <path>                     JSONL event trace for `stats`\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

@@ -1,0 +1,91 @@
+//! Golden snapshot of the `pod-cli stats` rendering: replay a small
+//! deterministic workload with the trace recorder attached (exactly
+//! what `pod-cli replay --trace-out` does), render the JSONL through
+//! the `stats` formatter, and diff against a committed fixture.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test stats_golden
+//! ```
+
+use pod_cli::cmd_stats;
+use pod_core::obs::{LayerHistograms, TraceRecorder};
+use pod_core::{Scheme, SystemConfig};
+use pod_trace::TraceProfile;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("stats.txt")
+}
+
+/// The JSONL a `pod-cli compare --trace-out` of two schemes writes.
+fn replay_jsonl() -> String {
+    let trace = TraceProfile::mail().scaled(0.004).generate(17);
+    let mut out = Vec::new();
+    for scheme in [Scheme::Native, Scheme::Pod] {
+        let (_, mut chain) = scheme
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&trace)
+            .observer(LayerHistograms::new())
+            .record(256)
+            .run_observed()
+            .expect("replay succeeds");
+        let hists: LayerHistograms = chain.take_sink().expect("histograms attached");
+        let recorder: TraceRecorder = chain.take_sink().expect("recorder attached");
+        recorder
+            .write_jsonl(&mut out, Some(&hists))
+            .expect("write to memory");
+    }
+    String::from_utf8(out).expect("utf8")
+}
+
+#[test]
+fn stats_rendering_matches_the_committed_snapshot() {
+    let rendered = cmd_stats::render(&replay_jsonl()).expect("well-formed trace");
+
+    // The acceptance surface: the classification table is present, per
+    // category, for the POD section.
+    for label in ["Cat-1", "Cat-2", "Cat-3", "unique"] {
+        assert!(rendered.contains(label), "missing {label}:\n{rendered}");
+    }
+    assert!(rendered.contains("== POD / mail"), "POD section present");
+    assert!(rendered.contains("layer time:"), "layer shares present");
+
+    let path = fixture_path();
+    if std::env::var_os("POD_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create fixture dir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test stats_golden",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let mismatch = rendered
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "stats rendering diverged from the snapshot at line {}:\n  expected: {want}\n  got:      {got}",
+                i + 1
+            ),
+            None => panic!(
+                "stats rendering diverged from the snapshot: lengths differ \
+                 (expected {} bytes, got {} bytes)",
+                expected.len(),
+                rendered.len()
+            ),
+        }
+    }
+}

@@ -7,8 +7,9 @@
 //! and cache pressure scale together) and a base seed for determinism.
 
 use crate::config::SystemConfig;
+use crate::obs::{LayerHistograms, TraceRecorder};
 use crate::pool::Executor;
-use crate::runner::{ReplayReport, SchemeRunner};
+use crate::runner::ReplayReport;
 use crate::scheme::Scheme;
 use pod_trace::stats::{redundancy_breakdown, size_redundancy, TraceStats};
 use pod_trace::{Trace, TraceProfile};
@@ -28,7 +29,7 @@ pub fn paper_traces(scale: f64, seed: u64) -> Vec<Trace> {
 /// Run one scheme over one trace with the paper config, surfacing
 /// configuration and replay errors.
 pub fn run_scheme(scheme: Scheme, trace: &Trace, cfg: &SystemConfig) -> PodResult<ReplayReport> {
-    SchemeRunner::new(scheme, cfg.clone())?.try_replay(trace)
+    scheme.builder().config(cfg.clone()).trace(trace).run()
 }
 
 /// Run several schemes over one trace on the bounded executor.
@@ -43,6 +44,38 @@ pub fn run_schemes(
 ) -> PodResult<Vec<ReplayReport>> {
     Executor::new()
         .map(schemes, |&scheme| run_scheme(scheme, trace, cfg))
+        .into_iter()
+        .collect()
+}
+
+/// Like [`run_schemes`], but every replay carries a full observer
+/// chain: an epoch-granular [`TraceRecorder`] (`epoch_requests` = 0
+/// picks ~64 epochs automatically) and per-layer [`LayerHistograms`].
+/// The sinks are extracted inside the executor closure, so only plain
+/// data crosses threads; results come back in `schemes` order.
+pub fn run_schemes_recorded(
+    schemes: &[Scheme],
+    trace: &Trace,
+    cfg: &SystemConfig,
+    epoch_requests: u64,
+) -> PodResult<Vec<(ReplayReport, TraceRecorder, LayerHistograms)>> {
+    Executor::new()
+        .map(schemes, |&scheme| {
+            let (report, mut chain) = scheme
+                .builder()
+                .config(cfg.clone())
+                .trace(trace)
+                .observer(LayerHistograms::new())
+                .record(epoch_requests)
+                .run_observed()?;
+            let hists = chain
+                .take_sink::<LayerHistograms>()
+                .expect("histograms attached above");
+            let recorder = chain
+                .take_sink::<TraceRecorder>()
+                .expect("recorder attached above");
+            Ok((report, recorder, hists))
+        })
         .into_iter()
         .collect()
 }
@@ -914,6 +947,29 @@ mod tests {
         assert!(t1 >= t16, "T=1 removes at least as much as T=16");
         let csv = sweep_csv("threshold", &rows);
         assert_eq!(csv.lines().count(), 7);
+    }
+
+    #[test]
+    fn recorded_runs_return_matching_sinks() {
+        let trace = TraceProfile::mail().scaled(SCALE).generate(DEFAULT_SEED);
+        let cfg = SystemConfig::paper_default();
+        let schemes = [Scheme::Native, Scheme::Pod];
+        let rows = run_schemes_recorded(&schemes, &trace, &cfg, 200).expect("replay");
+        assert_eq!(rows.len(), 2);
+        for ((report, recorder, hists), scheme) in rows.iter().zip(schemes) {
+            assert_eq!(recorder.scheme(), scheme.name());
+            assert_eq!(recorder.totals().requests, trace.len() as u64);
+            assert!(hists.total() > 0, "{scheme}: layer latencies recorded");
+            // The recorder's write mix matches the report's counters.
+            assert_eq!(
+                recorder.totals().cat1,
+                report.stack.cat1_writes,
+                "{scheme}: Cat-1 totals agree"
+            );
+        }
+        // Native never dedups; POD removes Cat-1 writes.
+        assert_eq!(rows[0].1.totals().cat1, 0);
+        assert!(rows[1].1.totals().cat1 > 0);
     }
 
     #[test]

@@ -19,11 +19,17 @@
 //!   Select-Dedupe / POD (= Select-Dedupe + adaptive iCache).
 //! * [`stack`] — the layered [`StorageStack`]: cache / dedup / disk
 //!   layers plus background tasks, composed declaratively from a
-//!   [`StackSpec`] with an observer threaded through every layer.
-//! * [`runner`] — [`SchemeRunner`]: deterministic trace replay driving a
-//!   [`StorageStack`] and producing a [`ReplayReport`].
+//!   [`StackSpec`] with an observer chain threaded through every layer.
+//! * [`obs`] — structured observability: typed
+//!   [`StackEvent`]s, [`ObserverChain`] fan-out,
+//!   per-layer histograms and the JSONL trace recorder.
+//! * [`runner`] — replay entry points: [`ReplayBuilder`] (the primary
+//!   API: `Scheme::builder().trace(..).run()?`) and the older
+//!   [`SchemeRunner`], both producing a [`ReplayReport`].
 //! * [`metrics`] — response-time accumulators (mean, percentiles).
 //! * [`experiments`] — one function per table/figure of the paper.
+//!
+//! Most callers want `use pod_core::prelude::*;`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +37,43 @@
 pub mod config;
 pub mod experiments;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod runner;
 pub mod scheme;
 pub mod stack;
+pub mod testing;
 
 pub use config::SystemConfig;
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
+pub use obs::{IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver};
 pub use pool::Executor;
-pub use runner::{ReplayReport, ReplaySizing, SchemeRunner};
+pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing, SchemeRunner};
 pub use scheme::Scheme;
-pub use stack::{StackCounters, StackObserver, StackSpec, StorageStack};
+pub use stack::{StackSpec, StorageStack};
+
+/// The one-stop import for building and replaying POD schemes.
+///
+/// ```
+/// use pod_core::prelude::*;
+///
+/// let trace = pod_trace::TraceProfile::mail().scaled(0.002).generate(7);
+/// let report = Scheme::Pod
+///     .builder()
+///     .config(SystemConfig::test_default())
+///     .trace(&trace)
+///     .run()?;
+/// assert!(report.writes_removed_pct() > 0.0);
+/// # Ok::<(), pod_types::PodError>(())
+/// ```
+pub mod prelude {
+    pub use crate::config::SystemConfig;
+    pub use crate::metrics::{LatencyHistogram, Metrics, Timeline};
+    pub use crate::obs::{
+        IntoObserverChain, Layer, LayerHistograms, ObserverChain, StackCounters, StackEvent,
+        StackObserver, TraceRecorder,
+    };
+    pub use crate::runner::{ReplayBuilder, ReplayReport, SchemeRunner};
+    pub use crate::scheme::Scheme;
+    pub use crate::stack::{StackSpec, StorageStack};
+}

@@ -116,6 +116,13 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Rebuild a histogram from previously exported bucket counts (the
+    /// inverse of [`buckets`](Self::buckets); used by `pod stats` to
+    /// re-render histograms from a JSONL trace).
+    pub fn from_buckets(buckets: [u64; 28]) -> Self {
+        Self { buckets }
+    }
+
     /// Record one response time in µs.
     pub fn record(&mut self, us: u64) {
         let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(27);
@@ -337,5 +344,44 @@ mod tests {
         m.record(42);
         assert_eq!(m.percentile_us(1.0), 42);
         assert_eq!(m.percentile_us(99.0), 42);
+    }
+
+    #[test]
+    fn all_equal_samples_have_flat_percentiles() {
+        let mut m = Metrics::new();
+        for _ in 0..1_000 {
+            m.record(7);
+        }
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(m.percentile_us(p), 7, "p={p}");
+        }
+        assert_eq!(m.stddev_us(), 0.0);
+    }
+
+    #[test]
+    fn percentile_zero_is_the_minimum() {
+        let mut m = Metrics::new();
+        for v in [30, 10, 20] {
+            m.record(v);
+        }
+        assert_eq!(m.percentile_us(0.0), 10);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_buckets() {
+        let mut h = LatencyHistogram::default();
+        for us in [1, 5, 5, 300, 1_000_000] {
+            h.record(us);
+        }
+        let rebuilt = LatencyHistogram::from_buckets(*h.buckets());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.total(), 5);
+    }
+
+    #[test]
+    fn histogram_clamps_huge_samples_to_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[27], 1);
     }
 }

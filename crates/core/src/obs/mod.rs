@@ -1,0 +1,825 @@
+//! Structured observability: typed events, observer fan-out, recorders.
+//!
+//! Every layer of the [`StorageStack`](crate::stack::StorageStack)
+//! reports what it did as a [`StackEvent`] through one
+//! [`ObserverChain`]. The chain always aggregates [`StackCounters`]
+//! (what [`ReplayReport`](crate::ReplayReport) needs) and fans the same
+//! event out to any number of attached sinks — per-layer
+//! [`LayerHistograms`], an epoch-granular [`TraceRecorder`], or a
+//! custom [`StackObserver`] — without allocating per event.
+//!
+#![doc = include_str!("EVENTS.md")]
+
+pub mod json;
+mod recorders;
+
+pub use recorders::{EpochRow, LayerHistograms, TraceRecorder};
+
+use pod_dedup::ClassKind;
+use std::any::Any;
+
+/// A stack layer, for timing attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// The read-cache / iCache layer.
+    Cache,
+    /// The deduplication layer (hashing + index metadata).
+    Dedup,
+    /// The disk backend (service + queueing).
+    Disk,
+}
+
+impl Layer {
+    /// All layers, in display order.
+    pub const ALL: [Layer; 3] = [Layer::Cache, Layer::Dedup, Layer::Disk];
+
+    /// Stable lowercase tag used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Cache => "cache",
+            Layer::Dedup => "dedup",
+            Layer::Disk => "disk",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Layer> {
+        Layer::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+/// Stable tag for a write classification: the paper's Cat-1/2/3 plus
+/// plain unique writes.
+pub fn category_tag(kind: ClassKind) -> &'static str {
+    match kind {
+        ClassKind::FullyRedundantSequential => "cat1",
+        ClassKind::ScatteredPartial => "cat2",
+        ClassKind::ContiguousPartial => "cat3",
+        ClassKind::Unique => "unique",
+    }
+}
+
+fn category_from_tag(s: &str) -> Option<ClassKind> {
+    match s {
+        "cat1" => Some(ClassKind::FullyRedundantSequential),
+        "cat2" => Some(ClassKind::ScatteredPartial),
+        "cat3" => Some(ClassKind::ContiguousPartial),
+        "unique" => Some(ClassKind::Unique),
+        _ => None,
+    }
+}
+
+/// One typed event from the storage stack. `Copy`, so emitting an event
+/// never touches the heap; variants carry values, never owned buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackEvent {
+    /// A read request finished its cache lookup pass (`hit` = every
+    /// block of the request was cached). `measured` is `false` during
+    /// warm-up.
+    ReadLookup {
+        /// Whole request served from cache.
+        hit: bool,
+        /// Outside the warm-up window.
+        measured: bool,
+    },
+    /// A missed read was mapped onto `fragments` physical extents.
+    ReadFragments {
+        /// Number of physical extents (1 = contiguous).
+        fragments: u64,
+        /// Outside the warm-up window.
+        measured: bool,
+    },
+    /// The dedup layer classified and processed a write request.
+    WriteClassified {
+        /// The paper's Cat-1/2/3 / unique classification.
+        category: ClassKind,
+        /// Chunks eliminated from the write stream.
+        deduped_blocks: u32,
+        /// Chunks actually written.
+        written_blocks: u32,
+        /// Whole request removed from disk I/O (Cat-1).
+        removed: bool,
+        /// On-disk index lookups charged before the write.
+        disk_index_lookups: u32,
+        /// Outside the warm-up window.
+        measured: bool,
+    },
+    /// The iCache repartitioned the DRAM budget between index and read
+    /// cache.
+    Repartition {
+        /// New index-cache budget, bytes.
+        index_bytes: u64,
+        /// New read-cache budget, bytes.
+        read_bytes: u64,
+        /// Blocks moved through the reserved swap region.
+        swap_blocks: u64,
+        /// `true` when the index grew (write-intensive adaptation).
+        index_grew: bool,
+    },
+    /// A background deduplication pass completed.
+    BackgroundScan {
+        /// Chunks examined.
+        scanned_chunks: u64,
+        /// Chunks remapped onto an existing copy.
+        deduped_chunks: u64,
+    },
+    /// Swap-region traffic was charged to the disks.
+    Swap {
+        /// Blocks written to the swap region.
+        blocks: u64,
+    },
+    /// Time spent in one layer on behalf of a request (µs). Cache and
+    /// dedup time is emitted inline; disk time is attributed when the
+    /// job completes, so it arrives during
+    /// [`finish`](crate::stack::StorageStack::finish).
+    LayerLatency {
+        /// The layer the time belongs to.
+        layer: Layer,
+        /// Microseconds spent.
+        us: u64,
+    },
+    /// A request finished its foreground processing (background tasks
+    /// run after this event).
+    RequestDone {
+        /// `true` for writes.
+        write: bool,
+        /// Outside the warm-up window.
+        measured: bool,
+    },
+    /// The replay finished: background tasks drained, disks idle, all
+    /// deferred [`LayerLatency`](Self::LayerLatency) events delivered.
+    /// Recorders flush partial state on this event.
+    Finished,
+}
+
+impl StackEvent {
+    /// Append this event as one JSON object to `out`. The inverse of
+    /// [`from_json`](Self::from_json); allocation is fine here — the
+    /// hot path emits events, it never serializes them.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match *self {
+            StackEvent::ReadLookup { hit, measured } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"read_lookup","hit":{hit},"measured":{measured}}}"#
+                );
+            }
+            StackEvent::ReadFragments {
+                fragments,
+                measured,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"read_fragments","fragments":{fragments},"measured":{measured}}}"#
+                );
+            }
+            StackEvent::WriteClassified {
+                category,
+                deduped_blocks,
+                written_blocks,
+                removed,
+                disk_index_lookups,
+                measured,
+            } => {
+                let _ = write!(
+                    out,
+                    concat!(
+                        r#"{{"ev":"write_classified","category":"{}","deduped_blocks":{},"#,
+                        r#""written_blocks":{},"removed":{},"disk_index_lookups":{},"measured":{}}}"#
+                    ),
+                    category_tag(category),
+                    deduped_blocks,
+                    written_blocks,
+                    removed,
+                    disk_index_lookups,
+                    measured
+                );
+            }
+            StackEvent::Repartition {
+                index_bytes,
+                read_bytes,
+                swap_blocks,
+                index_grew,
+            } => {
+                let _ = write!(
+                    out,
+                    concat!(
+                        r#"{{"ev":"repartition","index_bytes":{},"read_bytes":{},"#,
+                        r#""swap_blocks":{},"index_grew":{}}}"#
+                    ),
+                    index_bytes, read_bytes, swap_blocks, index_grew
+                );
+            }
+            StackEvent::BackgroundScan {
+                scanned_chunks,
+                deduped_chunks,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"background_scan","scanned_chunks":{scanned_chunks},"deduped_chunks":{deduped_chunks}}}"#
+                );
+            }
+            StackEvent::Swap { blocks } => {
+                let _ = write!(out, r#"{{"ev":"swap","blocks":{blocks}}}"#);
+            }
+            StackEvent::LayerLatency { layer, us } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"layer_latency","layer":"{}","us":{us}}}"#,
+                    layer.name()
+                );
+            }
+            StackEvent::RequestDone { write, measured } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"request_done","write":{write},"measured":{measured}}}"#
+                );
+            }
+            StackEvent::Finished => out.push_str(r#"{"ev":"finished"}"#),
+        }
+    }
+
+    /// This event as a standalone JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    /// Parse an event from the JSON produced by
+    /// [`write_json`](Self::write_json).
+    pub fn from_json(s: &str) -> Result<StackEvent, String> {
+        let v = json::parse(s)?;
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let num = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("bad number {k:?}"))
+        };
+        let flag = |k: &str| field(k)?.as_bool().ok_or_else(|| format!("bad bool {k:?}"));
+        let tag = field("ev")?.as_str().ok_or("bad event tag")?;
+        Ok(match tag {
+            "read_lookup" => StackEvent::ReadLookup {
+                hit: flag("hit")?,
+                measured: flag("measured")?,
+            },
+            "read_fragments" => StackEvent::ReadFragments {
+                fragments: num("fragments")?,
+                measured: flag("measured")?,
+            },
+            "write_classified" => StackEvent::WriteClassified {
+                category: field("category")?
+                    .as_str()
+                    .and_then(category_from_tag)
+                    .ok_or("bad category")?,
+                deduped_blocks: num("deduped_blocks")? as u32,
+                written_blocks: num("written_blocks")? as u32,
+                removed: flag("removed")?,
+                disk_index_lookups: num("disk_index_lookups")? as u32,
+                measured: flag("measured")?,
+            },
+            "repartition" => StackEvent::Repartition {
+                index_bytes: num("index_bytes")?,
+                read_bytes: num("read_bytes")?,
+                swap_blocks: num("swap_blocks")?,
+                index_grew: flag("index_grew")?,
+            },
+            "background_scan" => StackEvent::BackgroundScan {
+                scanned_chunks: num("scanned_chunks")?,
+                deduped_chunks: num("deduped_chunks")?,
+            },
+            "swap" => StackEvent::Swap {
+                blocks: num("blocks")?,
+            },
+            "layer_latency" => StackEvent::LayerLatency {
+                layer: field("layer")?
+                    .as_str()
+                    .and_then(Layer::from_name)
+                    .ok_or("bad layer")?,
+                us: num("us")?,
+            },
+            "request_done" => StackEvent::RequestDone {
+                write: flag("write")?,
+                measured: flag("measured")?,
+            },
+            "finished" => StackEvent::Finished,
+            other => return Err(format!("unknown event tag {other:?}")),
+        })
+    }
+}
+
+/// Receives every [`StackEvent`] the stack emits. The default
+/// implementation ignores everything, so observers match only the
+/// variants they consume.
+pub trait StackObserver {
+    /// One event from the stack. Must not allocate if the observer is
+    /// meant to ride the replay hot path — see the zero-allocation
+    /// contract in the module docs.
+    fn on_event(&mut self, ev: &StackEvent) {
+        let _ = ev;
+    }
+}
+
+/// A [`StackObserver`] that can be stored in an [`ObserverChain`] and
+/// downcast back out after the replay. Blanket-implemented for every
+/// `'static` observer; never implement it by hand.
+pub trait ObserverSink: StackObserver + Any {
+    /// The sink as `Any`, for read-back downcasts.
+    fn as_any(&self) -> &dyn Any;
+    /// The sink as owned `Any`, for extraction.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: StackObserver + Any> ObserverSink for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Fan-out of one event stream to the built-in [`StackCounters`] plus
+/// any number of boxed sinks, in attachment order.
+///
+/// The chain is the concrete observer every stack carries:
+/// [`StorageStack::with_observer`] accepts anything that
+/// [`IntoObserverChain`] covers (a single observer, a tuple, `()`, or
+/// an existing chain) and converts it once at build time. Events then
+/// fan out with no per-event allocation.
+///
+/// [`StorageStack::with_observer`]: crate::stack::StorageStack::with_observer
+#[derive(Default)]
+pub struct ObserverChain {
+    counters: StackCounters,
+    sinks: Vec<Box<dyn ObserverSink>>,
+}
+
+impl ObserverChain {
+    /// An empty chain: counters only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach `sink`, builder-style.
+    pub fn with(mut self, sink: impl StackObserver + Any) -> Self {
+        self.push(sink);
+        self
+    }
+
+    /// Attach `sink` at the end of the chain.
+    pub fn push(&mut self, sink: impl StackObserver + Any) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Deliver one event: counters first, then every sink in
+    /// attachment order.
+    #[inline]
+    pub fn emit(&mut self, ev: &StackEvent) {
+        self.counters.on_event(ev);
+        for sink in &mut self.sinks {
+            sink.on_event(ev);
+        }
+    }
+
+    /// The built-in aggregate counters.
+    pub fn counters(&self) -> &StackCounters {
+        &self.counters
+    }
+
+    /// Number of attached sinks (excluding the built-in counters).
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// `true` when no sinks are attached (counters still run).
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The first attached sink of concrete type `T`, if any.
+    pub fn sink<T: Any>(&self) -> Option<&T> {
+        self.sinks.iter().find_map(|s| s.as_any().downcast_ref())
+    }
+
+    /// Remove and return the first attached sink of type `T`.
+    pub fn take_sink<T: Any>(&mut self) -> Option<T> {
+        let idx = self.sinks.iter().position(|s| s.as_any().is::<T>())?;
+        let sink = self.sinks.remove(idx);
+        Some(*sink.into_any().downcast().expect("type checked above"))
+    }
+
+    /// Append every sink of `other` to this chain (its counters are
+    /// discarded — a chain has exactly one counter set).
+    pub fn merge(&mut self, other: ObserverChain) {
+        self.sinks.extend(other.sinks);
+    }
+}
+
+impl std::fmt::Debug for ObserverChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObserverChain")
+            .field("counters", &self.counters)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+/// Conversion into an [`ObserverChain`], the uniform currency of
+/// [`StorageStack::with_observer`]. Implemented for a chain itself, any
+/// single observer, `()` (counters only), and observer tuples up to
+/// arity three.
+///
+/// This is a bespoke trait rather than `Into<ObserverChain>` because a
+/// blanket `impl From<T> for ObserverChain` for every observer would
+/// collide with the reflexive `From` impl in `core`.
+///
+/// [`StorageStack::with_observer`]: crate::stack::StorageStack::with_observer
+pub trait IntoObserverChain {
+    /// Build the chain.
+    fn into_chain(self) -> ObserverChain;
+}
+
+impl IntoObserverChain for ObserverChain {
+    fn into_chain(self) -> ObserverChain {
+        self
+    }
+}
+
+impl IntoObserverChain for () {
+    fn into_chain(self) -> ObserverChain {
+        ObserverChain::new()
+    }
+}
+
+impl<T: StackObserver + Any> IntoObserverChain for T {
+    fn into_chain(self) -> ObserverChain {
+        ObserverChain::new().with(self)
+    }
+}
+
+impl<A: StackObserver + Any, B: StackObserver + Any> IntoObserverChain for (A, B) {
+    fn into_chain(self) -> ObserverChain {
+        ObserverChain::new().with(self.0).with(self.1)
+    }
+}
+
+impl<A: StackObserver + Any, B: StackObserver + Any, C: StackObserver + Any> IntoObserverChain
+    for (A, B, C)
+{
+    fn into_chain(self) -> ObserverChain {
+        ObserverChain::new().with(self.0).with(self.1).with(self.2)
+    }
+}
+
+/// The built-in aggregate counters: everything
+/// [`ReplayReport`](crate::ReplayReport) derives its rates from, plus
+/// the per-category write mix and per-layer time totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackCounters {
+    /// Read requests in the measured region.
+    pub reads_measured: u64,
+    /// Measured read requests fully served from cache.
+    pub read_hits_measured: u64,
+    /// Total physical fragments over measured missed reads.
+    pub frag_sum: u64,
+    /// Measured reads that went to disk (fragmentation denominator).
+    pub frag_reads: u64,
+    /// Write requests processed by the dedup layer (all, incl. warm-up).
+    pub writes_processed: u64,
+    /// Writes fully eliminated from the disk stream (all, incl. warm-up).
+    pub writes_eliminated: u64,
+    /// Cat-1 (fully redundant sequential) writes (all, incl. warm-up).
+    pub cat1_writes: u64,
+    /// Cat-2 (scattered partial) writes (all, incl. warm-up).
+    pub cat2_writes: u64,
+    /// Cat-3 (contiguous partial) writes (all, incl. warm-up).
+    pub cat3_writes: u64,
+    /// Unique (nothing redundant) writes (all, incl. warm-up).
+    pub unique_writes: u64,
+    /// Cache repartitions observed.
+    pub repartitions: u64,
+    /// Swap-region blocks charged to the disks.
+    pub swap_blocks: u64,
+    /// Background deduplication passes run.
+    pub background_scans: u64,
+    /// Chunks examined by background passes.
+    pub background_scanned_chunks: u64,
+    /// Total µs attributed to the cache layer (full-hit service).
+    pub cache_time_us: u64,
+    /// Total µs attributed to the dedup layer (hashing + metadata).
+    pub dedup_time_us: u64,
+    /// Total µs attributed to the disks (service + queueing).
+    pub disk_time_us: u64,
+}
+
+impl StackCounters {
+    /// Read-cache hit rate over the measured region (0 when no reads).
+    pub fn read_hit_rate(&self) -> f64 {
+        if self.reads_measured == 0 {
+            0.0
+        } else {
+            self.read_hits_measured as f64 / self.reads_measured as f64
+        }
+    }
+
+    /// Mean physical fragments per missed read (1.0 = never fragmented).
+    pub fn read_fragmentation(&self) -> f64 {
+        if self.frag_reads == 0 {
+            1.0
+        } else {
+            self.frag_sum as f64 / self.frag_reads as f64
+        }
+    }
+
+    /// Total µs attributed to `layer`.
+    pub fn layer_time_us(&self, layer: Layer) -> u64 {
+        match layer {
+            Layer::Cache => self.cache_time_us,
+            Layer::Dedup => self.dedup_time_us,
+            Layer::Disk => self.disk_time_us,
+        }
+    }
+
+    /// Sum of all per-layer time attributions, µs.
+    pub fn total_layer_time_us(&self) -> u64 {
+        Layer::ALL.iter().map(|&l| self.layer_time_us(l)).sum()
+    }
+
+    /// `layer`'s share of the total attributed time (0 when none).
+    pub fn layer_share(&self, layer: Layer) -> f64 {
+        let total = self.total_layer_time_us();
+        if total == 0 {
+            0.0
+        } else {
+            self.layer_time_us(layer) as f64 / total as f64
+        }
+    }
+}
+
+impl StackObserver for StackCounters {
+    fn on_event(&mut self, ev: &StackEvent) {
+        match *ev {
+            StackEvent::ReadLookup { hit, measured } => {
+                if measured {
+                    self.reads_measured += 1;
+                    if hit {
+                        self.read_hits_measured += 1;
+                    }
+                }
+            }
+            StackEvent::ReadFragments {
+                fragments,
+                measured,
+            } => {
+                if measured {
+                    self.frag_sum += fragments;
+                    self.frag_reads += 1;
+                }
+            }
+            StackEvent::WriteClassified {
+                category, removed, ..
+            } => {
+                self.writes_processed += 1;
+                if removed {
+                    self.writes_eliminated += 1;
+                }
+                match category {
+                    ClassKind::FullyRedundantSequential => self.cat1_writes += 1,
+                    ClassKind::ScatteredPartial => self.cat2_writes += 1,
+                    ClassKind::ContiguousPartial => self.cat3_writes += 1,
+                    ClassKind::Unique => self.unique_writes += 1,
+                }
+            }
+            StackEvent::Repartition { .. } => self.repartitions += 1,
+            StackEvent::BackgroundScan { scanned_chunks, .. } => {
+                self.background_scans += 1;
+                self.background_scanned_chunks += scanned_chunks;
+            }
+            StackEvent::Swap { blocks } => self.swap_blocks += blocks,
+            StackEvent::LayerLatency { layer, us } => match layer {
+                Layer::Cache => self.cache_time_us += us,
+                Layer::Dedup => self.dedup_time_us += us,
+                Layer::Disk => self.disk_time_us += us,
+            },
+            StackEvent::RequestDone { .. } | StackEvent::Finished => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_fragmentation_defaults() {
+        let c = StackCounters::default();
+        assert_eq!(c.read_hit_rate(), 0.0);
+        assert_eq!(c.read_fragmentation(), 1.0);
+        assert_eq!(c.layer_share(Layer::Disk), 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate_from_events() {
+        let mut c = StackCounters::default();
+        c.on_event(&StackEvent::ReadLookup {
+            hit: true,
+            measured: true,
+        });
+        c.on_event(&StackEvent::ReadLookup {
+            hit: false,
+            measured: true,
+        });
+        // Warm-up: ignored.
+        c.on_event(&StackEvent::ReadLookup {
+            hit: true,
+            measured: false,
+        });
+        c.on_event(&StackEvent::ReadFragments {
+            fragments: 3,
+            measured: true,
+        });
+        c.on_event(&StackEvent::Swap { blocks: 7 });
+        assert_eq!(c.reads_measured, 2);
+        assert_eq!(c.read_hits_measured, 1);
+        assert!((c.read_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((c.read_fragmentation() - 3.0).abs() < 1e-12);
+        assert_eq!(c.swap_blocks, 7);
+    }
+
+    #[test]
+    fn write_classification_mix() {
+        let mut c = StackCounters::default();
+        let write = |category, removed| StackEvent::WriteClassified {
+            category,
+            deduped_blocks: 0,
+            written_blocks: 1,
+            removed,
+            disk_index_lookups: 0,
+            measured: true,
+        };
+        c.on_event(&write(ClassKind::FullyRedundantSequential, true));
+        c.on_event(&write(ClassKind::ScatteredPartial, false));
+        c.on_event(&write(ClassKind::ContiguousPartial, false));
+        c.on_event(&write(ClassKind::Unique, false));
+        assert_eq!(
+            (c.cat1_writes, c.cat2_writes, c.cat3_writes, c.unique_writes),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(c.writes_processed, 4);
+        assert_eq!(c.writes_eliminated, 1);
+    }
+
+    #[test]
+    fn layer_time_shares() {
+        let mut c = StackCounters::default();
+        c.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Dedup,
+            us: 30,
+        });
+        c.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Disk,
+            us: 70,
+        });
+        assert_eq!(c.total_layer_time_us(), 100);
+        assert!((c.layer_share(Layer::Disk) - 0.7).abs() < 1e-12);
+        assert!((c.layer_share(Layer::Cache)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_fans_out_in_attachment_order() {
+        // Each sink logs its identity; a shared event count proves
+        // ordering (sink A always sees the event before sink B).
+        #[derive(Default)]
+        struct Tagger {
+            tag: u8,
+            seen: Vec<u8>,
+        }
+        impl StackObserver for Tagger {
+            fn on_event(&mut self, _ev: &StackEvent) {
+                self.seen.push(self.tag);
+            }
+        }
+        let mut chain = ObserverChain::new()
+            .with(Tagger {
+                tag: 1,
+                ..Default::default()
+            })
+            .with(Tagger {
+                tag: 2,
+                ..Default::default()
+            });
+        assert_eq!(chain.len(), 2);
+        chain.emit(&StackEvent::Finished);
+        chain.emit(&StackEvent::Swap { blocks: 1 });
+        // Counters ran too.
+        assert_eq!(chain.counters().swap_blocks, 1);
+        let first: Tagger = chain.take_sink().expect("tagger present");
+        assert_eq!(first.tag, 1, "take_sink returns the first match");
+        assert_eq!(first.seen, vec![1, 1]);
+        let second: Tagger = chain.take_sink().expect("second tagger");
+        assert_eq!(second.tag, 2);
+        assert!(chain.take_sink::<Tagger>().is_none());
+    }
+
+    #[test]
+    fn into_chain_forms() {
+        struct A;
+        struct B;
+        impl StackObserver for A {}
+        impl StackObserver for B {}
+        assert_eq!(().into_chain().len(), 0);
+        assert_eq!(A.into_chain().len(), 1);
+        assert_eq!((A, B).into_chain().len(), 2);
+        assert_eq!((A, B, A).into_chain().len(), 3);
+        let pre = ObserverChain::new().with(A);
+        assert_eq!(pre.into_chain().len(), 1, "chain passes through");
+    }
+
+    #[test]
+    fn chain_merge_keeps_sinks() {
+        struct A;
+        impl StackObserver for A {}
+        let mut base = ObserverChain::new().with(A);
+        base.merge(ObserverChain::new().with(A).with(A));
+        assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn sink_readback_by_type() {
+        let chain = ObserverChain::new().with(StackCounters::default());
+        assert!(chain.sink::<StackCounters>().is_some());
+        assert!(chain.sink::<LayerHistograms>().is_none());
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = [
+            StackEvent::ReadLookup {
+                hit: true,
+                measured: false,
+            },
+            StackEvent::ReadFragments {
+                fragments: 9,
+                measured: true,
+            },
+            StackEvent::WriteClassified {
+                category: ClassKind::ContiguousPartial,
+                deduped_blocks: 3,
+                written_blocks: 5,
+                removed: false,
+                disk_index_lookups: 2,
+                measured: true,
+            },
+            StackEvent::Repartition {
+                index_bytes: 1 << 20,
+                read_bytes: 3 << 20,
+                swap_blocks: 256,
+                index_grew: true,
+            },
+            StackEvent::BackgroundScan {
+                scanned_chunks: 64,
+                deduped_chunks: 16,
+            },
+            StackEvent::Swap { blocks: 128 },
+            StackEvent::LayerLatency {
+                layer: Layer::Disk,
+                us: 412,
+            },
+            StackEvent::RequestDone {
+                write: true,
+                measured: true,
+            },
+            StackEvent::Finished,
+        ];
+        for ev in events {
+            let s = ev.to_json();
+            let back = StackEvent::from_json(&s).expect("parse back");
+            assert_eq!(back, ev, "round trip of {s}");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_events() {
+        assert!(StackEvent::from_json(r#"{"ev":"unknown"}"#).is_err());
+        assert!(
+            StackEvent::from_json(r#"{"ev":"swap"}"#).is_err(),
+            "missing field"
+        );
+        assert!(StackEvent::from_json(r#"{"ev":"layer_latency","layer":"ssd","us":1}"#).is_err());
+        assert!(StackEvent::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn category_tags_are_stable() {
+        for kind in [
+            ClassKind::FullyRedundantSequential,
+            ClassKind::ScatteredPartial,
+            ClassKind::ContiguousPartial,
+            ClassKind::Unique,
+        ] {
+            assert_eq!(category_from_tag(category_tag(kind)), Some(kind));
+        }
+        assert_eq!(category_from_tag("cat4"), None);
+    }
+}

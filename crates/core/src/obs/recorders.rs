@@ -1,0 +1,480 @@
+//! Built-in observer sinks: per-layer histograms and the epoch-granular
+//! trace recorder behind `pod replay --trace-out`.
+
+use crate::metrics::LatencyHistogram;
+use crate::obs::json::push_str_escaped;
+use crate::obs::{Layer, StackEvent, StackObserver};
+use pod_dedup::ClassKind;
+use std::io::Write;
+
+/// One [`LatencyHistogram`] per stack layer, fed by
+/// [`StackEvent::LayerLatency`]. Fixed-size storage: recording never
+/// allocates, so the histograms can ride the replay hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayerHistograms {
+    cache: LatencyHistogram,
+    dedup: LatencyHistogram,
+    disk: LatencyHistogram,
+}
+
+impl LayerHistograms {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The histogram for `layer`.
+    pub fn layer(&self, layer: Layer) -> &LatencyHistogram {
+        match layer {
+            Layer::Cache => &self.cache,
+            Layer::Dedup => &self.dedup,
+            Layer::Disk => &self.disk,
+        }
+    }
+
+    /// Total recorded samples across all layers.
+    pub fn total(&self) -> u64 {
+        Layer::ALL.iter().map(|&l| self.layer(l).total()).sum()
+    }
+}
+
+impl StackObserver for LayerHistograms {
+    fn on_event(&mut self, ev: &StackEvent) {
+        if let StackEvent::LayerLatency { layer, us } = *ev {
+            match layer {
+                Layer::Cache => self.cache.record(us),
+                Layer::Dedup => self.dedup.record(us),
+                Layer::Disk => self.disk.record(us),
+            }
+        }
+    }
+}
+
+/// One epoch's aggregated activity — a row of the JSONL trace.
+///
+/// All counts are totals within the epoch. Disk time is attributed at
+/// job completion (see [`StackEvent::LayerLatency`]), so it
+/// concentrates in the drain row; per-layer *shares* belong in the
+/// summary, the epochs carry the workload mix over time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochRow {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// Requests completed in this epoch.
+    pub requests: u64,
+    /// Read requests.
+    pub reads: u64,
+    /// Reads fully served from cache.
+    pub read_hits: u64,
+    /// Physical fragments over missed reads.
+    pub frag_sum: u64,
+    /// Missed reads (fragmentation denominator).
+    pub frag_reads: u64,
+    /// Write requests.
+    pub writes: u64,
+    /// Cat-1 (fully redundant sequential) writes.
+    pub cat1: u64,
+    /// Cat-2 (scattered partial) writes.
+    pub cat2: u64,
+    /// Cat-3 (contiguous partial) writes.
+    pub cat3: u64,
+    /// Unique writes.
+    pub unique: u64,
+    /// Chunks eliminated from the write stream.
+    pub deduped_blocks: u64,
+    /// Chunks actually written.
+    pub written_blocks: u64,
+    /// iCache repartitions.
+    pub repartitions: u64,
+    /// Swap-region blocks charged.
+    pub swap_blocks: u64,
+    /// Background scan passes.
+    pub scans: u64,
+    /// Chunks examined by background passes.
+    pub scanned_chunks: u64,
+    /// µs attributed to the cache layer.
+    pub cache_us: u64,
+    /// µs attributed to the dedup layer.
+    pub dedup_us: u64,
+    /// µs attributed to the disks.
+    pub disk_us: u64,
+}
+
+impl EpochRow {
+    fn absorb(&mut self, ev: &StackEvent) {
+        match *ev {
+            StackEvent::ReadLookup { hit, .. } => {
+                self.reads += 1;
+                if hit {
+                    self.read_hits += 1;
+                }
+            }
+            StackEvent::ReadFragments { fragments, .. } => {
+                self.frag_sum += fragments;
+                self.frag_reads += 1;
+            }
+            StackEvent::WriteClassified {
+                category,
+                deduped_blocks,
+                written_blocks,
+                ..
+            } => {
+                self.writes += 1;
+                self.deduped_blocks += deduped_blocks as u64;
+                self.written_blocks += written_blocks as u64;
+                match category {
+                    ClassKind::FullyRedundantSequential => self.cat1 += 1,
+                    ClassKind::ScatteredPartial => self.cat2 += 1,
+                    ClassKind::ContiguousPartial => self.cat3 += 1,
+                    ClassKind::Unique => self.unique += 1,
+                }
+            }
+            StackEvent::Repartition { .. } => self.repartitions += 1,
+            StackEvent::BackgroundScan { scanned_chunks, .. } => {
+                self.scans += 1;
+                self.scanned_chunks += scanned_chunks;
+            }
+            StackEvent::Swap { blocks } => self.swap_blocks += blocks,
+            StackEvent::LayerLatency { layer, us } => match layer {
+                Layer::Cache => self.cache_us += us,
+                Layer::Dedup => self.dedup_us += us,
+                Layer::Disk => self.disk_us += us,
+            },
+            StackEvent::RequestDone { .. } => self.requests += 1,
+            StackEvent::Finished => {}
+        }
+    }
+
+    fn add(&mut self, other: &EpochRow) {
+        self.requests += other.requests;
+        self.reads += other.reads;
+        self.read_hits += other.read_hits;
+        self.frag_sum += other.frag_sum;
+        self.frag_reads += other.frag_reads;
+        self.writes += other.writes;
+        self.cat1 += other.cat1;
+        self.cat2 += other.cat2;
+        self.cat3 += other.cat3;
+        self.unique += other.unique;
+        self.deduped_blocks += other.deduped_blocks;
+        self.written_blocks += other.written_blocks;
+        self.repartitions += other.repartitions;
+        self.swap_blocks += other.swap_blocks;
+        self.scans += other.scans;
+        self.scanned_chunks += other.scanned_chunks;
+        self.cache_us += other.cache_us;
+        self.dedup_us += other.dedup_us;
+        self.disk_us += other.disk_us;
+    }
+
+    fn push_fields(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            concat!(
+                r#""requests":{},"reads":{},"read_hits":{},"frag_sum":{},"frag_reads":{},"#,
+                r#""writes":{},"cat1":{},"cat2":{},"cat3":{},"unique":{},"#,
+                r#""deduped_blocks":{},"written_blocks":{},"repartitions":{},"swap_blocks":{},"#,
+                r#""scans":{},"scanned_chunks":{},"cache_us":{},"dedup_us":{},"disk_us":{}"#
+            ),
+            self.requests,
+            self.reads,
+            self.read_hits,
+            self.frag_sum,
+            self.frag_reads,
+            self.writes,
+            self.cat1,
+            self.cat2,
+            self.cat3,
+            self.unique,
+            self.deduped_blocks,
+            self.written_blocks,
+            self.repartitions,
+            self.swap_blocks,
+            self.scans,
+            self.scanned_chunks,
+            self.cache_us,
+            self.dedup_us,
+            self.disk_us,
+        );
+    }
+}
+
+/// Epoch-granular time-series recorder: aggregates the event stream
+/// into one [`EpochRow`] per `epoch_requests` completed requests, so
+/// the exported trace is bounded by the epoch count, not the request
+/// count.
+///
+/// The row buffer is pre-sized from the expected request count at
+/// construction; recording then stays allocation-free in the steady
+/// state (a pathological trace that outgrows the estimate merely grows
+/// the vector — correctness never depends on the hint).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    scheme: String,
+    trace: String,
+    epoch_requests: u64,
+    rows: Vec<EpochRow>,
+    cur: EpochRow,
+    cur_requests: u64,
+}
+
+impl TraceRecorder {
+    /// Build a recorder closing an epoch every `epoch_requests`
+    /// requests (floored at 1), pre-sized for `expected_requests`.
+    pub fn new(
+        scheme: impl Into<String>,
+        trace: impl Into<String>,
+        epoch_requests: u64,
+        expected_requests: usize,
+    ) -> Self {
+        let epoch_requests = epoch_requests.max(1);
+        let expected_epochs = expected_requests / epoch_requests as usize + 2;
+        Self {
+            scheme: scheme.into(),
+            trace: trace.into(),
+            epoch_requests,
+            rows: Vec::with_capacity(expected_epochs),
+            cur: EpochRow::default(),
+            cur_requests: 0,
+        }
+    }
+
+    /// Scheme label carried into the trace header.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// Trace label carried into the trace header.
+    pub fn trace(&self) -> &str {
+        &self.trace
+    }
+
+    /// Requests per epoch.
+    pub fn epoch_requests(&self) -> u64 {
+        self.epoch_requests
+    }
+
+    /// The closed epoch rows, in time order. Complete only after the
+    /// stack emitted [`StackEvent::Finished`].
+    pub fn rows(&self) -> &[EpochRow] {
+        &self.rows
+    }
+
+    /// Sum of every closed row — the whole-replay totals.
+    pub fn totals(&self) -> EpochRow {
+        let mut total = EpochRow::default();
+        for row in &self.rows {
+            total.add(row);
+        }
+        total.epoch = self.rows.len() as u64;
+        total
+    }
+
+    fn flush(&mut self) {
+        self.cur.epoch = self.rows.len() as u64;
+        self.rows.push(self.cur);
+        self.cur = EpochRow::default();
+        self.cur_requests = 0;
+    }
+
+    /// Serialize the recording as JSONL: a `meta` header, one `epoch`
+    /// row per closed epoch, and a `summary` row with the totals plus
+    /// (when given) the per-layer histogram buckets.
+    pub fn write_jsonl(
+        &self,
+        out: &mut dyn Write,
+        hists: Option<&LayerHistograms>,
+    ) -> std::io::Result<()> {
+        let mut line = String::new();
+        line.push_str(r#"{"type":"meta","version":1,"scheme":"#);
+        push_str_escaped(&mut line, &self.scheme);
+        line.push_str(r#","trace":"#);
+        push_str_escaped(&mut line, &self.trace);
+        line.push_str(&format!(
+            r#","epoch_requests":{},"epochs":{}}}"#,
+            self.epoch_requests,
+            self.rows.len()
+        ));
+        writeln!(out, "{line}")?;
+
+        for row in &self.rows {
+            line.clear();
+            line.push_str(&format!(r#"{{"type":"epoch","epoch":{},"#, row.epoch));
+            row.push_fields(&mut line);
+            line.push('}');
+            writeln!(out, "{line}")?;
+        }
+
+        let totals = self.totals();
+        line.clear();
+        line.push_str(r#"{"type":"summary","#);
+        totals.push_fields(&mut line);
+        if let Some(hists) = hists {
+            for layer in Layer::ALL {
+                line.push_str(&format!(r#","hist_{}":["#, layer.name()));
+                let buckets = hists.layer(layer).buckets();
+                for (i, b) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    line.push_str(&b.to_string());
+                }
+                line.push(']');
+            }
+        }
+        line.push('}');
+        writeln!(out, "{line}")
+    }
+}
+
+impl StackObserver for TraceRecorder {
+    fn on_event(&mut self, ev: &StackEvent) {
+        if matches!(ev, StackEvent::Finished) {
+            if self.cur_requests > 0 || self.cur != EpochRow::default() {
+                self.flush();
+            }
+            return;
+        }
+        self.cur.absorb(ev);
+        if let StackEvent::RequestDone { .. } = ev {
+            self.cur_requests += 1;
+            if self.cur_requests == self.epoch_requests {
+                self.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_done() -> StackEvent {
+        StackEvent::RequestDone {
+            write: false,
+            measured: true,
+        }
+    }
+
+    #[test]
+    fn histograms_record_per_layer() {
+        let mut h = LayerHistograms::new();
+        h.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Cache,
+            us: 20,
+        });
+        h.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Disk,
+            us: 4_000,
+        });
+        h.on_event(&StackEvent::Swap { blocks: 5 }); // ignored
+        assert_eq!(h.layer(Layer::Cache).total(), 1);
+        assert_eq!(h.layer(Layer::Dedup).total(), 0);
+        assert_eq!(h.layer(Layer::Disk).total(), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn recorder_closes_epochs_on_request_boundaries() {
+        let mut r = TraceRecorder::new("POD", "t", 2, 10);
+        for i in 0..5 {
+            r.on_event(&StackEvent::ReadLookup {
+                hit: i % 2 == 0,
+                measured: true,
+            });
+            r.on_event(&req_done());
+        }
+        r.on_event(&StackEvent::Finished);
+        // 5 requests, 2 per epoch: rows of 2, 2, 1.
+        assert_eq!(r.rows().len(), 3);
+        assert_eq!(r.rows()[0].requests, 2);
+        assert_eq!(r.rows()[2].requests, 1);
+        assert_eq!(r.rows()[2].epoch, 2);
+        let totals = r.totals();
+        assert_eq!(totals.requests, 5);
+        assert_eq!(totals.reads, 5);
+        assert_eq!(totals.read_hits, 3);
+    }
+
+    #[test]
+    fn recorder_flushes_eventless_tail_only_if_dirty() {
+        let mut r = TraceRecorder::new("POD", "t", 4, 4);
+        r.on_event(&req_done());
+        r.on_event(&req_done());
+        r.on_event(&req_done());
+        r.on_event(&req_done());
+        // Epoch closed exactly at the boundary; a clean Finished must
+        // not append an empty row.
+        r.on_event(&StackEvent::Finished);
+        assert_eq!(r.rows().len(), 1);
+        // But post-request drain activity (e.g. disk latency) gets its
+        // own row.
+        let mut r2 = TraceRecorder::new("POD", "t", 4, 4);
+        r2.on_event(&req_done());
+        r2.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Disk,
+            us: 99,
+        });
+        r2.on_event(&StackEvent::Finished);
+        assert_eq!(r2.rows().len(), 1);
+        assert_eq!(r2.rows()[0].disk_us, 99);
+    }
+
+    #[test]
+    fn jsonl_has_meta_epochs_and_summary() {
+        let mut r = TraceRecorder::new("Select-Dedupe", "mail \"x\"", 1, 2);
+        r.on_event(&StackEvent::WriteClassified {
+            category: ClassKind::FullyRedundantSequential,
+            deduped_blocks: 4,
+            written_blocks: 0,
+            removed: true,
+            disk_index_lookups: 0,
+            measured: true,
+        });
+        r.on_event(&StackEvent::RequestDone {
+            write: true,
+            measured: true,
+        });
+        r.on_event(&StackEvent::Finished);
+
+        let mut hists = LayerHistograms::new();
+        hists.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Dedup,
+            us: 37,
+        });
+
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, Some(&hists)).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "meta + 1 epoch + summary:\n{text}");
+
+        // Every line parses back with the shared reader.
+        for line in &lines {
+            crate::obs::json::parse(line).expect("valid JSON line");
+        }
+        let meta = crate::obs::json::parse(lines[0]).expect("meta");
+        assert_eq!(meta.get("type").and_then(|v| v.as_str()), Some("meta"));
+        assert_eq!(
+            meta.get("trace").and_then(|v| v.as_str()),
+            Some("mail \"x\""),
+            "escaped label round-trips"
+        );
+        let epoch = crate::obs::json::parse(lines[1]).expect("epoch");
+        assert_eq!(epoch.get("cat1").and_then(|v| v.as_u64()), Some(1));
+        let summary = crate::obs::json::parse(lines[2]).expect("summary");
+        let hist = summary
+            .get("hist_dedup")
+            .and_then(|v| v.as_arr())
+            .expect("dedup histogram");
+        assert_eq!(hist.len(), 28);
+        assert_eq!(hist.iter().filter_map(|v| v.as_u64()).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn epoch_requests_floor() {
+        let r = TraceRecorder::new("s", "t", 0, 100);
+        assert_eq!(r.epoch_requests(), 1);
+    }
+}

@@ -18,12 +18,13 @@
 
 use crate::config::SystemConfig;
 use crate::metrics::{Metrics, Timeline};
+use crate::obs::{IntoObserverChain, ObserverChain, StackCounters, TraceRecorder};
 use crate::scheme::Scheme;
-use crate::stack::{StackCounters, StorageStack};
+use crate::stack::{StackSpec, StorageStack};
 use pod_dedup::engine::EngineCounters;
 use pod_disk::engine::DiskStats;
 use pod_trace::Trace;
-use pod_types::PodResult;
+use pod_types::{PodError, PodResult};
 
 /// Result of replaying one trace through one scheme.
 #[derive(Debug, Clone)]
@@ -81,15 +82,22 @@ impl ReplayReport {
 
 /// Replays traces through one configured scheme.
 ///
+/// This is the pre-builder entry point, kept as a thin shim for one
+/// release; new code goes through [`ReplayBuilder`]:
+///
 /// ```
-/// use pod_core::{Scheme, SchemeRunner, SystemConfig};
+/// use pod_core::prelude::*;
 /// use pod_trace::TraceProfile;
 ///
 /// let trace = TraceProfile::web_vm().scaled(0.003).generate(42);
-/// let runner = SchemeRunner::new(Scheme::Pod, SystemConfig::test_default()).unwrap();
-/// let report = runner.replay(&trace);
+/// let report = Scheme::Pod
+///     .builder()
+///     .config(SystemConfig::test_default())
+///     .trace(&trace)
+///     .run()?;
 /// assert!(report.writes_removed_pct() > 0.0);
 /// assert_eq!(report.overall.count(), trace.len());
+/// # Ok::<(), pod_types::PodError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SchemeRunner {
@@ -172,6 +180,10 @@ impl ReplaySizing {
 
 impl SchemeRunner {
     /// Build a runner; validates the configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scheme::builder()` (ReplayBuilder) instead"
+    )]
     pub fn new(scheme: Scheme, cfg: SystemConfig) -> PodResult<Self> {
         cfg.validate()?;
         Ok(Self { scheme, cfg })
@@ -187,86 +199,196 @@ impl SchemeRunner {
         &self.cfg
     }
 
-    /// Replay `trace`, panicking on failure — a convenience for tests,
-    /// benches and doctests where a replay error is a bug in the setup.
-    /// Production paths (CLI, experiments) use
-    /// [`try_replay`](Self::try_replay) and propagate the error.
-    ///
-    /// # Panics
-    /// Panics if the trace's working set exceeds the configured array
-    /// capacity (a configuration error surfaced loudly).
-    pub fn replay(&self, trace: &Trace) -> ReplayReport {
-        self.try_replay(trace)
-            .unwrap_or_else(|e| panic!("replay of {} under {}: {e}", trace.name, self.scheme))
+    /// Replay, surfacing errors.
+    pub fn try_replay(&self, trace: &Trace) -> PodResult<ReplayReport> {
+        let spec = self.scheme.stack_spec();
+        replay_stack(&spec, &self.cfg, trace, ObserverChain::new()).map(|(report, _)| report)
+    }
+}
+
+/// The replay core every entry point funnels into.
+///
+/// The replay is a thin driver: the scheme is resolved once into a
+/// declarative [`StackSpec`], the layered [`StorageStack`] is composed
+/// from it, and every request flows through the same code path — no
+/// scheme branching anywhere below this line. Returns the report plus
+/// the observer chain so callers can extract attached sinks.
+fn replay_stack(
+    spec: &StackSpec,
+    cfg: &SystemConfig,
+    trace: &Trace,
+    observer: ObserverChain,
+) -> PodResult<(ReplayReport, ObserverChain)> {
+    let mut stack = StorageStack::with_observer(spec, cfg, trace, observer)?;
+
+    // ---- Replay -------------------------------------------------
+    let n = trace.requests.len();
+    let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
+    for (idx, req) in trace.requests.iter().enumerate() {
+        stack.run_until(req.arrival);
+        stack.process_request(idx, req, idx >= warmup)?;
+    }
+    stack.finish()?;
+
+    // ---- Collect ------------------------------------------------
+    let responses = stack.responses(n);
+    let mut overall = Metrics::new();
+    let mut reads = Metrics::new();
+    let mut writes = Metrics::new();
+    let mut timeline_samples: Vec<(u64, u64)> = Vec::with_capacity(n - warmup);
+    for (idx, req) in trace.requests.iter().enumerate() {
+        if idx < warmup {
+            continue;
+        }
+        let us = responses[idx].expect("every request resolved");
+        overall.record(us);
+        timeline_samples.push((req.arrival.as_micros(), us));
+        if req.op.is_write() {
+            writes.record(us);
+        } else {
+            reads.record(us);
+        }
+    }
+    let timeline = Timeline::build(&timeline_samples, 60);
+
+    let counters = *stack.observer().counters();
+    let report = ReplayReport {
+        scheme: spec.name.to_string(),
+        trace: trace.name.clone(),
+        overall,
+        reads,
+        writes,
+        counters: stack.dedup().counters(),
+        capacity_used_blocks: stack.dedup().capacity_used_blocks(),
+        nvram_peak_bytes: stack.dedup().nvram_peak_bytes(),
+        read_cache_hit_rate: counters.read_hit_rate(),
+        read_fragmentation: counters.read_fragmentation(),
+        disk: stack.disk().stats(),
+        icache_epochs: stack.cache().epochs(),
+        icache_repartitions: stack.cache().repartitions(),
+        final_index_fraction: stack.cache().index_fraction(),
+        stack: counters,
+        timeline,
+    };
+    Ok((report, stack.into_observer()))
+}
+
+/// Builder-style replay entry point — the primary public API.
+///
+/// Start from [`Scheme::builder`], set a trace (required) and
+/// optionally a config and observers, then [`run`](Self::run):
+///
+/// ```
+/// use pod_core::prelude::*;
+///
+/// let trace = pod_trace::TraceProfile::homes().scaled(0.002).generate(3);
+/// let report = Scheme::SelectDedupe
+///     .builder()
+///     .config(SystemConfig::test_default())
+///     .trace(&trace)
+///     .run()?;
+/// assert_eq!(report.overall.count(), trace.len());
+/// # Ok::<(), pod_types::PodError>(())
+/// ```
+#[derive(Debug)]
+pub struct ReplayBuilder<'t> {
+    scheme: Scheme,
+    cfg: SystemConfig,
+    trace: Option<&'t Trace>,
+    chain: ObserverChain,
+    record_epoch: Option<u64>,
+}
+
+impl ReplayBuilder<'static> {
+    /// Start building a replay of `scheme` with the paper-default
+    /// configuration; equivalent to [`Scheme::builder`].
+    pub fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            cfg: SystemConfig::paper_default(),
+            trace: None,
+            chain: ObserverChain::new(),
+            record_epoch: None,
+        }
+    }
+}
+
+impl<'t> ReplayBuilder<'t> {
+    /// Use `cfg` instead of the paper default (validated at
+    /// [`run`](Self::run)).
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
-    /// Replay, surfacing errors.
+    /// The trace to replay. Required.
+    pub fn trace<'u>(self, trace: &'u Trace) -> ReplayBuilder<'u> {
+        ReplayBuilder {
+            scheme: self.scheme,
+            cfg: self.cfg,
+            trace: Some(trace),
+            chain: self.chain,
+            record_epoch: self.record_epoch,
+        }
+    }
+
+    /// Attach observers: a single [`StackObserver`], a tuple of up to
+    /// three, or a pre-built [`ObserverChain`]. May be called several
+    /// times; sinks accumulate in call order.
     ///
-    /// The replay is a thin driver: the scheme is resolved once into a
-    /// declarative [`StackSpec`](crate::stack::StackSpec), the layered
-    /// [`StorageStack`] is composed from it, and every request flows
-    /// through the same code path — no scheme branching anywhere below
-    /// this line.
-    pub fn try_replay(&self, trace: &Trace) -> PodResult<ReplayReport> {
-        let cfg = &self.cfg;
+    /// [`StackObserver`]: crate::obs::StackObserver
+    pub fn observer(mut self, observer: impl IntoObserverChain) -> Self {
+        self.chain.merge(observer.into_chain());
+        self
+    }
+
+    /// Attach an epoch-granular [`TraceRecorder`] labelled with the
+    /// scheme and trace names, closing an epoch every `epoch_requests`
+    /// requests (`0` = auto: ~64 epochs across the trace). Read it back
+    /// from the chain returned by [`run_observed`](Self::run_observed).
+    pub fn record(mut self, epoch_requests: u64) -> Self {
+        self.record_epoch = Some(epoch_requests);
+        self
+    }
+
+    /// Replay and return the report.
+    pub fn run(self) -> PodResult<ReplayReport> {
+        self.run_observed().map(|(report, _)| report)
+    }
+
+    /// Replay and also return the observer chain, so attached sinks
+    /// (recorders, histograms, custom observers) can be extracted by
+    /// type via [`ObserverChain::take_sink`].
+    pub fn run_observed(self) -> PodResult<(ReplayReport, ObserverChain)> {
+        self.cfg.validate()?;
+        let trace = self.trace.ok_or_else(|| {
+            PodError::InvalidConfig(
+                "ReplayBuilder: no trace set (call .trace(..) before .run())".into(),
+            )
+        })?;
         let spec = self.scheme.stack_spec();
-        let mut stack = StorageStack::build(&spec, cfg, trace)?;
-
-        // ---- Replay -------------------------------------------------
-        let n = trace.requests.len();
-        let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
-        for (idx, req) in trace.requests.iter().enumerate() {
-            stack.run_until(req.arrival);
-            stack.process_request(idx, req, idx >= warmup)?;
-        }
-        stack.finish()?;
-
-        // ---- Collect ------------------------------------------------
-        let responses = stack.responses(n);
-        let mut overall = Metrics::new();
-        let mut reads = Metrics::new();
-        let mut writes = Metrics::new();
-        let mut timeline_samples: Vec<(u64, u64)> = Vec::with_capacity(n - warmup);
-        for (idx, req) in trace.requests.iter().enumerate() {
-            if idx < warmup {
-                continue;
-            }
-            let us = responses[idx].expect("every request resolved");
-            overall.record(us);
-            timeline_samples.push((req.arrival.as_micros(), us));
-            if req.op.is_write() {
-                writes.record(us);
+        let mut chain = self.chain;
+        if let Some(epoch) = self.record_epoch {
+            let epoch = if epoch == 0 {
+                (trace.len() as u64 / 64).max(64)
             } else {
-                reads.record(us);
-            }
+                epoch
+            };
+            chain.push(TraceRecorder::new(
+                spec.name,
+                trace.name.clone(),
+                epoch,
+                trace.len(),
+            ));
         }
-        let timeline = Timeline::build(&timeline_samples, 60);
-
-        let counters = *stack.observer();
-        Ok(ReplayReport {
-            scheme: spec.name.to_string(),
-            trace: trace.name.clone(),
-            overall,
-            reads,
-            writes,
-            counters: stack.dedup().counters(),
-            capacity_used_blocks: stack.dedup().capacity_used_blocks(),
-            nvram_peak_bytes: stack.dedup().nvram_peak_bytes(),
-            read_cache_hit_rate: counters.read_hit_rate(),
-            read_fragmentation: counters.read_fragmentation(),
-            disk: stack.disk().stats(),
-            icache_epochs: stack.cache().epochs(),
-            icache_repartitions: stack.cache().repartitions(),
-            final_index_fraction: stack.cache().index_fraction(),
-            stack: counters,
-            timeline,
-        })
+        replay_stack(&spec, &self.cfg, trace, chain)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testing::{ReplayExt, SchemeReplayExt};
     use pod_trace::TraceProfile;
     use pod_types::{Lba, SimTime};
 
@@ -279,6 +401,7 @@ mod tests {
         p.scaled(0.004).generate(17)
     }
 
+    #[allow(deprecated)] // the shim stays covered until it is removed
     fn runner(s: Scheme) -> SchemeRunner {
         SchemeRunner::new(s, SystemConfig::test_default()).expect("valid config")
     }
@@ -355,9 +478,7 @@ mod tests {
         let t = tiny_trace("homes");
         let mut cfg = SystemConfig::test_default();
         cfg.warmup_fraction = 0.5;
-        let rep = SchemeRunner::new(Scheme::Native, cfg)
-            .expect("valid")
-            .replay(&t);
+        let rep = Scheme::Native.replay_with(&t, cfg);
         assert!(rep.overall.count() <= t.len() - t.len() / 2 + 1);
     }
 
@@ -366,9 +487,7 @@ mod tests {
         let t = tiny_trace("mail");
         let mut cfg = SystemConfig::test_default();
         cfg.icache_epoch_requests = 100;
-        let rep = SchemeRunner::new(Scheme::Pod, cfg)
-            .expect("valid")
-            .replay(&t);
+        let rep = Scheme::Pod.replay_with(&t, cfg);
         assert!(rep.icache_epochs > 0);
         // Select-Dedupe (non-adaptive) never repartitions.
         let fixed = runner(Scheme::SelectDedupe).replay(&t);
@@ -419,8 +538,8 @@ mod tests {
             requests: vec![req],
             memory_budget_bytes: 1 << 20,
         };
-        let r = SchemeRunner::new(Scheme::Native, cfg).expect("valid");
-        assert!(r.try_replay(&trace).is_err());
+        let result = Scheme::Native.builder().config(cfg).trace(&trace).run();
+        assert!(result.is_err());
     }
 
     #[test]
@@ -460,9 +579,7 @@ mod tests {
         let mut degraded_cfg = SystemConfig::test_default();
         degraded_cfg.fail_disk = Some(1);
         let healthy = runner(Scheme::Native).replay(&t);
-        let degraded = SchemeRunner::new(Scheme::Native, degraded_cfg.clone())
-            .expect("valid")
-            .replay(&t);
+        let degraded = Scheme::Native.replay_with(&t, degraded_cfg.clone());
         assert!(
             degraded.reads.mean_us() >= healthy.reads.mean_us(),
             "reconstruction reads cost: {} vs {}",
@@ -470,9 +587,7 @@ mod tests {
             healthy.reads.mean_us()
         );
         // POD's write elimination still pays off in degraded mode.
-        let degraded_pod = SchemeRunner::new(Scheme::Pod, degraded_cfg)
-            .expect("valid")
-            .replay(&t);
+        let degraded_pod = Scheme::Pod.replay_with(&t, degraded_cfg);
         assert!(degraded_pod.overall.mean_us() < degraded.overall.mean_us());
     }
 
@@ -561,5 +676,78 @@ mod tests {
         let s = ReplaySizing::from_trace(&trace);
         assert_eq!(s.logical_blocks, 1_024);
         assert_eq!(s.expected_unique_blocks, 1_024, "capped at the span");
+    }
+
+    #[test]
+    fn builder_requires_a_trace() {
+        let err = Scheme::Pod
+            .builder()
+            .config(SystemConfig::test_default())
+            .run()
+            .expect_err("no trace set");
+        assert!(err.to_string().contains("no trace set"), "{err}");
+    }
+
+    #[test]
+    fn builder_matches_runner_output() {
+        let t = tiny_trace("mail");
+        let via_builder = Scheme::SelectDedupe.replay_with(&t, SystemConfig::test_default());
+        let via_runner = runner(Scheme::SelectDedupe).replay(&t);
+        assert_eq!(via_builder.stack, via_runner.stack);
+        assert_eq!(via_builder.overall.mean_us(), via_runner.overall.mean_us());
+        assert_eq!(
+            via_builder.capacity_used_blocks,
+            via_runner.capacity_used_blocks
+        );
+    }
+
+    #[test]
+    fn builder_record_attaches_a_trace_recorder() {
+        let t = tiny_trace("web-vm");
+        let (report, mut chain) = Scheme::Pod
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&t)
+            .record(100)
+            .run_observed()
+            .expect("replay");
+        let rec: TraceRecorder = chain.take_sink().expect("recorder attached");
+        assert_eq!(rec.scheme(), "POD");
+        assert_eq!(rec.epoch_requests(), 100);
+        assert_eq!(rec.totals().requests, t.len() as u64);
+        let reads_in_rows: u64 = rec.rows().iter().map(|r| r.reads).sum();
+        // Recorder rows count all requests, counters only measured ones
+        // (test config has no warm-up, so they agree).
+        assert_eq!(reads_in_rows, report.stack.reads_measured);
+    }
+
+    #[test]
+    fn builder_auto_epoch_floor() {
+        let t = tiny_trace("homes");
+        let (_, mut chain) = Scheme::Native
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&t)
+            .record(0)
+            .run_observed()
+            .expect("replay");
+        let rec: TraceRecorder = chain.take_sink().expect("recorder");
+        assert!(rec.epoch_requests() >= 64, "auto epoch floors at 64");
+    }
+
+    #[test]
+    fn layer_time_totals_are_populated() {
+        let t = tiny_trace("mail");
+        let rep = Scheme::Pod.replay_with(&t, SystemConfig::test_default());
+        assert!(rep.stack.dedup_time_us > 0, "writes hashed inline");
+        assert!(rep.stack.disk_time_us > 0, "disk-bound requests exist");
+        let share_sum: f64 = crate::obs::Layer::ALL
+            .iter()
+            .map(|&l| rep.stack.layer_share(l))
+            .sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "shares sum to 1: {share_sum}"
+        );
     }
 }

@@ -126,6 +126,13 @@ impl Scheme {
         }
     }
 
+    /// Start building a replay of this scheme:
+    /// `Scheme::Pod.builder().trace(&t).run()?`. See
+    /// [`ReplayBuilder`](crate::runner::ReplayBuilder).
+    pub fn builder(self) -> crate::runner::ReplayBuilder<'static> {
+        crate::runner::ReplayBuilder::new(self)
+    }
+
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
         match self {

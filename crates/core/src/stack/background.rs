@@ -8,10 +8,10 @@
 //!
 //! [`StackSpec`]: crate::stack::StackSpec
 
+use crate::obs::{ObserverChain, StackEvent};
 use crate::stack::cache::CacheLayer;
 use crate::stack::dedup::DedupLayer;
 use crate::stack::disk::DiskBackend;
-use crate::stack::observer::StackObserver;
 use pod_types::{IoRequest, PodResult};
 
 /// Mutable views of the stack's layers handed to a background task.
@@ -22,8 +22,9 @@ pub struct LayerCtx<'a> {
     pub dedup: &'a mut DedupLayer,
     /// The disk backend.
     pub disk: &'a mut dyn DiskBackend,
-    /// The stack's observer.
-    pub observer: &'a mut dyn StackObserver,
+    /// The stack's observer chain; tasks emit
+    /// [`StackEvent`](crate::obs::StackEvent)s through it.
+    pub observer: &'a mut ObserverChain,
 }
 
 /// A unit of background work driven by the request stream.
@@ -71,7 +72,10 @@ impl BackgroundTask for PostProcessTask {
             return Ok(());
         }
         let scan = ctx.dedup.scan(self.batch)?;
-        ctx.observer.on_background_scan(&scan);
+        ctx.observer.emit(&StackEvent::BackgroundScan {
+            scanned_chunks: scan.scanned_chunks,
+            deduped_chunks: scan.deduped_chunks,
+        });
         if !scan.read_extents.is_empty() {
             ctx.disk.submit_scan_read(req.arrival, &scan.read_extents);
         }
@@ -84,7 +88,10 @@ impl BackgroundTask for PostProcessTask {
     fn drain(&mut self, ctx: &mut LayerCtx<'_>) -> PodResult<()> {
         while ctx.dedup.scan_backlog() > 0 {
             let scan = ctx.dedup.scan(self.batch)?;
-            ctx.observer.on_background_scan(&scan);
+            ctx.observer.emit(&StackEvent::BackgroundScan {
+                scanned_chunks: scan.scanned_chunks,
+                deduped_chunks: scan.deduped_chunks,
+            });
             if scan.scanned_chunks == 0 {
                 break;
             }
@@ -110,10 +117,17 @@ impl BackgroundTask for RepartitionTask {
         if let Some(rp) = ctx.cache.note_request(req.op.is_write()) {
             let victims = ctx.dedup.resize_index(rp.index_bytes);
             ctx.cache.on_index_victims(&victims);
-            ctx.observer.on_repartition(&rp);
+            ctx.observer.emit(&StackEvent::Repartition {
+                index_bytes: rp.index_bytes,
+                read_bytes: rp.read_bytes,
+                swap_blocks: rp.swap_blocks,
+                index_grew: rp.index_grew,
+            });
             if rp.swap_blocks > 0 {
                 ctx.disk.submit_swap(req.arrival, rp.swap_blocks);
-                ctx.observer.on_swap(rp.swap_blocks);
+                ctx.observer.emit(&StackEvent::Swap {
+                    blocks: rp.swap_blocks,
+                });
             }
         }
         Ok(())

@@ -27,28 +27,34 @@
 //!            │  (ArrayBackend → ArraySim)     │  simulated time
 //!            └────────────────────────────────┘
 //!                        │
-//!                 StackObserver  ◄── every layer reports events here
+//!                 ObserverChain  ◄── every layer emits StackEvents here
 //! ```
 //!
-//! Layer contracts are the traits in this module: [`DiskBackend`]
-//! (extents in, jobs out), [`BackgroundTask`] (runs after each request
-//! via [`LayerCtx`]), [`StackObserver`] (event hooks, default no-ops).
+//! Layer contracts are the traits in this module and [`crate::obs`]:
+//! [`DiskBackend`] (extents in, jobs out), [`BackgroundTask`] (runs
+//! after each request via [`LayerCtx`]), and
+//! [`StackObserver`] (typed
+//! [`StackEvent`]s, fanned out by the stack's
+//! [`ObserverChain`]).
 
 mod background;
 mod cache;
 mod dedup;
 mod disk;
-mod observer;
 mod spec;
 
 pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask};
 pub use cache::CacheLayer;
 pub use dedup::DedupLayer;
 pub use disk::{ArrayBackend, DiskBackend};
-pub use observer::{StackCounters, StackObserver};
 pub use spec::{BackgroundKind, CacheKeying, StackSpec};
 
+// Re-exported from `obs` where they now live, so `pod_core::stack::*`
+// call sites keep compiling.
+pub use crate::obs::{StackCounters, StackObserver};
+
 use crate::config::SystemConfig;
+use crate::obs::{IntoObserverChain, Layer, ObserverChain, StackEvent};
 use crate::runner::ReplaySizing;
 use pod_dedup::DedupConfig;
 use pod_disk::{ArraySim, JobId, RaidGeometry};
@@ -57,46 +63,49 @@ use pod_trace::Trace;
 use pod_types::{IoOp, IoRequest, PodError, PodResult, SimDuration, SimTime};
 
 /// A composed storage stack: cache over dedup over disk, plus the
-/// background tasks and observer threaded through all of them.
+/// background tasks and the observer chain threaded through all of
+/// them.
 ///
 /// Build one per replay with [`StorageStack::build`] (or
-/// [`StorageStack::with_observer`] for a custom event sink), then:
+/// [`StorageStack::with_observer`] to attach event sinks), then:
 ///
 /// 1. [`run_until`](Self::run_until) each request's arrival,
 /// 2. [`process_request`](Self::process_request) it,
 /// 3. [`finish`](Self::finish) once, and
 /// 4. read [`responses`](Self::responses) and the layer accessors.
-pub struct StorageStack<O: StackObserver = StackCounters> {
+pub struct StorageStack {
     cache: CacheLayer,
     dedup: DedupLayer,
     disk: Box<dyn DiskBackend>,
     tasks: Vec<Box<dyn BackgroundTask>>,
-    observer: O,
-    /// (request index, arrival, job) for disk-bound requests.
-    pending: Vec<(usize, SimTime, JobId)>,
+    observer: ObserverChain,
+    /// (request index, arrival, disk submit time, job) for disk-bound
+    /// requests.
+    pending: Vec<(usize, SimTime, SimTime, JobId)>,
     /// Direct completions for requests with no disk work.
     direct: Vec<(usize, SimDuration)>,
     metadata_us: u64,
     cache_hit_us: u64,
 }
 
-impl StorageStack<StackCounters> {
+impl StorageStack {
     /// Compose the stack described by `spec` for one replay of `trace`,
-    /// with the default counter-aggregating observer.
+    /// with the built-in counters only.
     pub fn build(spec: &StackSpec, cfg: &SystemConfig, trace: &Trace) -> PodResult<Self> {
-        Self::with_observer(spec, cfg, trace, StackCounters::default())
+        Self::with_observer(spec, cfg, trace, ObserverChain::new())
     }
-}
 
-impl<O: StackObserver> StorageStack<O> {
-    /// Compose the stack described by `spec`, reporting layer events to
-    /// `observer`.
+    /// Compose the stack described by `spec`, fanning layer events out
+    /// to `observer` — a single [`StackObserver`], a tuple of up to
+    /// three, `()`, or a pre-built [`ObserverChain`] (see
+    /// [`IntoObserverChain`]).
     pub fn with_observer(
         spec: &StackSpec,
         cfg: &SystemConfig,
         trace: &Trace,
-        observer: O,
+        observer: impl IntoObserverChain,
     ) -> PodResult<Self> {
+        let observer = observer.into_chain();
         let sizing = ReplaySizing::from_trace(trace);
 
         let geometry = RaidGeometry::new(cfg.raid.clone());
@@ -206,6 +215,10 @@ impl<O: StackObserver> StorageStack<O> {
             IoOp::Write => self.on_write(idx, req, measured)?,
             IoOp::Read => self.on_read(idx, req, measured),
         }
+        self.observer.emit(&StackEvent::RequestDone {
+            write: req.op.is_write(),
+            measured,
+        });
         self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))
     }
 
@@ -218,7 +231,18 @@ impl<O: StackObserver> StorageStack<O> {
         self.cache
             .observe_index_traffic(req.chunks.len() as u64, self.dedup.scratch());
         self.cache.write_allocate(req);
-        self.observer.on_write(&summary, measured);
+        self.observer.emit(&StackEvent::WriteClassified {
+            category: summary.kind,
+            deduped_blocks: summary.deduped_blocks,
+            written_blocks: summary.written_blocks,
+            removed: summary.removed,
+            disk_index_lookups: summary.disk_index_lookups,
+            measured,
+        });
+        self.observer.emit(&StackEvent::LayerLatency {
+            layer: Layer::Dedup,
+            us: hash_lat.as_micros() + self.metadata_us,
+        });
 
         let submit = req.arrival + hash_lat + SimDuration::from_micros(self.metadata_us);
         if summary.disk_index_lookups == 0 && self.dedup.scratch().write_extents.is_empty() {
@@ -230,7 +254,7 @@ impl<O: StackObserver> StorageStack<O> {
                 &self.dedup.scratch().write_extents,
                 summary.disk_index_lookups,
             );
-            self.pending.push((idx, req.arrival, job));
+            self.pending.push((idx, req.arrival, submit, job));
         }
         Ok(())
     }
@@ -240,17 +264,30 @@ impl<O: StackObserver> StorageStack<O> {
     /// the cache.
     fn on_read(&mut self, idx: usize, req: &IoRequest, measured: bool) {
         let all_hit = self.cache.lookup_request(&self.dedup, req);
-        self.observer.on_read_lookup(all_hit, measured);
+        self.observer.emit(&StackEvent::ReadLookup {
+            hit: all_hit,
+            measured,
+        });
         if all_hit {
+            self.observer.emit(&StackEvent::LayerLatency {
+                layer: Layer::Cache,
+                us: self.cache_hit_us,
+            });
             self.direct
                 .push((idx, SimDuration::from_micros(self.cache_hit_us)));
         } else {
             let plan = self.dedup.plan_read(req);
-            self.observer
-                .on_read_fragments(plan.extents.len() as u64, measured);
+            self.observer.emit(&StackEvent::ReadFragments {
+                fragments: plan.extents.len() as u64,
+                measured,
+            });
+            self.observer.emit(&StackEvent::LayerLatency {
+                layer: Layer::Dedup,
+                us: self.metadata_us,
+            });
             let submit = req.arrival + SimDuration::from_micros(self.metadata_us);
             let job = self.disk.submit_read(submit, &plan.extents);
-            self.pending.push((idx, req.arrival, job));
+            self.pending.push((idx, req.arrival, submit, job));
             self.cache.fill_request(&self.dedup, req);
         }
     }
@@ -279,11 +316,27 @@ impl<O: StackObserver> StorageStack<O> {
         result
     }
 
-    /// End of trace: drain every background task, then run the disks to
-    /// idle so all pending jobs have completion times.
+    /// End of trace: drain every background task, run the disks to
+    /// idle so all pending jobs have completion times, attribute each
+    /// disk-bound request's service time to the disk layer, and emit
+    /// the final [`StackEvent::Finished`].
     pub fn finish(&mut self) -> PodResult<()> {
         self.run_tasks(|task, ctx| task.drain(ctx))?;
         self.disk.run_to_idle();
+        // Disk time is only known at completion: charge (done − submit)
+        // per pending job now, in submission order.
+        for i in 0..self.pending.len() {
+            let (_, _, submit, job) = self.pending[i];
+            let done = self
+                .disk
+                .completion(job)
+                .expect("all jobs complete after run_to_idle");
+            self.observer.emit(&StackEvent::LayerLatency {
+                layer: Layer::Disk,
+                us: (done - submit).as_micros(),
+            });
+        }
+        self.observer.emit(&StackEvent::Finished);
         Ok(())
     }
 
@@ -299,7 +352,7 @@ impl<O: StackObserver> StorageStack<O> {
         for &(idx, dur) in &self.direct {
             responses[idx] = Some(dur.as_micros());
         }
-        for &(idx, arrival, job) in &self.pending {
+        for &(idx, arrival, _, job) in &self.pending {
             let done = self
                 .disk
                 .completion(job)
@@ -324,8 +377,14 @@ impl<O: StackObserver> StorageStack<O> {
         self.disk.as_ref()
     }
 
-    /// The observer, for reading accumulated events.
-    pub fn observer(&self) -> &O {
+    /// The observer chain, for reading accumulated state mid-flight.
+    pub fn observer(&self) -> &ObserverChain {
         &self.observer
+    }
+
+    /// Consume the stack and return its observer chain, so attached
+    /// sinks can be extracted by type after the replay.
+    pub fn into_observer(self) -> ObserverChain {
+        self.observer
     }
 }

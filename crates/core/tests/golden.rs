@@ -15,7 +15,7 @@
 //! POD_UPDATE_GOLDEN=1 cargo test -p pod-core --test golden
 //! ```
 
-use pod_core::{Metrics, ReplayReport, Scheme, SchemeRunner, SystemConfig};
+use pod_core::{Metrics, ReplayReport, Scheme, SystemConfig};
 use pod_trace::TraceProfile;
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -91,9 +91,12 @@ fn render_trace(trace_name: &str) -> String {
     let trace = profile.scaled(SCALE).generate(SEED);
     let mut out = String::new();
     for scheme in Scheme::extended() {
-        let runner =
-            SchemeRunner::new(scheme, SystemConfig::test_default()).expect("valid test config");
-        let rep = runner.try_replay(&trace).expect("replay succeeds");
+        let rep = scheme
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&trace)
+            .run()
+            .expect("replay succeeds");
         out.push_str(&render(&rep));
         out.push('\n');
     }

@@ -14,7 +14,7 @@ use pod::prelude::*;
 use pod::trace::fiu;
 use pod::trace::reconstruct::{split_into_records, trace_from_records};
 
-fn main() {
+fn main() -> PodResult<()> {
     let original = TraceProfile::homes().scaled(0.01).generate(7);
     println!(
         "original trace: {} requests ({} writes)",
@@ -47,10 +47,13 @@ fn main() {
     assert_eq!(rebuilt.len(), original.len(), "reconstruction is lossless");
 
     // Equivalence check: identical replay results.
-    let runner =
-        SchemeRunner::new(Scheme::Pod, SystemConfig::paper_default()).expect("valid config");
-    let a = runner.replay(&original);
-    let b = runner.replay(&rebuilt);
+    let cfg = SystemConfig::paper_default();
+    let a = Scheme::Pod
+        .builder()
+        .config(cfg.clone())
+        .trace(&original)
+        .run()?;
+    let b = Scheme::Pod.builder().config(cfg).trace(&rebuilt).run()?;
     println!(
         "\nreplay(original): mean {:.3} ms, removed {:.1}%",
         a.overall.mean_ms(),
@@ -67,4 +70,5 @@ fn main() {
         "round-tripped trace must replay identically"
     );
     println!("\nround trip is exact: the FIU import path is replay-equivalent.");
+    Ok(())
 }

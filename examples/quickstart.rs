@@ -7,7 +7,7 @@
 
 use pod::prelude::*;
 
-fn main() {
+fn main() -> PodResult<()> {
     // 1. A workload. `TraceProfile` ships the three calibrated FIU-style
     //    profiles from the paper; `scaled` shrinks the request count for
     //    a quick run, `generate` is deterministic in the seed.
@@ -26,12 +26,12 @@ fn main() {
 
     // 3. Replay through POD (Select-Dedupe + adaptive iCache) and the
     //    Native baseline.
-    let pod = SchemeRunner::new(Scheme::Pod, cfg.clone())
-        .expect("valid config")
-        .replay(&trace);
-    let native = SchemeRunner::new(Scheme::Native, cfg)
-        .expect("valid config")
-        .replay(&trace);
+    let pod = Scheme::Pod
+        .builder()
+        .config(cfg.clone())
+        .trace(&trace)
+        .run()?;
+    let native = Scheme::Native.builder().config(cfg).trace(&trace).run()?;
 
     // 4. The paper's metrics.
     println!(
@@ -57,4 +57,5 @@ fn main() {
         pod.writes_removed_pct(),
         pod.nvram_peak_bytes as f64 / (1024.0 * 1024.0)
     );
+    Ok(())
 }

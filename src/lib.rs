@@ -11,10 +11,9 @@
 //! use pod::prelude::*;
 //!
 //! let trace = TraceProfile::mail().scaled(0.01).generate(42);
-//! let report = SchemeRunner::new(Scheme::Pod, SystemConfig::paper_default())
-//!     .expect("valid config")
-//!     .replay(&trace);
+//! let report = Scheme::Pod.builder().trace(&trace).run()?;
 //! assert!(report.writes_removed_pct() > 0.0);
+//! # Ok::<(), PodError>(())
 //! ```
 
 pub use pod_cache as cache;
@@ -28,7 +27,12 @@ pub use pod_types as types;
 
 /// Common imports for applications built on POD.
 pub mod prelude {
-    pub use pod_core::{experiments, Metrics, ReplayReport, Scheme, SchemeRunner, SystemConfig};
+    pub use pod_core::obs::{
+        LayerHistograms, ObserverChain, StackCounters, StackEvent, StackObserver, TraceRecorder,
+    };
+    pub use pod_core::{
+        experiments, Metrics, ReplayBuilder, ReplayReport, Scheme, SchemeRunner, SystemConfig,
+    };
     pub use pod_dedup::{DedupConfig, DedupEngine, WriteClass};
     pub use pod_disk::{DiskSpec, RaidConfig, RaidLevel, SchedulerKind};
     pub use pod_icache::ICacheConfig;

@@ -201,8 +201,26 @@ fn table1_baselines_behave_as_classified() {
 fn facade_prelude_is_complete_for_the_readme_snippet() {
     // The README / crate-docs snippet must keep compiling.
     let trace = TraceProfile::mail().scaled(0.005).generate(42);
-    let report = SchemeRunner::new(Scheme::Pod, SystemConfig::paper_default())
-        .expect("valid config")
-        .replay(&trace);
+    let report = Scheme::Pod
+        .builder()
+        .trace(&trace)
+        .run()
+        .expect("valid config");
     assert!(report.writes_removed_pct() > 0.0);
+}
+
+#[test]
+fn facade_prelude_exposes_the_observability_surface() {
+    // Observers compose through the same builder the README shows.
+    let trace = TraceProfile::mail().scaled(0.005).generate(42);
+    let mut chain = Scheme::Pod
+        .builder()
+        .trace(&trace)
+        .observer(LayerHistograms::new())
+        .run_observed()
+        .expect("valid config")
+        .1;
+    let hists: LayerHistograms = chain.take_sink().expect("attached sink");
+    assert!(hists.total() > 0, "layer latencies observed");
+    assert!(chain.counters().cat1_writes > 0, "POD sees Cat-1 writes");
 }
