@@ -122,6 +122,13 @@ struct Entry {
     /// dedup / disk, summing to ~1). Deterministic — a property of the
     /// workload, not the wall clock — so snapshots can diff them.
     layer_shares: [f64; 3],
+    /// iCache epochs completed during the replay (summed over schemes
+    /// for the grid entry). Deterministic.
+    epochs: u64,
+    /// Final index-cache share of the iCache DRAM budget, in per-mille
+    /// (0 for the grid entry — the split is per scheme). Deterministic,
+    /// so snapshot diffs catch repartitioning-behaviour changes.
+    final_index_pm: u64,
 }
 
 fn layer_shares(stack: &StackCounters) -> [f64; 3] {
@@ -140,6 +147,8 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
         // the standard way to cut scheduler noise out of a perf gate.
         let mut best = f64::INFINITY;
         let mut shares = [0.0; 3];
+        let mut epochs = 0u64;
+        let mut final_index_pm = 0u64;
         for _ in 0..reps {
             let t0 = Instant::now();
             let rep = scheme
@@ -150,6 +159,8 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
                 .unwrap_or_else(|e| die(&format!("{trace_name}/{scheme}: {e}")));
             best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
             shares = layer_shares(&rep.stack);
+            epochs = rep.icache_epochs;
+            final_index_pm = (rep.final_index_fraction * 1000.0).round() as u64;
         }
         entries.push(Entry {
             trace: trace_name.into(),
@@ -158,11 +169,14 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
             wall_s: best,
             requests_per_sec: trace.len() as f64 / best,
             layer_shares: shares,
+            epochs,
+            final_index_pm,
         });
     }
     let mut best = f64::INFINITY;
     let mut grid_requests = 0u64;
     let mut grid_stack = StackCounters::default();
+    let mut grid_epochs = 0u64;
     for _ in 0..reps {
         let t0 = Instant::now();
         let grid = run_schemes(&Scheme::all(), trace, cfg)
@@ -170,10 +184,12 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
         best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
         grid_requests = trace.len() as u64 * grid.len() as u64;
         let mut total = StackCounters::default();
+        grid_epochs = 0;
         for rep in &grid {
             total.cache_time_us += rep.stack.cache_time_us;
             total.dedup_time_us += rep.stack.dedup_time_us;
             total.disk_time_us += rep.stack.disk_time_us;
+            grid_epochs += rep.icache_epochs;
         }
         grid_stack = total;
     }
@@ -184,6 +200,8 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
         wall_s: best,
         requests_per_sec: grid_requests as f64 / best,
         layer_shares: layer_shares(&grid_stack),
+        epochs: grid_epochs,
+        final_index_pm: 0,
     });
     entries
 }
@@ -234,7 +252,8 @@ fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: us
         out.push_str(&format!(
             "    {{\"trace\": \"{}\", \"scheme\": \"{}\", \"requests\": {}, \
              \"wall_s\": {:.6}, \"requests_per_sec\": {:.2}, \
-             \"cache_share\": {:.4}, \"dedup_share\": {:.4}, \"disk_share\": {:.4}}}{}\n",
+             \"cache_share\": {:.4}, \"dedup_share\": {:.4}, \"disk_share\": {:.4}, \
+             \"epochs\": {}, \"final_index_pm\": {}}}{}\n",
             e.trace,
             e.scheme,
             e.requests,
@@ -243,6 +262,8 @@ fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: us
             e.layer_shares[0],
             e.layer_shares[1],
             e.layer_shares[2],
+            e.epochs,
+            e.final_index_pm,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

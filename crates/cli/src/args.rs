@@ -21,6 +21,9 @@ pub struct CliArgs {
     pub input: Option<String>,
     /// `--epoch <requests>`: requests per exported epoch (0 = auto).
     pub epoch_requests: u64,
+    /// `--headless`: `monitor` prints only the final frame (for CI and
+    /// non-TTY runs) instead of redrawing live.
+    pub headless: bool,
 }
 
 impl Default for CliArgs {
@@ -37,6 +40,7 @@ impl Default for CliArgs {
             trace_out: None,
             input: None,
             epoch_requests: 0,
+            headless: false,
         }
     }
 }
@@ -48,6 +52,12 @@ impl CliArgs {
         let mut i = 0;
         while i < argv.len() {
             let flag = argv[i].as_str();
+            // Boolean flags take no value.
+            if flag == "--headless" {
+                args.headless = true;
+                i += 1;
+                continue;
+            }
             let value = argv
                 .get(i + 1)
                 .ok_or_else(|| format!("{flag} needs a value"))?;
@@ -168,6 +178,16 @@ mod tests {
         assert_eq!(a.profile, "mail");
         assert_eq!(a.scheme, Scheme::Pod);
         assert!(a.trace_path.is_none());
+        assert!(!a.headless);
+    }
+
+    #[test]
+    fn headless_takes_no_value() {
+        // `--headless` directly followed by another flag must not
+        // swallow it as a value.
+        let a = parse(&["--headless", "--seed", "9"]).expect("parse");
+        assert!(a.headless);
+        assert_eq!(a.seed, 9);
     }
 
     #[test]
@@ -193,8 +213,10 @@ mod tests {
             "s.jsonl",
             "--epoch",
             "512",
+            "--headless",
         ])
         .expect("parse");
+        assert!(a.headless);
         assert_eq!(a.profile, "homes");
         assert_eq!(a.scale, 0.5);
         assert_eq!(a.seed, 7);

@@ -1,0 +1,303 @@
+//! `pod-cli monitor` — replay a trace with a live in-terminal
+//! dashboard fed by the epoch [`StateSnapshot`] stream.
+//!
+//! A [`MonitorSink`] rides the observer chain: every
+//! [`StackEvent::Snapshot`] closes an epoch (write mix accumulated
+//! since the previous snapshot) and, in live mode, redraws the frame
+//! with an ANSI clear. With `--headless` no live frames are drawn; the
+//! final frame is printed once after the replay, so CI and golden
+//! tests get a deterministic dump of the same dashboard.
+//!
+//! The frame is built entirely from replayed state — no wall-clock
+//! time — so the same trace, seed and config always render the same
+//! text.
+
+use crate::args::CliArgs;
+use crate::cmd_stats::sparkline;
+use pod_core::obs::{StackEvent, StackObserver};
+use pod_core::StateSnapshot;
+use pod_dedup::ClassKind;
+use std::fmt::Write as _;
+
+/// Per-epoch write mix: Cat-1, Cat-2, Cat-3, unique request counts.
+type WriteMix = [u64; 4];
+
+/// Observer that accumulates the snapshot history plus the write mix
+/// of each epoch, and optionally redraws the dashboard live.
+pub struct MonitorSink {
+    live: bool,
+    scheme: String,
+    trace: String,
+    /// Snapshot history, one entry per epoch boundary.
+    snaps: Vec<StateSnapshot>,
+    /// Write mix per closed epoch, parallel to `snaps`.
+    mix_history: Vec<WriteMix>,
+    /// Mix accumulated since the last snapshot.
+    epoch_mix: WriteMix,
+    total_mix: WriteMix,
+    deduped_blocks: u64,
+    written_blocks: u64,
+}
+
+impl MonitorSink {
+    /// `live = false` suppresses the in-place redraws (`--headless`).
+    pub fn new(live: bool, scheme: impl Into<String>, trace: impl Into<String>) -> Self {
+        Self {
+            live,
+            scheme: scheme.into(),
+            trace: trace.into(),
+            snaps: Vec::new(),
+            mix_history: Vec::new(),
+            epoch_mix: [0; 4],
+            total_mix: [0; 4],
+            deduped_blocks: 0,
+            written_blocks: 0,
+        }
+    }
+
+    /// Render the dashboard for the current state. Deterministic: the
+    /// frame contains only replayed counters, never wall-clock time.
+    pub fn render_frame(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "== monitor — {} / {} ==", self.scheme, self.trace).expect("write");
+        let Some(last) = self.snaps.last() else {
+            writeln!(out, "no snapshots yet").expect("write");
+            return out;
+        };
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        let ic = &last.icache;
+        writeln!(
+            out,
+            "snapshot {} @ {} requests   {} epochs, {} repartitions\n",
+            last.seq, last.requests, ic.epochs, ic.repartitions
+        )
+        .expect("write");
+
+        let split: Vec<u64> = self
+            .snaps
+            .iter()
+            .map(|s| s.icache.index_per_mille)
+            .collect();
+        writeln!(
+            out,
+            "partition split \u{2030}  {}  index {:.1} MiB / read {:.1} MiB",
+            sparkline(&split),
+            mib(ic.index_bytes),
+            mib(ic.read_bytes)
+        )
+        .expect("write");
+        let ghost_idx: Vec<u64> = self
+            .snaps
+            .iter()
+            .map(|s| s.icache.epoch_ghost_index_hits)
+            .collect();
+        let ghost_read: Vec<u64> = self
+            .snaps
+            .iter()
+            .map(|s| s.icache.epoch_ghost_read_hits)
+            .collect();
+        writeln!(
+            out,
+            "ghost hits/epoch   index {} ({} total)   read {} ({} total)",
+            sparkline(&ghost_idx),
+            ic.ghost_index.hits,
+            sparkline(&ghost_read),
+            ic.ghost_read.hits
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "cost-benefit \u{b5}s    index {} vs read {}\n",
+            ic.benefit_index_us, ic.benefit_read_us
+        )
+        .expect("write");
+
+        let pct = |n: u64, d: u64| {
+            if d == 0 {
+                0.0
+            } else {
+                n as f64 * 100.0 / d as f64
+            }
+        };
+        let last_mix = self.mix_history.last().copied().unwrap_or([0; 4]);
+        let last_writes: u64 = last_mix.iter().sum();
+        let total_writes: u64 = self.total_mix.iter().sum();
+        for (label, mix, writes) in [
+            ("write mix (epoch)", last_mix, last_writes),
+            ("write mix (total)", self.total_mix, total_writes),
+        ] {
+            writeln!(
+                out,
+                "{label}  Cat-1 {:>5.1}%  Cat-2 {:>5.1}%  Cat-3 {:>5.1}%  unique {:>5.1}%  ({writes} writes)",
+                pct(mix[0], writes),
+                pct(mix[1], writes),
+                pct(mix[2], writes),
+                pct(mix[3], writes),
+            )
+            .expect("write");
+        }
+        writeln!(
+            out,
+            "chunks             {} eliminated, {} written\n",
+            self.deduped_blocks, self.written_blocks
+        )
+        .expect("write");
+
+        let idx = &last.dedup.index;
+        let map = &last.dedup.map;
+        writeln!(
+            out,
+            "index heat  {}  ({}/{} entries, {} hits / {} misses)",
+            sparkline(&idx.heat),
+            idx.entries,
+            idx.capacity,
+            idx.hits,
+            idx.misses
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "map fan-in  {}  ({} mapped, {} shared, {} redirected)",
+            sparkline(&map.fan_in),
+            map.mapped,
+            map.shared_blocks,
+            map.redirected
+        )
+        .expect("write");
+        writeln!(
+            out,
+            "overflow    {}/{} blocks, fragmentation {}\u{2030}   scan backlog {}",
+            map.overflow.used,
+            map.overflow.capacity,
+            map.overflow.frag_per_mille,
+            last.dedup.scan_backlog
+        )
+        .expect("write");
+        out
+    }
+}
+
+impl StackObserver for MonitorSink {
+    fn on_event(&mut self, ev: &StackEvent) {
+        match *ev {
+            StackEvent::WriteClassified {
+                category,
+                deduped_blocks,
+                written_blocks,
+                ..
+            } => {
+                let slot = match category {
+                    ClassKind::FullyRedundantSequential => 0,
+                    ClassKind::ScatteredPartial => 1,
+                    ClassKind::ContiguousPartial => 2,
+                    ClassKind::Unique => 3,
+                };
+                self.epoch_mix[slot] += 1;
+                self.total_mix[slot] += 1;
+                self.deduped_blocks += u64::from(deduped_blocks);
+                self.written_blocks += u64::from(written_blocks);
+            }
+            StackEvent::Snapshot { snap } => {
+                self.snaps.push(snap);
+                self.mix_history.push(std::mem::take(&mut self.epoch_mix));
+                if self.live {
+                    // Clear screen, home cursor, redraw.
+                    print!("\x1b[2J\x1b[H{}", self.render_frame());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+pub fn run(args: &CliArgs) -> Result<(), String> {
+    args.apply_jobs();
+    let trace = args.load_trace()?;
+    let cfg = args.system_config();
+    let sink = MonitorSink::new(!args.headless, args.scheme.to_string(), trace.name.clone());
+    let (rep, mut chain) = args
+        .scheme
+        .builder()
+        .config(cfg)
+        .trace(&trace)
+        .observer(sink)
+        .run_observed()
+        .map_err(|e| e.to_string())?;
+    let sink: MonitorSink = chain.take_sink().expect("monitor sink attached above");
+    if sink.live {
+        // Leave the last live frame on screen and append the footer.
+        println!("replay finished");
+    } else {
+        print!("{}", sink.render_frame());
+    }
+    println!(
+        "snapshots {}   writes removed {:.1}%   mean response {:.2} ms",
+        rep.stack.snapshots,
+        rep.writes_removed_pct(),
+        rep.overall.mean_ms()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(seq: u64, index_pm: u64) -> StateSnapshot {
+        let mut s = StateSnapshot {
+            seq,
+            requests: (seq + 1) * 100,
+            ..Default::default()
+        };
+        s.icache.index_per_mille = index_pm;
+        s.icache.epochs = seq + 1;
+        s
+    }
+
+    #[test]
+    fn empty_sink_renders_placeholder() {
+        let sink = MonitorSink::new(false, "POD", "t");
+        let frame = sink.render_frame();
+        assert!(frame.contains("no snapshots yet"), "{frame}");
+    }
+
+    #[test]
+    fn sink_accumulates_epochs_and_mix() {
+        let mut sink = MonitorSink::new(false, "POD", "mail");
+        sink.on_event(&StackEvent::WriteClassified {
+            category: ClassKind::FullyRedundantSequential,
+            deduped_blocks: 8,
+            written_blocks: 0,
+            removed: true,
+            disk_index_lookups: 0,
+            measured: true,
+        });
+        sink.on_event(&StackEvent::Snapshot { snap: snap(0, 500) });
+        sink.on_event(&StackEvent::WriteClassified {
+            category: ClassKind::Unique,
+            deduped_blocks: 0,
+            written_blocks: 4,
+            removed: false,
+            disk_index_lookups: 1,
+            measured: true,
+        });
+        sink.on_event(&StackEvent::Snapshot { snap: snap(1, 625) });
+
+        assert_eq!(sink.snaps.len(), 2);
+        assert_eq!(sink.mix_history, vec![[1, 0, 0, 0], [0, 0, 0, 1]]);
+        assert_eq!(sink.total_mix, [1, 0, 0, 1]);
+        assert_eq!((sink.deduped_blocks, sink.written_blocks), (8, 4));
+
+        let frame = sink.render_frame();
+        assert!(frame.contains("snapshot 1 @ 200 requests"), "{frame}");
+        assert!(frame.contains("8 eliminated, 4 written"), "{frame}");
+        // Epoch mix is the *last* epoch (all unique), totals are 50/50.
+        assert!(
+            frame.contains(
+                "write mix (epoch)  Cat-1   0.0%  Cat-2   0.0%  Cat-3   0.0%  unique 100.0%"
+            ),
+            "{frame}"
+        );
+        assert!(frame.contains("write mix (total)  Cat-1  50.0%"), "{frame}");
+    }
+}

@@ -5,7 +5,7 @@
 
 use crate::args::CliArgs;
 use pod_core::obs::json::{parse, Json};
-use pod_core::{LatencyHistogram, Layer};
+use pod_core::{LatencyHistogram, Layer, StateSnapshot};
 
 pub fn run(args: &CliArgs) -> Result<(), String> {
     let path = args
@@ -18,13 +18,19 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
 }
 
 /// One scheme's section of the JSONL file: a `meta` header, its epoch
-/// rows, and the closing `summary`.
-struct Section {
-    scheme: String,
-    trace: String,
-    epoch_requests: u64,
-    epochs: Vec<Json>,
-    summary: Option<Json>,
+/// rows, and the closing `summary`. Shared with `pod-cli figures`,
+/// which exports the same rows as CSV.
+pub struct Section {
+    /// Scheme label from the meta line.
+    pub scheme: String,
+    /// Trace label from the meta line.
+    pub trace: String,
+    /// Requests per epoch row.
+    pub epoch_requests: u64,
+    /// The parsed epoch rows, in time order.
+    pub epochs: Vec<Json>,
+    /// The closing summary row, when present.
+    pub summary: Option<Json>,
 }
 
 /// Render the whole JSONL document. Split from [`run`] so the golden
@@ -41,7 +47,9 @@ pub fn render(jsonl: &str) -> Result<String, String> {
     Ok(out)
 }
 
-fn parse_sections(jsonl: &str) -> Result<Vec<Section>, String> {
+/// Split a JSONL trace into per-scheme [`Section`]s, validating the
+/// meta/epoch/summary line structure.
+pub fn parse_sections(jsonl: &str) -> Result<Vec<Section>, String> {
     let mut sections: Vec<Section> = Vec::new();
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
@@ -98,8 +106,9 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
-/// Eight-level sparkline of `values`, scaled to their maximum.
-fn sparkline(values: &[u64]) -> String {
+/// Eight-level sparkline of `values`, scaled to their maximum. Shared
+/// with the `monitor` dashboard.
+pub(crate) fn sparkline(values: &[u64]) -> String {
     const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().copied().max().unwrap_or(0).max(1) as f64;
     values
@@ -194,6 +203,11 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
     )
     .expect("write to string");
 
+    if let Some(snap) = sum.get("snap") {
+        let snap = StateSnapshot::from_json_obj(snap).map_err(|e| format!("summary snap: {e}"))?;
+        render_snapshot(out, &snap);
+    }
+
     if s.epochs.len() > 1 {
         writeln!(out, "\ntimeline ({} epochs):", s.epochs.len()).expect("write to string");
         for (label, key) in [
@@ -208,8 +222,92 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
                 .collect();
             writeln!(out, "  {label:<18} {}", sparkline(&series)).expect("write to string");
         }
+        // Snapshot-derived series: the partition split over time.
+        let split: Vec<u64> = s
+            .epochs
+            .iter()
+            .filter_map(|e| e.get("snap")?.get("index_pm").and_then(Json::as_u64))
+            .collect();
+        if split.len() > 1 {
+            writeln!(
+                out,
+                "  {:<18} {}",
+                "index split \u{2030}",
+                sparkline(&split)
+            )
+            .expect("write to string");
+        }
     }
 
+    render_layer_histograms(out, sum)?;
+    out.push('\n');
+    Ok(())
+}
+
+/// Render the snapshot-derived "final state" block: partition split,
+/// ghost accounting, Index heat, Map fan-in, fragmentation.
+fn render_snapshot(out: &mut String, snap: &StateSnapshot) {
+    use std::fmt::Write as _;
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    let ic = &snap.icache;
+    let idx = &snap.dedup.index;
+    let map = &snap.dedup.map;
+    writeln!(
+        out,
+        "\nfinal state (snapshot {} @ {} requests):",
+        snap.seq, snap.requests
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  iCache: index {:.1} MiB / read {:.1} MiB ({}\u{2030} index), {} epochs, {} repartitions",
+        mib(ic.index_bytes),
+        mib(ic.read_bytes),
+        ic.index_per_mille,
+        ic.epochs,
+        ic.repartitions,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  ghosts: index {} hits / read {} hits (cumulative), cost-benefit {} vs {} \u{b5}s",
+        ic.ghost_index.hits, ic.ghost_read.hits, ic.benefit_index_us, ic.benefit_read_us,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  index table: {}/{} entries, {} hits / {} misses, {} evictions   heat {}",
+        idx.entries,
+        idx.capacity,
+        idx.hits,
+        idx.misses,
+        idx.evictions,
+        sparkline(&idx.heat),
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  map table: {} mapped, {} unique / {} shared blocks, {} redirected   fan-in {}",
+        map.mapped,
+        map.unique_blocks,
+        map.shared_blocks,
+        map.redirected,
+        sparkline(&map.fan_in),
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  overflow: {}/{} blocks used, fragmentation {}\u{2030}   scan backlog {}",
+        map.overflow.used,
+        map.overflow.capacity,
+        map.overflow.frag_per_mille,
+        snap.dedup.scan_backlog,
+    )
+    .expect("write to string");
+}
+
+fn render_layer_histograms(out: &mut String, sum: &Json) -> Result<(), String> {
+    use std::fmt::Write as _;
     for layer in Layer::ALL {
         let Some(arr) = sum
             .get(&format!("hist_{}", layer.name()))
@@ -237,7 +335,6 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
             out.push_str(&hist.render(30));
         }
     }
-    out.push('\n');
     Ok(())
 }
 

@@ -6,6 +6,8 @@ pub mod args;
 pub mod cmd_analyze;
 pub mod cmd_compare;
 pub mod cmd_doctor;
+pub mod cmd_figures;
 pub mod cmd_gen;
+pub mod cmd_monitor;
 pub mod cmd_replay;
 pub mod cmd_stats;

@@ -8,10 +8,14 @@
 //! pod-cli replay   --scheme pod --trace-out pod.jsonl   # + event trace
 //! pod-cli compare  --profile mail --scale 0.05 # all five schemes
 //! pod-cli stats    --in pod.jsonl              # render an event trace
+//! pod-cli monitor  --scheme pod --headless     # live dashboard / final frame
+//! pod-cli figures  --in pod.jsonl --out figs/  # per-epoch paper-figure CSVs
 //! ```
 
 use pod_cli::args::CliArgs;
-use pod_cli::{cmd_analyze, cmd_compare, cmd_doctor, cmd_gen, cmd_replay, cmd_stats};
+use pod_cli::{
+    cmd_analyze, cmd_compare, cmd_doctor, cmd_figures, cmd_gen, cmd_monitor, cmd_replay, cmd_stats,
+};
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +36,8 @@ fn main() {
         "replay" => cmd_replay::run(&args),
         "compare" => cmd_compare::run(&args),
         "stats" => cmd_stats::run(&args),
+        "monitor" => cmd_monitor::run(&args),
+        "figures" => cmd_figures::run(&args),
         "doctor" => cmd_doctor::run(&args),
         "help" | "--help" | "-h" => usage_and_exit(0),
         other => {
@@ -55,6 +61,8 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 replay   replay a trace through one scheme\n\
          \x20 compare  replay a trace through all five schemes\n\
          \x20 stats    render a JSONL event trace written by --trace-out\n\
+         \x20 monitor  replay with a live dashboard of snapshot gauges\n\
+         \x20 figures  export per-epoch paper-figure CSVs from a JSONL trace\n\
          \x20 doctor   verify internal invariants end to end\n\
          \n\
          options:\n\
@@ -66,7 +74,8 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --out <path>                    output file for `gen`\n\
          \x20 --trace-out <path>              JSONL event trace from `replay`/`compare`\n\
          \x20 --epoch <requests>              requests per exported epoch (default: auto)\n\
-         \x20 --in <path>                     JSONL event trace for `stats`\n\
+         \x20 --in <path>                     JSONL event trace for `stats`/`figures`\n\
+         \x20 --headless                      `monitor`: print only the final frame\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

@@ -1,0 +1,92 @@
+//! Golden snapshot of the `pod-cli monitor` dashboard: replay a small
+//! deterministic workload with a [`MonitorSink`] attached (exactly
+//! what `pod-cli monitor --headless` does) and diff the final frame
+//! against a committed fixture. Replays are deterministic and the
+//! frame contains no wall-clock time, so the text is stable.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test monitor_golden
+//! ```
+
+use pod_cli::cmd_monitor::MonitorSink;
+use pod_core::{Scheme, SystemConfig};
+use pod_trace::TraceProfile;
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("monitor.txt")
+}
+
+#[test]
+fn headless_frame_matches_the_committed_snapshot() {
+    let trace = TraceProfile::mail().scaled(0.004).generate(17);
+    let (rep, mut chain) = Scheme::Pod
+        .builder()
+        .config(SystemConfig::test_default())
+        .trace(&trace)
+        .observer(MonitorSink::new(false, "POD", trace.name.clone()))
+        .run_observed()
+        .expect("replay succeeds");
+    let sink: MonitorSink = chain.take_sink().expect("sink attached");
+    let frame = sink.render_frame();
+
+    // The dashboard's acceptance surface: every section is present and
+    // fed from real snapshot data.
+    for needle in [
+        "== monitor — POD / mail",
+        "partition split ‰",
+        "ghost hits/epoch",
+        "write mix (epoch)",
+        "write mix (total)",
+        "index heat",
+        "map fan-in",
+        "overflow",
+    ] {
+        assert!(frame.contains(needle), "missing {needle:?}:\n{frame}");
+    }
+    // One snapshot per epoch plus the final partial epoch; `seq` is
+    // 0-based, so the last frame shows `snapshots - 1`.
+    assert!(rep.stack.snapshots > 1, "replay spans several epochs");
+    assert!(
+        frame.contains(&format!("snapshot {}", rep.stack.snapshots - 1)),
+        "last frame carries the final snapshot:\n{frame}"
+    );
+
+    let path = fixture_path();
+    if std::env::var_os("POD_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create fixture dir");
+        std::fs::write(&path, &frame).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test monitor_golden",
+            path.display()
+        )
+    });
+    if frame != expected {
+        let mismatch = frame
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "monitor frame diverged from the snapshot at line {}:\n  expected: {want}\n  got:      {got}",
+                i + 1
+            ),
+            None => panic!(
+                "monitor frame diverged from the snapshot: lengths differ \
+                 (expected {} bytes, got {} bytes)",
+                expected.len(),
+                frame.len()
+            ),
+        }
+    }
+}

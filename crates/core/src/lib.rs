@@ -23,9 +23,9 @@
 //! * [`obs`] — structured observability: typed
 //!   [`StackEvent`]s, [`ObserverChain`] fan-out,
 //!   per-layer histograms and the JSONL trace recorder.
-//! * [`runner`] — replay entry points: [`ReplayBuilder`] (the primary
-//!   API: `Scheme::builder().trace(..).run()?`) and the older
-//!   [`SchemeRunner`], both producing a [`ReplayReport`].
+//! * [`runner`] — the replay entry point: [`ReplayBuilder`]
+//!   (`Scheme::builder().trace(..).run()?`), producing a
+//!   [`ReplayReport`].
 //! * [`metrics`] — response-time accumulators (mean, percentiles).
 //! * [`experiments`] — one function per table/figure of the paper.
 //!
@@ -46,9 +46,12 @@ pub mod testing;
 
 pub use config::SystemConfig;
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
-pub use obs::{IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver};
+pub use obs::{
+    IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver,
+    StateSnapshot,
+};
 pub use pool::Executor;
-pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing, SchemeRunner};
+pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing};
 pub use scheme::Scheme;
 pub use stack::{StackSpec, StorageStack};
 
@@ -71,9 +74,9 @@ pub mod prelude {
     pub use crate::metrics::{LatencyHistogram, Metrics, Timeline};
     pub use crate::obs::{
         IntoObserverChain, Layer, LayerHistograms, ObserverChain, StackCounters, StackEvent,
-        StackObserver, TraceRecorder,
+        StackObserver, StateSnapshot, TraceRecorder,
     };
-    pub use crate::runner::{ReplayBuilder, ReplayReport, SchemeRunner};
+    pub use crate::runner::{ReplayBuilder, ReplayReport};
     pub use crate::scheme::Scheme;
     pub use crate::stack::{StackSpec, StorageStack};
 }

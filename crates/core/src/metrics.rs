@@ -139,6 +139,28 @@ impl LatencyHistogram {
         self.buckets.iter().sum()
     }
 
+    /// Approximate percentile (0 ≤ p ≤ 100) by nearest rank over the
+    /// buckets, reported as the containing bucket's lower bound `2^i`
+    /// µs. An empty histogram (all buckets zero) returns 0 — not the
+    /// top bucket's bound, which a naive rank walk would fall through
+    /// to.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        debug_assert!((0.0..=100.0).contains(&p));
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.buckets.len() - 1)
+    }
+
     /// Render as text rows `lower_bound_ms count bar`, skipping empty
     /// leading/trailing buckets.
     pub fn render(&self, width: usize) -> String {
@@ -376,6 +398,36 @@ mod tests {
         let rebuilt = LatencyHistogram::from_buckets(*h.buckets());
         assert_eq!(rebuilt, h);
         assert_eq!(rebuilt.total(), 5);
+    }
+
+    #[test]
+    fn histogram_percentile_nearest_rank() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 13: [8192, 16384)
+        }
+        assert_eq!(h.percentile_us(50.0), 64);
+        assert_eq!(h.percentile_us(90.0), 64);
+        assert_eq!(h.percentile_us(95.0), 8_192);
+        assert_eq!(h.percentile_us(100.0), 8_192);
+        assert_eq!(h.percentile_us(0.0), 64, "p0 is the minimum bucket");
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        // Regression: an all-zero histogram must report 0, not fall
+        // through to the top bucket's bound (2^27 µs ≈ 134 s).
+        let h = LatencyHistogram::default();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile_us(p), 0, "p={p}");
+        }
+        assert_eq!(
+            LatencyHistogram::from_buckets([0; 28]).percentile_us(99.0),
+            0
+        );
     }
 
     #[test]

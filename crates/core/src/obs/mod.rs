@@ -12,8 +12,10 @@
 
 pub mod json;
 mod recorders;
+pub mod snapshot;
 
 pub use recorders::{EpochRow, LayerHistograms, TraceRecorder};
+pub use snapshot::StateSnapshot;
 
 use pod_dedup::ClassKind;
 use std::any::Any;
@@ -70,6 +72,11 @@ fn category_from_tag(s: &str) -> Option<ClassKind> {
 
 /// One typed event from the storage stack. `Copy`, so emitting an event
 /// never touches the heap; variants carry values, never owned buffers.
+// `Snapshot` dwarfs the other variants, but events are built on the
+// stack and delivered by reference once per epoch — boxing it would
+// put an allocation on the snapshot path and cost `Copy` for every
+// variant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StackEvent {
     /// A read request finished its cache lookup pass (`hit` = every
@@ -136,6 +143,13 @@ pub enum StackEvent {
         layer: Layer,
         /// Microseconds spent.
         us: u64,
+    },
+    /// An epoch-boundary sample of every component's internal gauges
+    /// (iCache partition, ghost hits, Index heat, Map fan-in, …).
+    /// Emitted once per iCache epoch and once at the end of the replay.
+    Snapshot {
+        /// The sampled state.
+        snap: StateSnapshot,
     },
     /// A request finished its foreground processing (background tasks
     /// run after this event).
@@ -229,6 +243,11 @@ impl StackEvent {
                     layer.name()
                 );
             }
+            StackEvent::Snapshot { ref snap } => {
+                out.push_str(r#"{"ev":"snapshot","#);
+                snap.push_json_fields(out);
+                out.push('}');
+            }
             StackEvent::RequestDone { write, measured } => {
                 let _ = write!(
                     out,
@@ -297,6 +316,9 @@ impl StackEvent {
                     .and_then(Layer::from_name)
                     .ok_or("bad layer")?,
                 us: num("us")?,
+            },
+            "snapshot" => StackEvent::Snapshot {
+                snap: StateSnapshot::from_json_obj(&v)?,
             },
             "request_done" => StackEvent::RequestDone {
                 write: flag("write")?,
@@ -501,6 +523,8 @@ pub struct StackCounters {
     pub repartitions: u64,
     /// Swap-region blocks charged to the disks.
     pub swap_blocks: u64,
+    /// State snapshots sampled at epoch boundaries.
+    pub snapshots: u64,
     /// Background deduplication passes run.
     pub background_scans: u64,
     /// Chunks examined by background passes.
@@ -602,6 +626,7 @@ impl StackObserver for StackCounters {
                 Layer::Dedup => self.dedup_time_us += us,
                 Layer::Disk => self.disk_time_us += us,
             },
+            StackEvent::Snapshot { .. } => self.snapshots += 1,
             StackEvent::RequestDone { .. } | StackEvent::Finished => {}
         }
     }
@@ -640,6 +665,10 @@ mod tests {
             measured: true,
         });
         c.on_event(&StackEvent::Swap { blocks: 7 });
+        c.on_event(&StackEvent::Snapshot {
+            snap: StateSnapshot::default(),
+        });
+        assert_eq!(c.snapshots, 1);
         assert_eq!(c.reads_measured, 2);
         assert_eq!(c.read_hits_measured, 1);
         assert!((c.read_hit_rate() - 0.5).abs() < 1e-12);
@@ -786,6 +815,19 @@ mod tests {
                 layer: Layer::Disk,
                 us: 412,
             },
+            StackEvent::Snapshot {
+                snap: {
+                    let mut s = StateSnapshot {
+                        seq: 2,
+                        requests: 800,
+                        ..Default::default()
+                    };
+                    s.icache.index_per_mille = 750;
+                    s.dedup.index.heat[3] = 11;
+                    s.dedup.map.fan_in[1] = 4;
+                    s
+                },
+            },
             StackEvent::RequestDone {
                 write: true,
                 measured: true,
@@ -807,6 +849,10 @@ mod tests {
             "missing field"
         );
         assert!(StackEvent::from_json(r#"{"ev":"layer_latency","layer":"ssd","us":1}"#).is_err());
+        assert!(
+            StackEvent::from_json(r#"{"ev":"snapshot","seq":0}"#).is_err(),
+            "snapshot missing its gauge fields"
+        );
         assert!(StackEvent::from_json("not json").is_err());
     }
 

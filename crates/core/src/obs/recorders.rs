@@ -3,7 +3,7 @@
 
 use crate::metrics::LatencyHistogram;
 use crate::obs::json::push_str_escaped;
-use crate::obs::{Layer, StackEvent, StackObserver};
+use crate::obs::{Layer, StackEvent, StackObserver, StateSnapshot};
 use pod_dedup::ClassKind;
 use std::io::Write;
 
@@ -98,6 +98,10 @@ pub struct EpochRow {
     pub dedup_us: u64,
     /// µs attributed to the disks.
     pub disk_us: u64,
+    /// Last state snapshot sampled within the epoch, if any. Serialized
+    /// as a nested `"snap"` object in the JSONL row; the summary row
+    /// carries the final snapshot of the replay.
+    pub snap: Option<StateSnapshot>,
 }
 
 impl EpochRow {
@@ -140,6 +144,7 @@ impl EpochRow {
                 Layer::Dedup => self.dedup_us += us,
                 Layer::Disk => self.disk_us += us,
             },
+            StackEvent::Snapshot { snap } => self.snap = Some(snap),
             StackEvent::RequestDone { .. } => self.requests += 1,
             StackEvent::Finished => {}
         }
@@ -165,6 +170,9 @@ impl EpochRow {
         self.cache_us += other.cache_us;
         self.dedup_us += other.dedup_us;
         self.disk_us += other.disk_us;
+        if other.snap.is_some() {
+            self.snap = other.snap;
+        }
     }
 
     fn push_fields(&self, out: &mut String) {
@@ -197,6 +205,11 @@ impl EpochRow {
             self.dedup_us,
             self.disk_us,
         );
+        if let Some(snap) = &self.snap {
+            out.push_str(r#","snap":{"#);
+            snap.push_json_fields(out);
+            out.push('}');
+        }
     }
 }
 
@@ -470,6 +483,41 @@ mod tests {
             .expect("dedup histogram");
         assert_eq!(hist.len(), 28);
         assert_eq!(hist.iter().filter_map(|v| v.as_u64()).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn snapshot_rides_epoch_rows_and_summary() {
+        let mut r = TraceRecorder::new("POD", "t", 2, 4);
+        let mut snap = StateSnapshot {
+            seq: 0,
+            requests: 2,
+            ..Default::default()
+        };
+        snap.icache.index_per_mille = 500;
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Snapshot { snap });
+        r.on_event(&req_done());
+        // Second epoch has no snapshot of its own.
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[0].snap, Some(snap));
+        assert_eq!(r.rows()[1].snap, None);
+        // Totals (→ summary row) inherit the last snapshot seen.
+        assert_eq!(r.totals().snap, Some(snap));
+
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        let epoch = crate::obs::json::parse(lines[1]).expect("epoch row");
+        let nested = epoch.get("snap").expect("nested snap object");
+        let back = StateSnapshot::from_json_obj(nested).expect("parse snap");
+        assert_eq!(back, snap, "snapshot round-trips through the epoch row");
+        let bare = crate::obs::json::parse(lines[2]).expect("snapless epoch");
+        assert!(bare.get("snap").is_none());
+        let summary = crate::obs::json::parse(lines[3]).expect("summary");
+        assert!(summary.get("snap").is_some(), "summary carries final snap");
     }
 
     #[test]

@@ -80,31 +80,6 @@ impl ReplayReport {
     }
 }
 
-/// Replays traces through one configured scheme.
-///
-/// This is the pre-builder entry point, kept as a thin shim for one
-/// release; new code goes through [`ReplayBuilder`]:
-///
-/// ```
-/// use pod_core::prelude::*;
-/// use pod_trace::TraceProfile;
-///
-/// let trace = TraceProfile::web_vm().scaled(0.003).generate(42);
-/// let report = Scheme::Pod
-///     .builder()
-///     .config(SystemConfig::test_default())
-///     .trace(&trace)
-///     .run()?;
-/// assert!(report.writes_removed_pct() > 0.0);
-/// assert_eq!(report.overall.count(), trace.len());
-/// # Ok::<(), pod_types::PodError>(())
-/// ```
-#[derive(Debug, Clone)]
-pub struct SchemeRunner {
-    scheme: Scheme,
-    cfg: SystemConfig,
-}
-
 /// Size of the reserved on-disk index / swap regions, proportional to
 /// the working set but bounded (blocks).
 fn region_blocks(logical_blocks: u64) -> u64 {
@@ -175,34 +150,6 @@ impl ReplaySizing {
             expected_unique_blocks: written_blocks.min(logical_blocks),
             max_request_blocks,
         }
-    }
-}
-
-impl SchemeRunner {
-    /// Build a runner; validates the configuration.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Scheme::builder()` (ReplayBuilder) instead"
-    )]
-    pub fn new(scheme: Scheme, cfg: SystemConfig) -> PodResult<Self> {
-        cfg.validate()?;
-        Ok(Self { scheme, cfg })
-    }
-
-    /// The scheme under evaluation.
-    pub fn scheme(&self) -> Scheme {
-        self.scheme
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &SystemConfig {
-        &self.cfg
-    }
-
-    /// Replay, surfacing errors.
-    pub fn try_replay(&self, trace: &Trace) -> PodResult<ReplayReport> {
-        let spec = self.scheme.stack_spec();
-        replay_stack(&spec, &self.cfg, trace, ObserverChain::new()).map(|(report, _)| report)
     }
 }
 
@@ -388,7 +335,7 @@ impl<'t> ReplayBuilder<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testing::{ReplayExt, SchemeReplayExt};
+    use crate::testing::SchemeReplayExt;
     use pod_trace::TraceProfile;
     use pod_types::{Lba, SimTime};
 
@@ -401,16 +348,15 @@ mod tests {
         p.scaled(0.004).generate(17)
     }
 
-    #[allow(deprecated)] // the shim stays covered until it is removed
-    fn runner(s: Scheme) -> SchemeRunner {
-        SchemeRunner::new(s, SystemConfig::test_default()).expect("valid config")
+    fn replay(s: Scheme, t: &Trace) -> ReplayReport {
+        s.replay_with(t, SystemConfig::test_default())
     }
 
     #[test]
     fn all_schemes_replay_without_error() {
         let t = tiny_trace("mail");
         for s in Scheme::all() {
-            let rep = runner(s).replay(&t);
+            let rep = replay(s, &t);
             assert_eq!(rep.overall.count(), t.len(), "{s}: all requests measured");
             assert!(rep.overall.mean_us() > 0.0, "{s}: nonzero response times");
         }
@@ -419,8 +365,8 @@ mod tests {
     #[test]
     fn native_removes_nothing_select_removes_much() {
         let t = tiny_trace("mail");
-        let native = runner(Scheme::Native).replay(&t);
-        let select = runner(Scheme::SelectDedupe).replay(&t);
+        let native = replay(Scheme::Native, &t);
+        let select = replay(Scheme::SelectDedupe, &t);
         assert_eq!(native.writes_removed_pct(), 0.0);
         assert!(
             select.writes_removed_pct() > 30.0,
@@ -432,8 +378,8 @@ mod tests {
     #[test]
     fn select_beats_native_on_mail_writes() {
         let t = tiny_trace("mail");
-        let native = runner(Scheme::Native).replay(&t);
-        let select = runner(Scheme::SelectDedupe).replay(&t);
+        let native = replay(Scheme::Native, &t);
+        let select = replay(Scheme::SelectDedupe, &t);
         assert!(
             select.writes.mean_us() < native.writes.mean_us(),
             "select {} vs native {}",
@@ -445,9 +391,9 @@ mod tests {
     #[test]
     fn dedup_saves_capacity() {
         let t = tiny_trace("mail");
-        let native = runner(Scheme::Native).replay(&t);
-        let full = runner(Scheme::FullDedupe).replay(&t);
-        let select = runner(Scheme::SelectDedupe).replay(&t);
+        let native = replay(Scheme::Native, &t);
+        let full = replay(Scheme::FullDedupe, &t);
+        let select = replay(Scheme::SelectDedupe, &t);
         assert!(full.capacity_used_blocks < native.capacity_used_blocks);
         assert!(select.capacity_used_blocks < native.capacity_used_blocks);
         assert!(
@@ -459,15 +405,15 @@ mod tests {
     #[test]
     fn nvram_is_zero_for_native_and_positive_for_select() {
         let t = tiny_trace("web-vm");
-        assert_eq!(runner(Scheme::Native).replay(&t).nvram_peak_bytes, 0);
-        assert!(runner(Scheme::SelectDedupe).replay(&t).nvram_peak_bytes > 0);
+        assert_eq!(replay(Scheme::Native, &t).nvram_peak_bytes, 0);
+        assert!(replay(Scheme::SelectDedupe, &t).nvram_peak_bytes > 0);
     }
 
     #[test]
     fn replay_is_deterministic() {
         let t = tiny_trace("homes");
-        let a = runner(Scheme::Pod).replay(&t);
-        let b = runner(Scheme::Pod).replay(&t);
+        let a = replay(Scheme::Pod, &t);
+        let b = replay(Scheme::Pod, &t);
         assert_eq!(a.overall.mean_us(), b.overall.mean_us());
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.capacity_used_blocks, b.capacity_used_blocks);
@@ -490,7 +436,7 @@ mod tests {
         let rep = Scheme::Pod.replay_with(&t, cfg);
         assert!(rep.icache_epochs > 0);
         // Select-Dedupe (non-adaptive) never repartitions.
-        let fixed = runner(Scheme::SelectDedupe).replay(&t);
+        let fixed = replay(Scheme::SelectDedupe, &t);
         assert_eq!(fixed.icache_repartitions, 0);
     }
 
@@ -499,9 +445,9 @@ mod tests {
         let t = tiny_trace("web-vm");
         // The dedup module owns the read cache; Native (module absent)
         // has none, so all its reads go to disk.
-        let native = runner(Scheme::Native).replay(&t);
+        let native = replay(Scheme::Native, &t);
         assert_eq!(native.read_cache_hit_rate, 0.0);
-        let select = runner(Scheme::SelectDedupe).replay(&t);
+        let select = replay(Scheme::SelectDedupe, &t);
         assert!(
             select.read_cache_hit_rate > 0.0,
             "zipf reads must hit sometimes: {}",
@@ -512,8 +458,8 @@ mod tests {
     #[test]
     fn full_dedupe_fragments_reads_more_than_select() {
         let t = tiny_trace("homes");
-        let full = runner(Scheme::FullDedupe).replay(&t);
-        let select = runner(Scheme::SelectDedupe).replay(&t);
+        let full = replay(Scheme::FullDedupe, &t);
+        let select = replay(Scheme::SelectDedupe, &t);
         assert!(
             full.read_fragmentation >= select.read_fragmentation,
             "full {} vs select {}",
@@ -545,8 +491,8 @@ mod tests {
     #[test]
     fn post_process_saves_capacity_without_removing_writes() {
         let t = tiny_trace("mail");
-        let native = runner(Scheme::Native).replay(&t);
-        let post = runner(Scheme::PostProcess).replay(&t);
+        let native = replay(Scheme::Native, &t);
+        let post = replay(Scheme::PostProcess, &t);
         // Same I/O path: nothing removed from the write stream.
         assert_eq!(post.writes_removed_pct(), 0.0);
         // But the background pass deduplicates stored data.
@@ -565,11 +511,11 @@ mod tests {
         // duplicate blocks, so on a redundancy-heavy trace its hit rate
         // is at least that of the same-size LBA-keyed cache.
         let t = tiny_trace("mail");
-        let iodedup = runner(Scheme::IODedup).replay(&t);
+        let iodedup = replay(Scheme::IODedup, &t);
         assert_eq!(iodedup.writes_removed_pct(), 0.0, "no write elimination");
         assert!(iodedup.read_cache_hit_rate > 0.0);
         // Capacity is Native-like: duplicates still occupy disk.
-        let native = runner(Scheme::Native).replay(&t);
+        let native = replay(Scheme::Native, &t);
         assert_eq!(iodedup.capacity_used_blocks, native.capacity_used_blocks);
     }
 
@@ -578,7 +524,7 @@ mod tests {
         let t = tiny_trace("mail");
         let mut degraded_cfg = SystemConfig::test_default();
         degraded_cfg.fail_disk = Some(1);
-        let healthy = runner(Scheme::Native).replay(&t);
+        let healthy = replay(Scheme::Native, &t);
         let degraded = Scheme::Native.replay_with(&t, degraded_cfg.clone());
         assert!(
             degraded.reads.mean_us() >= healthy.reads.mean_us(),
@@ -609,7 +555,7 @@ mod tests {
             requests: vec![],
             memory_budget_bytes: 1 << 20,
         };
-        let rep = runner(Scheme::Pod).replay(&trace);
+        let rep = replay(Scheme::Pod, &trace);
         assert_eq!(rep.overall.count(), 0);
         assert_eq!(rep.writes_removed_pct(), 0.0);
     }
@@ -689,15 +635,31 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_runner_output() {
+    fn snapshots_are_sampled_and_final_one_exists() {
         let t = tiny_trace("mail");
-        let via_builder = Scheme::SelectDedupe.replay_with(&t, SystemConfig::test_default());
-        let via_runner = runner(Scheme::SelectDedupe).replay(&t);
-        assert_eq!(via_builder.stack, via_runner.stack);
-        assert_eq!(via_builder.overall.mean_us(), via_runner.overall.mean_us());
+        let mut cfg = SystemConfig::test_default();
+        cfg.icache_epoch_requests = 100;
+        let rep = Scheme::Pod.replay_with(&t, cfg.clone());
+        let expected = t.len() as u64 / 100 + u64::from(!(t.len() as u64).is_multiple_of(100));
         assert_eq!(
-            via_builder.capacity_used_blocks,
-            via_runner.capacity_used_blocks
+            rep.stack.snapshots, expected,
+            "one snapshot per epoch boundary plus the final sample"
+        );
+        // The summary snapshot rides the recorded trace too.
+        let (_, mut chain) = Scheme::Pod
+            .builder()
+            .config(cfg)
+            .trace(&t)
+            .record(100)
+            .run_observed()
+            .expect("replay");
+        let rec: TraceRecorder = chain.take_sink().expect("recorder");
+        let last = rec.totals().snap.expect("final snapshot recorded");
+        assert_eq!(last.requests, t.len() as u64);
+        assert!(last.dedup.map.mapped > 0, "map table populated");
+        assert!(
+            last.icache.index_bytes > 0,
+            "index partition holds a budget"
         );
     }
 

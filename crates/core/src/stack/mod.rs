@@ -54,13 +54,13 @@ pub use spec::{BackgroundKind, CacheKeying, StackSpec};
 pub use crate::obs::{StackCounters, StackObserver};
 
 use crate::config::SystemConfig;
-use crate::obs::{IntoObserverChain, Layer, ObserverChain, StackEvent};
+use crate::obs::{IntoObserverChain, Layer, ObserverChain, StackEvent, StateSnapshot};
 use crate::runner::ReplaySizing;
 use pod_dedup::DedupConfig;
 use pod_disk::{ArraySim, JobId, RaidGeometry};
 use pod_icache::{ICache, ICacheConfig};
 use pod_trace::Trace;
-use pod_types::{IoOp, IoRequest, PodError, PodResult, SimDuration, SimTime};
+use pod_types::{Introspect, IoOp, IoRequest, PodError, PodResult, SimDuration, SimTime};
 
 /// A composed storage stack: cache over dedup over disk, plus the
 /// background tasks and the observer chain threaded through all of
@@ -86,6 +86,13 @@ pub struct StorageStack {
     direct: Vec<(usize, SimDuration)>,
     metadata_us: u64,
     cache_hit_us: u64,
+    /// Sample a [`StateSnapshot`] every this many completed requests
+    /// (the iCache epoch length, so snapshots land on epoch boundaries).
+    snap_every: u64,
+    /// Requests completed so far (reads + writes, incl. warm-up).
+    requests_done: u64,
+    /// Snapshots emitted so far; becomes [`StateSnapshot::seq`].
+    snap_seq: u64,
 }
 
 impl StorageStack {
@@ -195,6 +202,9 @@ impl StorageStack {
             direct: Vec::new(),
             metadata_us: cfg.metadata_us,
             cache_hit_us: cfg.cache_hit_us,
+            snap_every: cfg.icache_epoch_requests.max(1),
+            requests_done: 0,
+            snap_seq: 0,
         })
     }
 
@@ -219,7 +229,28 @@ impl StorageStack {
             write: req.op.is_write(),
             measured,
         });
-        self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))
+        self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))?;
+        // Sample after the background tasks so the snapshot sees the
+        // epoch's repartition (if any) already applied.
+        self.requests_done += 1;
+        if self.requests_done.is_multiple_of(self.snap_every) {
+            self.sample_snapshot();
+        }
+        Ok(())
+    }
+
+    /// Sample every component's [`Introspect`] gauges and emit them as
+    /// one [`StackEvent::Snapshot`]. Allocation-free: the state structs
+    /// are `Copy` and built from counters and fixed-size histograms.
+    fn sample_snapshot(&mut self) {
+        let snap = StateSnapshot {
+            seq: self.snap_seq,
+            requests: self.requests_done,
+            icache: self.cache.icache().introspect(),
+            dedup: self.dedup.engine().introspect(),
+        };
+        self.snap_seq += 1;
+        self.observer.emit(&StackEvent::Snapshot { snap });
     }
 
     /// The write path: hash latency → dedup decision → ghost-index
@@ -335,6 +366,11 @@ impl StorageStack {
                 layer: Layer::Disk,
                 us: (done - submit).as_micros(),
             });
+        }
+        // Final snapshot: the end-of-replay state, after drains, unless
+        // the boundary sample just covered it.
+        if !self.requests_done.is_multiple_of(self.snap_every) || self.snap_seq == 0 {
+            self.sample_snapshot();
         }
         self.observer.emit(&StackEvent::Finished);
         Ok(())

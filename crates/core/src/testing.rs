@@ -1,8 +1,6 @@
 //! Test-only conveniences, quarantined from the production surface.
 //!
-//! The panicking replay helpers used to live on [`SchemeRunner`]
-//! directly; production paths now go through
-//! [`try_replay`](SchemeRunner::try_replay) /
+//! Production paths go through
 //! [`ReplayBuilder::run`](crate::runner::ReplayBuilder::run) and
 //! propagate `PodResult`. Tests, benches and doctests — where a replay
 //! error is a bug in the setup, not a condition to handle — opt back in
@@ -18,27 +16,9 @@
 //! ```
 
 use crate::config::SystemConfig;
-use crate::runner::{ReplayReport, SchemeRunner};
+use crate::runner::ReplayReport;
 use crate::scheme::Scheme;
 use pod_trace::Trace;
-
-/// Panic-on-error replay, for tests and benches only.
-pub trait ReplayExt {
-    /// Replay `trace`, panicking on failure.
-    ///
-    /// # Panics
-    /// Panics if the replay errors (e.g. the trace's working set
-    /// exceeds the configured array capacity) — a setup bug surfaced
-    /// loudly.
-    fn replay(&self, trace: &Trace) -> ReplayReport;
-}
-
-impl ReplayExt for SchemeRunner {
-    fn replay(&self, trace: &Trace) -> ReplayReport {
-        self.try_replay(trace)
-            .unwrap_or_else(|e| panic!("replay of {} under {}: {e}", trace.name, self.scheme()))
-    }
-}
 
 /// Panic-on-error one-shot replays for [`Scheme`], for tests only.
 pub trait SchemeReplayExt {

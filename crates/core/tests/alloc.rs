@@ -56,6 +56,7 @@ struct EventTally {
     writes: u64,
     reads: u64,
     latencies: u64,
+    snapshots: u64,
     done: u64,
 }
 
@@ -65,6 +66,7 @@ impl StackObserver for EventTally {
             StackEvent::WriteClassified { .. } => self.writes += 1,
             StackEvent::ReadLookup { .. } => self.reads += 1,
             StackEvent::LayerLatency { .. } => self.latencies += 1,
+            StackEvent::Snapshot { .. } => self.snapshots += 1,
             StackEvent::RequestDone { .. } => self.done += 1,
             _ => {}
         }
@@ -179,6 +181,18 @@ fn steady_state_replay_with_full_observer_chain_is_allocation_free() {
     let tally: EventTally = chain.take_sink().expect("tally attached");
     assert_eq!(tally.writes, counters.writes_processed);
     assert_eq!(tally.done, idx as u64);
+    // Snapshots were sampled at every epoch boundary — inside the
+    // measured windows too (several epochs elapse per window with the
+    // test config), so the zero-allocation result above covers the
+    // whole introspection path.
+    assert_eq!(tally.snapshots, counters.snapshots);
+    assert!(
+        tally.snapshots >= idx as u64 / cfg.icache_epoch_requests,
+        "expected a snapshot per {}-request epoch, saw {} over {} requests",
+        cfg.icache_epoch_requests,
+        tally.snapshots,
+        idx
+    );
     let hists: LayerHistograms = chain.take_sink().expect("histograms attached");
     assert!(hists.total() > 0);
     let rec: TraceRecorder = chain.take_sink().expect("recorder attached");

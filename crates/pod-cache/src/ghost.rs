@@ -17,6 +17,19 @@ pub struct GhostCache<K> {
     hits: u64,
 }
 
+/// Flat gauge snapshot of a [`GhostCache`] (see
+/// [`pod_types::Introspect`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GhostState {
+    /// Remembered evicted keys.
+    pub len: u64,
+    /// Key capacity.
+    pub capacity: u64,
+    /// Ghost hits pending [`GhostCache::take_hits`] — cumulative when
+    /// the owner never drains the counter.
+    pub hits: u64,
+}
+
 impl<K: Eq + Hash + Clone> GhostCache<K> {
     /// Ghost cache remembering at most `capacity` evicted keys.
     pub fn new(capacity: usize) -> Self {
@@ -81,6 +94,18 @@ impl<K: Eq + Hash + Clone> GhostCache<K> {
     /// Forget everything, keeping the hit counter.
     pub fn clear(&mut self) {
         self.inner.clear();
+    }
+}
+
+impl<K: Eq + Hash + Clone> pod_types::Introspect for GhostCache<K> {
+    type State = GhostState;
+
+    fn introspect(&self) -> GhostState {
+        GhostState {
+            len: self.len() as u64,
+            capacity: self.capacity() as u64,
+            hits: self.hits,
+        }
     }
 }
 

@@ -24,6 +24,7 @@ pub struct LfuCache<K, V> {
     /// in practice.
     buckets: BTreeMap<u64, LruCache<K, ()>>,
     capacity: usize,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
@@ -33,6 +34,7 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
             values: HashMap::default(),
             buckets: BTreeMap::new(),
             capacity,
+            evictions: 0,
         }
     }
 
@@ -128,7 +130,22 @@ impl<K: Eq + Hash + Clone, V> LfuCache<K, V> {
             .values
             .remove(&key)
             .expect("value exists for bucketed key");
+        self.evictions += 1;
         Some((key, v))
+    }
+
+    /// Cumulative count of frequency-order evictions
+    /// ([`LfuCache::pop_lfu`], whether from insert pressure or a
+    /// capacity shrink).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterate `(key, value, frequency)` in unspecified order, without
+    /// bumping frequencies or allocating. Pair with `take(n)` for a
+    /// bounded sample of a large cache.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V, u64)> {
+        self.values.iter().map(|(k, (v, f))| (k, v, *f))
     }
 
     fn touch(&mut self, key: &K) -> Option<()> {
@@ -251,6 +268,22 @@ mod tests {
         // Growing keeps contents.
         assert!(c.set_capacity(8).is_empty());
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_counter_and_iter() {
+        let mut c = LfuCache::new(2);
+        c.insert(1, "a");
+        c.insert(2, "b");
+        c.get(&1);
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, "c"); // evicts 2
+        assert_eq!(c.evictions(), 1);
+        let _ = c.set_capacity(1); // spills 3 (freq 1)
+        assert_eq!(c.evictions(), 2);
+        let mut seen: Vec<_> = c.iter().map(|(k, v, f)| (*k, *v, f)).collect();
+        seen.sort();
+        assert_eq!(seen, vec![(1, "a", 2)]);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod stats;
 
 pub use arc::ArcCache;
 pub use clock::ClockCache;
-pub use ghost::GhostCache;
+pub use ghost::{GhostCache, GhostState};
 pub use lfu::LfuCache;
-pub use lru::LruCache;
+pub use lru::{LruCache, LruState};
 pub use sharded::ShardedCache;
 pub use stats::CacheStats;

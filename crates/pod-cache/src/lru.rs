@@ -53,6 +53,20 @@ pub struct LruCache<K, V> {
     /// Least recently used node.
     tail: usize,
     capacity: usize,
+    evictions: u64,
+}
+
+/// Flat gauge snapshot of an [`LruCache`] (see
+/// [`Introspect`](pod_types::Introspect)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruState {
+    /// Cached entries.
+    pub len: u64,
+    /// Entry capacity.
+    pub capacity: u64,
+    /// Cumulative LRU-end evictions (insert pressure plus shrink
+    /// spills) — a churn gauge when differenced across epochs.
+    pub evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -67,6 +81,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            evictions: 0,
         }
     }
 
@@ -170,7 +185,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.free.push(idx);
         let node = self.slab[idx].take().expect("tail slot is live");
         self.map.remove(&node.key);
+        self.evictions += 1;
         Some((node.key, node.value))
+    }
+
+    /// Cumulative count of LRU-end evictions ([`LruCache::pop_lru`],
+    /// whether from insert pressure or a capacity shrink).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Resize online. Shrinking evicts from the LRU end; the spilled
@@ -235,6 +257,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.head = idx;
         if self.tail == NIL {
             self.tail = idx;
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> pod_types::Introspect for LruCache<K, V> {
+    type State = LruState;
+
+    fn introspect(&self) -> LruState {
+        LruState {
+            len: self.len() as u64,
+            capacity: self.capacity as u64,
+            evictions: self.evictions,
         }
     }
 }
@@ -406,6 +440,29 @@ mod tests {
             *v += 1;
         }
         assert_eq!(c.peek(&1), Some(&6));
+    }
+
+    #[test]
+    fn eviction_counter_tracks_pop_and_shrink() {
+        use pod_types::Introspect;
+        let mut c = LruCache::new(2);
+        c.insert(1, ());
+        c.insert(2, ());
+        assert_eq!(c.evictions(), 0);
+        c.insert(3, ()); // evicts 1
+        assert_eq!(c.evictions(), 1);
+        let _ = c.set_capacity(1); // spills one more
+        assert_eq!(c.evictions(), 2);
+        let state = c.introspect();
+        assert_eq!(state.len, 1);
+        assert_eq!(state.capacity, 1);
+        assert_eq!(state.evictions, 2);
+        // A zero-capacity bounce never enters the cache and is not an
+        // eviction in the churn sense.
+        let _ = c.set_capacity(0);
+        let before = c.evictions();
+        assert_eq!(c.insert(9, ()), Some((9, ())));
+        assert_eq!(c.evictions(), before);
     }
 
     #[test]

@@ -20,10 +20,10 @@ use crate::classify::{
     classify_for_full_into, classify_for_idedup_into, classify_for_select_into, ChunkCandidate,
     ClassKind, WriteClass,
 };
-use crate::index::IndexTable;
-use crate::store::ChunkStore;
+use crate::index::{IndexState, IndexTable};
+use crate::store::{ChunkStore, MapState};
 use crate::table::FpMap;
-use pod_types::{Fingerprint, IoRequest, Lba, Pba, PodResult};
+use pod_types::{Fingerprint, Introspect, IoRequest, Lba, Pba, PodResult};
 
 /// Which deduplication scheme the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -311,6 +311,21 @@ impl EngineCounters {
     }
 }
 
+/// Flat gauge snapshot of a whole [`DedupEngine`] (see
+/// [`pod_types::Introspect`]): the Index table, the Map table and the
+/// background-scan backlog, sampled together at an epoch boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupState {
+    /// Hot fingerprint Index table gauges.
+    pub index: IndexState,
+    /// Map table / chunk store gauges.
+    pub map: MapState,
+    /// Chunks awaiting the PostProcess background scan.
+    pub scan_backlog: u64,
+    /// Entries in the on-disk full fingerprint index.
+    pub disk_index_entries: u64,
+}
+
 /// A deduplication engine with one policy.
 ///
 /// ```
@@ -402,6 +417,11 @@ impl DedupEngine {
     /// Cumulative counters.
     pub fn counters(&self) -> EngineCounters {
         self.counters
+    }
+
+    /// Entries in the on-disk full fingerprint index.
+    pub fn disk_index_entries(&self) -> u64 {
+        self.disk_index.len() as u64
     }
 
     /// Process one write request, updating store/index state and
@@ -613,6 +633,17 @@ impl DedupEngine {
         self.scan_queue.len()
     }
 
+    /// Gauge snapshot of the whole engine: Index table, Map table and
+    /// background-scan state in one struct. See [`pod_types::Introspect`].
+    pub fn state(&self) -> DedupState {
+        DedupState {
+            index: self.index.introspect(),
+            map: self.store.introspect(),
+            scan_backlog: self.scan_queue.len() as u64,
+            disk_index_entries: self.disk_index_entries(),
+        }
+    }
+
     /// PostProcess only: run one background deduplication pass over up to
     /// `max_chunks` queued chunks. Returns what the pass did; the caller
     /// charges `read_extents` as background disk reads (the scanner must
@@ -700,6 +731,14 @@ impl DedupEngine {
         }
         merge_extents_into(&scratch.pbas, &mut scratch.write_extents);
         Ok(())
+    }
+}
+
+impl Introspect for DedupEngine {
+    type State = DedupState;
+
+    fn introspect(&self) -> DedupState {
+        self.state()
     }
 }
 

@@ -12,7 +12,7 @@
 //! the Swap Module drives every epoch.
 
 use pod_cache::{LfuCache, LruCache};
-use pod_types::{Fingerprint, Pba};
+use pod_types::{log2_bucket8, Fingerprint, Pba};
 use serde::{Deserialize, Serialize};
 
 /// Modeled in-memory footprint of one hash-index entry: 32 B fingerprint
@@ -54,6 +54,34 @@ pub struct IndexTable {
     hits: u64,
     misses: u64,
     inserts: u64,
+}
+
+/// Entries sampled for the `Count`-heat histogram in one
+/// [`IndexTable::heat`] call. Bounds snapshot cost on large tables; the
+/// LRU sample is the MRU head, i.e. the entries dedup decisions are
+/// actually consulting.
+pub const HEAT_SAMPLE_ENTRIES: usize = 4096;
+
+/// Flat gauge snapshot of an [`IndexTable`] (see
+/// [`pod_types::Introspect`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexState {
+    /// Hot entries currently cached.
+    pub entries: u64,
+    /// Capacity in entries.
+    pub capacity: u64,
+    /// Cumulative query hits.
+    pub hits: u64,
+    /// Cumulative query misses.
+    pub misses: u64,
+    /// Cumulative inserts.
+    pub inserts: u64,
+    /// Cumulative backing-cache evictions (churn gauge).
+    pub evictions: u64,
+    /// Log2-bucketed `Count` heat over a bounded sample of entries:
+    /// bucket i counts entries with `Count` in [2^i, 2^(i+1)) (bucket 0
+    /// is 0–1, bucket 7 is ≥128).
+    pub heat: [u64; 8],
 }
 
 impl IndexTable {
@@ -240,11 +268,56 @@ impl IndexTable {
         (self.hits, self.misses, self.inserts)
     }
 
+    /// Cumulative evictions from the backing cache (insert pressure
+    /// plus Swap-Module shrinks).
+    pub fn evictions(&self) -> u64 {
+        match &self.backing {
+            Backing::Lru(c) => c.evictions(),
+            Backing::Lfu(c) => c.evictions(),
+        }
+    }
+
+    /// Log2-bucketed `Count`-heat histogram over at most
+    /// [`HEAT_SAMPLE_ENTRIES`] entries (the MRU head under LRU, an
+    /// arbitrary-but-deterministic sample under LFU). Allocation-free.
+    pub fn heat(&self) -> [u64; 8] {
+        let mut heat = [0u64; 8];
+        match &self.backing {
+            Backing::Lru(c) => {
+                for (_, e) in c.iter().take(HEAT_SAMPLE_ENTRIES) {
+                    heat[log2_bucket8(e.count as u64)] += 1;
+                }
+            }
+            Backing::Lfu(c) => {
+                for (_, e, _) in c.iter().take(HEAT_SAMPLE_ENTRIES) {
+                    heat[log2_bucket8(e.count as u64)] += 1;
+                }
+            }
+        }
+        heat
+    }
+
     /// Reset the statistics counters (start of an iCache epoch).
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.misses = 0;
         self.inserts = 0;
+    }
+}
+
+impl pod_types::Introspect for IndexTable {
+    type State = IndexState;
+
+    fn introspect(&self) -> IndexState {
+        IndexState {
+            entries: self.len() as u64,
+            capacity: self.capacity() as u64,
+            hits: self.hits,
+            misses: self.misses,
+            inserts: self.inserts,
+            evictions: self.evictions(),
+            heat: self.heat(),
+        }
     }
 }
 
@@ -377,6 +450,34 @@ mod tests {
     fn default_policy_is_lru() {
         assert_eq!(IndexTable::new(4).policy(), IndexPolicy::Lru);
         assert_eq!(IndexPolicy::default(), IndexPolicy::Lru);
+    }
+
+    #[test]
+    fn heat_histogram_buckets_counts() {
+        use pod_types::Introspect;
+        let mut t = IndexTable::new(8);
+        t.insert(fp(1), Pba::new(1)); // count 0 -> bucket 0
+        t.insert(fp(2), Pba::new(2));
+        for _ in 0..3 {
+            t.query(&fp(2)); // count 3 -> bucket 1
+        }
+        t.insert(fp(3), Pba::new(3));
+        for _ in 0..150 {
+            t.query(&fp(3)); // count 150 -> bucket 7
+        }
+        let st = t.introspect();
+        assert_eq!(st.entries, 3);
+        assert_eq!(st.heat[0], 1);
+        assert_eq!(st.heat[1], 1);
+        assert_eq!(st.heat[7], 1);
+        assert_eq!(st.heat.iter().sum::<u64>(), 3);
+        assert_eq!(st.hits, 153);
+        // Eviction churn reaches the gauge under both policies.
+        let mut small = IndexTable::with_policy(1, IndexPolicy::Lfu);
+        small.insert(fp(1), Pba::new(1));
+        small.insert(fp(2), Pba::new(2));
+        assert_eq!(small.introspect().evictions, 1);
+        assert_eq!(small.introspect().heat.iter().sum::<u64>(), 1);
     }
 
     #[test]

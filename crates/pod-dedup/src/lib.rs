@@ -35,10 +35,10 @@ pub mod table;
 
 pub use classify::{classify_for_select, ChunkCandidate, ClassKind, WriteClass};
 pub use engine::{
-    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, ScanOutcome, WriteOutcome, WriteScratch,
-    WriteSummary,
+    DedupConfig, DedupEngine, DedupPolicy, DedupState, ReadPlan, ScanOutcome, WriteOutcome,
+    WriteScratch, WriteSummary,
 };
-pub use index::{IndexPolicy, IndexTable, INDEX_ENTRY_BYTES};
+pub use index::{IndexPolicy, IndexState, IndexTable, HEAT_SAMPLE_ENTRIES, INDEX_ENTRY_BYTES};
 pub use journal::{MapJournal, JOURNAL_ENTRY_BYTES};
-pub use store::ChunkStore;
+pub use store::{ChunkStore, MapState};
 pub use table::ShardedMap;

@@ -18,8 +18,8 @@
 
 use crate::journal::MapJournal;
 use crate::table::ShardedMap;
-use pod_disk::{BlockStore, NvramModel};
-use pod_types::{Fingerprint, Lba, Pba, PodError, PodResult};
+use pod_disk::{AllocState, BlockStore, NvramModel};
+use pod_types::{log2_bucket8, Fingerprint, Introspect, Lba, Pba, PodError, PodResult};
 
 /// Mapping + refcount + content state of the deduplicated block space.
 #[derive(Debug)]
@@ -42,6 +42,36 @@ pub struct ChunkStore {
     /// Persistent journal of redirection changes (the NVRAM Map table's
     /// on-media format; see `crate::journal`).
     journal: MapJournal,
+    /// Log2-bucketed histogram of per-block reference counts, maintained
+    /// incrementally at every refcount transition: bucket i holds blocks
+    /// whose refcount is in [2^i, 2^(i+1)) — bucket 0 is exclusively
+    /// owned blocks, buckets 1.. are the Map table's m-to-1 fan-in.
+    fan_in: [u64; 8],
+}
+
+/// Flat gauge snapshot of a [`ChunkStore`]'s Map table (see
+/// [`pod_types::Introspect`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapState {
+    /// Logical blocks with a live mapping.
+    pub mapped: u64,
+    /// Live physical blocks with exactly one referencing LBA.
+    pub unique_blocks: u64,
+    /// Live physical blocks shared by two or more LBAs (m-to-1).
+    pub shared_blocks: u64,
+    /// Mapping entries whose PBA differs from home (NVRAM-resident).
+    pub redirected: u64,
+    /// NVRAM Map-table entries.
+    pub nvram_entries: u64,
+    /// NVRAM Map-table bytes.
+    pub nvram_bytes: u64,
+    /// Journal records pending checkpoint.
+    pub journal_entries: u64,
+    /// Log2-bucketed refcount fan-in histogram (bucket 0 = refcount 1,
+    /// bucket 1 = 2–3, ..., bucket 7 = ≥128).
+    pub fan_in: [u64; 8],
+    /// Overflow-region allocator state (dedup-induced fragmentation).
+    pub overflow: AllocState,
 }
 
 impl ChunkStore {
@@ -69,6 +99,7 @@ impl ChunkStore {
             nvram: NvramModel::new(),
             redirected: 0,
             journal: MapJournal::new(),
+            fan_in: [0; 8],
         }
     }
 
@@ -147,6 +178,17 @@ impl ChunkStore {
         self.redirected
     }
 
+    /// Log2-bucketed refcount fan-in histogram (bucket 0 = refcount 1).
+    /// Maintained incrementally, so reading it is free.
+    pub fn fan_in(&self) -> [u64; 8] {
+        self.fan_in
+    }
+
+    /// Live physical blocks referenced by two or more LBAs.
+    pub fn shared_blocks(&self) -> u64 {
+        self.fan_in[1..].iter().sum()
+    }
+
     /// Write chunk content for `lba`, placing it physically and returning
     /// the PBA the data must be written to on disk.
     ///
@@ -204,6 +246,7 @@ impl ChunkStore {
         let in_place_overwrite = holds_old_claim && current == Some(target);
         if !in_place_overwrite {
             *self.refs.get_or_insert(target, 0) += 1;
+            self.note_ref_change(0, 1);
         }
         debug_assert_eq!(
             self.refs.get(&target).unwrap_or(0),
@@ -232,7 +275,10 @@ impl ChunkStore {
         if let Some(old) = current {
             self.release(old)?;
         }
-        *self.refs.get_or_insert(t, 0) += 1;
+        let slot = self.refs.get_or_insert(t, 0);
+        let was = *slot;
+        *slot += 1;
+        self.note_ref_change(was, was + 1);
         self.mapping.insert(home, t);
         self.update_redirection(home, current, t);
         Ok(())
@@ -302,18 +348,31 @@ impl ChunkStore {
                 self.redirected
             )));
         }
+        let mut fan_in = [0u64; 8];
+        for (_, c) in self.refs.iter() {
+            fan_in[log2_bucket8(c as u64)] += 1;
+        }
+        if fan_in != self.fan_in {
+            return Err(PodError::Inconsistency(format!(
+                "incremental fan-in {:?} != recounted {fan_in:?}",
+                self.fan_in
+            )));
+        }
         Ok(())
     }
 
     fn release(&mut self, pba: u64) -> PodResult<()> {
         match self.refs.get_mut(&pba) {
             Some(c) if *c > 1 => {
+                let was = *c;
                 *c -= 1;
+                self.note_ref_change(was, was - 1);
                 Ok(())
             }
             Some(_) => {
                 self.refs.remove(&pba);
                 self.content.remove(&pba);
+                self.note_ref_change(1, 0);
                 if pba >= self.logical_blocks {
                     // Return the overflow block to its allocator.
                     self.overflow.decref(Pba::new(pba - self.logical_blocks))?;
@@ -321,6 +380,17 @@ impl ChunkStore {
                 Ok(())
             }
             None => Err(PodError::NotAllocated(pba)),
+        }
+    }
+
+    /// Move a block between fan-in buckets as its refcount changes (0
+    /// means "not live" on either side).
+    fn note_ref_change(&mut self, old: u32, new: u32) {
+        if old > 0 {
+            self.fan_in[log2_bucket8(old as u64)] -= 1;
+        }
+        if new > 0 {
+            self.fan_in[log2_bucket8(new as u64)] += 1;
         }
     }
 
@@ -347,6 +417,24 @@ impl ChunkStore {
             }
         } else if was_redirected {
             self.journal.append_clear(Lba::new(home));
+        }
+    }
+}
+
+impl Introspect for ChunkStore {
+    type State = MapState;
+
+    fn introspect(&self) -> MapState {
+        MapState {
+            mapped: self.mapping.len() as u64,
+            unique_blocks: self.fan_in[0],
+            shared_blocks: self.shared_blocks(),
+            redirected: self.redirected,
+            nvram_entries: self.nvram.entries(),
+            nvram_bytes: self.nvram.bytes(),
+            journal_entries: self.journal.entries() as u64,
+            fan_in: self.fan_in,
+            overflow: self.overflow.introspect(),
         }
     }
 }
@@ -572,6 +660,31 @@ mod tests {
         assert_eq!(s.journal().entries(), 1);
         s.verify_journal_recovery()
             .expect("post-checkpoint recovery");
+    }
+
+    #[test]
+    fn fan_in_histogram_tracks_sharing() {
+        let mut s = store();
+        s.write_unique(Lba::new(1), fp(1), None).expect("w");
+        assert_eq!(s.fan_in()[0], 1);
+        assert_eq!(s.shared_blocks(), 0);
+        for i in 0..3 {
+            s.dedup_to(Lba::new(10 + i), Pba::new(1)).expect("d");
+        }
+        // pba1 has refcount 4 -> bucket 2.
+        assert_eq!(s.fan_in()[2], 1);
+        assert_eq!(s.shared_blocks(), 1);
+        let st = s.introspect();
+        assert_eq!(st.mapped, 4);
+        assert_eq!(st.unique_blocks, 0);
+        assert_eq!(st.shared_blocks, 1);
+        assert_eq!(st.redirected, 3);
+        assert_eq!(st.nvram_entries, 3);
+        s.check_invariants().expect("invariants include fan-in");
+        // Releasing a reference moves the block down a bucket.
+        s.write_unique(Lba::new(10), fp(5), None).expect("w2");
+        assert_eq!(s.fan_in()[1], 1, "refcount 3 -> bucket 1");
+        s.check_invariants().expect("invariants after release");
     }
 
     #[test]

@@ -26,6 +26,27 @@ pub struct BlockStore {
     refs: HashMap<u64, u32, FnvBuildHasher>,
 }
 
+/// Flat gauge snapshot of a [`BlockStore`] (see
+/// [`pod_types::Introspect`]): how fragmented the recycled free space
+/// has become relative to the untouched frontier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocState {
+    /// Physical capacity in blocks.
+    pub capacity: u64,
+    /// Live blocks (refcount ≥ 1).
+    pub used: u64,
+    /// Bump-pointer position: blocks ever allocated.
+    pub frontier: u64,
+    /// Recycled free extents awaiting reuse.
+    pub holes: u64,
+    /// Blocks inside those recycled extents.
+    pub hole_blocks: u64,
+    /// Share of free space that is recycled holes rather than untouched
+    /// frontier, in per-mille (0 = pristine, 1000 = all free space is
+    /// holes).
+    pub frag_per_mille: u64,
+}
+
 impl BlockStore {
     /// A store over `capacity` physical blocks.
     pub fn new(capacity: u64) -> Self {
@@ -128,6 +149,23 @@ impl BlockStore {
         self.refcount(pba) > 1
     }
 
+    /// Bump-pointer position: blocks ever handed out (recycled or not).
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+
+    /// Number of recycled free extents currently awaiting reuse.
+    pub fn free_extent_count(&self) -> u64 {
+        self.free_extents.len() as u64
+    }
+
+    /// Total blocks sitting in recycled free extents. O(holes), and the
+    /// neighbour-merging in [`BlockStore::decref`] keeps the extent list
+    /// short, so this is cheap enough for per-epoch sampling.
+    pub fn hole_blocks(&self) -> u64 {
+        self.free_extents.iter().map(|&(_, len)| len).sum()
+    }
+
     /// Fraction of physical space consumed (0..=1).
     pub fn utilization(&self) -> f64 {
         if self.capacity == 0 {
@@ -156,6 +194,24 @@ impl BlockStore {
                 self.free_extents[pos - 1] = (ps, pl + l);
                 self.free_extents.remove(pos);
             }
+        }
+    }
+}
+
+impl pod_types::Introspect for BlockStore {
+    type State = AllocState;
+
+    fn introspect(&self) -> AllocState {
+        let hole_blocks = self.hole_blocks();
+        let virgin = self.capacity - self.frontier;
+        let free = hole_blocks + virgin;
+        AllocState {
+            capacity: self.capacity,
+            used: self.used_blocks(),
+            frontier: self.frontier,
+            holes: self.free_extent_count(),
+            hole_blocks,
+            frag_per_mille: (hole_blocks * 1000).checked_div(free).unwrap_or(0),
         }
     }
 }
@@ -245,6 +301,34 @@ mod tests {
         s.alloc_extent(5).expect("");
         assert!((s.utilization() - 0.5).abs() < 1e-12);
         assert_eq!(BlockStore::new(0).utilization(), 0.0);
+    }
+
+    #[test]
+    fn introspect_reports_fragmentation() {
+        use pod_types::Introspect;
+        let mut s = BlockStore::new(10);
+        assert_eq!(
+            s.introspect(),
+            AllocState {
+                capacity: 10,
+                ..Default::default()
+            }
+        );
+        let a = s.alloc_extent(4).expect("a");
+        let _b = s.alloc_extent(2).expect("b");
+        s.decref(a).expect("");
+        s.decref(a.add(2)).expect("");
+        // Two single-block holes, four virgin blocks past the frontier.
+        let st = s.introspect();
+        assert_eq!(st.used, 4);
+        assert_eq!(st.frontier, 6);
+        assert_eq!(st.holes, 2);
+        assert_eq!(st.hole_blocks, 2);
+        assert_eq!(st.frag_per_mille, 2 * 1000 / 6);
+        // Fully consumed store: no free space, fragmentation reads 0.
+        let mut full = BlockStore::new(2);
+        full.alloc_extent(2).expect("");
+        assert_eq!(full.introspect().frag_per_mille, 0);
     }
 
     #[test]

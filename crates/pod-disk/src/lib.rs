@@ -31,7 +31,7 @@ pub mod raid;
 pub mod sched;
 pub mod spec;
 
-pub use alloc::BlockStore;
+pub use alloc::{AllocState, BlockStore};
 pub use engine::{ArraySim, DiskStats, JobId};
 pub use nvram::NvramModel;
 pub use raid::{PhysOp, RaidGeometry, WritePlan};

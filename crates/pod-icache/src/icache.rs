@@ -15,8 +15,8 @@
 //! traffic in blocks so the replay driver can charge it as disk I/O).
 
 use crate::monitor::{AccessMonitor, EpochSnapshot};
-use pod_cache::{ArcCache, GhostCache, LruCache};
-use pod_types::{Fingerprint, Lba, BLOCK_BYTES};
+use pod_cache::{ArcCache, GhostCache, GhostState, LruCache};
+use pod_types::{Fingerprint, Introspect, Lba, BLOCK_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Replacement policy of the read cache. The paper's design is LRU; ARC
@@ -76,6 +76,51 @@ impl ReadBacking {
             ReadBacking::Arc(c) => c.set_capacity(entries),
         }
     }
+
+    fn occupancy(&self) -> (usize, usize) {
+        match self {
+            ReadBacking::Lru(c) => (c.len(), c.capacity()),
+            ReadBacking::Arc(c) => (c.len(), c.capacity()),
+        }
+    }
+}
+
+/// Flat gauge snapshot of an [`ICache`] (see [`pod_types::Introspect`]):
+/// the partition split, both ghost caches, and the cost-benefit inputs
+/// of the most recently closed epoch. Benefits are exact integer
+/// products (hits × penalty µs), so snapshots stay `Eq`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ICacheState {
+    /// Index-cache budget, bytes.
+    pub index_bytes: u64,
+    /// Read-cache budget, bytes.
+    pub read_bytes: u64,
+    /// Index share of the live budget, per-mille.
+    pub index_per_mille: u64,
+    /// Epochs closed so far.
+    pub epochs: u64,
+    /// Repartitions performed so far.
+    pub repartitions: u64,
+    /// Blocks resident in the read cache.
+    pub read_len: u64,
+    /// Read-cache capacity in blocks.
+    pub read_capacity: u64,
+    /// Cumulative read-cache evictions (fill pressure plus shrinks).
+    pub read_evictions: u64,
+    /// Ghost read cache gauges (hits are cumulative).
+    pub ghost_read: GhostState,
+    /// Ghost index cache gauges (hits are cumulative).
+    pub ghost_index: GhostState,
+    /// Ghost read hits within the last closed epoch.
+    pub epoch_ghost_read_hits: u64,
+    /// Ghost index hits within the last closed epoch.
+    pub epoch_ghost_index_hits: u64,
+    /// Last epoch's read-side benefit: ghost read hits × read miss
+    /// penalty, µs.
+    pub benefit_read_us: u64,
+    /// Last epoch's index-side benefit: ghost index hits × write miss
+    /// penalty, µs.
+    pub benefit_index_us: u64,
 }
 
 /// iCache configuration.
@@ -173,6 +218,7 @@ pub struct ICache {
     monitor: AccessMonitor,
     epochs: u64,
     repartitions: u64,
+    read_evictions: u64,
     last_epoch: Option<EpochSnapshot>,
 }
 
@@ -196,6 +242,7 @@ impl ICache {
             monitor: AccessMonitor::new(),
             epochs: 0,
             repartitions: 0,
+            read_evictions: 0,
             last_epoch: None,
             cfg,
         }
@@ -268,6 +315,7 @@ impl ICache {
     /// Like [`ICache::read_fill`] with an arbitrary cache key.
     pub fn read_fill_key(&mut self, key: u64) {
         for victim in self.read_cache.insert(key) {
+            self.read_evictions += 1;
             self.ghost_read.record_eviction(victim);
         }
     }
@@ -346,6 +394,7 @@ impl ICache {
         // their data to the swap region.
         let read_entries = (self.read_bytes / BLOCK_BYTES) as usize;
         for victim in self.read_cache.set_capacity(read_entries) {
+            self.read_evictions += 1;
             self.ghost_read.record_eviction(victim);
         }
         self.repartitions += 1;
@@ -355,6 +404,34 @@ impl ICache {
             swap_blocks: moved / BLOCK_BYTES,
             index_grew: grew_index,
         })
+    }
+}
+
+impl Introspect for ICache {
+    type State = ICacheState;
+
+    fn introspect(&self) -> ICacheState {
+        let (read_len, read_capacity) = self.read_cache.occupancy();
+        let (egr, egi) = match &self.last_epoch {
+            Some(e) => (e.ghost_read_hits, e.ghost_index_hits),
+            None => (0, 0),
+        };
+        ICacheState {
+            index_bytes: self.index_bytes,
+            read_bytes: self.read_bytes,
+            index_per_mille: self.index_bytes * 1000 / (self.index_bytes + self.read_bytes).max(1),
+            epochs: self.epochs,
+            repartitions: self.repartitions,
+            read_len: read_len as u64,
+            read_capacity: read_capacity as u64,
+            read_evictions: self.read_evictions,
+            ghost_read: self.ghost_read.introspect(),
+            ghost_index: self.ghost_index.introspect(),
+            epoch_ghost_read_hits: egr,
+            epoch_ghost_index_hits: egi,
+            benefit_read_us: egr * self.cfg.read_miss_penalty_us,
+            benefit_index_us: egi * self.cfg.write_miss_penalty_us,
+        }
     }
 }
 
@@ -568,6 +645,43 @@ mod tests {
             }
         }
         assert!(c.repartitions() > 0);
+    }
+
+    #[test]
+    fn introspect_reflects_partition_and_ghosts() {
+        let mut c = ICache::new(cfg(8 * MB));
+        let st0 = c.introspect();
+        assert_eq!(st0.index_per_mille, 500);
+        assert_eq!(st0.read_capacity, 4 * MB / BLOCK_BYTES);
+        assert_eq!(st0.benefit_index_us, 0, "no epoch closed yet");
+        // A write-heavy epoch grows the index and leaves benefit gauges.
+        for i in 0..10u64 {
+            c.on_index_victims(&[fp(i)]);
+            c.on_index_misses(&[fp(i)]);
+            c.note_request(true);
+        }
+        let st = c.introspect();
+        assert!(st.index_per_mille > 500);
+        assert_eq!(st.epochs, 1);
+        assert_eq!(st.repartitions, 1);
+        assert_eq!(st.epoch_ghost_index_hits, 10);
+        assert_eq!(
+            st.benefit_index_us,
+            10 * ICacheConfig::adaptive(8 * MB).write_miss_penalty_us
+        );
+        assert_eq!(st.ghost_index.hits, 10, "cumulative ghost gauge");
+        assert_eq!(st.index_bytes + st.read_bytes, 8 * MB);
+    }
+
+    #[test]
+    fn read_evictions_count_fills_and_shrinks() {
+        let mut c = ICache::new(cfg(4 * BLOCK_BYTES)); // 2-block read cache
+        c.read_fill(Lba::new(1));
+        c.read_fill(Lba::new(2));
+        c.read_fill(Lba::new(3)); // evicts 1
+        assert_eq!(c.introspect().read_evictions, 1);
+        assert_eq!(c.introspect().read_len, 2);
+        assert_eq!(c.introspect().ghost_read.len, 1);
     }
 
     #[test]

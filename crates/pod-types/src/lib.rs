@@ -15,11 +15,13 @@
 pub mod block;
 pub mod error;
 pub mod fingerprint;
+pub mod introspect;
 pub mod request;
 pub mod time;
 
 pub use block::{Lba, Pba, BLOCK_BYTES, BLOCK_SHIFT};
 pub use error::{PodError, PodResult};
 pub use fingerprint::Fingerprint;
+pub use introspect::{log2_bucket8, Introspect};
 pub use request::{IoOp, IoRequest, RequestId};
 pub use time::{SimDuration, SimTime};

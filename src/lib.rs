@@ -28,11 +28,10 @@ pub use pod_types as types;
 /// Common imports for applications built on POD.
 pub mod prelude {
     pub use pod_core::obs::{
-        LayerHistograms, ObserverChain, StackCounters, StackEvent, StackObserver, TraceRecorder,
+        LayerHistograms, ObserverChain, StackCounters, StackEvent, StackObserver, StateSnapshot,
+        TraceRecorder,
     };
-    pub use pod_core::{
-        experiments, Metrics, ReplayBuilder, ReplayReport, Scheme, SchemeRunner, SystemConfig,
-    };
+    pub use pod_core::{experiments, Metrics, ReplayBuilder, ReplayReport, Scheme, SystemConfig};
     pub use pod_dedup::{DedupConfig, DedupEngine, WriteClass};
     pub use pod_disk::{DiskSpec, RaidConfig, RaidLevel, SchedulerKind};
     pub use pod_icache::ICacheConfig;
