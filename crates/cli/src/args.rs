@@ -24,6 +24,13 @@ pub struct CliArgs {
     /// `--headless`: `monitor` prints only the final frame (for CI and
     /// non-TTY runs) instead of redrawing live.
     pub headless: bool,
+    /// `--faults <spec>`: a fault-injection plan for `replay`, e.g.
+    /// `transient`, `torn:9`, `crash:200`, `corrupt:64`, `all`
+    /// (see [`pod_core::FaultPlan::parse`]).
+    pub faults: Option<String>,
+    /// `--verify`: run the end-to-end integrity oracle alongside the
+    /// replay and fail if any logical block diverges.
+    pub verify: bool,
 }
 
 impl Default for CliArgs {
@@ -41,6 +48,8 @@ impl Default for CliArgs {
             input: None,
             epoch_requests: 0,
             headless: false,
+            faults: None,
+            verify: false,
         }
     }
 }
@@ -55,6 +64,11 @@ impl CliArgs {
             // Boolean flags take no value.
             if flag == "--headless" {
                 args.headless = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--verify" {
+                args.verify = true;
                 i += 1;
                 continue;
             }
@@ -78,6 +92,12 @@ impl CliArgs {
                 "--out" => args.out = Some(value.clone()),
                 "--trace-out" => args.trace_out = Some(value.clone()),
                 "--in" => args.input = Some(value.clone()),
+                "--faults" => {
+                    // Validate eagerly so a typo fails at the prompt,
+                    // not mid-replay.
+                    pod_core::FaultPlan::parse(value).map_err(|e| e.to_string())?;
+                    args.faults = Some(value.clone());
+                }
                 "--epoch" => {
                     args.epoch_requests = value
                         .parse()
@@ -155,12 +175,15 @@ impl CliArgs {
     }
 
     /// The system configuration implied by the flags.
-    pub fn system_config(&self) -> pod_core::SystemConfig {
+    pub fn system_config(&self) -> Result<pod_core::SystemConfig, String> {
         let mut cfg = pod_core::SystemConfig::paper_default();
         if let Some(m) = self.memory_mib {
             cfg.memory_bytes = Some(m * 1024 * 1024);
         }
-        cfg
+        if let Some(spec) = &self.faults {
+            cfg.faults = Some(pod_core::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
+        }
+        Ok(cfg)
     }
 }
 
@@ -267,6 +290,29 @@ mod tests {
             memory_mib: Some(64),
             ..Default::default()
         };
-        assert_eq!(a.system_config().memory_bytes, Some(64 * 1024 * 1024));
+        let cfg = a.system_config().expect("config");
+        assert_eq!(cfg.memory_bytes, Some(64 * 1024 * 1024));
+    }
+
+    #[test]
+    fn verify_takes_no_value() {
+        let a = parse(&["--verify", "--seed", "3"]).expect("parse");
+        assert!(a.verify);
+        assert_eq!(a.seed, 3);
+    }
+
+    #[test]
+    fn faults_flag_lands_in_config() {
+        let a = parse(&["--faults", "crash:200:9"]).expect("parse");
+        let cfg = a.system_config().expect("config");
+        let plan = cfg.faults.expect("plan set");
+        assert_eq!(plan.crash_after_jobs, Some(200));
+        assert_eq!(plan.seed, 9);
+    }
+
+    #[test]
+    fn bad_fault_spec_is_rejected_at_parse_time() {
+        assert!(parse(&["--faults", "meteor"]).is_err());
+        assert!(parse(&["--faults", "crash:0"]).is_err());
     }
 }

@@ -11,7 +11,7 @@ use std::io::Write as _;
 pub fn run(args: &CliArgs) -> Result<(), String> {
     args.apply_jobs();
     let trace = args.load_trace()?;
-    let cfg = args.system_config();
+    let cfg = args.system_config()?;
     println!(
         "replaying {} requests of `{}` through 5 schemes ({} workers) ...",
         trace.len(),

@@ -29,7 +29,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         args.profile, args.scale
     );
     let trace = args.load_trace()?;
-    let cfg = args.system_config();
+    let cfg = args.system_config()?;
 
     // 1. Engine-level: process every write through each policy and check
     //    store invariants + journal recovery.

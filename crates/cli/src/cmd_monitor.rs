@@ -213,7 +213,7 @@ impl StackObserver for MonitorSink {
 pub fn run(args: &CliArgs) -> Result<(), String> {
     args.apply_jobs();
     let trace = args.load_trace()?;
-    let cfg = args.system_config();
+    let cfg = args.system_config()?;
     let sink = MonitorSink::new(!args.headless, args.scheme.to_string(), trace.name.clone());
     let (rep, mut chain) = args
         .scheme

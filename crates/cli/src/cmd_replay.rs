@@ -8,7 +8,7 @@ use pod_core::obs::{Layer, LayerHistograms, TraceRecorder};
 pub fn run(args: &CliArgs) -> Result<(), String> {
     args.apply_jobs();
     let trace = args.load_trace()?;
-    let cfg = args.system_config();
+    let cfg = args.system_config()?;
     println!(
         "replaying {} requests of `{}` through {} ...",
         trace.len(),
@@ -21,6 +21,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .builder()
         .config(cfg)
         .trace(&trace)
+        .verify(args.verify)
         .observer(LayerHistograms::new());
     if args.trace_out.is_some() {
         builder = builder.record(args.epoch_requests);
@@ -117,5 +118,33 @@ latency histogram (overall):
 {}",
         rep.overall.histogram().render(40)
     );
+    if let Some(integ) = &rep.integrity {
+        println!("\n{}", render_verify(integ));
+        if !integ.passed() {
+            return Err(format!(
+                "integrity verification failed: {}",
+                integ.summary()
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Render the integrity oracle's verdict — the stable block captured by
+/// the `replay --verify` golden test.
+pub fn render_verify(integ: &pod_core::IntegrityReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let verdict = if integ.passed() { "PASS" } else { "FAIL" };
+    let _ = writeln!(out, "integrity oracle: {verdict}");
+    let _ = writeln!(out, "  blocks checked   {}", integ.checked);
+    let _ = writeln!(out, "  divergent        {}", integ.divergent);
+    let _ = writeln!(out, "  faults injected  {}", integ.faults_seen);
+    for d in &integ.diffs {
+        let _ = writeln!(out, "  {d}");
+    }
+    if let Some(e) = &integ.invariant_error {
+        let _ = writeln!(out, "  invariants: {e}");
+    }
+    out
 }

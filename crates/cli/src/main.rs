@@ -6,6 +6,7 @@
 //! pod-cli analyze  --profile mail --scale 0.05 # same, from a generated trace
 //! pod-cli replay   --scheme pod --profile mail --scale 0.05
 //! pod-cli replay   --scheme pod --trace-out pod.jsonl   # + event trace
+//! pod-cli replay   --scheme pod --faults all --verify   # faults + oracle
 //! pod-cli compare  --profile mail --scale 0.05 # all five schemes
 //! pod-cli stats    --in pod.jsonl              # render an event trace
 //! pod-cli monitor  --scheme pod --headless     # live dashboard / final frame
@@ -76,6 +77,11 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --epoch <requests>              requests per exported epoch (default: auto)\n\
          \x20 --in <path>                     JSONL event trace for `stats`/`figures`\n\
          \x20 --headless                      `monitor`: print only the final frame\n\
+         \x20 --faults <spec>                 `replay`: inject faults — transient[:seed],\n\
+         \x20                                 latency[:seed], torn[:seed], crash:<jobs>[:seed],\n\
+         \x20                                 corrupt:<lba>, all[:seed]\n\
+         \x20 --verify                        `replay`: run the end-to-end integrity oracle\n\
+         \x20                                 and fail on any divergent block\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

@@ -1,0 +1,96 @@
+//! Golden snapshot of the `pod-cli replay --verify` oracle rendering:
+//! one clean replay (PASS, empty diff) and one with an injected
+//! corruption (`--faults corrupt:<lba>`) that must FAIL with the
+//! divergent LBA pinpointed.
+//!
+//! Regenerate after an intentional format change with:
+//!
+//! ```text
+//! POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test verify_golden
+//! ```
+
+use pod_cli::cmd_replay::render_verify;
+use pod_core::{FaultPlan, Scheme, SystemConfig};
+use pod_trace::TraceProfile;
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn render(faults: Option<FaultPlan>) -> String {
+    let trace = TraceProfile::mail().scaled(0.004).generate(17);
+    let mut cfg = SystemConfig::test_default();
+    cfg.faults = faults;
+    let rep = Scheme::Pod
+        .builder()
+        .config(cfg)
+        .trace(&trace)
+        .verify(true)
+        .run()
+        .expect("replay succeeds (verification verdict rides the report)");
+    render_verify(rep.integrity.as_ref().expect("oracle attached"))
+}
+
+fn check_against(fixture: &str, rendered: &str) {
+    let path = fixture_path(fixture);
+    if std::env::var_os("POD_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("create fixture dir");
+        std::fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             POD_UPDATE_GOLDEN=1 cargo test -p pod-cli --test verify_golden",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        let mismatch = rendered
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (got, want))) => panic!(
+                "verify rendering diverged from {fixture} at line {}:\n  expected: {want}\n  got:      {got}",
+                i + 1
+            ),
+            None => panic!(
+                "verify rendering diverged from {fixture}: lengths differ \
+                 (expected {} bytes, got {} bytes)",
+                expected.len(),
+                rendered.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn clean_replay_verify_matches_the_pass_snapshot() {
+    let rendered = render(None);
+    assert!(
+        rendered.contains("PASS"),
+        "clean replay passes:\n{rendered}"
+    );
+    assert!(rendered.contains("divergent        0"), "{rendered}");
+    check_against("verify_pass.txt", &rendered);
+}
+
+#[test]
+fn corrupted_replay_verify_matches_the_fail_snapshot() {
+    let rendered = render(Some(FaultPlan::corrupt(100)));
+    assert!(
+        rendered.contains("FAIL"),
+        "corruption is caught:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("lba 100"),
+        "the corrupted LBA is pinpointed:\n{rendered}"
+    );
+    check_against("verify_fail.txt", &rendered);
+}

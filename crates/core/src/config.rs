@@ -70,6 +70,193 @@ pub struct SystemConfig {
     /// Fail this member disk before replay begins (RAID-5 degraded-mode
     /// evaluation). `None` = healthy array.
     pub fail_disk: Option<usize>,
+    /// Deterministic fault-injection plan applied to the disk backend.
+    /// `None` = no fault layer is installed at all (zero overhead).
+    pub faults: Option<FaultPlan>,
+}
+
+/// Deterministic, seeded fault-injection plan for the disk backend.
+///
+/// Rates are expressed as "1 in N" submissions (0 disables that fault
+/// class). All decisions come from a `splitmix64` stream keyed by
+/// `seed` and consumed in submission order, so a given trace + config +
+/// plan always injects the identical fault sequence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault decision stream.
+    pub seed: u64,
+    /// 1-in-N read submissions fail transiently and are retried.
+    pub read_error_rate: u64,
+    /// 1-in-N write submissions fail transiently and are retried.
+    pub write_error_rate: u64,
+    /// Added service delay of one transparent retry, µs.
+    pub retry_us: u64,
+    /// 1-in-N submissions are delayed by `latency_spike_us`.
+    pub latency_spike_rate: u64,
+    /// Extra latency of a spike, µs.
+    pub latency_spike_us: u64,
+    /// 1-in-N multi-extent writes are torn: a prefix lands first and
+    /// the full write is replayed after `retry_us`.
+    pub torn_write_rate: u64,
+    /// Crash (power loss) right before the Nth disk job is submitted:
+    /// every not-yet-idle job completes no earlier than the crash
+    /// point, volatile dedup state is rebuilt from the NVRAM Map, and
+    /// the replay resumes after `crash_recovery_us`.
+    pub crash_after_jobs: Option<u64>,
+    /// Downtime modeled for a crash + recovery cycle, µs.
+    pub crash_recovery_us: u64,
+    /// Silently corrupt the stored content of this LBA at the end of
+    /// the replay (oracle fail-path fixture). No `Recovered` event is
+    /// emitted — the integrity oracle must catch it.
+    pub corrupt_lba: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan with every fault class disabled (building block for the
+    /// preset constructors).
+    fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            read_error_rate: 0,
+            write_error_rate: 0,
+            retry_us: 500,
+            latency_spike_rate: 0,
+            latency_spike_us: 8_000,
+            torn_write_rate: 0,
+            crash_after_jobs: None,
+            crash_recovery_us: 50_000,
+            corrupt_lba: None,
+        }
+    }
+
+    /// Transient read/write errors (1 in 64 submissions, retried).
+    pub fn transient(seed: u64) -> Self {
+        Self {
+            read_error_rate: 64,
+            write_error_rate: 64,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Latency spikes (1 in 32 submissions, +8 ms).
+    pub fn latency(seed: u64) -> Self {
+        Self {
+            latency_spike_rate: 32,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Torn multi-extent writes (1 in 8 — multi-extent submissions are
+    /// already a small minority of disk jobs, so a low denominator is
+    /// what makes the class actually fire on short traces).
+    pub fn torn(seed: u64) -> Self {
+        Self {
+            torn_write_rate: 8,
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Crash right before the `after_jobs`-th disk job.
+    pub fn crash(seed: u64, after_jobs: u64) -> Self {
+        Self {
+            crash_after_jobs: Some(after_jobs),
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Silent corruption of one LBA at end of replay.
+    pub fn corrupt(lba: u64) -> Self {
+        Self {
+            corrupt_lba: Some(lba),
+            ..Self::quiet(0)
+        }
+    }
+
+    /// Everything at once: transient errors, spikes, torn writes, and
+    /// a crash after 200 jobs.
+    pub fn all(seed: u64) -> Self {
+        Self {
+            read_error_rate: 64,
+            write_error_rate: 64,
+            latency_spike_rate: 32,
+            torn_write_rate: 8,
+            crash_after_jobs: Some(200),
+            ..Self::quiet(seed)
+        }
+    }
+
+    /// Parse a CLI plan spec: `transient[:seed]`, `latency[:seed]`,
+    /// `torn[:seed]`, `crash:<jobs>[:seed]`, `corrupt:<lba>`, or
+    /// `all[:seed]`.
+    pub fn parse(spec: &str) -> PodResult<Self> {
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or("");
+        let arg = parts.next();
+        let trailing = parts.next();
+        let bad = |msg: String| PodError::InvalidConfig(msg);
+        let num = |s: Option<&str>, what: &str| -> PodResult<Option<u64>> {
+            match s {
+                None => Ok(None),
+                Some(s) => s
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| bad(format!("fault plan {what} `{s}` is not a number"))),
+            }
+        };
+        let plan = match kind {
+            "transient" => Self::transient(num(arg, "seed")?.unwrap_or(7)),
+            "latency" => Self::latency(num(arg, "seed")?.unwrap_or(7)),
+            "torn" => Self::torn(num(arg, "seed")?.unwrap_or(7)),
+            "all" => Self::all(num(arg, "seed")?.unwrap_or(7)),
+            "crash" => {
+                let jobs = num(arg, "crash job count")?
+                    .ok_or_else(|| bad("crash plan needs a job count: crash:<jobs>".into()))?;
+                let seed = num(trailing, "seed")?.unwrap_or(7);
+                Self::crash(seed, jobs)
+            }
+            "corrupt" => {
+                let lba = num(arg, "lba")?
+                    .ok_or_else(|| bad("corrupt plan needs an LBA: corrupt:<lba>".into()))?;
+                Self::corrupt(lba)
+            }
+            other => {
+                return Err(bad(format!(
+                    "unknown fault plan `{other}` (expected transient, latency, \
+                     torn, crash:<jobs>, corrupt:<lba>, or all)"
+                )))
+            }
+        };
+        if kind != "crash" && trailing.is_some() {
+            return Err(bad(format!("trailing garbage in fault plan `{spec}`")));
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// True when no fault class is enabled.
+    pub fn is_noop(&self) -> bool {
+        self.read_error_rate == 0
+            && self.write_error_rate == 0
+            && self.latency_spike_rate == 0
+            && self.torn_write_rate == 0
+            && self.crash_after_jobs.is_none()
+            && self.corrupt_lba.is_none()
+    }
+
+    /// Validate the plan.
+    pub fn validate(&self) -> PodResult<()> {
+        if self.is_noop() {
+            return Err(PodError::InvalidConfig(
+                "fault plan enables no fault class; drop it instead".into(),
+            ));
+        }
+        if self.crash_after_jobs == Some(0) {
+            return Err(PodError::InvalidConfig(
+                "crash_after_jobs must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl SystemConfig {
@@ -100,6 +287,7 @@ impl SystemConfig {
             post_process_interval: 2_000,
             post_process_batch: 16_384,
             fail_disk: None,
+            faults: None,
         }
     }
 
@@ -159,7 +347,61 @@ impl SystemConfig {
                 return Err(PodError::InvalidConfig("fail_disk requires RAID-5".into()));
             }
         }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
+        }
         Ok(())
+    }
+
+    /// Compact one-line rendering of the knobs that distinguish one
+    /// run from another — used by panic messages and diagnostics so a
+    /// failing replay always names the configuration it ran under.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "raid={}x{} sched={:?} mem={} idx_frac={:.2} T={} idedup={} \
+             policy={:?}/{:?} hash={}us x{} warmup={:.2} epoch={}",
+            self.raid.ndisks,
+            self.raid.stripe_unit_blocks,
+            self.scheduler,
+            match self.memory_bytes {
+                Some(b) => format!("{b}B"),
+                None => format!("scale {:.3}", self.memory_scale),
+            },
+            self.index_fraction,
+            self.select_threshold,
+            self.idedup_threshold,
+            self.index_policy,
+            self.read_policy,
+            self.hash_us_per_chunk,
+            self.hash_workers,
+            self.warmup_fraction,
+            self.icache_epoch_requests,
+        );
+        if let Some(d) = self.fail_disk {
+            s.push_str(&format!(" fail_disk={d}"));
+        }
+        if let Some(plan) = &self.faults {
+            s.push_str(&format!(" faults=seed:{}", plan.seed));
+            if plan.read_error_rate > 0 || plan.write_error_rate > 0 {
+                s.push_str(&format!(
+                    " err:r{}/w{}",
+                    plan.read_error_rate, plan.write_error_rate
+                ));
+            }
+            if plan.latency_spike_rate > 0 {
+                s.push_str(&format!(" spike:{}", plan.latency_spike_rate));
+            }
+            if plan.torn_write_rate > 0 {
+                s.push_str(&format!(" torn:{}", plan.torn_write_rate));
+            }
+            if let Some(n) = plan.crash_after_jobs {
+                s.push_str(&format!(" crash:{n}"));
+            }
+            if let Some(lba) = plan.corrupt_lba {
+                s.push_str(&format!(" corrupt:{lba}"));
+            }
+        }
+        s
     }
 }
 
@@ -206,5 +448,77 @@ mod tests {
         assert!(c.validate().is_err());
         c.memory_bytes = Some(1 << 20);
         assert!(c.validate().is_ok(), "explicit budget overrides scale");
+    }
+
+    #[test]
+    fn fault_plan_presets_parse_and_validate() {
+        for spec in [
+            "transient",
+            "latency:11",
+            "torn",
+            "crash:50",
+            "crash:50:9",
+            "corrupt:128",
+            "all",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            plan.validate().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+        assert_eq!(FaultPlan::parse("latency:11").expect("plan").seed, 11);
+        assert_eq!(
+            FaultPlan::parse("crash:50:9")
+                .expect("plan")
+                .crash_after_jobs,
+            Some(50)
+        );
+        assert_eq!(FaultPlan::parse("crash:50:9").expect("plan").seed, 9);
+        assert_eq!(
+            FaultPlan::parse("corrupt:128").expect("plan").corrupt_lba,
+            Some(128)
+        );
+    }
+
+    #[test]
+    fn fault_plan_rejects_bad_specs() {
+        for spec in [
+            "",
+            "bogus",
+            "crash",
+            "crash:zero",
+            "corrupt",
+            "transient:7:junk",
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "{spec} should fail");
+        }
+        assert!(
+            FaultPlan::quiet(1).validate().is_err(),
+            "no-op plan rejected"
+        );
+        let mut plan = FaultPlan::crash(1, 10);
+        plan.crash_after_jobs = Some(0);
+        assert!(plan.validate().is_err(), "crash at job 0 rejected");
+
+        let mut c = SystemConfig::test_default();
+        c.faults = Some(FaultPlan::quiet(1));
+        assert!(c.validate().is_err(), "config validation covers the plan");
+        c.faults = Some(FaultPlan::transient(7));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn summary_names_the_distinguishing_knobs() {
+        let mut c = SystemConfig::test_default();
+        let s = c.summary();
+        assert!(s.contains("raid=4x16"), "{s}");
+        assert!(s.contains("T=3"), "{s}");
+        assert!(!s.contains("faults"), "{s}");
+
+        c.fail_disk = Some(2);
+        c.faults = Some(FaultPlan::all(7));
+        let s = c.summary();
+        assert!(s.contains("fail_disk=2"), "{s}");
+        assert!(s.contains("faults=seed:7"), "{s}");
+        assert!(s.contains("err:r64/w64"), "{s}");
+        assert!(s.contains("crash:200"), "{s}");
     }
 }

@@ -38,18 +38,20 @@ pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod obs;
+pub mod oracle;
 pub mod pool;
 pub mod runner;
 pub mod scheme;
 pub mod stack;
 pub mod testing;
 
-pub use config::SystemConfig;
+pub use config::{FaultPlan, SystemConfig};
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
 pub use obs::{
-    IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver,
+    FaultKind, IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver,
     StateSnapshot,
 };
+pub use oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
 pub use pool::Executor;
 pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing};
 pub use scheme::Scheme;
@@ -70,12 +72,13 @@ pub use stack::{StackSpec, StorageStack};
 /// # Ok::<(), pod_types::PodError>(())
 /// ```
 pub mod prelude {
-    pub use crate::config::SystemConfig;
+    pub use crate::config::{FaultPlan, SystemConfig};
     pub use crate::metrics::{LatencyHistogram, Metrics, Timeline};
     pub use crate::obs::{
-        IntoObserverChain, Layer, LayerHistograms, ObserverChain, StackCounters, StackEvent,
-        StackObserver, StateSnapshot, TraceRecorder,
+        FaultKind, IntoObserverChain, Layer, LayerHistograms, ObserverChain, StackCounters,
+        StackEvent, StackObserver, StateSnapshot, TraceRecorder,
     };
+    pub use crate::oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
     pub use crate::runner::{ReplayBuilder, ReplayReport};
     pub use crate::scheme::Scheme;
     pub use crate::stack::{StackSpec, StorageStack};

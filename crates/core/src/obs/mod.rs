@@ -70,6 +70,56 @@ fn category_from_tag(s: &str) -> Option<ClassKind> {
     }
 }
 
+/// A fault class injected by the
+/// [`FaultyBackend`](crate::stack::FaultyBackend) (see
+/// [`FaultPlan`](crate::FaultPlan)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A read submission failed transiently and was retried.
+    ReadError,
+    /// A write submission failed transiently and was retried.
+    WriteError,
+    /// A submission was hit by a latency spike.
+    LatencySpike,
+    /// A multi-extent write landed as a prefix first, then was
+    /// replayed whole.
+    TornWrite,
+    /// Power loss: outstanding jobs dropped, volatile dedup state
+    /// rebuilt from the NVRAM Map.
+    Crash,
+    /// Silent corruption of stored content (no recovery — the
+    /// integrity oracle must catch it).
+    Corruption,
+}
+
+impl FaultKind {
+    /// All kinds, in display order.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::ReadError,
+        FaultKind::WriteError,
+        FaultKind::LatencySpike,
+        FaultKind::TornWrite,
+        FaultKind::Crash,
+        FaultKind::Corruption,
+    ];
+
+    /// Stable lowercase tag used in traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ReadError => "read_error",
+            FaultKind::WriteError => "write_error",
+            FaultKind::LatencySpike => "latency_spike",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::Crash => "crash",
+            FaultKind::Corruption => "corruption",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
 /// One typed event from the storage stack. `Copy`, so emitting an event
 /// never touches the heap; variants carry values, never owned buffers.
 // `Snapshot` dwarfs the other variants, but events are built on the
@@ -133,6 +183,22 @@ pub enum StackEvent {
     Swap {
         /// Blocks written to the swap region.
         blocks: u64,
+    },
+    /// The fault layer injected a fault into the disk backend.
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+        /// Service delay the fault added, µs (0 for silent faults).
+        delay_us: u64,
+    },
+    /// The stack recovered from an injected fault (transparent retry,
+    /// or a crash-recovery pass that rebuilt volatile state).
+    Recovered {
+        /// The fault recovered from.
+        kind: FaultKind,
+        /// Index entries rebuilt from the NVRAM Map (crash recovery
+        /// only; 0 for transparent retries).
+        repaired_entries: u64,
     },
     /// Time spent in one layer on behalf of a request (µs). Cache and
     /// dedup time is emitted inline; disk time is attributed when the
@@ -236,6 +302,23 @@ impl StackEvent {
             StackEvent::Swap { blocks } => {
                 let _ = write!(out, r#"{{"ev":"swap","blocks":{blocks}}}"#);
             }
+            StackEvent::FaultInjected { kind, delay_us } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"fault_injected","kind":"{}","delay_us":{delay_us}}}"#,
+                    kind.name()
+                );
+            }
+            StackEvent::Recovered {
+                kind,
+                repaired_entries,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"recovered","kind":"{}","repaired_entries":{repaired_entries}}}"#,
+                    kind.name()
+                );
+            }
             StackEvent::LayerLatency { layer, us } => {
                 let _ = write!(
                     out,
@@ -309,6 +392,20 @@ impl StackEvent {
             },
             "swap" => StackEvent::Swap {
                 blocks: num("blocks")?,
+            },
+            "fault_injected" => StackEvent::FaultInjected {
+                kind: field("kind")?
+                    .as_str()
+                    .and_then(FaultKind::from_name)
+                    .ok_or("bad fault kind")?,
+                delay_us: num("delay_us")?,
+            },
+            "recovered" => StackEvent::Recovered {
+                kind: field("kind")?
+                    .as_str()
+                    .and_then(FaultKind::from_name)
+                    .ok_or("bad fault kind")?,
+                repaired_entries: num("repaired_entries")?,
             },
             "layer_latency" => StackEvent::LayerLatency {
                 layer: field("layer")?
@@ -529,6 +626,14 @@ pub struct StackCounters {
     pub background_scans: u64,
     /// Chunks examined by background passes.
     pub background_scanned_chunks: u64,
+    /// Faults injected by the fault layer.
+    pub faults_injected: u64,
+    /// Total service delay added by injected faults, µs.
+    pub fault_delay_us: u64,
+    /// Recoveries (transparent retries + crash-recovery passes).
+    pub recoveries: u64,
+    /// Index entries rebuilt from the NVRAM Map by crash recovery.
+    pub index_entries_rebuilt: u64,
     /// Total µs attributed to the cache layer (full-hit service).
     pub cache_time_us: u64,
     /// Total µs attributed to the dedup layer (hashing + metadata).
@@ -621,6 +726,16 @@ impl StackObserver for StackCounters {
                 self.background_scanned_chunks += scanned_chunks;
             }
             StackEvent::Swap { blocks } => self.swap_blocks += blocks,
+            StackEvent::FaultInjected { delay_us, .. } => {
+                self.faults_injected += 1;
+                self.fault_delay_us += delay_us;
+            }
+            StackEvent::Recovered {
+                repaired_entries, ..
+            } => {
+                self.recoveries += 1;
+                self.index_entries_rebuilt += repaired_entries;
+            }
             StackEvent::LayerLatency { layer, us } => match layer {
                 Layer::Cache => self.cache_time_us += us,
                 Layer::Dedup => self.dedup_time_us += us,
@@ -811,6 +926,14 @@ mod tests {
                 deduped_chunks: 16,
             },
             StackEvent::Swap { blocks: 128 },
+            StackEvent::FaultInjected {
+                kind: FaultKind::TornWrite,
+                delay_us: 500,
+            },
+            StackEvent::Recovered {
+                kind: FaultKind::Crash,
+                repaired_entries: 42,
+            },
             StackEvent::LayerLatency {
                 layer: Layer::Disk,
                 us: 412,
@@ -850,6 +973,15 @@ mod tests {
         );
         assert!(StackEvent::from_json(r#"{"ev":"layer_latency","layer":"ssd","us":1}"#).is_err());
         assert!(
+            StackEvent::from_json(r#"{"ev":"fault_injected","kind":"meteor","delay_us":1}"#)
+                .is_err(),
+            "unknown fault kind"
+        );
+        assert!(
+            StackEvent::from_json(r#"{"ev":"recovered","kind":"crash"}"#).is_err(),
+            "recovered missing repaired_entries"
+        );
+        assert!(
             StackEvent::from_json(r#"{"ev":"snapshot","seq":0}"#).is_err(),
             "snapshot missing its gauge fields"
         );
@@ -867,5 +999,38 @@ mod tests {
             assert_eq!(category_from_tag(category_tag(kind)), Some(kind));
         }
         assert_eq!(category_from_tag("cat4"), None);
+    }
+
+    #[test]
+    fn fault_kind_tags_are_stable() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_name("meteor"), None);
+    }
+
+    #[test]
+    fn fault_events_accumulate_in_counters() {
+        let mut c = StackCounters::default();
+        c.on_event(&StackEvent::FaultInjected {
+            kind: FaultKind::ReadError,
+            delay_us: 500,
+        });
+        c.on_event(&StackEvent::FaultInjected {
+            kind: FaultKind::LatencySpike,
+            delay_us: 8_000,
+        });
+        c.on_event(&StackEvent::Recovered {
+            kind: FaultKind::ReadError,
+            repaired_entries: 0,
+        });
+        c.on_event(&StackEvent::Recovered {
+            kind: FaultKind::Crash,
+            repaired_entries: 17,
+        });
+        assert_eq!(c.faults_injected, 2);
+        assert_eq!(c.fault_delay_us, 8_500);
+        assert_eq!(c.recoveries, 2);
+        assert_eq!(c.index_entries_rebuilt, 17);
     }
 }

@@ -92,6 +92,10 @@ pub struct EpochRow {
     pub scans: u64,
     /// Chunks examined by background passes.
     pub scanned_chunks: u64,
+    /// Faults injected by the fault layer.
+    pub faults: u64,
+    /// Recoveries (retries + crash-recovery passes).
+    pub recoveries: u64,
     /// µs attributed to the cache layer.
     pub cache_us: u64,
     /// µs attributed to the dedup layer.
@@ -139,6 +143,8 @@ impl EpochRow {
                 self.scanned_chunks += scanned_chunks;
             }
             StackEvent::Swap { blocks } => self.swap_blocks += blocks,
+            StackEvent::FaultInjected { .. } => self.faults += 1,
+            StackEvent::Recovered { .. } => self.recoveries += 1,
             StackEvent::LayerLatency { layer, us } => match layer {
                 Layer::Cache => self.cache_us += us,
                 Layer::Dedup => self.dedup_us += us,
@@ -167,6 +173,8 @@ impl EpochRow {
         self.swap_blocks += other.swap_blocks;
         self.scans += other.scans;
         self.scanned_chunks += other.scanned_chunks;
+        self.faults += other.faults;
+        self.recoveries += other.recoveries;
         self.cache_us += other.cache_us;
         self.dedup_us += other.dedup_us;
         self.disk_us += other.disk_us;
@@ -183,7 +191,8 @@ impl EpochRow {
                 r#""requests":{},"reads":{},"read_hits":{},"frag_sum":{},"frag_reads":{},"#,
                 r#""writes":{},"cat1":{},"cat2":{},"cat3":{},"unique":{},"#,
                 r#""deduped_blocks":{},"written_blocks":{},"repartitions":{},"swap_blocks":{},"#,
-                r#""scans":{},"scanned_chunks":{},"cache_us":{},"dedup_us":{},"disk_us":{}"#
+                r#""scans":{},"scanned_chunks":{},"faults":{},"recoveries":{},"#,
+                r#""cache_us":{},"dedup_us":{},"disk_us":{}"#
             ),
             self.requests,
             self.reads,
@@ -201,6 +210,8 @@ impl EpochRow {
             self.swap_blocks,
             self.scans,
             self.scanned_chunks,
+            self.faults,
+            self.recoveries,
             self.cache_us,
             self.dedup_us,
             self.disk_us,

@@ -19,6 +19,7 @@
 use crate::config::SystemConfig;
 use crate::metrics::{Metrics, Timeline};
 use crate::obs::{IntoObserverChain, ObserverChain, StackCounters, TraceRecorder};
+use crate::oracle::{IntegrityReport, OracleObserver};
 use crate::scheme::Scheme;
 use crate::stack::{StackSpec, StorageStack};
 use pod_dedup::engine::EngineCounters;
@@ -65,6 +66,9 @@ pub struct ReplayReport {
     /// Mean response time per arrival-time window (60 windows across the
     /// replayed span) — the latency curve over the day.
     pub timeline: Timeline,
+    /// The integrity oracle's verdict, present only when the replay ran
+    /// with [`ReplayBuilder::verify`] enabled.
+    pub integrity: Option<IntegrityReport>,
 }
 
 impl ReplayReport {
@@ -165,13 +169,20 @@ fn replay_stack(
     cfg: &SystemConfig,
     trace: &Trace,
     observer: ObserverChain,
+    verify: bool,
 ) -> PodResult<(ReplayReport, ObserverChain)> {
     let mut stack = StorageStack::with_observer(spec, cfg, trace, observer)?;
+    // The oracle rides outside the stack: events carry no request
+    // payloads, so the reference model is fed the raw stream here.
+    let mut oracle = verify.then(OracleObserver::new);
 
     // ---- Replay -------------------------------------------------
     let n = trace.requests.len();
     let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
     for (idx, req) in trace.requests.iter().enumerate() {
+        if let Some(oracle) = oracle.as_mut() {
+            oracle.observe_request(req);
+        }
         stack.run_until(req.arrival);
         stack.process_request(idx, req, idx >= warmup)?;
     }
@@ -199,6 +210,13 @@ fn replay_stack(
     let timeline = Timeline::build(&timeline_samples, 60);
 
     let counters = *stack.observer().counters();
+    // Verify after finish(): drains, crash recovery and any injected
+    // end-of-replay corruption are all visible to the walk.
+    let integrity = oracle.map(|o| {
+        let mut rep = o.verify(stack.dedup());
+        rep.faults_seen = counters.faults_injected;
+        rep
+    });
     let report = ReplayReport {
         scheme: spec.name.to_string(),
         trace: trace.name.clone(),
@@ -216,6 +234,7 @@ fn replay_stack(
         final_index_fraction: stack.cache().index_fraction(),
         stack: counters,
         timeline,
+        integrity,
     };
     Ok((report, stack.into_observer()))
 }
@@ -244,6 +263,7 @@ pub struct ReplayBuilder<'t> {
     trace: Option<&'t Trace>,
     chain: ObserverChain,
     record_epoch: Option<u64>,
+    verify: bool,
 }
 
 impl ReplayBuilder<'static> {
@@ -256,6 +276,7 @@ impl ReplayBuilder<'static> {
             trace: None,
             chain: ObserverChain::new(),
             record_epoch: None,
+            verify: false,
         }
     }
 }
@@ -276,6 +297,7 @@ impl<'t> ReplayBuilder<'t> {
             trace: Some(trace),
             chain: self.chain,
             record_epoch: self.record_epoch,
+            verify: self.verify,
         }
     }
 
@@ -295,6 +317,17 @@ impl<'t> ReplayBuilder<'t> {
     /// from the chain returned by [`run_observed`](Self::run_observed).
     pub fn record(mut self, epoch_requests: u64) -> Self {
         self.record_epoch = Some(epoch_requests);
+        self
+    }
+
+    /// Run the end-to-end integrity oracle alongside the replay: a
+    /// naive [`ReferenceModel`](crate::oracle::ReferenceModel) shadows
+    /// every write, and after the replay each live logical block is
+    /// resolved through the real Map/ChunkStore path and diffed against
+    /// it. The verdict lands in [`ReplayReport::integrity`]. Off by
+    /// default — with it off the replay takes the zero-allocation path.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -328,7 +361,7 @@ impl<'t> ReplayBuilder<'t> {
                 trace.len(),
             ));
         }
-        replay_stack(&spec, &self.cfg, trace, chain)
+        replay_stack(&spec, &self.cfg, trace, chain, self.verify)
     }
 }
 
@@ -695,6 +728,31 @@ mod tests {
             .expect("replay");
         let rec: TraceRecorder = chain.take_sink().expect("recorder");
         assert!(rec.epoch_requests() >= 64, "auto epoch floors at 64");
+    }
+
+    #[test]
+    fn verify_attaches_a_passing_integrity_report_for_every_scheme() {
+        let t = tiny_trace("mail");
+        for s in Scheme::all() {
+            let rep = s
+                .builder()
+                .config(SystemConfig::test_default())
+                .trace(&t)
+                .verify(true)
+                .run()
+                .expect("replay");
+            let integ = rep.integrity.expect("oracle attached");
+            assert!(integ.passed(), "{s}: {}", integ.summary());
+            assert!(integ.checked > 0, "{s}: oracle walked live blocks");
+            assert_eq!(integ.faults_seen, 0, "{s}: no faults configured");
+        }
+    }
+
+    #[test]
+    fn integrity_report_is_absent_by_default() {
+        let t = tiny_trace("web-vm");
+        let rep = replay(Scheme::Pod, &t);
+        assert!(rep.integrity.is_none());
     }
 
     #[test]

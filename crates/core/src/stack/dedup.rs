@@ -7,9 +7,10 @@
 
 use pod_dedup::engine::EngineCounters;
 use pod_dedup::{
-    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, ScanOutcome, WriteScratch, WriteSummary,
+    DedupConfig, DedupEngine, DedupPolicy, ReadPlan, RecoveryOutcome, ScanOutcome, WriteScratch,
+    WriteSummary,
 };
-use pod_types::{Fingerprint, IoRequest, Lba, PodResult, SimDuration};
+use pod_types::{Fingerprint, IoRequest, Lba, Pba, PodResult, SimDuration};
 
 /// Write-path deduplication layer.
 #[derive(Debug)]
@@ -105,6 +106,19 @@ impl DedupLayer {
     /// Peak NVRAM consumed by the Map table (§IV-D2 metric).
     pub fn nvram_peak_bytes(&self) -> u64 {
         self.engine.store().nvram().peak_bytes()
+    }
+
+    /// Rebuild the engine's volatile state (Index table, scan backlog)
+    /// from the NVRAM Map after a simulated crash. See
+    /// [`DedupEngine::recover_after_crash`].
+    pub fn recover_after_crash(&mut self) -> PodResult<RecoveryOutcome> {
+        self.engine.recover_after_crash()
+    }
+
+    /// Silently corrupt the stored content of `lba` (fault injection's
+    /// oracle fail fixture). Returns the corrupted physical block.
+    pub fn corrupt_lba(&mut self, lba: u64) -> Option<Pba> {
+        self.engine.corrupt_lba(Lba::new(lba))
     }
 
     /// The wrapped engine (store/index inspection).

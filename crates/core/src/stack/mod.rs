@@ -46,7 +46,7 @@ mod spec;
 pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask};
 pub use cache::CacheLayer;
 pub use dedup::DedupLayer;
-pub use disk::{ArrayBackend, DiskBackend};
+pub use disk::{ArrayBackend, DiskBackend, FaultRecord, FaultyBackend};
 pub use spec::{BackgroundKind, CacheKeying, StackSpec};
 
 // Re-exported from `obs` where they now live, so `pod_core::stack::*`
@@ -54,7 +54,7 @@ pub use spec::{BackgroundKind, CacheKeying, StackSpec};
 pub use crate::obs::{StackCounters, StackObserver};
 
 use crate::config::SystemConfig;
-use crate::obs::{IntoObserverChain, Layer, ObserverChain, StackEvent, StateSnapshot};
+use crate::obs::{FaultKind, IntoObserverChain, Layer, ObserverChain, StackEvent, StateSnapshot};
 use crate::runner::ReplaySizing;
 use pod_dedup::DedupConfig;
 use pod_disk::{ArraySim, JobId, RaidGeometry};
@@ -93,6 +93,14 @@ pub struct StorageStack {
     requests_done: u64,
     /// Snapshots emitted so far; becomes [`StateSnapshot::seq`].
     snap_seq: u64,
+    /// A [`FaultyBackend`] is installed; drain its records after each
+    /// request. `false` keeps the hot path on the zero-overhead route.
+    faults_enabled: bool,
+    /// Reusable drain buffer for fault records. Starts empty and never
+    /// allocates while no fault fires.
+    fault_scratch: Vec<FaultRecord>,
+    /// End-of-replay silent corruption target (oracle fail fixture).
+    corrupt_lba: Option<u64>,
 }
 
 impl StorageStack {
@@ -192,10 +200,16 @@ impl StorageStack {
             })
             .collect();
 
+        let backend = ArrayBackend::new(sim, &sizing);
+        let disk: Box<dyn DiskBackend> = match &cfg.faults {
+            Some(plan) => Box::new(FaultyBackend::new(Box::new(backend), plan.clone())),
+            None => Box::new(backend),
+        };
+
         Ok(Self {
             cache: CacheLayer::new(icache, spec.keying, spec.dedups),
             dedup,
-            disk: Box::new(ArrayBackend::new(sim, &sizing)),
+            disk,
             tasks,
             observer,
             pending: Vec::with_capacity(trace.requests.len()),
@@ -205,6 +219,9 @@ impl StorageStack {
             snap_every: cfg.icache_epoch_requests.max(1),
             requests_done: 0,
             snap_seq: 0,
+            faults_enabled: cfg.faults.is_some(),
+            fault_scratch: Vec::new(),
+            corrupt_lba: cfg.faults.as_ref().and_then(|p| p.corrupt_lba),
         })
     }
 
@@ -224,6 +241,9 @@ impl StorageStack {
         match req.op {
             IoOp::Write => self.on_write(idx, req, measured)?,
             IoOp::Read => self.on_read(idx, req, measured),
+        }
+        if self.faults_enabled {
+            self.drain_fault_events()?;
         }
         self.observer.emit(&StackEvent::RequestDone {
             write: req.op.is_write(),
@@ -251,6 +271,35 @@ impl StorageStack {
         };
         self.snap_seq += 1;
         self.observer.emit(&StackEvent::Snapshot { snap });
+    }
+
+    /// Pull queued [`FaultRecord`]s out of the fault layer, surface
+    /// them as events, and run recovery where the fault demands it: a
+    /// crash rebuilds the dedup layer's volatile state from the NVRAM
+    /// Map; transparent retries only report their `Recovered` event.
+    fn drain_fault_events(&mut self) -> PodResult<()> {
+        let mut records = std::mem::take(&mut self.fault_scratch);
+        self.disk.drain_faults(&mut records);
+        for rec in records.drain(..) {
+            self.observer.emit(&StackEvent::FaultInjected {
+                kind: rec.kind,
+                delay_us: rec.delay_us,
+            });
+            if rec.kind == FaultKind::Crash {
+                let outcome = self.dedup.recover_after_crash()?;
+                self.observer.emit(&StackEvent::Recovered {
+                    kind: FaultKind::Crash,
+                    repaired_entries: outcome.index_entries_rebuilt,
+                });
+            } else if rec.auto_recovered {
+                self.observer.emit(&StackEvent::Recovered {
+                    kind: rec.kind,
+                    repaired_entries: 0,
+                });
+            }
+        }
+        self.fault_scratch = records;
+        Ok(())
     }
 
     /// The write path: hash latency → dedup decision → ghost-index
@@ -354,6 +403,20 @@ impl StorageStack {
     pub fn finish(&mut self) -> PodResult<()> {
         self.run_tasks(|task, ctx| task.drain(ctx))?;
         self.disk.run_to_idle();
+        if self.faults_enabled {
+            self.drain_fault_events()?;
+            // Silent end-of-replay corruption: flip one stored block's
+            // content with no Recovered event — only the integrity
+            // oracle can catch it.
+            if let Some(lba) = self.corrupt_lba.take() {
+                if self.dedup.corrupt_lba(lba).is_some() {
+                    self.observer.emit(&StackEvent::FaultInjected {
+                        kind: FaultKind::Corruption,
+                        delay_us: 0,
+                    });
+                }
+            }
+        }
         // Disk time is only known at completion: charge (done − submit)
         // per pending job now, in submission order.
         for i in 0..self.pending.len() {

@@ -31,10 +31,36 @@ pub trait SchemeReplayExt {
 
 impl SchemeReplayExt for Scheme {
     fn replay_with(&self, trace: &Trace, cfg: SystemConfig) -> ReplayReport {
+        // Captured before the config moves into the builder, so the
+        // panic can say which of a sweep's configurations blew up.
+        let summary = cfg.summary();
         self.builder()
             .config(cfg)
             .trace(trace)
             .run()
-            .unwrap_or_else(|e| panic!("replay of {} under {}: {e}", trace.name, self))
+            .unwrap_or_else(|e| panic!("replay of {} under {} [{summary}]: {e}", trace.name, self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_with_panic_names_the_config() {
+        let trace = pod_trace::TraceProfile::mail().scaled(0.002).generate(7);
+        let mut cfg = SystemConfig::test_default();
+        cfg.index_fraction = 2.0; // invalid: fails validation
+        let summary = cfg.summary();
+        let err = std::panic::catch_unwind(move || Scheme::Pod.replay_with(&trace, cfg))
+            .expect_err("invalid config must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String message");
+        assert!(
+            msg.contains(&summary),
+            "panic must include the config summary: {msg}"
+        );
+        assert!(msg.contains("POD"), "panic names the scheme: {msg}");
     }
 }

@@ -1,0 +1,159 @@
+//! The fault matrix: every scheme × every fault class, each replay
+//! differentially checked by the integrity oracle.
+//!
+//! This is the end-to-end acceptance surface for the fault-injection
+//! backend: transient errors and latency spikes must be absorbed by
+//! retries, torn writes must be repaired by the follow-up write, a
+//! mid-replay crash must be healed by rebuilding the Index from the
+//! NVRAM Map — and after all of it, every live logical block must still
+//! read back the content last written to it (zero oracle divergence).
+//! Only deliberate silent corruption may make the oracle fail, and then
+//! it must pinpoint the damaged LBA.
+
+use pod_core::prelude::*;
+use pod_trace::TraceProfile;
+
+fn tiny_trace() -> pod_trace::Trace {
+    TraceProfile::mail().scaled(0.004).generate(17)
+}
+
+fn replay_verified(scheme: Scheme, faults: Option<FaultPlan>) -> ReplayReport {
+    let mut cfg = SystemConfig::test_default();
+    cfg.faults = faults;
+    scheme
+        .builder()
+        .config(cfg)
+        .trace(&tiny_trace())
+        .verify(true)
+        .run()
+        .expect("replay completes under faults")
+}
+
+#[test]
+fn every_scheme_survives_every_fault_class_with_zero_divergence() {
+    let plans: [(&str, Option<FaultPlan>); 3] = [
+        ("no-fault", None),
+        ("transient", Some(FaultPlan::transient(7))),
+        ("crash", Some(FaultPlan::crash(7, 150))),
+    ];
+    for scheme in Scheme::all() {
+        for (label, plan) in &plans {
+            let rep = replay_verified(scheme, plan.clone());
+            let integ = rep.integrity.as_ref().expect("oracle attached");
+            assert!(integ.passed(), "{scheme} x {label}: {}", integ.summary());
+            assert!(
+                integ.checked > 0,
+                "{scheme} x {label}: oracle walked blocks"
+            );
+            match label {
+                &"no-fault" => {
+                    assert_eq!(rep.stack.faults_injected, 0, "{scheme}: clean run");
+                }
+                _ => {
+                    assert!(
+                        rep.stack.faults_injected > 0,
+                        "{scheme} x {label}: plan injected nothing"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_faults_recover_and_cost_latency() {
+    let clean = replay_verified(Scheme::Pod, None);
+    let faulty = replay_verified(Scheme::Pod, Some(FaultPlan::transient(7)));
+    assert!(faulty.stack.faults_injected > 0);
+    assert_eq!(
+        faulty.stack.recoveries, faulty.stack.faults_injected,
+        "every transient fault is transparently retried"
+    );
+    assert!(faulty.stack.fault_delay_us > 0, "retries cost time");
+    // The injected retries push mean response time up, never down.
+    assert!(
+        faulty.overall.mean_us() >= clean.overall.mean_us(),
+        "faulty {} vs clean {}",
+        faulty.overall.mean_us(),
+        clean.overall.mean_us()
+    );
+}
+
+#[test]
+fn crash_mid_replay_rebuilds_the_index_from_the_map() {
+    let rep = replay_verified(Scheme::Pod, Some(FaultPlan::crash(7, 150)));
+    let integ = rep.integrity.as_ref().expect("oracle attached");
+    assert!(integ.passed(), "{}", integ.summary());
+    assert!(rep.stack.faults_injected >= 1, "the crash fired");
+    assert!(rep.stack.recoveries >= 1, "recovery ran");
+    assert!(
+        rep.stack.index_entries_rebuilt > 0,
+        "the Index was repopulated from the NVRAM Map"
+    );
+    // Dedup still works after recovery: the rebuilt index keeps finding
+    // duplicates, so the replay removes writes as usual.
+    assert!(rep.writes_removed_pct() > 0.0, "dedup survives the crash");
+}
+
+#[test]
+fn torn_and_spiking_writes_stay_consistent() {
+    for plan in [FaultPlan::torn(9), FaultPlan::latency(9), FaultPlan::all(9)] {
+        let rep = replay_verified(Scheme::SelectDedupe, Some(plan));
+        let integ = rep.integrity.as_ref().expect("oracle attached");
+        assert!(integ.passed(), "{}", integ.summary());
+        assert!(rep.stack.faults_injected > 0);
+    }
+}
+
+#[test]
+fn silent_corruption_is_caught_and_pinpointed() {
+    let lba = 100;
+    let rep = replay_verified(Scheme::Pod, Some(FaultPlan::corrupt(lba)));
+    let integ = rep.integrity.as_ref().expect("oracle attached");
+    assert!(!integ.passed(), "corruption must not pass verification");
+    assert_eq!(integ.divergent, 1, "exactly the corrupted block diverges");
+    let diff = integ.diffs.first().expect("diff reported");
+    assert_eq!(diff.lba, lba, "the damaged LBA is pinpointed");
+    assert!(diff.actual.is_some(), "mapping survives, content differs");
+    assert!(
+        integ.summary().contains("lba 100"),
+        "summary names the block: {}",
+        integ.summary()
+    );
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let a = replay_verified(Scheme::Pod, Some(FaultPlan::all(7)));
+    let b = replay_verified(Scheme::Pod, Some(FaultPlan::all(7)));
+    assert_eq!(a.stack.faults_injected, b.stack.faults_injected);
+    assert_eq!(a.stack.fault_delay_us, b.stack.fault_delay_us);
+    assert_eq!(a.stack.recoveries, b.stack.recoveries);
+    assert_eq!(a.overall.mean_us(), b.overall.mean_us());
+    assert_eq!(a.counters, b.counters);
+    // A different seed draws a different fault schedule.
+    let c = replay_verified(Scheme::Pod, Some(FaultPlan::all(8)));
+    assert!(
+        c.stack.fault_delay_us != a.stack.fault_delay_us
+            || c.stack.faults_injected != a.stack.faults_injected,
+        "seed must steer the fault schedule"
+    );
+}
+
+#[test]
+fn fault_events_round_trip_through_the_trace_recorder() {
+    let mut cfg = SystemConfig::test_default();
+    cfg.faults = Some(FaultPlan::transient(7));
+    let (rep, mut chain) = Scheme::Pod
+        .builder()
+        .config(cfg)
+        .trace(&tiny_trace())
+        .record(256)
+        .run_observed()
+        .expect("replay");
+    let rec: TraceRecorder = chain.take_sink().expect("recorder attached");
+    let faults_in_rows: u64 = rec.rows().iter().map(|r| r.faults).sum();
+    let recoveries_in_rows: u64 = rec.rows().iter().map(|r| r.recoveries).sum();
+    assert_eq!(faults_in_rows, rep.stack.faults_injected);
+    assert_eq!(recoveries_in_rows, rep.stack.recoveries);
+}

@@ -35,8 +35,8 @@ pub mod table;
 
 pub use classify::{classify_for_select, ChunkCandidate, ClassKind, WriteClass};
 pub use engine::{
-    DedupConfig, DedupEngine, DedupPolicy, DedupState, ReadPlan, ScanOutcome, WriteOutcome,
-    WriteScratch, WriteSummary,
+    DedupConfig, DedupEngine, DedupPolicy, DedupState, ReadPlan, RecoveryOutcome, ScanOutcome,
+    WriteOutcome, WriteScratch, WriteSummary,
 };
 pub use index::{IndexPolicy, IndexState, IndexTable, HEAT_SAMPLE_ENTRIES, INDEX_ENTRY_BYTES};
 pub use journal::{MapJournal, JOURNAL_ENTRY_BYTES};

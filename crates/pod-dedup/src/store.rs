@@ -153,6 +153,26 @@ impl ChunkStore {
         self.content.get(&pba.raw())
     }
 
+    /// Every live physical block with its stored content, in the
+    /// table's (deterministic) internal order. Crash recovery rebuilds
+    /// the volatile fingerprint index from this — the Map table and
+    /// the content it references are the persistent truth.
+    pub fn contents(&self) -> impl Iterator<Item = (Pba, Fingerprint)> + '_ {
+        self.content.iter().map(|(p, fp)| (Pba::new(p), fp))
+    }
+
+    /// Deliberately corrupt the content stored at `pba` (fault
+    /// injection's silent-corruption fixture). Returns the corrupted
+    /// fingerprint, or `None` when the block is not live. The mapping
+    /// and refcounts stay intact — exactly the failure a differential
+    /// read-back oracle exists to catch.
+    pub fn corrupt_content(&mut self, pba: Pba) -> Option<Fingerprint> {
+        let old = self.content.get(&pba.raw())?;
+        let bad = Fingerprint::from_content_id(old.prefix_u64() ^ 0xDEAD_BEEF_DEAD_BEEF);
+        self.content.insert(pba.raw(), bad);
+        Some(bad)
+    }
+
     /// Reference count of a physical block (0 = free).
     pub fn refcount(&self, pba: Pba) -> u32 {
         self.refs.get(&pba.raw()).unwrap_or(0)

@@ -68,9 +68,22 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 128 cases, overridable via the `PROPTEST_CASES` environment
+    /// variable (matching real proptest) so CI can raise coverage
+    /// without code changes. Explicit `with_cases` always wins.
     fn default() -> Self {
-        Self { cases: 128 }
+        Self {
+            cases: parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref()),
+        }
     }
+}
+
+/// `PROPTEST_CASES` parsing: positive integers override the default,
+/// anything else (unset, garbage, zero) keeps 128.
+fn parse_cases(env: Option<&str>) -> u32 {
+    env.and_then(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(128)
 }
 
 impl ProptestConfig {
@@ -458,6 +471,14 @@ mod tests {
         fn config_is_honored(_x in any::<u64>()) {
             // Runs; the case count is internal but the block must compile.
         }
+    }
+
+    #[test]
+    fn proptest_cases_env_parsing() {
+        assert_eq!(crate::parse_cases(None), 128, "unset keeps the default");
+        assert_eq!(crate::parse_cases(Some("512")), 512);
+        assert_eq!(crate::parse_cases(Some("0")), 128, "zero is ignored");
+        assert_eq!(crate::parse_cases(Some("lots")), 128, "garbage is ignored");
     }
 
     #[test]

@@ -297,6 +297,150 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Select-Dedupe classification invariants (paper Fig. 5, T = 3):
+// Cat-1 removes the whole request, Cat-2 writes everything, Cat-3 only
+// dedups sequential runs of at least the threshold.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn select_dedupe_class_invariants_hold_through_the_engine(
+        writes in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(0u16..48, 1..12)),
+            1..80,
+        ),
+    ) {
+        use pod::dedup::WriteClass;
+        const T: usize = 3;
+        let mut engine = DedupEngine::new(
+            DedupPolicy::SelectDedupe,
+            DedupConfig {
+                logical_blocks: 1_024,
+                overflow_blocks: 8_192,
+                index_page_fault_rate: 1,
+                select_threshold: T,
+                ..DedupConfig::default()
+            },
+        );
+        for (i, (lba, contents)) in writes.iter().enumerate() {
+            let chunks: Vec<Fingerprint> = contents
+                .iter()
+                .map(|&c| Fingerprint::from_content_id(c as u64))
+                .collect();
+            let n = chunks.len() as u32;
+            let req = IoRequest::write(
+                i as u64,
+                SimTime::from_micros(i as u64),
+                Lba::new(*lba as u64),
+                chunks,
+            );
+            let out = engine.process_write(&req).expect("write processed");
+            prop_assert_eq!(
+                out.deduped_blocks + out.written_blocks, n,
+                "every chunk is either deduped or written"
+            );
+            match &out.class {
+                WriteClass::FullyRedundantSequential => {
+                    // Cat-1: the request vanishes from the disk stream.
+                    prop_assert_eq!(out.written_blocks, 0);
+                    prop_assert_eq!(out.deduped_blocks, n);
+                    prop_assert!(out.removed);
+                    prop_assert!(out.write_extents.is_empty());
+                }
+                WriteClass::ScatteredPartial => {
+                    // Cat-2: scattered redundancy is written anyway.
+                    prop_assert_eq!(out.deduped_blocks, 0);
+                    prop_assert_eq!(out.written_blocks, n);
+                    prop_assert!(!out.removed);
+                }
+                WriteClass::ContiguousPartial(ranges) => {
+                    // Cat-3: only runs of >= T chunks are deduplicated.
+                    prop_assert!(!ranges.is_empty());
+                    let mut deduped = 0u32;
+                    for &(start, len) in ranges {
+                        prop_assert!(len >= T, "run below threshold deduped");
+                        prop_assert!(start + len <= n as usize);
+                        deduped += len as u32;
+                    }
+                    prop_assert_eq!(out.deduped_blocks, deduped);
+                    prop_assert!(!out.removed);
+                }
+                WriteClass::Unique => {
+                    prop_assert_eq!(out.deduped_blocks, 0);
+                    prop_assert_eq!(out.written_blocks, n);
+                    prop_assert!(!out.removed);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Refcount pinning (paper §III-B): a physical block with a live
+// reference count is never reclaimed or overwritten — under arbitrary
+// write/overwrite/dedup interleavings, every logical block keeps
+// reading back the content last written to it, checked after EVERY op
+// (the store's consistency rule: "prevent the referenced data from
+// being overwritten and updated").
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn refcounted_blocks_are_never_reclaimed(
+        ops in proptest::collection::vec(store_op(), 1..200),
+    ) {
+        let mut store = ChunkStore::new(256, 4_096);
+        let mut truth: HashMap<u8, Fingerprint> = HashMap::new();
+        for op in ops {
+            match op {
+                StoreOp::Write(lba, content) => {
+                    // Overwriting an LBA whose home is pinned by other
+                    // references must redirect, not clobber.
+                    let fp = Fingerprint::from_content_id(content as u64);
+                    store
+                        .write_unique(Lba::new(lba as u64), fp, None)
+                        .expect("write never fails with ample overflow");
+                    truth.insert(lba, fp);
+                }
+                StoreOp::DedupOnto(dst, src) => {
+                    if let Some(pba) = store.lookup(Lba::new(src as u64)) {
+                        let fp = store.content_at(pba).expect("mapped block is live");
+                        store
+                            .dedup_to(Lba::new(dst as u64), pba)
+                            .expect("dedup onto live block succeeds");
+                        truth.insert(dst, fp);
+                    }
+                }
+            }
+            // The pinning property, after every single op: each live
+            // logical block still resolves to its last-written content,
+            // and the physical block it resolves to is refcount-pinned.
+            for (lba, want) in &truth {
+                let pba = store
+                    .lookup(Lba::new(*lba as u64))
+                    .expect("written lba stays mapped");
+                prop_assert!(
+                    store.refcount(pba) >= 1,
+                    "lba {} maps to unreferenced pba {:?}",
+                    lba,
+                    pba
+                );
+                prop_assert_eq!(
+                    store.content_at(pba),
+                    Some(*want),
+                    "pinned pba {:?} was reclaimed under lba {}",
+                    pba,
+                    lba
+                );
+            }
+        }
+        store.check_invariants().expect("refcounts consistent at the end");
+    }
+}
+
+// ---------------------------------------------------------------------
 // ArraySim: liveness, causality, conservation, determinism.
 // ---------------------------------------------------------------------
 
