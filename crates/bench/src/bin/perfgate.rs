@@ -23,7 +23,9 @@
 use pod_core::experiments::run_schemes;
 use pod_core::obs::json::{parse as parse_json, Json};
 use pod_core::{Layer, Scheme, StackCounters, SystemConfig};
+use pod_disk::{ArraySim, DiskSpec, RaidConfig, RaidGeometry, SchedulerKind};
 use pod_trace::{Trace, TraceProfile};
+use pod_types::{Pba, SimTime};
 use std::time::Instant;
 
 const TRACES: [&str; 3] = ["mail", "web-vm", "homes"];
@@ -34,6 +36,7 @@ struct Args {
     report_only: bool,
     scale: f64,
     reps: usize,
+    disk_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -43,6 +46,7 @@ fn parse_args() -> Args {
         report_only: false,
         scale: 0.1,
         reps: 3,
+        disk_only: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -69,6 +73,10 @@ fn parse_args() -> Args {
                 args.report_only = true;
                 i += 1;
             }
+            "--disk-only" => {
+                args.disk_only = true;
+                i += 1;
+            }
             "--scale" => {
                 args.scale = argv
                     .get(i + 1)
@@ -92,11 +100,13 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: perfgate [--dir DIR] [--tolerance PCT] [--scale F] \
-                     [--reps N] [--report-only]\n\
+                     [--reps N] [--report-only] [--disk-only]\n\
                      replays the synthetic traces under every scheme (best of N\n\
-                     repetitions), writes BENCH_<date>.json, and exits non-zero\n\
-                     when throughput drops more than PCT% (default 10) below the\n\
-                     previous snapshot"
+                     repetitions) plus the disk-engine microbenches, writes\n\
+                     BENCH_<date>.json, and exits non-zero when throughput drops\n\
+                     more than PCT% (default 10) below the previous snapshot.\n\
+                     --disk-only runs just the disk microbenches and writes no\n\
+                     snapshot (CI smoke)"
                 );
                 std::process::exit(0);
             }
@@ -206,6 +216,165 @@ fn measure(trace_name: &str, trace: &Trace, cfg: &SystemConfig, reps: usize) -> 
     entries
 }
 
+/// One disk-engine microbench measurement (simulator throughput in
+/// jobs drained per wall-clock second — the number ROADMAP's "10×
+/// replay throughput" target cashes out to).
+struct DiskEntry {
+    mix: String,
+    jobs: u64,
+    wall_s: f64,
+    jobs_per_sec: f64,
+}
+
+/// The paper's evaluation array: 4-disk RAID-5 over WD1600AAJS members.
+fn disk_sim() -> ArraySim {
+    ArraySim::new(
+        RaidGeometry::new(RaidConfig::paper_raid5()),
+        DiskSpec::wd1600aajs(),
+        SchedulerKind::Fifo,
+    )
+}
+
+/// Deterministic 64-bit mixer for address scattering (splitmix64).
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Drive `total` jobs through `sim` replay-style: advance the clock to
+/// each arrival with `run_until`, submit, and drain at the end — exactly
+/// how `StorageStack` drives the array during trace replay. `make` plans
+/// one job at the given arrival time.
+fn drive_replay(
+    sim: &mut ArraySim,
+    total: u64,
+    spacing_us: u64,
+    mut make: impl FnMut(&mut ArraySim, SimTime, u64),
+) {
+    for i in 0..total {
+        let at = SimTime::from_micros(i * spacing_us);
+        sim.run_until(at);
+        make(sim, at, i);
+    }
+    sim.run_to_idle();
+}
+
+/// Disk-engine microbenches: jobs/sec for the three canonical mixes,
+/// best of `reps`. Deterministic workloads; only wall clock varies.
+fn disk_microbench(reps: usize) -> Vec<DiskEntry> {
+    // Job counts sized to trace-replay scale (the paper traces run to
+    // millions of requests) so per-job storage costs show up, while each
+    // mix still finishes in well under a second per rep in CI.
+    const RANDOM_JOBS: u64 = 2_000_000;
+    const SEQ_JOBS: u64 = 500_000;
+    const RMW_JOBS: u64 = 400_000;
+
+    // Arrival spacing per mix sits above the worst-case service time, the
+    // common primary-storage regime (disks keep up, the array drains
+    // between requests); replay of the paper traces drives the array the
+    // same way. For wd1600aajs the worst single op is ~21 ms (max seek +
+    // half revolution), an RMW spans two such phases.
+    type MixFn = Box<dyn Fn(&mut ArraySim)>;
+    let mixes: [(&str, u64, MixFn); 3] = [
+        (
+            // Scattered 4 KiB reads: the dedup-index / Cat-3 lookup shape.
+            "random-4k",
+            RANDOM_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, RANDOM_JOBS, 25_000, |s, at, i| {
+                    let pba = Pba::new(mix64(i) % cap);
+                    s.submit_read(at, pba, 1);
+                });
+            }),
+        ),
+        (
+            // Back-to-back 64-block sequential reads: streaming scans
+            // fanning one stripe-width op out to every member.
+            "seq-extent",
+            SEQ_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, SEQ_JOBS, 8_000, |s, at, i| {
+                    let pba = Pba::new(i * 64 % (cap - 64));
+                    s.submit_read(at, pba, 64);
+                });
+            }),
+        ),
+        (
+            // Scattered small writes: the RAID-5 read-modify-write path
+            // (two dependent phases per job) POD's Cat-1 traffic hits.
+            "raid5-rmw",
+            RMW_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, RMW_JOBS, 50_000, |s, at, i| {
+                    // +1 keeps writes off stripe-unit alignment → RMW.
+                    let pba = Pba::new((mix64(i ^ 0xDEAD) % (cap - 8)) | 1);
+                    s.submit_write(at, pba, 4);
+                });
+            }),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (name, jobs, run) in &mixes {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut sim = disk_sim();
+            let t0 = Instant::now();
+            run(&mut sim);
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+            assert_eq!(sim.job_count() as u64, *jobs, "{name}: job count");
+        }
+        out.push(DiskEntry {
+            mix: (*name).into(),
+            jobs: *jobs,
+            wall_s: best,
+            jobs_per_sec: *jobs as f64 / best,
+        });
+    }
+    out
+}
+
+/// End-to-end replay throughput entries for the disk section: the mail
+/// trace under POD with the full event-driven model and the calibrated
+/// O(1) backend. The ratio between the two is the headline the
+/// calibrated backend exists for.
+fn disk_replay_entries(scale: f64, reps: usize) -> Vec<DiskEntry> {
+    let trace = TraceProfile::mail()
+        .scaled(scale)
+        .generate(pod_bench::BENCH_SEED);
+    let mut calibrated = SystemConfig::paper_default();
+    calibrated.disk_model = pod_core::DiskModel::Calibrated;
+    let mut out = Vec::new();
+    for (mix, cfg) in [
+        ("replay-full", SystemConfig::paper_default()),
+        ("replay-calibrated", calibrated),
+    ] {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            Scheme::Pod
+                .builder()
+                .config(cfg.clone())
+                .trace(&trace)
+                .run()
+                .unwrap_or_else(|e| die(&format!("{mix}: {e}")));
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        out.push(DiskEntry {
+            mix: mix.into(),
+            jobs: trace.len() as u64,
+            wall_s: best,
+            jobs_per_sec: trace.len() as f64 / best,
+        });
+    }
+    out
+}
+
 /// Peak resident set size in KiB (`VmHWM`), 0 where procfs is absent.
 fn peak_rss_kib() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -239,10 +408,17 @@ fn today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: usize) -> String {
+fn render_json(
+    date: &str,
+    entries: &[Entry],
+    disk: &[DiskEntry],
+    rss_kib: u64,
+    scale: f64,
+    reps: usize,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"date\": \"{date}\",\n"));
     out.push_str(&format!("  \"bench_scale\": {scale},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
@@ -265,6 +441,19 @@ fn render_json(date: &str, entries: &[Entry], rss_kib: u64, scale: f64, reps: us
             e.epochs,
             e.final_index_pm,
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"disk\": [\n");
+    for (i, e) in disk.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"jobs\": {}, \"wall_s\": {:.6}, \
+             \"jobs_per_sec\": {:.2}}}{}\n",
+            e.mix,
+            e.jobs,
+            e.wall_s,
+            e.jobs_per_sec,
+            if i + 1 < disk.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -290,6 +479,18 @@ fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
         };
         out.push((format!("{trace}/{scheme}"), rps));
     }
+    // Disk microbench section (absent in schema-1 snapshots).
+    if let Some(Json::Arr(disk)) = root.get("disk") {
+        for e in disk {
+            let (Some(mix), Some(jps)) = (
+                e.get("mix").and_then(Json::as_str),
+                e.get("jobs_per_sec").and_then(Json::as_f64),
+            ) else {
+                return Err(format!("{path}: malformed disk entry"));
+            };
+            out.push((format!("disk/{mix}"), jps));
+        }
+    }
     Ok(out)
 }
 
@@ -307,9 +508,33 @@ fn latest_snapshot(dir: &str, exclude: &str) -> Option<String> {
     names.pop().map(|n| format!("{dir}/{n}"))
 }
 
+fn print_disk_table(disk: &[DiskEntry]) {
+    println!(
+        "\n{:<18} {:>9} {:>9} {:>12}",
+        "disk mix", "jobs", "wall(s)", "jobs/s"
+    );
+    for e in disk {
+        println!(
+            "{:<18} {:>9} {:>9.3} {:>12.0}",
+            e.mix, e.jobs, e.wall_s, e.jobs_per_sec
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     let cfg = SystemConfig::paper_default();
+
+    if args.disk_only {
+        println!(
+            "perfgate --disk-only: disk-engine microbenches, best of {} ...",
+            args.reps
+        );
+        let mut disk = disk_microbench(args.reps);
+        disk.extend(disk_replay_entries(args.scale, args.reps));
+        print_disk_table(&disk);
+        return;
+    }
 
     println!(
         "perfgate: replaying {} traces x {} schemes (+grid), scale {}, best of {} ...",
@@ -328,6 +553,9 @@ fn main() {
         let trace = profile.scaled(args.scale).generate(pod_bench::BENCH_SEED);
         entries.extend(measure(name, &trace, &cfg, args.reps));
     }
+    println!("disk-engine microbenches ...");
+    let mut disk = disk_microbench(args.reps);
+    disk.extend(disk_replay_entries(args.scale, args.reps));
     let rss_kib = peak_rss_kib();
 
     println!(
@@ -340,6 +568,7 @@ fn main() {
             e.trace, e.scheme, e.requests, e.wall_s, e.requests_per_sec
         );
     }
+    print_disk_table(&disk);
     println!("peak RSS: {:.1} MiB", rss_kib as f64 / 1024.0);
 
     let date = today();
@@ -348,7 +577,7 @@ fn main() {
 
     // Write the new snapshot first so a regression still leaves a record.
     let path = format!("{}/{file_name}", args.dir);
-    let json = render_json(&date, &entries, rss_kib, args.scale, args.reps);
+    let json = render_json(&date, &entries, &disk, rss_kib, args.scale, args.reps);
     if let Err(e) = std::fs::write(&path, &json) {
         die(&format!("writing {path}: {e}"));
     }
@@ -370,14 +599,21 @@ fn main() {
         "comparing against {base_path} (tolerance {:.1}%)",
         args.tolerance_pct
     );
+    let mut current: Vec<(String, f64)> = entries
+        .iter()
+        .map(|e| (format!("{}/{}", e.trace, e.scheme), e.requests_per_sec))
+        .collect();
+    current.extend(
+        disk.iter()
+            .map(|e| (format!("disk/{}", e.mix), e.jobs_per_sec)),
+    );
     let mut regressions = 0usize;
-    for e in &entries {
-        let key = format!("{}/{}", e.trace, e.scheme);
-        let Some((_, old_rps)) = base.iter().find(|(k, _)| *k == key) else {
+    for (key, rps) in &current {
+        let Some((_, old_rps)) = base.iter().find(|(k, _)| k == key) else {
             println!("  {key}: new measurement (no baseline)");
             continue;
         };
-        let delta_pct = (e.requests_per_sec - old_rps) / old_rps * 100.0;
+        let delta_pct = (rps - old_rps) / old_rps * 100.0;
         let flag = if delta_pct < -args.tolerance_pct {
             regressions += 1;
             "  REGRESSION"

@@ -31,6 +31,11 @@ pub struct CliArgs {
     /// `--verify`: run the end-to-end integrity oracle alongside the
     /// replay and fail if any logical block diverges.
     pub verify: bool,
+    /// `--disk-model full|calibrated`: which disk engine serves the
+    /// replay. `calibrated` swaps the event-driven array simulator for
+    /// O(1) calibrated per-op latencies (same dedup/cache counters,
+    /// approximate latency columns, much faster).
+    pub disk_model: pod_core::DiskModel,
 }
 
 impl Default for CliArgs {
@@ -50,6 +55,7 @@ impl Default for CliArgs {
             headless: false,
             faults: None,
             verify: false,
+            disk_model: pod_core::DiskModel::Full,
         }
     }
 }
@@ -92,6 +98,10 @@ impl CliArgs {
                 "--out" => args.out = Some(value.clone()),
                 "--trace-out" => args.trace_out = Some(value.clone()),
                 "--in" => args.input = Some(value.clone()),
+                "--disk-model" => {
+                    args.disk_model =
+                        pod_core::DiskModel::parse(value).map_err(|e| e.to_string())?;
+                }
                 "--faults" => {
                     // Validate eagerly so a typo fails at the prompt,
                     // not mid-replay.
@@ -183,6 +193,8 @@ impl CliArgs {
         if let Some(spec) = &self.faults {
             cfg.faults = Some(pod_core::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
         }
+        cfg.disk_model = self.disk_model;
+        cfg.validate().map_err(|e| e.to_string())?;
         Ok(cfg)
     }
 }
@@ -299,6 +311,35 @@ mod tests {
         let a = parse(&["--verify", "--seed", "3"]).expect("parse");
         assert!(a.verify);
         assert_eq!(a.seed, 3);
+    }
+
+    #[test]
+    fn disk_model_flag_lands_in_config() {
+        let a = parse(&["--disk-model", "calibrated"]).expect("parse");
+        assert_eq!(a.disk_model, pod_core::DiskModel::Calibrated);
+        let cfg = a.system_config().expect("config");
+        assert_eq!(cfg.disk_model, pod_core::DiskModel::Calibrated);
+        // Aliases and the default.
+        assert_eq!(
+            parse(&["--disk-model", "fast"]).expect("parse").disk_model,
+            pod_core::DiskModel::Calibrated
+        );
+        assert_eq!(
+            parse(&["--disk-model", "event"]).expect("parse").disk_model,
+            pod_core::DiskModel::Full
+        );
+        assert_eq!(
+            parse(&[]).expect("parse").disk_model,
+            pod_core::DiskModel::Full
+        );
+        assert!(parse(&["--disk-model", "warp"]).is_err());
+    }
+
+    #[test]
+    fn calibrated_model_rejects_fault_injection() {
+        let a = parse(&["--disk-model", "calibrated", "--faults", "transient"]).expect("parse");
+        let err = a.system_config().expect_err("faults need the full model");
+        assert!(err.contains("fault-free"), "unexpected message: {err}");
     }
 
     #[test]

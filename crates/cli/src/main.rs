@@ -82,6 +82,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                                 corrupt:<lba>, all[:seed]\n\
          \x20 --verify                        `replay`: run the end-to-end integrity oracle\n\
          \x20                                 and fail on any divergent block\n\
+         \x20 --disk-model <full|calibrated>  disk engine: full event-driven simulation\n\
+         \x20                                 (default) or O(1) calibrated latencies —\n\
+         \x20                                 same dedup counters, much faster\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

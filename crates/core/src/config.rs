@@ -73,6 +73,39 @@ pub struct SystemConfig {
     /// Deterministic fault-injection plan applied to the disk backend.
     /// `None` = no fault layer is installed at all (zero overhead).
     pub faults: Option<FaultPlan>,
+    /// Which disk engine serves the stack's I/O (default: the full
+    /// event-driven [`pod_disk::ArraySim`]).
+    #[serde(default)]
+    pub disk_model: DiskModel,
+}
+
+/// Disk-engine selection for the stack.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskModel {
+    /// The full event-driven mechanical simulation: per-op seeks,
+    /// rotation, queueing, scheduling. Exact, and the reference for
+    /// every golden fixture.
+    #[default]
+    Full,
+    /// O(1) per-op calibrated latencies measured from a short
+    /// [`pod_disk::ArraySim`] self-calibration at stack build time.
+    /// All dedup/cache-layer counters (category mix, dedup ratio,
+    /// write traffic saved, hit rates) are identical to `Full`; only
+    /// latency-derived columns differ. For throughput-bound sweeps.
+    Calibrated,
+}
+
+impl DiskModel {
+    /// Parse a CLI/config name.
+    pub fn parse(s: &str) -> PodResult<Self> {
+        match s {
+            "full" | "event" => Ok(DiskModel::Full),
+            "calibrated" | "fast" => Ok(DiskModel::Calibrated),
+            other => Err(PodError::InvalidConfig(format!(
+                "unknown disk model '{other}' (full|calibrated)"
+            ))),
+        }
+    }
 }
 
 /// Deterministic, seeded fault-injection plan for the disk backend.
@@ -288,6 +321,7 @@ impl SystemConfig {
             post_process_batch: 16_384,
             fail_disk: None,
             faults: None,
+            disk_model: DiskModel::Full,
         }
     }
 
@@ -350,6 +384,15 @@ impl SystemConfig {
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
+        if self.disk_model == DiskModel::Calibrated
+            && (self.fail_disk.is_some() || self.faults.is_some())
+        {
+            // Degraded-mode reconstruction and fault recovery are
+            // event-level behaviours the O(1) model does not reproduce.
+            return Err(PodError::InvalidConfig(
+                "disk_model=calibrated requires a healthy, fault-free array".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -379,6 +422,9 @@ impl SystemConfig {
         );
         if let Some(d) = self.fail_disk {
             s.push_str(&format!(" fail_disk={d}"));
+        }
+        if self.disk_model != DiskModel::Full {
+            s.push_str(&format!(" disk_model={:?}", self.disk_model));
         }
         if let Some(plan) = &self.faults {
             s.push_str(&format!(" faults=seed:{}", plan.seed));

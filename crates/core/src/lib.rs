@@ -45,7 +45,7 @@ pub mod scheme;
 pub mod stack;
 pub mod testing;
 
-pub use config::{FaultPlan, SystemConfig};
+pub use config::{DiskModel, FaultPlan, SystemConfig};
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
 pub use obs::{
     FaultKind, IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver,

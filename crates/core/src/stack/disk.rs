@@ -106,38 +106,35 @@ impl ArrayBackend {
         extents: &[(Pba, u32)],
         disk_lookups: u32,
     ) -> Vec<Vec<PhysOp>> {
-        let mut lookup_phase: Vec<PhysOp> = Vec::new();
+        // Plan straight into the simulator's pooled buffers; phases left
+        // empty are dropped (and their buffers recycled) by
+        // `submit_phases`, so the whole path is allocation-free.
+        let mut lookup_phase = self.sim.pooled_ops();
         for _ in 0..disk_lookups {
             // Spread lookups pseudo-randomly (deterministically) across
             // the index region: hash-index probes are random reads.
             let offset = self.lookup_counter.wrapping_mul(7_919) % self.region_blocks;
             self.lookup_counter += 1;
-            lookup_phase.extend(
-                self.sim
-                    .geometry()
-                    .plan_read(Pba::new(self.index_region_base + offset), 1),
+            self.sim.geometry().plan_read_into(
+                Pba::new(self.index_region_base + offset),
+                1,
+                &mut lookup_phase,
             );
         }
 
-        let mut pre_phase: Vec<PhysOp> = Vec::new();
-        let mut write_phase: Vec<PhysOp> = Vec::new();
+        let mut pre_phase = self.sim.pooled_ops();
+        let mut write_phase = self.sim.pooled_ops();
         for &(pba, len) in extents {
-            let plan = self.sim.geometry().plan_write(pba, len);
-            let mut phases = plan.phases.into_iter();
-            match (phases.next(), phases.next()) {
-                (Some(only), None) => write_phase.extend(only),
-                (Some(pre), Some(wr)) => {
-                    pre_phase.extend(pre);
-                    write_phase.extend(wr);
-                }
-                _ => {}
-            }
+            self.sim
+                .geometry()
+                .plan_write_into(pba, len, &mut pre_phase, &mut write_phase);
         }
 
-        vec![lookup_phase, pre_phase, write_phase]
-            .into_iter()
-            .filter(|p| !p.is_empty())
-            .collect()
+        let mut phases = self.sim.pooled_phases();
+        phases.push(lookup_phase);
+        phases.push(pre_phase);
+        phases.push(write_phase);
+        phases
     }
 }
 
@@ -156,35 +153,43 @@ impl DiskBackend for ArrayBackend {
     }
 
     fn submit_read(&mut self, at: SimTime, extents: &[(Pba, u32)]) -> JobId {
-        let mut ops: Vec<PhysOp> = Vec::new();
+        let mut ops = self.sim.pooled_ops();
         for &(pba, len) in extents {
-            ops.extend(self.sim.geometry().plan_read(pba, len));
+            self.sim.geometry().plan_read_into(pba, len, &mut ops);
         }
-        self.sim.submit_phases(at, vec![ops])
+        let mut phases = self.sim.pooled_phases();
+        phases.push(ops);
+        self.sim.submit_phases(at, phases)
     }
 
     fn submit_scan_read(&mut self, at: SimTime, extents: &[(Pba, u32)]) {
-        let mut ops: Vec<PhysOp> = Vec::new();
+        let mut ops = self.sim.pooled_ops();
         for &(pba, len) in extents {
-            ops.extend(self.sim.geometry().plan_read(pba, len));
+            self.sim.geometry().plan_read_into(pba, len, &mut ops);
         }
-        self.sim.submit_phases(at, vec![ops]);
+        let mut phases = self.sim.pooled_phases();
+        phases.push(ops);
+        self.sim.submit_phases(at, phases);
     }
 
     fn submit_swap(&mut self, at: SimTime, blocks: u64) {
         let mut remaining = blocks;
-        let mut ops: Vec<PhysOp> = Vec::new();
+        let mut ops = self.sim.pooled_ops();
         while remaining > 0 {
             let chunk = remaining.min(256);
             let start = self.swap_region_base + (self.swap_cursor % self.region_blocks);
             // Clamp runs that would spill past the region.
             let len =
                 chunk.min(self.region_blocks - (self.swap_cursor % self.region_blocks)) as u32;
-            ops.extend(self.sim.geometry().plan_stream_write(Pba::new(start), len));
+            self.sim
+                .geometry()
+                .plan_stream_write_into(Pba::new(start), len, &mut ops);
             self.swap_cursor += len as u64;
             remaining -= len as u64;
         }
-        self.sim.submit_phases(at, vec![ops]);
+        let mut phases = self.sim.pooled_phases();
+        phases.push(ops);
+        self.sim.submit_phases(at, phases);
     }
 
     fn completion(&self, job: JobId) -> Option<SimTime> {

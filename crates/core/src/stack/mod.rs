@@ -39,12 +39,14 @@
 
 mod background;
 mod cache;
+mod calibrated;
 mod dedup;
 mod disk;
 mod spec;
 
 pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask};
 pub use cache::CacheLayer;
+pub use calibrated::{CalibratedBackend, Calibration};
 pub use dedup::DedupLayer;
 pub use disk::{ArrayBackend, DiskBackend, FaultRecord, FaultyBackend};
 pub use spec::{BackgroundKind, CacheKeying, StackSpec};
@@ -53,7 +55,7 @@ pub use spec::{BackgroundKind, CacheKeying, StackSpec};
 // call sites keep compiling.
 pub use crate::obs::{StackCounters, StackObserver};
 
-use crate::config::SystemConfig;
+use crate::config::{DiskModel, SystemConfig};
 use crate::obs::{FaultKind, IntoObserverChain, Layer, ObserverChain, StackEvent, StateSnapshot};
 use crate::runner::ReplaySizing;
 use pod_dedup::DedupConfig;
@@ -181,10 +183,27 @@ impl StorageStack {
             sizing.max_request_blocks,
         );
 
-        let mut sim = ArraySim::new(geometry, cfg.disk.clone(), cfg.scheduler);
-        if let Some(disk) = cfg.fail_disk {
-            sim.fail_disk(disk)?;
-        }
+        // `validate()` rejects fail_disk/faults with the calibrated model,
+        // so the fast path never has to emulate degraded-mode service.
+        let disk: Box<dyn DiskBackend> = match cfg.disk_model {
+            DiskModel::Calibrated => Box::new(CalibratedBackend::new(
+                &geometry,
+                &cfg.disk,
+                cfg.scheduler,
+                &sizing,
+            )),
+            DiskModel::Full => {
+                let mut sim = ArraySim::new(geometry, cfg.disk.clone(), cfg.scheduler);
+                if let Some(disk) = cfg.fail_disk {
+                    sim.fail_disk(disk)?;
+                }
+                let backend = ArrayBackend::new(sim, &sizing);
+                match &cfg.faults {
+                    Some(plan) => Box::new(FaultyBackend::new(Box::new(backend), plan.clone())),
+                    None => Box::new(backend),
+                }
+            }
+        };
 
         let tasks: Vec<Box<dyn BackgroundTask>> = spec
             .background
@@ -199,12 +218,6 @@ impl StorageStack {
                 }
             })
             .collect();
-
-        let backend = ArrayBackend::new(sim, &sizing);
-        let disk: Box<dyn DiskBackend> = match &cfg.faults {
-            Some(plan) => Box::new(FaultyBackend::new(Box::new(backend), plan.clone())),
-            None => Box::new(backend),
-        };
 
         Ok(Self {
             cache: CacheLayer::new(icache, spec.keying, spec.dedups),

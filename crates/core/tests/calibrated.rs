@@ -1,0 +1,122 @@
+//! Calibrated-vs-full golden equivalence: the O(1) calibrated disk
+//! backend must reproduce every *timing-independent* column of the full
+//! event-driven model exactly — the dedup decisions, write
+//! classification, capacity, cache behaviour and NVRAM accounting all
+//! fire on request counts, never on simulated time, so swapping the
+//! disk engine may change only latency-derived output.
+//!
+//! Latency columns (`overall`/`reads`/`writes`, the timeline, per-disk
+//! busy time) are *expected* to differ: that is the whole trade.
+
+use pod_core::{DiskModel, ReplayReport, Scheme, SystemConfig};
+use pod_trace::TraceProfile;
+
+const SCALE: f64 = 0.004;
+const SEED: u64 = 17;
+
+fn replay(scheme: Scheme, trace: &pod_trace::Trace, model: DiskModel) -> ReplayReport {
+    let mut cfg = SystemConfig::test_default();
+    cfg.disk_model = model;
+    scheme
+        .builder()
+        .config(cfg)
+        .trace(trace)
+        .run()
+        .expect("replay succeeds")
+}
+
+/// Every field of the report that must not depend on the disk engine.
+/// `stack.disk_time_us` is deliberately absent: it is the summed disk
+/// latency, i.e. exactly what the calibrated model approximates.
+fn invariant_columns(rep: &ReplayReport) -> String {
+    let s = &rep.stack;
+    format!(
+        "counters={:?} capacity={} nvram_peak={} hit_rate={:?} frag={:?} \
+         epochs={} repartitions={} index_fraction={:?} \
+         stack=[{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}] \
+         samples={}/{}/{}",
+        rep.counters,
+        rep.capacity_used_blocks,
+        rep.nvram_peak_bytes,
+        rep.read_cache_hit_rate,
+        rep.read_fragmentation,
+        rep.icache_epochs,
+        rep.icache_repartitions,
+        rep.final_index_fraction,
+        s.reads_measured,
+        s.read_hits_measured,
+        s.frag_sum,
+        s.frag_reads,
+        s.writes_processed,
+        s.writes_eliminated,
+        s.cat1_writes,
+        s.cat2_writes,
+        s.cat3_writes,
+        s.unique_writes,
+        s.repartitions,
+        s.swap_blocks,
+        s.snapshots,
+        s.background_scans,
+        s.background_scanned_chunks,
+        s.faults_injected,
+        s.fault_delay_us,
+        s.recoveries,
+        s.index_entries_rebuilt,
+        s.cache_time_us,
+        s.dedup_time_us,
+        rep.overall.count(),
+        rep.reads.count(),
+        rep.writes.count(),
+    )
+}
+
+fn check_trace(profile: TraceProfile) {
+    let name = profile.name.clone();
+    let trace = profile.scaled(SCALE).generate(SEED);
+    for scheme in Scheme::extended() {
+        let full = replay(scheme, &trace, DiskModel::Full);
+        let fast = replay(scheme, &trace, DiskModel::Calibrated);
+        assert_eq!(
+            invariant_columns(&full),
+            invariant_columns(&fast),
+            "{scheme} on {name}: calibrated model diverged on a timing-independent column"
+        );
+        // The fast model still produces a real latency distribution.
+        assert!(fast.overall.count() > 0, "{scheme} on {name}: empty report");
+        assert!(
+            fast.overall.mean_us() > 0.0,
+            "{scheme} on {name}: calibrated latencies are all zero"
+        );
+    }
+}
+
+#[test]
+fn calibrated_matches_full_on_mail() {
+    check_trace(TraceProfile::mail());
+}
+
+#[test]
+fn calibrated_matches_full_on_homes() {
+    check_trace(TraceProfile::homes());
+}
+
+#[test]
+fn calibrated_matches_full_on_web_vm() {
+    check_trace(TraceProfile::web_vm());
+}
+
+/// The calibrated model is for healthy arrays only: fault injection and
+/// degraded-mode replay require the event-driven engine, and the config
+/// validator must say so up front.
+#[test]
+fn calibrated_rejects_faults_and_failed_disks() {
+    let mut cfg = SystemConfig::test_default();
+    cfg.disk_model = DiskModel::Calibrated;
+    cfg.fail_disk = Some(0);
+    assert!(cfg.validate().is_err());
+
+    let mut cfg = SystemConfig::test_default();
+    cfg.disk_model = DiskModel::Calibrated;
+    cfg.faults = Some(pod_core::FaultPlan::parse("transient").expect("plan"));
+    assert!(cfg.validate().is_err());
+}

@@ -1,0 +1,93 @@
+//! Standalone A/B driver for the disk engine: the same three mixes as
+//! `perfgate --disk-only`, but depending only on `pod-disk` so it builds
+//! against any revision of the engine (used with `git stash` to compare
+//! the seed engine and the table-driven one back to back).
+
+use pod_disk::{ArraySim, DiskSpec, RaidConfig, RaidGeometry, SchedulerKind};
+use pod_types::{Pba, SimTime};
+use std::time::Instant;
+
+fn disk_sim() -> ArraySim {
+    ArraySim::new(
+        RaidGeometry::new(RaidConfig::paper_raid5()),
+        DiskSpec::wd1600aajs(),
+        SchedulerKind::Fifo,
+    )
+}
+
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn drive_replay(
+    sim: &mut ArraySim,
+    total: u64,
+    spacing_us: u64,
+    mut make: impl FnMut(&mut ArraySim, SimTime, u64),
+) {
+    for i in 0..total {
+        let at = SimTime::from_micros(i * spacing_us);
+        sim.run_until(at);
+        make(sim, at, i);
+    }
+    sim.run_to_idle();
+}
+
+fn main() {
+    const RANDOM_JOBS: u64 = 2_000_000;
+    const SEQ_JOBS: u64 = 500_000;
+    const RMW_JOBS: u64 = 400_000;
+    const REPS: usize = 5;
+
+    type MixFn = Box<dyn Fn(&mut ArraySim)>;
+    let mixes: [(&str, u64, MixFn); 3] = [
+        (
+            "random-4k",
+            RANDOM_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, RANDOM_JOBS, 25_000, |s, at, i| {
+                    s.submit_read(at, Pba::new(mix64(i) % cap), 1);
+                });
+            }),
+        ),
+        (
+            "seq-extent",
+            SEQ_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, SEQ_JOBS, 8_000, |s, at, i| {
+                    s.submit_read(at, Pba::new(i * 64 % (cap - 64)), 64);
+                });
+            }),
+        ),
+        (
+            "raid5-rmw",
+            RMW_JOBS,
+            Box::new(|sim: &mut ArraySim| {
+                let cap = sim.data_capacity_blocks();
+                drive_replay(sim, RMW_JOBS, 50_000, |s, at, i| {
+                    s.submit_write(at, Pba::new((mix64(i ^ 0xDEAD) % (cap - 8)) | 1), 4);
+                });
+            }),
+        ),
+    ];
+
+    for (name, jobs, run) in &mixes {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut sim = disk_sim();
+            let t0 = Instant::now();
+            run(&mut sim);
+            best = best.min(t0.elapsed().as_secs_f64().max(1e-9));
+        }
+        println!(
+            "{name:<12} {jobs:>9} jobs  {:>8.3}s  {:>12.0} jobs/s",
+            best,
+            *jobs as f64 / best
+        );
+    }
+}

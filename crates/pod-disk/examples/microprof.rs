@@ -1,0 +1,87 @@
+//! Decompose the per-job cost of the uncontended replay path: times each
+//! ingredient of `run_until` + `submit_read` separately so engine work is
+//! attributable. Dev tool — not part of the perf gate.
+//!
+//! ```text
+//! cargo run --release -p pod-disk --example microprof
+//! ```
+
+use pod_disk::{ArraySim, DiskSpec, MechModel, RaidConfig, RaidGeometry, SchedulerKind};
+use pod_types::{Pba, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn time(label: &str, iters: u64, mut f: impl FnMut(u64)) {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<34} {ns:8.1} ns/iter");
+}
+
+fn main() {
+    const N: u64 = 2_000_000;
+    let geo = RaidGeometry::new(RaidConfig::paper_raid5());
+    let spec = DiskSpec::wd1600aajs();
+    let mech = MechModel::new(&spec);
+    let cap = geo.config().data_disks() as u64 * spec.capacity_blocks;
+
+    time("driver: mix64 + mod", N, |i| {
+        black_box(mix64(i) % cap);
+    });
+    time("map_block", N, |i| {
+        black_box(geo.map_block(Pba::new(mix64(i) % cap)));
+    });
+    let mut buf = Vec::with_capacity(8);
+    time("plan_read_into 1blk", N, |i| {
+        buf.clear();
+        geo.plan_read_into(Pba::new(mix64(i) % cap), 1, &mut buf);
+        black_box(&buf);
+    });
+    time("plan_read_into 64blk", N, |i| {
+        buf.clear();
+        geo.plan_read_into(Pba::new(mix64(i) % (cap - 64)), 64, &mut buf);
+        black_box(&buf);
+    });
+    time("mech.service_us", N, |i| {
+        black_box(mech.service_us(mix64(i) % cap, 1));
+    });
+    time("spec.service_time (f64)", N, |i| {
+        black_box(spec.service_time(mix64(i) % cap, 1));
+    });
+
+    let mut sim = ArraySim::new(geo.clone(), spec.clone(), SchedulerKind::Fifo);
+    time("engine: run_until+submit_read 1blk", N, |i| {
+        let at = SimTime::from_micros(i * 25_000);
+        sim.run_until(at);
+        sim.submit_read(at, Pba::new(mix64(i) % cap), 1);
+    });
+    sim.run_to_idle();
+    black_box(sim.job_count());
+
+    let mut sim = ArraySim::new(geo.clone(), spec.clone(), SchedulerKind::Fifo);
+    time("engine: submit_read 64blk", N / 4, |i| {
+        let at = SimTime::from_micros(i * 25_000);
+        sim.run_until(at);
+        sim.submit_read(at, Pba::new(i * 64 % (cap - 64)), 64);
+    });
+    sim.run_to_idle();
+    black_box(sim.job_count());
+
+    let mut sim = ArraySim::new(geo.clone(), spec.clone(), SchedulerKind::Fifo);
+    time("engine: submit_write 4blk (rmw)", N / 4, |i| {
+        let at = SimTime::from_micros(i * 50_000);
+        sim.run_until(at);
+        sim.submit_write(at, Pba::new((mix64(i) % (cap - 8)) | 1), 4);
+    });
+    sim.run_to_idle();
+    black_box(sim.job_count());
+}

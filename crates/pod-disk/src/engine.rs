@@ -8,20 +8,65 @@
 //! parity) as well as dedup metadata I/O that must precede data I/O.
 //!
 //! Each disk owns a pending queue drained by the configured
-//! [`SchedulerKind`]; service times come from the [`DiskSpec`] mechanical
-//! model. Event ordering is `(time, sequence)` with a strictly
-//! monotonic sequence, so simulations are fully deterministic.
+//! [`SchedulerKind`]; service times come from the precomputed
+//! [`MechModel`] tables (exactly the [`DiskSpec`] mechanical model).
+//! Event ordering is `(time, sequence)` with a strictly monotonic
+//! sequence, so simulations are fully deterministic.
+//!
+//! # Fast paths
+//!
+//! The engine is the replay bottleneck (perfgate measures `disk_share ≈
+//! 0.97+` for every scheme), so the hot paths avoid the generic event
+//! machinery wherever that cannot change observable behavior:
+//!
+//! * **Analytic quiescent jobs** — a job submitted while the array is
+//!   completely idle (no events, no queued or in-flight ops, no dirty
+//!   cache) has a closed-form outcome: each phase starts when the
+//!   previous one ends, and each disk serves its ops back to back in
+//!   scheduler order. The outcome is precomputed at submission and the
+//!   job *deferred*: if the next interaction is at or after its finish
+//!   time the result is committed wholesale (zero heap events); if
+//!   anything intervenes earlier, the job is *replayed* by pushing the
+//!   exact `PhaseArrive` event the classic engine would have pushed —
+//!   same sequence number, since deferral consumes none — so event
+//!   ordering is bit-for-bit identical either way.
+//! * **Single-op dispatch** — a queue of one op skips scheduler view
+//!   construction ([`SchedulerKind::pick_single`]).
+//! * **Buffer pooling** — op and phase vectors cycle through internal
+//!   pools ([`ArraySim::pooled_ops`] / [`ArraySim::pooled_phases`]);
+//!   phases are moved, never cloned, into the disk queues.
+//! * **Mechanical tables** — seek/rotation arithmetic is table lookups
+//!   ([`MechModel`]), built once per simulator.
 
-use crate::raid::{PhysOp, RaidGeometry, WritePlan};
+use crate::mech::MechModel;
+use crate::raid::{PhysOp, RaidGeometry};
 use crate::sched::{PendingView, SchedulerKind};
 use crate::spec::DiskSpec;
 use pod_types::{Pba, SimDuration, SimTime};
 use std::cmp::Ordering;
+use std::collections::binary_heap::PeekMut;
 use std::collections::BinaryHeap;
 
 /// Handle to a submitted job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobId(usize);
+
+impl JobId {
+    /// Mint a job id for an alternative disk engine (ids are only
+    /// meaningful within the engine that issued them).
+    pub fn from_raw(raw: usize) -> Self {
+        JobId(raw)
+    }
+
+    /// The raw index behind this id.
+    pub fn raw(self) -> usize {
+        self.0
+    }
+}
+
+/// Pools keep at most this many spare buffers; beyond it, buffers are
+/// simply dropped (bounds memory under pathological churn).
+const POOL_CAP: usize = 64;
 
 #[derive(Debug)]
 enum EventKind {
@@ -110,26 +155,85 @@ impl DiskState {
     }
 }
 
+/// Sentinel in [`ArraySim::finish`] for a job that has not completed.
+const UNFINISHED: u64 = u64::MAX;
+
+/// State of a job that still has phases to run. Jobs leave this list as
+/// soon as they complete — the long-lived per-job record is a single
+/// `u64` finish time, which keeps replay memory flat (millions of jobs)
+/// instead of growing a fat struct per request.
 #[derive(Debug)]
-struct JobState {
+struct ActiveJob {
+    id: usize,
     phases: Vec<Vec<PhysOp>>,
     current_phase: usize,
     outstanding: usize,
-    finish: Option<SimTime>,
+}
+
+/// A job admitted on a quiescent array whose outcome was computed
+/// analytically at submission; resolved (committed or replayed) at the
+/// next engine interaction.
+#[derive(Debug)]
+struct Deferred {
+    job: usize,
+    at_us: u64,
+    finish_us: u64,
+    /// The job's phases, held here (not in the active list) so a commit
+    /// never touches the active list; a replay moves them into it.
+    phases: Vec<Vec<PhysOp>>,
+}
+
+/// Analytic per-disk outcome of a deferred job. `add` fields are
+/// additive deltas except `max_queue_depth`, which is a max-candidate.
+#[derive(Debug)]
+struct DiskDelta {
+    disk: usize,
+    head: u64,
+    direction_up: bool,
+    add: DiskStats,
+}
+
+/// Per-disk working state for the analytic mini-simulation.
+#[derive(Debug, Clone, Default)]
+struct AnalyticDisk {
+    head: u64,
+    direction_up: bool,
+    touched: bool,
+    add: DiskStats,
 }
 
 /// Discrete-event simulator for one disk array.
 pub struct ArraySim {
     geometry: RaidGeometry,
     spec: DiskSpec,
+    mech: MechModel,
     sched: SchedulerKind,
     clock: SimTime,
     events: BinaryHeap<Event>,
     seq: u64,
     disks: Vec<DiskState>,
-    jobs: Vec<JobState>,
+    /// Finish time per job id, µs ([`UNFINISHED`] until completion).
+    finish: Vec<u64>,
+    /// Jobs with phases still to run (a handful at a time under replay).
+    active: Vec<ActiveJob>,
     /// Failed members (RAID-5 degraded mode).
     failed: Vec<bool>,
+    /// Count of `true` entries in `failed` (degraded check is per-submit).
+    nfailed: usize,
+    /// At most one analytically precomputed job awaiting resolution.
+    deferred: Option<Deferred>,
+    /// Per-disk outcome of the deferred job (valid while `deferred` is
+    /// `Some`).
+    deferred_fx: Vec<DiskDelta>,
+    /// Scratch for the analytic mini-simulation (one entry per disk).
+    analytic_disks: Vec<AnalyticDisk>,
+    analytic_queues: Vec<Vec<PhysOp>>,
+    /// Reusable buffers cycled through submissions.
+    op_pool: Vec<Vec<PhysOp>>,
+    phase_pool: Vec<Vec<Vec<PhysOp>>>,
+    /// Scratch for scheduler views and per-phase touched-disk sets.
+    view_scratch: Vec<PendingView>,
+    touched_scratch: Vec<usize>,
 }
 
 impl ArraySim {
@@ -138,14 +242,25 @@ impl ArraySim {
         let ndisks = geometry.ndisks();
         Self {
             geometry,
+            mech: MechModel::new(&spec),
             spec,
             sched,
             clock: SimTime::ZERO,
             events: BinaryHeap::new(),
             seq: 0,
             disks: (0..ndisks).map(|_| DiskState::new()).collect(),
-            jobs: Vec::new(),
+            finish: Vec::new(),
+            active: Vec::new(),
             failed: vec![false; ndisks],
+            nfailed: 0,
+            deferred: None,
+            deferred_fx: Vec::new(),
+            analytic_disks: Vec::new(),
+            analytic_queues: (0..ndisks).map(|_| Vec::new()).collect(),
+            op_pool: Vec::new(),
+            phase_pool: Vec::new(),
+            view_scratch: Vec::new(),
+            touched_scratch: Vec::new(),
         }
     }
 
@@ -171,7 +286,10 @@ impl ArraySim {
                 "RAID-5 survives only a single disk failure".into(),
             ));
         }
-        self.failed[disk] = true;
+        if !self.failed[disk] {
+            self.failed[disk] = true;
+            self.nfailed += 1;
+        }
         Ok(())
     }
 
@@ -179,13 +297,16 @@ impl ArraySim {
     /// [`ArraySim::submit_rebuild`] to restore its contents.
     pub fn repair_disk(&mut self, disk: usize) {
         if let Some(f) = self.failed.get_mut(disk) {
+            if *f {
+                self.nfailed -= 1;
+            }
             *f = false;
         }
     }
 
     /// Whether any member is currently failed.
     pub fn is_degraded(&self) -> bool {
-        self.failed.iter().any(|f| *f)
+        self.nfailed != 0
     }
 
     /// Submit a rebuild of `disk` covering the first `region_blocks` of
@@ -223,15 +344,12 @@ impl ArraySim {
         self.submit_phases(at, phases)
     }
 
-    /// Rewrite ops for degraded mode: reads addressing a failed disk
-    /// become reconstruction reads on every survivor; writes to a failed
-    /// disk are dropped.
-    fn degrade_ops(&self, ops: Vec<PhysOp>) -> Vec<PhysOp> {
-        if !self.is_degraded() {
-            return ops;
-        }
-        let mut out: Vec<PhysOp> = Vec::new();
-        for op in ops {
+    /// Rewrite one phase for degraded mode: reads addressing a failed
+    /// disk become reconstruction reads on every survivor; writes to a
+    /// failed disk are dropped.
+    fn degrade_phase(&mut self, phase: &mut Vec<PhysOp>) {
+        let mut out = self.take_op_buf();
+        for op in phase.drain(..) {
             if !self.failed[op.disk] {
                 out.push(op);
                 continue;
@@ -255,7 +373,8 @@ impl ArraySim {
                 });
             }
         }
-        out
+        let drained = std::mem::replace(phase, out);
+        self.recycle_op_buf(drained);
     }
 
     /// The array's address arithmetic.
@@ -278,57 +397,136 @@ impl ArraySim {
         self.clock
     }
 
+    /// Take a cleared op buffer from the internal pool. Buffers handed
+    /// to [`ArraySim::submit_phases`] are recycled automatically, so
+    /// planning into pooled buffers makes submission allocation-free.
+    pub fn pooled_ops(&mut self) -> Vec<PhysOp> {
+        self.take_op_buf()
+    }
+
+    /// Take a cleared phase list from the internal pool; see
+    /// [`ArraySim::pooled_ops`].
+    pub fn pooled_phases(&mut self) -> Vec<Vec<PhysOp>> {
+        self.phase_pool.pop().unwrap_or_default()
+    }
+
+    fn take_op_buf(&mut self) -> Vec<PhysOp> {
+        self.op_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_op_buf(&mut self, mut buf: Vec<PhysOp>) {
+        if buf.capacity() > 0 && self.op_pool.len() < POOL_CAP {
+            buf.clear();
+            self.op_pool.push(buf);
+        }
+    }
+
+    fn recycle_phase_buf(&mut self, mut phases: Vec<Vec<PhysOp>>) {
+        for p in phases.drain(..) {
+            self.recycle_op_buf(p);
+        }
+        if phases.capacity() > 0 && self.phase_pool.len() < POOL_CAP {
+            self.phase_pool.push(phases);
+        }
+    }
+
     /// Submit a job of dependent phases starting at `at` (which must not
     /// be earlier than any previously submitted job's start; trace replay
     /// naturally satisfies this).
-    pub fn submit_phases(&mut self, at: SimTime, phases: Vec<Vec<PhysOp>>) -> JobId {
+    pub fn submit_phases(&mut self, at: SimTime, mut phases: Vec<Vec<PhysOp>>) -> JobId {
+        // A deferred job materializes into its original event before any
+        // new submission, keeping the event/sequence order identical to
+        // the always-heap engine.
+        self.materialize_deferred();
         // Degraded-mode transform, then drop empty phases up front so
         // phase advancement never stalls.
-        let phases: Vec<Vec<PhysOp>> = phases
-            .into_iter()
-            .map(|p| self.degrade_ops(p))
-            .filter(|p| !p.is_empty())
-            .collect();
-        let id = self.jobs.len();
+        if self.is_degraded() {
+            let mut i = 0;
+            while i < phases.len() {
+                let mut p = std::mem::take(&mut phases[i]);
+                self.degrade_phase(&mut p);
+                phases[i] = p;
+                i += 1;
+            }
+        }
+        if phases.iter().any(|p| p.is_empty()) {
+            let mut kept = self.pooled_phases();
+            for p in phases.drain(..) {
+                if p.is_empty() {
+                    self.recycle_op_buf(p);
+                } else {
+                    kept.push(p);
+                }
+            }
+            self.recycle_phase_buf(phases);
+            phases = kept;
+        }
+
+        let id = self.finish.len();
         if phases.is_empty() {
+            self.recycle_phase_buf(phases);
             // Pure-metadata job: completes instantly at submission.
-            self.jobs.push(JobState {
+            self.finish.push(at.as_micros());
+            return JobId(id);
+        }
+        self.finish.push(UNFINISHED);
+        if self.quiescent() {
+            self.defer_job(id, at, phases);
+        } else {
+            self.active.push(ActiveJob {
+                id,
                 phases,
                 current_phase: 0,
                 outstanding: 0,
-                finish: Some(at),
             });
-            return JobId(id);
+            self.push_event(at.as_micros(), EventKind::PhaseArrive { job: id });
         }
-        self.jobs.push(JobState {
-            phases,
-            current_phase: 0,
-            outstanding: 0,
-            finish: None,
-        });
-        self.push_event(at, EventKind::PhaseArrive { job: id });
         JobId(id)
     }
 
     /// Submit a read of `[pba, pba+nblocks)` through the RAID mapping.
     pub fn submit_read(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
-        let ops = self.geometry.plan_read(pba, nblocks);
-        self.submit_phases(at, vec![ops])
+        let mut ops = self.take_op_buf();
+        self.geometry.plan_read_into(pba, nblocks, &mut ops);
+        let mut phases = self.pooled_phases();
+        phases.push(ops);
+        self.submit_phases(at, phases)
     }
 
     /// Submit a write of `[pba, pba+nblocks)` including parity work.
     pub fn submit_write(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
-        let WritePlan { phases } = self.geometry.plan_write(pba, nblocks);
+        let mut reads = self.take_op_buf();
+        let mut writes = self.take_op_buf();
+        self.geometry
+            .plan_write_into(pba, nblocks, &mut reads, &mut writes);
+        let mut phases = self.pooled_phases();
+        if reads.is_empty() {
+            self.recycle_op_buf(reads);
+        } else {
+            phases.push(reads);
+        }
+        phases.push(writes);
         self.submit_phases(at, phases)
     }
 
     /// Process events up to and including `t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(ev) = self.events.peek() {
-            if ev.at_us > t.as_micros() {
-                break;
+        let t_us = t.as_micros();
+        if let Some(d) = self.deferred.take() {
+            if d.finish_us <= t_us {
+                self.commit_deferred(d);
+            } else {
+                self.deferred = Some(d);
+                self.materialize_deferred();
             }
-            let ev = self.events.pop().expect("peeked event exists");
+        }
+        // Single-traversal drain: `peek_mut` + `PeekMut::pop` re-sifts
+        // the heap once per event instead of the peek-then-pop pair.
+        loop {
+            let ev = match self.events.peek_mut() {
+                Some(head) if head.at_us <= t_us => PeekMut::pop(head),
+                _ => break,
+            };
             self.clock = SimTime::from_micros(ev.at_us);
             self.handle(ev);
         }
@@ -337,6 +535,9 @@ impl ArraySim {
 
     /// Drain every event; afterwards all submitted jobs are complete.
     pub fn run_to_idle(&mut self) {
+        if let Some(d) = self.deferred.take() {
+            self.commit_deferred(d);
+        }
         while let Some(ev) = self.events.pop() {
             self.clock = SimTime::from_micros(ev.at_us);
             self.handle(ev);
@@ -345,7 +546,10 @@ impl ArraySim {
 
     /// Completion time of `job`, if it has finished.
     pub fn job_completion(&self, job: JobId) -> Option<SimTime> {
-        self.jobs.get(job.0).and_then(|j| j.finish)
+        match self.finish.get(job.0) {
+            Some(&f) if f != UNFINISHED => Some(SimTime::from_micros(f)),
+            _ => None,
+        }
     }
 
     /// Per-disk statistics.
@@ -365,7 +569,7 @@ impl ArraySim {
 
     /// Number of jobs submitted so far.
     pub fn job_count(&self) -> usize {
-        self.jobs.len()
+        self.finish.len()
     }
 
     /// Mean fraction of elapsed simulated time the disks spent busy
@@ -379,7 +583,8 @@ impl ArraySim {
         (busy as f64 / (elapsed as f64 * self.disks.len() as f64)).min(1.0)
     }
 
-    /// Mean queue wait per op across all disks, µs.
+    /// Mean queue wait per op across all disks, µs. 0.0 (not NaN) when
+    /// no op has completed yet.
     pub fn mean_queue_wait_us(&self) -> f64 {
         let ops: u64 = self.disks.iter().map(|d| d.stats.ops).sum();
         if ops == 0 {
@@ -389,29 +594,265 @@ impl ArraySim {
         wait as f64 / ops as f64
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+    /// True when nothing is in flight anywhere: the precondition for the
+    /// analytic job path. Write-back caching is excluded because cache
+    /// admission depends on flush timing, which is event-driven.
+    fn quiescent(&self) -> bool {
+        let q =
+            self.deferred.is_none() && self.events.is_empty() && self.spec.write_cache_blocks == 0;
+        // With write caching off, every busy disk and every pending op
+        // has a completion event in the heap (dispatch always pairs
+        // `busy = true` with an `OpComplete` push, and `fail_disk` never
+        // cancels events), so an empty heap alone proves idleness.
+        debug_assert!(
+            !q || self
+                .disks
+                .iter()
+                .all(|d| !d.busy && d.pending.is_empty() && d.dirty.is_empty()),
+            "empty event heap but a disk is busy"
+        );
+        q
+    }
+
+    /// Compute the outcome of job `id` (submitted at `at` on a quiescent
+    /// array) without touching the event heap, and park it as deferred.
+    ///
+    /// The computation mirrors the event engine exactly: every phase
+    /// starts when the previous one fully completes; within a phase each
+    /// disk serves its ops back to back, picked by the scheduler from a
+    /// queue whose ops all arrived at phase start.
+    fn defer_job(&mut self, id: usize, at: SimTime, phases: Vec<Vec<PhysOp>>) {
+        let at_us = at.as_micros();
+
+        // Fast shape — every phase has at most one op per disk (plain
+        // reads, streaming scans, RAID-5 read-modify-writes): within a
+        // phase the ops run independently, so each disk's outcome is a
+        // direct computation, the phase ends at the slowest disk, and the
+        // next phase starts there. No queues, no scratch resets.
+        if self.disks.len() <= 64 {
+            let mut shape_ok = true;
+            'shape: for phase in &phases {
+                if phase.len() > self.disks.len() {
+                    shape_ok = false;
+                    break;
+                }
+                let mut mask: u64 = 0;
+                for op in phase {
+                    let bit = 1u64 << op.disk;
+                    if mask & bit != 0 {
+                        shape_ok = false;
+                        break 'shape;
+                    }
+                    mask |= bit;
+                }
+            }
+            if shape_ok {
+                let sched = self.sched;
+                self.deferred_fx.clear();
+                let mut phase_start = at_us;
+                for phase in &phases {
+                    let mut phase_end = phase_start;
+                    for op in phase {
+                        // First-touch order; a handful of entries, so a
+                        // scan beats any per-disk index.
+                        let fx = match self.deferred_fx.iter().position(|f| f.disk == op.disk) {
+                            Some(si) => &mut self.deferred_fx[si],
+                            None => {
+                                let d = &self.disks[op.disk];
+                                self.deferred_fx.push(DiskDelta {
+                                    disk: op.disk,
+                                    head: d.head,
+                                    direction_up: d.direction_up,
+                                    add: DiskStats::default(),
+                                });
+                                self.deferred_fx.last_mut().unwrap()
+                            }
+                        };
+                        // Each op is alone on its disk and arrives at
+                        // phase start, so it dispatches immediately:
+                        // queue wait 0, queue depth 1.
+                        let dir = sched.pick_single(op.lba, fx.head, fx.direction_up);
+                        let service = self.mech.service_us(fx.head.abs_diff(op.lba), op.nblocks);
+                        fx.head = op.lba + op.nblocks as u64;
+                        fx.direction_up = dir;
+                        fx.add.ops += 1;
+                        fx.add.busy_us += service;
+                        fx.add.max_queue_depth = fx.add.max_queue_depth.max(1);
+                        if op.write {
+                            fx.add.blocks_written += op.nblocks as u64;
+                        } else {
+                            fx.add.blocks_read += op.nblocks as u64;
+                        }
+                        phase_end = phase_end.max(phase_start + service);
+                    }
+                    phase_start = phase_end;
+                }
+                self.deferred = Some(Deferred {
+                    job: id,
+                    at_us,
+                    finish_us: phase_start,
+                    phases,
+                });
+                return;
+            }
+        }
+
+        let mut queues = std::mem::take(&mut self.analytic_queues);
+        let mut adisks = std::mem::take(&mut self.analytic_disks);
+        let mut views = std::mem::take(&mut self.view_scratch);
+        let sched = self.sched;
+
+        adisks.clear();
+        for d in &self.disks {
+            adisks.push(AnalyticDisk {
+                head: d.head,
+                direction_up: d.direction_up,
+                touched: false,
+                add: DiskStats::default(),
+            });
+        }
+
+        let mut phase_start = at_us;
+        for phase in &phases {
+            for op in phase {
+                debug_assert!(op.disk < queues.len(), "op addressed to missing disk");
+                queues[op.disk].push(*op);
+            }
+            let mut phase_end = phase_start;
+            for op in phase {
+                let q = &mut queues[op.disk];
+                if q.is_empty() {
+                    continue; // disk already drained this phase
+                }
+                let ad = &mut adisks[op.disk];
+                ad.touched = true;
+                ad.add.max_queue_depth = ad.add.max_queue_depth.max(q.len());
+                let mut free = phase_start;
+                while !q.is_empty() {
+                    let (idx, dir) = if q.len() == 1 {
+                        (0, sched.pick_single(q[0].lba, ad.head, ad.direction_up))
+                    } else {
+                        views.clear();
+                        views.extend(q.iter().map(|op| PendingView {
+                            lba: op.lba,
+                            arrival_us: phase_start,
+                        }));
+                        sched.pick(&views, ad.head, ad.direction_up)
+                    };
+                    ad.direction_up = dir;
+                    let op = q.swap_remove(idx);
+                    let distance = ad.head.abs_diff(op.lba);
+                    let service = self.mech.service_us(distance, op.nblocks);
+                    ad.head = op.lba + op.nblocks as u64;
+                    ad.add.ops += 1;
+                    ad.add.busy_us += service;
+                    ad.add.queue_wait_us += free - phase_start;
+                    if op.write {
+                        ad.add.blocks_written += op.nblocks as u64;
+                    } else {
+                        ad.add.blocks_read += op.nblocks as u64;
+                    }
+                    free += service;
+                }
+                phase_end = phase_end.max(free);
+            }
+            phase_start = phase_end;
+        }
+
+        self.deferred_fx.clear();
+        for (disk, ad) in adisks.iter().enumerate() {
+            if ad.touched {
+                self.deferred_fx.push(DiskDelta {
+                    disk,
+                    head: ad.head,
+                    direction_up: ad.direction_up,
+                    add: ad.add,
+                });
+            }
+        }
+        self.analytic_queues = queues;
+        self.analytic_disks = adisks;
+        self.view_scratch = views;
+        self.deferred = Some(Deferred {
+            job: id,
+            at_us,
+            finish_us: phase_start,
+            phases,
+        });
+    }
+
+    /// Apply a deferred job's precomputed outcome wholesale. Only legal
+    /// when the engine is about to advance past its finish time.
+    fn commit_deferred(&mut self, d: Deferred) {
+        debug_assert!(self.events.is_empty(), "deferred job with live events");
+        for delta in &self.deferred_fx {
+            let disk = &mut self.disks[delta.disk];
+            disk.head = delta.head;
+            disk.direction_up = delta.direction_up;
+            let s = &mut disk.stats;
+            s.ops += delta.add.ops;
+            s.blocks_read += delta.add.blocks_read;
+            s.blocks_written += delta.add.blocks_written;
+            s.busy_us += delta.add.busy_us;
+            s.queue_wait_us += delta.add.queue_wait_us;
+            s.max_queue_depth = s.max_queue_depth.max(delta.add.max_queue_depth);
+        }
+        self.deferred_fx.clear();
+        self.finish[d.job] = d.finish_us;
+        self.recycle_phase_buf(d.phases);
+        // The classic engine's clock would sit at the job's last event.
+        self.clock = self.clock.max_of(SimTime::from_micros(d.finish_us));
+    }
+
+    /// Index of `job` in the active list. Active jobs number at most a
+    /// handful under replay, so a linear scan beats any map.
+    fn active_idx(&self, job: usize) -> usize {
+        self.active
+            .iter()
+            .position(|a| a.id == job)
+            .expect("job is active")
+    }
+
+    /// Turn the deferred job back into the exact `PhaseArrive` event the
+    /// classic engine would have pushed at submission. No sequence
+    /// numbers were consumed while deferred, so the event (and all that
+    /// follow) get the same `(time, seq)` they always had.
+    fn materialize_deferred(&mut self) {
+        if let Some(d) = self.deferred.take() {
+            self.deferred_fx.clear();
+            self.active.push(ActiveJob {
+                id: d.job,
+                phases: d.phases,
+                current_phase: 0,
+                outstanding: 0,
+            });
+            self.push_event(d.at_us, EventKind::PhaseArrive { job: d.job });
+        }
+    }
+
+    fn push_event(&mut self, at_us: u64, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Event {
-            at_us: at.as_micros(),
-            seq,
-            kind,
-        });
+        self.events.push(Event { at_us, seq, kind });
     }
 
     fn handle(&mut self, ev: Event) {
         match ev.kind {
             EventKind::PhaseArrive { job } => {
-                let now = self.clock;
-                let ops = self.jobs[job].phases[self.jobs[job].current_phase].clone();
-                self.jobs[job].outstanding = ops.len();
-                let mut touched: Vec<usize> = Vec::with_capacity(ops.len());
-                for op in ops {
+                let now_us = self.clock.as_micros();
+                let a_idx = self.active_idx(job);
+                let a = &mut self.active[a_idx];
+                let cp = a.current_phase;
+                let mut ops = std::mem::take(&mut a.phases[cp]);
+                a.outstanding = ops.len();
+                let mut touched = std::mem::take(&mut self.touched_scratch);
+                touched.clear();
+                for op in ops.drain(..) {
                     debug_assert!(op.disk < self.disks.len(), "op addressed to missing disk");
                     let d = &mut self.disks[op.disk];
                     d.pending.push(QueuedOp {
                         op,
-                        arrival_us: now.as_micros(),
+                        arrival_us: now_us,
                         job,
                     });
                     d.stats.max_queue_depth = d.stats.max_queue_depth.max(d.pending.len());
@@ -419,9 +860,12 @@ impl ArraySim {
                         touched.push(op.disk);
                     }
                 }
-                for disk in touched {
+                self.recycle_op_buf(ops);
+                for &disk in &touched {
                     self.try_dispatch(disk);
                 }
+                touched.clear();
+                self.touched_scratch = touched;
             }
             EventKind::FlushComplete { disk } => {
                 self.disks[disk].busy = false;
@@ -429,17 +873,27 @@ impl ArraySim {
             }
             EventKind::OpComplete { disk, job } => {
                 self.disks[disk].busy = false;
-                let j = &mut self.jobs[job];
-                debug_assert!(j.outstanding > 0, "completion for idle job");
-                j.outstanding -= 1;
-                if j.outstanding == 0 {
-                    j.current_phase += 1;
-                    if j.current_phase < j.phases.len() {
-                        let now = self.clock;
-                        self.push_event(now, EventKind::PhaseArrive { job });
+                let a_idx = self.active_idx(job);
+                let a = &mut self.active[a_idx];
+                debug_assert!(a.outstanding > 0, "completion for idle job");
+                a.outstanding -= 1;
+                let mut next_phase = false;
+                let mut done = false;
+                if a.outstanding == 0 {
+                    a.current_phase += 1;
+                    if a.current_phase < a.phases.len() {
+                        next_phase = true;
                     } else {
-                        j.finish = Some(self.clock);
+                        done = true;
                     }
+                }
+                if next_phase {
+                    let now_us = self.clock.as_micros();
+                    self.push_event(now_us, EventKind::PhaseArrive { job });
+                } else if done {
+                    self.finish[job] = self.clock.as_micros();
+                    let a = self.active.swap_remove(a_idx);
+                    self.recycle_phase_buf(a.phases);
                 }
                 self.try_dispatch(disk);
             }
@@ -447,7 +901,8 @@ impl ArraySim {
     }
 
     fn try_dispatch(&mut self, disk: usize) {
-        let now = self.clock;
+        let now_us = self.clock.as_micros();
+        let sched = self.sched;
         let d = &mut self.disks[disk];
         if d.busy {
             return;
@@ -456,26 +911,31 @@ impl ArraySim {
             // Idle: flush one cached dirty write to media.
             if let Some(op) = d.dirty.pop_front() {
                 let distance = d.head.abs_diff(op.lba);
-                let service = self.spec.service_time(distance, op.nblocks);
+                let service = self.mech.service_us(distance, op.nblocks);
                 d.head = op.lba + op.nblocks as u64;
                 d.busy = true;
                 d.dirty_blocks -= op.nblocks as u64;
-                d.stats.busy_us += service.as_micros();
+                d.stats.busy_us += service;
                 d.stats.blocks_written += op.nblocks as u64;
-                let done = now + service;
-                self.push_event(done, EventKind::FlushComplete { disk });
+                self.push_event(now_us + service, EventKind::FlushComplete { disk });
             }
             return;
         }
-        let views: Vec<PendingView> = d
-            .pending
-            .iter()
-            .map(|q| PendingView {
+        let (idx, dir) = if d.pending.len() == 1 {
+            // Single-op fast path: no scheduler view construction.
+            (
+                0,
+                sched.pick_single(d.pending[0].op.lba, d.head, d.direction_up),
+            )
+        } else {
+            let views = &mut self.view_scratch;
+            views.clear();
+            views.extend(d.pending.iter().map(|q| PendingView {
                 lba: q.op.lba,
                 arrival_us: q.arrival_us,
-            })
-            .collect();
-        let (idx, dir) = self.sched.pick(&views, d.head, d.direction_up);
+            }));
+            sched.pick(views, d.head, d.direction_up)
+        };
         d.direction_up = dir;
         let q = d.pending.swap_remove(idx);
 
@@ -484,32 +944,30 @@ impl ArraySim {
         // are accounted at flush time.
         let cache_room = self.spec.write_cache_blocks.saturating_sub(d.dirty_blocks);
         if q.op.write && self.spec.write_cache_blocks > 0 && q.op.nblocks as u64 <= cache_room {
-            let service = self.spec.service_time(0, q.op.nblocks);
+            let service = self.mech.service_us(0, q.op.nblocks);
             d.dirty.push_back(q.op);
             d.dirty_blocks += q.op.nblocks as u64;
             d.busy = true;
             d.stats.ops += 1;
-            d.stats.busy_us += service.as_micros();
-            d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
-            let done = now + service;
-            self.push_event(done, EventKind::OpComplete { disk, job: q.job });
+            d.stats.busy_us += service;
+            d.stats.queue_wait_us += now_us.saturating_sub(q.arrival_us);
+            self.push_event(now_us + service, EventKind::OpComplete { disk, job: q.job });
             return;
         }
 
         let distance = d.head.abs_diff(q.op.lba);
-        let service = self.spec.service_time(distance, q.op.nblocks);
+        let service = self.mech.service_us(distance, q.op.nblocks);
         d.head = q.op.lba + q.op.nblocks as u64;
         d.busy = true;
         d.stats.ops += 1;
-        d.stats.busy_us += service.as_micros();
-        d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
+        d.stats.busy_us += service;
+        d.stats.queue_wait_us += now_us.saturating_sub(q.arrival_us);
         if q.op.write {
             d.stats.blocks_written += q.op.nblocks as u64;
         } else {
             d.stats.blocks_read += q.op.nblocks as u64;
         }
-        let done = now + service;
-        self.push_event(done, EventKind::OpComplete { disk, job: q.job });
+        self.push_event(now_us + service, EventKind::OpComplete { disk, job: q.job });
     }
 }
 
@@ -530,7 +988,6 @@ pub fn isolated_latency(
     sim.run_to_idle();
     sim.job_completion(job).expect("job ran to completion") - at
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +1123,59 @@ mod tests {
         assert!(sim.job_completion(j).is_none(), "op still in flight");
         sim.run_until(SimTime::from_secs(1));
         assert!(sim.job_completion(j).is_some());
+    }
+
+    #[test]
+    fn run_until_exact_boundary_completes_the_event() {
+        // Regression for the heap-drain rewrite: an event scheduled at
+        // exactly `t` must be processed by `run_until(t)` (the bound is
+        // inclusive), and the job must not complete one call late.
+        let mut sim = single_sim();
+        let j = sim.submit_read(SimTime::ZERO, Pba::new(10_000), 1);
+        let done = {
+            let mut probe = single_sim();
+            let p = probe.submit_read(SimTime::ZERO, Pba::new(10_000), 1);
+            probe.run_to_idle();
+            probe.job_completion(p).expect("probe completes")
+        };
+        sim.run_until(SimTime::from_micros(done.as_micros() - 1));
+        assert!(sim.job_completion(j).is_none(), "one µs early: in flight");
+        sim.run_until(done);
+        assert_eq!(sim.job_completion(j), Some(done), "exact bound completes");
+    }
+
+    #[test]
+    fn fine_grained_run_until_matches_run_to_idle() {
+        // Advancing in 1ms slices must land every completion on the same
+        // timestamp as a single drain — the peek-then-pop fix's contract.
+        let drive = |slice_us: u64| {
+            let mut sim = raid5_sim();
+            let mut jobs = Vec::new();
+            for i in 0..40u64 {
+                let at = SimTime::from_micros(i * 700);
+                jobs.push(sim.submit_read(at, Pba::new(i * 997 % 3_000), 2));
+            }
+            if slice_us == 0 {
+                sim.run_to_idle();
+            } else {
+                for step in 1..=200u64 {
+                    sim.run_until(SimTime::from_micros(step * slice_us));
+                }
+                sim.run_to_idle();
+            }
+            jobs.iter()
+                .map(|j| sim.job_completion(*j).expect("done").as_micros())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(drive(0), drive(1_000));
+    }
+
+    #[test]
+    fn mean_queue_wait_is_zero_not_nan_before_any_op() {
+        let sim = single_sim();
+        let w = sim.mean_queue_wait_us();
+        assert_eq!(w, 0.0, "no completed ops must read as 0.0, not NaN");
+        assert!(!w.is_nan());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Precomputed mechanical-model tables.
+//!
+//! [`DiskSpec::seek_time`] evaluates `min + (max-min)·√(d/cap)` in f64
+//! per op; [`MechModel`] replaces that with tables built once per
+//! [`crate::ArraySim`](crate::engine::ArraySim):
+//!
+//! * a *value-threshold* table `thresh[i]` = the smallest distance whose
+//!   seek rounds to `min_seek + i` µs, built against the original f64
+//!   math as the oracle, so lookups are **exactly** the old arithmetic;
+//! * an *isqrt bucket* index `bucket[r]` = the seek value at distance
+//!   `r²`, so a lookup is one integer square root, one load, and a short
+//!   forward scan (seek grows ≤ a few µs per bucket) instead of an f64
+//!   divide/sqrt pipeline or a binary search;
+//! * precomputed half-revolution and per-block transfer times, removing
+//!   the two integer divisions `avg_rotational_latency` pays per op.
+//!
+//! Specs whose tables would be unreasonably large (pathological seek
+//! ranges or capacities) fall back to the direct f64 formula, which is
+//! the same arithmetic — the tables are a cache, never a re-model.
+
+use crate::spec::DiskSpec;
+
+/// Largest `max_seek - min_seek` (µs) we will tabulate; 1 Mi entries of
+/// `u64` ≈ 8 MiB. Real disks sit around 16 k.
+const MAX_SEEK_RANGE: u64 = 1 << 20;
+/// Largest `isqrt(capacity)` we will tabulate; real disks sit < 10 k.
+const MAX_SQRT_CAP: u64 = 1 << 22;
+
+/// Exact quantized seek-time table for one [`DiskSpec`].
+#[derive(Debug, Clone)]
+struct SeekTable {
+    min_seek_us: u64,
+    max_seek_us: u64,
+    capacity_blocks: u64,
+    /// `thresh[i]` = smallest distance `d ≥ 1` with
+    /// `seek(d) ≥ min_seek + i`; monotone non-decreasing.
+    thresh: Vec<u64>,
+    /// `bucket[r]` = `seek(r²) - min_seek`, for `r ∈ 0..=isqrt(cap)+1`.
+    bucket: Vec<u32>,
+}
+
+/// Exact integer square root: `⌊√d⌋`.
+#[inline]
+fn isqrt(d: u64) -> u64 {
+    if d >= 1 << 52 {
+        // Out of f64's exact integer range; take the slow exact path.
+        return d.isqrt();
+    }
+    // Hardware sqrt is an order of magnitude faster than the software
+    // integer routine. IEEE requires sqrt to be correctly rounded, so
+    // for d < 2⁵² the truncated result is floor(√d) or floor(√d)+1
+    // (never low): one branchless step down corrects it exactly.
+    let mut r = (d as f64).sqrt() as u64;
+    r -= (r * r > d) as u64;
+    debug_assert!(r * r <= d && (r + 1) * (r + 1) > d);
+    r
+}
+
+impl SeekTable {
+    /// Build the table using `spec.seek_time` as the oracle, so table
+    /// lookups reproduce the f64 math bit-for-bit.
+    fn build(spec: &DiskSpec) -> Option<Self> {
+        let min = spec.min_seek_us;
+        let max = spec.max_seek_us;
+        let cap = spec.capacity_blocks;
+        let range = max - min;
+        if range > MAX_SEEK_RANGE || isqrt(cap) > MAX_SQRT_CAP {
+            return None;
+        }
+        let oracle = |d: u64| spec.seek_time(d).as_micros();
+
+        // thresh[i]: invert the monotone seek curve. A closed-form first
+        // guess from `seek(d) ≥ min + i  ⇔  d ≥ cap·((i-½)/range)²`
+        // lands within a step or two of the boundary; the oracle fixup
+        // makes the entry exact regardless of f64 rounding.
+        let mut thresh = Vec::with_capacity(range as usize + 1);
+        for i in 0..=range {
+            let mut d = if i == 0 {
+                1
+            } else {
+                let frac = (i as f64 - 0.5) / range as f64;
+                ((cap as f64 * frac * frac).ceil() as u64).clamp(1, cap)
+            };
+            let target = min + i;
+            while d > 1 && oracle(d - 1) >= target {
+                d -= 1;
+            }
+            while oracle(d) < target {
+                d += 1;
+            }
+            thresh.push(d);
+        }
+        debug_assert!(thresh.windows(2).all(|w| w[0] <= w[1]));
+
+        let nbuckets = isqrt(cap) + 2;
+        let bucket = (0..nbuckets)
+            .map(|r| (oracle((r * r).max(1).min(cap)) - min) as u32)
+            .collect();
+
+        Some(Self {
+            min_seek_us: min,
+            max_seek_us: max,
+            capacity_blocks: cap,
+            thresh,
+            bucket,
+        })
+    }
+
+    /// Seek time in µs for a head movement of `distance` blocks.
+    #[inline]
+    fn seek_us(&self, distance: u64) -> u64 {
+        if distance == 0 {
+            return 0;
+        }
+        if distance >= self.capacity_blocks {
+            return self.max_seek_us;
+        }
+        // bucket[r] is a lower bound for seek(d) when r = ⌊√d⌋ (seek is
+        // monotone and r² ≤ d); scan forward over the value thresholds
+        // to the exact quantized value. Buckets are ~√cap apart on the
+        // seek curve, so the scan is a handful of steps.
+        let r = isqrt(distance);
+        let mut v = self.bucket[r as usize] as u64;
+        let range = (self.thresh.len() - 1) as u64;
+        while v < range && self.thresh[(v + 1) as usize] <= distance {
+            v += 1;
+        }
+        self.min_seek_us + v
+    }
+}
+
+/// Precomputed per-disk service-time model; drop-in for the
+/// [`DiskSpec`] arithmetic the event engine used to run per op.
+#[derive(Debug, Clone)]
+pub struct MechModel {
+    /// Half a revolution, µs (the model's rotational latency).
+    rot_half_us: u64,
+    /// Media transfer time per 4 KiB block, µs.
+    transfer_us_per_block: u64,
+    /// Quantized seek table, or `None` → direct f64 fallback.
+    table: Option<SeekTable>,
+    /// Spec retained for the fallback path.
+    spec: DiskSpec,
+}
+
+impl MechModel {
+    /// Precompute tables for `spec`.
+    pub fn new(spec: &DiskSpec) -> Self {
+        Self {
+            rot_half_us: 60_000_000 / spec.rpm as u64 / 2,
+            transfer_us_per_block: spec.transfer_us_per_block,
+            table: SeekTable::build(spec),
+            spec: spec.clone(),
+        }
+    }
+
+    /// Seek time in µs (exactly [`DiskSpec::seek_time`]).
+    #[inline]
+    pub fn seek_us(&self, distance: u64) -> u64 {
+        match &self.table {
+            Some(t) => t.seek_us(distance),
+            None => self.spec.seek_time(distance).as_micros(),
+        }
+    }
+
+    /// Full service time in µs for an access `distance` blocks from the
+    /// head transferring `nblocks` (exactly [`DiskSpec::service_time`]):
+    /// sequential continuation (`distance == 0`) is pure transfer,
+    /// anything else pays seek + half-revolution + transfer.
+    #[inline]
+    pub fn service_us(&self, distance: u64, nblocks: u32) -> u64 {
+        let transfer = self.transfer_us_per_block * nblocks as u64;
+        if distance == 0 {
+            transfer
+        } else {
+            self.seek_us(distance) + self.rot_half_us + transfer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 64-bit mixer for sampling large distance spaces.
+    fn mix64(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn assert_matches_spec(spec: &DiskSpec, d: u64) {
+        let m = MechModel::new(spec);
+        assert_eq!(
+            m.seek_us(d),
+            spec.seek_time(d).as_micros(),
+            "seek mismatch at distance {d}"
+        );
+    }
+
+    #[test]
+    fn test_disk_exhaustive_equivalence() {
+        let spec = DiskSpec::test_disk();
+        let m = MechModel::new(&spec);
+        assert!(m.table.is_some(), "test disk should tabulate");
+        for d in 0..=spec.capacity_blocks + 100 {
+            assert_eq!(m.seek_us(d), spec.seek_time(d).as_micros(), "distance {d}");
+        }
+    }
+
+    #[test]
+    fn paper_disk_boundary_and_sampled_equivalence() {
+        let spec = DiskSpec::wd1600aajs();
+        let m = MechModel::new(&spec);
+        let t = m.table.as_ref().expect("paper disk should tabulate");
+        // Every quantization boundary, one step either side.
+        for &d in &t.thresh {
+            for probe in [d.saturating_sub(1), d, d + 1] {
+                assert_eq!(
+                    m.seek_us(probe),
+                    spec.seek_time(probe).as_micros(),
+                    "threshold probe {probe}"
+                );
+            }
+        }
+        // Every isqrt bucket edge.
+        for r in 0..=isqrt(spec.capacity_blocks) + 1 {
+            for probe in [(r * r).saturating_sub(1), r * r, r * r + 1] {
+                assert_eq!(
+                    m.seek_us(probe),
+                    spec.seek_time(probe).as_micros(),
+                    "bucket probe {probe}"
+                );
+            }
+        }
+        // Dense pseudo-random sample of the full distance space.
+        for i in 0..200_000u64 {
+            let d = mix64(i) % (spec.capacity_blocks + 10_000);
+            assert_eq!(
+                m.seek_us(d),
+                spec.seek_time(d).as_micros(),
+                "sampled distance {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_time_matches_spec() {
+        for spec in [DiskSpec::test_disk(), DiskSpec::wd1600aajs()] {
+            let m = MechModel::new(&spec);
+            for i in 0..20_000u64 {
+                let d = mix64(i) % (spec.capacity_blocks + 1_000);
+                let n = (mix64(i ^ 0xABCD) % 256 + 1) as u32;
+                assert_eq!(
+                    m.service_us(d, n),
+                    spec.service_time(d, n).as_micros(),
+                    "distance {d}, {n} blocks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seek_saturates_beyond_capacity() {
+        let spec = DiskSpec::test_disk();
+        let m = MechModel::new(&spec);
+        assert_eq!(m.seek_us(spec.capacity_blocks), spec.max_seek_us);
+        assert_eq!(m.seek_us(u64::MAX), spec.max_seek_us);
+        assert_eq!(m.seek_us(0), 0);
+    }
+
+    #[test]
+    fn pathological_spec_falls_back_to_direct_math() {
+        // A seek range too wide to tabulate still answers exactly.
+        let spec = DiskSpec {
+            capacity_blocks: 1 << 40,
+            min_seek_us: 1,
+            max_seek_us: 10_000_000,
+            rpm: 7_200,
+            transfer_us_per_block: 42,
+            write_cache_blocks: 0,
+        };
+        let m = MechModel::new(&spec);
+        assert!(m.table.is_none(), "range too large to tabulate");
+        for d in [0u64, 1, 1 << 20, 1 << 39, 1 << 41] {
+            assert_matches_spec(&spec, d);
+        }
+    }
+
+    #[test]
+    fn odd_parameter_specs_stay_exact() {
+        // Prime-ish parameters shake out rounding-boundary bugs.
+        for (cap, min, max, rpm) in [
+            (7_919u64, 97u64, 1_009u64, 5_400u32),
+            (1_000_003, 433, 23_029, 10_000),
+            (1_048_576, 500, 500, 7_200), // zero seek range
+            (3, 10, 20, 15_000),          // tiny disk
+        ] {
+            let spec = DiskSpec {
+                capacity_blocks: cap,
+                min_seek_us: min,
+                max_seek_us: max,
+                rpm,
+                transfer_us_per_block: 13,
+                write_cache_blocks: 0,
+            };
+            let m = MechModel::new(&spec);
+            let upper = (cap + 50).min(200_000);
+            for d in 0..=upper {
+                assert_eq!(
+                    m.seek_us(d),
+                    spec.seek_time(d).as_micros(),
+                    "cap={cap} min={min} max={max} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotational_precompute_matches_spec() {
+        for spec in [DiskSpec::test_disk(), DiskSpec::wd1600aajs()] {
+            let m = MechModel::new(&spec);
+            assert_eq!(m.rot_half_us, spec.avg_rotational_latency().as_micros());
+        }
+    }
+}

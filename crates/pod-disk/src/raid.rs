@@ -55,13 +55,51 @@ impl WritePlan {
 #[derive(Clone, Debug)]
 pub struct RaidGeometry {
     cfg: RaidConfig,
+    /// `log2(stripe_unit_blocks)` when the unit is a power of two —
+    /// replaces the div/mod pair in every mapping with shift/mask. The
+    /// paper array (16-block unit) and every preset qualify.
+    unit_shift: Option<u32>,
+    /// `ndisks - 1` when the member count is a power of two — same
+    /// strength reduction for the parity-rotation modulus.
+    disk_mask: Option<u64>,
 }
 
 impl RaidGeometry {
     /// Build geometry for a validated config.
     pub fn new(cfg: RaidConfig) -> Self {
         debug_assert!(cfg.validate().is_ok());
-        Self { cfg }
+        let unit_shift = cfg
+            .stripe_unit_blocks
+            .is_power_of_two()
+            .then(|| cfg.stripe_unit_blocks.trailing_zeros());
+        let disk_mask = (cfg.ndisks.is_power_of_two()).then(|| cfg.ndisks as u64 - 1);
+        Self {
+            cfg,
+            unit_shift,
+            disk_mask,
+        }
+    }
+
+    /// `x % ndisks` without the hardware divide when possible.
+    #[inline]
+    fn mod_disks(&self, x: u64) -> u64 {
+        match self.disk_mask {
+            Some(m) => x & m,
+            None => x % self.cfg.ndisks as u64,
+        }
+    }
+
+    /// `(pba / unit, pba % unit)` without the hardware divide when the
+    /// stripe unit is a power of two.
+    #[inline]
+    fn split_unit(&self, pba: u64) -> (u64, u64) {
+        match self.unit_shift {
+            Some(s) => (pba >> s, pba & (self.cfg.stripe_unit_blocks - 1)),
+            None => (
+                pba / self.cfg.stripe_unit_blocks,
+                pba % self.cfg.stripe_unit_blocks,
+            ),
+        }
     }
 
     /// The underlying configuration.
@@ -80,26 +118,25 @@ impl RaidGeometry {
     }
 
     /// Map a data block address to `(disk, disk-local block)`.
+    #[inline]
     pub fn map_block(&self, pba: Pba) -> (usize, u64) {
         let u = self.cfg.stripe_unit_blocks;
         let n = self.cfg.ndisks as u64;
         match self.cfg.level {
             RaidLevel::Single => (0, pba.raw()),
             RaidLevel::Raid0 => {
-                let unit = pba.raw() / u;
-                let off = pba.raw() % u;
-                let disk = (unit % n) as usize;
+                let (unit, off) = self.split_unit(pba.raw());
+                let disk = self.mod_disks(unit) as usize;
                 let local = (unit / n) * u + off;
                 (disk, local)
             }
             RaidLevel::Raid5 => {
                 let data_disks = n - 1;
-                let unit = pba.raw() / u;
-                let off = pba.raw() % u;
+                let (unit, off) = self.split_unit(pba.raw());
                 let stripe = unit / data_disks;
                 let unit_in_stripe = unit % data_disks;
-                let parity_disk = (stripe % n) as usize;
-                let disk = ((parity_disk as u64 + 1 + unit_in_stripe) % n) as usize;
+                let parity_disk = self.mod_disks(stripe) as usize;
+                let disk = self.mod_disks(parity_disk as u64 + 1 + unit_in_stripe) as usize;
                 let local = stripe * u + off;
                 (disk, local)
             }
@@ -125,24 +162,50 @@ impl RaidGeometry {
     /// fragment, merged where fragments abut on the same disk.
     pub fn plan_read(&self, pba: Pba, nblocks: u32) -> Vec<PhysOp> {
         let mut ops: Vec<PhysOp> = Vec::new();
+        self.plan_read_into(pba, nblocks, &mut ops);
+        ops
+    }
+
+    /// Append the read plan for `[pba, pba + nblocks)` to `buf` — the
+    /// allocation-free form of [`RaidGeometry::plan_read`]. Fragment
+    /// merging is confined to the ops appended by *this* call: anything
+    /// already in `buf` (e.g. a previous extent's plan) is never fused
+    /// with, so op boundaries are identical whether extents are planned
+    /// into one pooled buffer or separate vectors.
+    pub fn plan_read_into(&self, pba: Pba, nblocks: u32, buf: &mut Vec<PhysOp>) {
+        let u = self.cfg.stripe_unit_blocks;
+        // Common case: the extent lies inside one stripe unit → exactly
+        // one op, no fragment loop.
+        if nblocks != 0 && self.split_unit(pba.raw()).1 + nblocks as u64 <= u {
+            let (disk, local) = self.map_block(pba);
+            buf.push(PhysOp {
+                disk,
+                lba: local,
+                nblocks,
+                write: false,
+            });
+            return;
+        }
+        let base = buf.len();
         let mut cur = pba.raw();
         let end = pba.raw() + nblocks as u64;
-        let u = self.cfg.stripe_unit_blocks;
         while cur < end {
             // Extent within the current stripe unit.
             let unit_end = (cur / u + 1) * u;
             let frag_end = end.min(unit_end);
             let len = (frag_end - cur) as u32;
             let (disk, local) = self.map_block(Pba::new(cur));
-            // Merge with the previous op when physically contiguous.
-            if let Some(last) = ops.last_mut() {
+            // Merge with the previous op of this plan when physically
+            // contiguous.
+            if buf.len() > base {
+                let last = buf.last_mut().expect("non-empty past base");
                 if last.disk == disk && !last.write && last.lba + last.nblocks as u64 == local {
                     last.nblocks += len;
                     cur = frag_end;
                     continue;
                 }
             }
-            ops.push(PhysOp {
+            buf.push(PhysOp {
                 disk,
                 lba: local,
                 nblocks: len,
@@ -150,7 +213,6 @@ impl RaidGeometry {
             });
             cur = frag_end;
         }
-        ops
     }
 
     /// Plan a parity-less streaming write of `[pba, pba + nblocks)`:
@@ -158,33 +220,70 @@ impl RaidGeometry {
     /// with the direction flipped. Used for bulk background traffic
     /// (iCache swap-region writes) that bypasses RMW accounting.
     pub fn plan_stream_write(&self, pba: Pba, nblocks: u32) -> Vec<PhysOp> {
-        let mut ops = self.plan_read(pba, nblocks);
-        for op in &mut ops {
+        let mut ops = Vec::new();
+        self.plan_stream_write_into(pba, nblocks, &mut ops);
+        ops
+    }
+
+    /// Append the streaming-write plan to `buf`; allocation-free form of
+    /// [`RaidGeometry::plan_stream_write`] with the same per-call merge
+    /// confinement as [`RaidGeometry::plan_read_into`].
+    pub fn plan_stream_write_into(&self, pba: Pba, nblocks: u32, buf: &mut Vec<PhysOp>) {
+        let base = buf.len();
+        self.plan_read_into(pba, nblocks, buf);
+        for op in &mut buf[base..] {
             op.write = true;
         }
-        ops
     }
 
     /// Plan a write of `[pba, pba + nblocks)` including parity
     /// maintenance.
     pub fn plan_write(&self, pba: Pba, nblocks: u32) -> WritePlan {
-        match self.cfg.level {
-            RaidLevel::Single | RaidLevel::Raid0 => {
-                let mut ops = self.plan_read(pba, nblocks);
-                for op in &mut ops {
-                    op.write = true;
-                }
-                WritePlan { phases: vec![ops] }
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        self.plan_write_into(pba, nblocks, &mut reads, &mut writes);
+        if reads.is_empty() {
+            WritePlan {
+                phases: vec![writes],
             }
-            RaidLevel::Raid5 => self.plan_raid5_write(pba, nblocks),
+        } else {
+            WritePlan {
+                phases: vec![reads, writes],
+            }
         }
     }
 
-    fn plan_raid5_write(&self, pba: Pba, nblocks: u32) -> WritePlan {
+    /// Append the write plan for `[pba, pba + nblocks)` to caller-owned
+    /// phase buffers — the allocation-free form of
+    /// [`RaidGeometry::plan_write`]. Pre-read ops (RAID-5 RMW /
+    /// reconstruct) land in `reads`, data + parity writes in `writes`;
+    /// when nothing is appended to `reads` the write is single-phase.
+    /// Merging is confined to the ops this call appends.
+    pub fn plan_write_into(
+        &self,
+        pba: Pba,
+        nblocks: u32,
+        reads: &mut Vec<PhysOp>,
+        writes: &mut Vec<PhysOp>,
+    ) {
+        match self.cfg.level {
+            RaidLevel::Single | RaidLevel::Raid0 => {
+                self.plan_stream_write_into(pba, nblocks, writes);
+            }
+            RaidLevel::Raid5 => self.plan_raid5_write_into(pba, nblocks, reads, writes),
+        }
+    }
+
+    fn plan_raid5_write_into(
+        &self,
+        pba: Pba,
+        nblocks: u32,
+        reads: &mut Vec<PhysOp>,
+        writes: &mut Vec<PhysOp>,
+    ) {
         let sdb = self.stripe_data_blocks();
         let u = self.cfg.stripe_unit_blocks;
-        let mut reads: Vec<PhysOp> = Vec::new();
-        let mut writes: Vec<PhysOp> = Vec::new();
+        let rbase = reads.len();
 
         let mut cur = pba.raw();
         let end = pba.raw() + nblocks as u64;
@@ -219,18 +318,17 @@ impl RaidGeometry {
             let parity_lba = stripe * u + off_lo;
             let parity_len = (off_hi - off_lo + 1) as u32;
 
-            // Data ops for this segment.
-            let data_writes: Vec<PhysOp> = {
-                let mut v = self.plan_read(Pba::new(seg_start), touched as u32);
-                for op in &mut v {
-                    op.write = true;
-                }
-                v
-            };
+            // Data ops for this segment, planned straight into `writes`
+            // (merge-confined to this segment, like the per-segment temp
+            // vector the planner used to allocate).
+            let wseg = writes.len();
+            self.plan_read_into(Pba::new(seg_start), touched as u32, writes);
+            for op in &mut writes[wseg..] {
+                op.write = true;
+            }
 
             if touched == sdb {
                 // Full-stripe write: compute parity from new data, no reads.
-                writes.extend(data_writes);
                 writes.push(PhysOp {
                     disk: parity_disk,
                     lba: stripe * u,
@@ -253,7 +351,8 @@ impl RaidGeometry {
                     };
                     let (disk, local) = self.map_block(Pba::new(b));
                     let len = (frag_end - b) as u32;
-                    if let Some(last) = reads.last_mut() {
+                    if reads.len() > rbase {
+                        let last = reads.last_mut().expect("non-empty past base");
                         if last.disk == disk && last.lba + last.nblocks as u64 == local {
                             last.nblocks += len;
                             b = frag_end;
@@ -268,7 +367,6 @@ impl RaidGeometry {
                     });
                     b = frag_end;
                 }
-                writes.extend(data_writes);
                 writes.push(PhysOp {
                     disk: parity_disk,
                     lba: stripe * u,
@@ -277,7 +375,7 @@ impl RaidGeometry {
                 });
             } else {
                 // Read-modify-write: pre-read old data + old parity.
-                for op in &data_writes {
+                for op in &writes[wseg..] {
                     reads.push(PhysOp {
                         disk: op.disk,
                         lba: op.lba,
@@ -291,7 +389,6 @@ impl RaidGeometry {
                     nblocks: parity_len,
                     write: false,
                 });
-                writes.extend(data_writes);
                 writes.push(PhysOp {
                     disk: parity_disk,
                     lba: parity_lba,
@@ -300,16 +397,6 @@ impl RaidGeometry {
                 });
             }
             cur = seg_end;
-        }
-
-        if reads.is_empty() {
-            WritePlan {
-                phases: vec![writes],
-            }
-        } else {
-            WritePlan {
-                phases: vec![reads, writes],
-            }
         }
     }
 }

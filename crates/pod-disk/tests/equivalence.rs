@@ -1,0 +1,589 @@
+//! Fast-path ⇔ reference equivalence.
+//!
+//! `reference` below is a frozen copy of the event engine as it stood
+//! *before* the performance work (precomputed mechanical tables, the
+//! immediate-event slot, pooled buffers, the single-op dispatch fast
+//! path, and the analytic quiescent-job path): a plain `BinaryHeap`
+//! loop computing every service time through the `DiskSpec` f64 math.
+//! The property: for arbitrary job mixes over every scheduler, RAID
+//! level, and cache configuration, the production [`ArraySim`] produces
+//! **identical** completion times, clocks, and [`DiskStats`] — the fast
+//! paths are pure strength reduction, never a re-model.
+
+use pod_disk::raid::{PhysOp, RaidGeometry, WritePlan};
+use pod_disk::sched::{PendingView, SchedulerKind};
+use pod_disk::spec::{DiskSpec, RaidConfig, RaidLevel};
+use pod_disk::{ArraySim, DiskStats};
+use pod_types::{Pba, SimTime};
+
+/// The pre-optimization engine, verbatim.
+mod reference {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct JobId(usize);
+
+    #[derive(Debug)]
+    enum EventKind {
+        PhaseArrive { job: usize },
+        OpComplete { disk: usize, job: usize },
+        FlushComplete { disk: usize },
+    }
+
+    #[derive(Debug)]
+    struct Event {
+        at_us: u64,
+        seq: u64,
+        kind: EventKind,
+    }
+
+    impl PartialEq for Event {
+        fn eq(&self, other: &Self) -> bool {
+            self.at_us == other.at_us && self.seq == other.seq
+        }
+    }
+    impl Eq for Event {}
+    impl PartialOrd for Event {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Event {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at_us, other.seq).cmp(&(self.at_us, self.seq))
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct QueuedOp {
+        op: PhysOp,
+        arrival_us: u64,
+        job: usize,
+    }
+
+    #[derive(Debug)]
+    struct DiskState {
+        head: u64,
+        busy: bool,
+        direction_up: bool,
+        pending: Vec<QueuedOp>,
+        stats: DiskStats,
+        dirty: std::collections::VecDeque<PhysOp>,
+        dirty_blocks: u64,
+    }
+
+    impl DiskState {
+        fn new() -> Self {
+            Self {
+                head: 0,
+                busy: false,
+                direction_up: true,
+                pending: Vec::new(),
+                stats: DiskStats::default(),
+                dirty: std::collections::VecDeque::new(),
+                dirty_blocks: 0,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct JobState {
+        phases: Vec<Vec<PhysOp>>,
+        current_phase: usize,
+        outstanding: usize,
+        finish: Option<SimTime>,
+    }
+
+    pub struct RefArraySim {
+        geometry: RaidGeometry,
+        spec: DiskSpec,
+        sched: SchedulerKind,
+        clock: SimTime,
+        events: BinaryHeap<Event>,
+        seq: u64,
+        disks: Vec<DiskState>,
+        jobs: Vec<JobState>,
+        failed: Vec<bool>,
+    }
+
+    impl RefArraySim {
+        pub fn new(geometry: RaidGeometry, spec: DiskSpec, sched: SchedulerKind) -> Self {
+            let ndisks = geometry.ndisks();
+            Self {
+                geometry,
+                spec,
+                sched,
+                clock: SimTime::ZERO,
+                events: BinaryHeap::new(),
+                seq: 0,
+                disks: (0..ndisks).map(|_| DiskState::new()).collect(),
+                jobs: Vec::new(),
+                failed: vec![false; ndisks],
+            }
+        }
+
+        pub fn fail_disk(&mut self, disk: usize) {
+            self.failed[disk] = true;
+        }
+
+        fn is_degraded(&self) -> bool {
+            self.failed.iter().any(|f| *f)
+        }
+
+        fn degrade_ops(&self, ops: Vec<PhysOp>) -> Vec<PhysOp> {
+            if !self.is_degraded() {
+                return ops;
+            }
+            let mut out: Vec<PhysOp> = Vec::new();
+            for op in ops {
+                if !self.failed[op.disk] {
+                    out.push(op);
+                    continue;
+                }
+                if op.write {
+                    continue;
+                }
+                for d in 0..self.disks.len() {
+                    if d == op.disk || self.failed[d] {
+                        continue;
+                    }
+                    out.push(PhysOp {
+                        disk: d,
+                        lba: op.lba,
+                        nblocks: op.nblocks,
+                        write: false,
+                    });
+                }
+            }
+            out
+        }
+
+        pub fn submit_phases(&mut self, at: SimTime, phases: Vec<Vec<PhysOp>>) -> JobId {
+            let phases: Vec<Vec<PhysOp>> = phases
+                .into_iter()
+                .map(|p| self.degrade_ops(p))
+                .filter(|p| !p.is_empty())
+                .collect();
+            let id = self.jobs.len();
+            if phases.is_empty() {
+                self.jobs.push(JobState {
+                    phases,
+                    current_phase: 0,
+                    outstanding: 0,
+                    finish: Some(at),
+                });
+                return JobId(id);
+            }
+            self.jobs.push(JobState {
+                phases,
+                current_phase: 0,
+                outstanding: 0,
+                finish: None,
+            });
+            self.push_event(at, EventKind::PhaseArrive { job: id });
+            JobId(id)
+        }
+
+        pub fn submit_read(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
+            let ops = self.geometry.plan_read(pba, nblocks);
+            self.submit_phases(at, vec![ops])
+        }
+
+        pub fn submit_write(&mut self, at: SimTime, pba: Pba, nblocks: u32) -> JobId {
+            let WritePlan { phases } = self.geometry.plan_write(pba, nblocks);
+            self.submit_phases(at, phases)
+        }
+
+        pub fn run_until(&mut self, t: SimTime) {
+            while let Some(ev) = self.events.peek() {
+                if ev.at_us > t.as_micros() {
+                    break;
+                }
+                let ev = self.events.pop().expect("peeked event exists");
+                self.clock = SimTime::from_micros(ev.at_us);
+                self.handle(ev);
+            }
+            self.clock = self.clock.max_of(t);
+        }
+
+        pub fn run_to_idle(&mut self) {
+            while let Some(ev) = self.events.pop() {
+                self.clock = SimTime::from_micros(ev.at_us);
+                self.handle(ev);
+            }
+        }
+
+        pub fn job_completion(&self, job: JobId) -> Option<SimTime> {
+            self.jobs.get(job.0).and_then(|j| j.finish)
+        }
+
+        pub fn disk_stats(&self) -> Vec<DiskStats> {
+            self.disks.iter().map(|d| d.stats).collect()
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.clock
+        }
+
+        fn push_event(&mut self, at: SimTime, kind: EventKind) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.events.push(Event {
+                at_us: at.as_micros(),
+                seq,
+                kind,
+            });
+        }
+
+        fn handle(&mut self, ev: Event) {
+            match ev.kind {
+                EventKind::PhaseArrive { job } => {
+                    let now = self.clock;
+                    let ops = self.jobs[job].phases[self.jobs[job].current_phase].clone();
+                    self.jobs[job].outstanding = ops.len();
+                    let mut touched: Vec<usize> = Vec::with_capacity(ops.len());
+                    for op in ops {
+                        let d = &mut self.disks[op.disk];
+                        d.pending.push(QueuedOp {
+                            op,
+                            arrival_us: now.as_micros(),
+                            job,
+                        });
+                        d.stats.max_queue_depth = d.stats.max_queue_depth.max(d.pending.len());
+                        if !touched.contains(&op.disk) {
+                            touched.push(op.disk);
+                        }
+                    }
+                    for disk in touched {
+                        self.try_dispatch(disk);
+                    }
+                }
+                EventKind::FlushComplete { disk } => {
+                    self.disks[disk].busy = false;
+                    self.try_dispatch(disk);
+                }
+                EventKind::OpComplete { disk, job } => {
+                    self.disks[disk].busy = false;
+                    let j = &mut self.jobs[job];
+                    j.outstanding -= 1;
+                    if j.outstanding == 0 {
+                        j.current_phase += 1;
+                        if j.current_phase < j.phases.len() {
+                            let now = self.clock;
+                            self.push_event(now, EventKind::PhaseArrive { job });
+                        } else {
+                            j.finish = Some(self.clock);
+                        }
+                    }
+                    self.try_dispatch(disk);
+                }
+            }
+        }
+
+        fn try_dispatch(&mut self, disk: usize) {
+            let now = self.clock;
+            let d = &mut self.disks[disk];
+            if d.busy {
+                return;
+            }
+            if d.pending.is_empty() {
+                if let Some(op) = d.dirty.pop_front() {
+                    let distance = d.head.abs_diff(op.lba);
+                    let service = self.spec.service_time(distance, op.nblocks);
+                    d.head = op.lba + op.nblocks as u64;
+                    d.busy = true;
+                    d.dirty_blocks -= op.nblocks as u64;
+                    d.stats.busy_us += service.as_micros();
+                    d.stats.blocks_written += op.nblocks as u64;
+                    let done = now + service;
+                    self.push_event(done, EventKind::FlushComplete { disk });
+                }
+                return;
+            }
+            let views: Vec<PendingView> = d
+                .pending
+                .iter()
+                .map(|q| PendingView {
+                    lba: q.op.lba,
+                    arrival_us: q.arrival_us,
+                })
+                .collect();
+            let (idx, dir) = self.sched.pick(&views, d.head, d.direction_up);
+            d.direction_up = dir;
+            let q = d.pending.swap_remove(idx);
+
+            let cache_room = self.spec.write_cache_blocks.saturating_sub(d.dirty_blocks);
+            if q.op.write && self.spec.write_cache_blocks > 0 && q.op.nblocks as u64 <= cache_room {
+                let service = self.spec.service_time(0, q.op.nblocks);
+                d.dirty.push_back(q.op);
+                d.dirty_blocks += q.op.nblocks as u64;
+                d.busy = true;
+                d.stats.ops += 1;
+                d.stats.busy_us += service.as_micros();
+                d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
+                let done = now + service;
+                self.push_event(done, EventKind::OpComplete { disk, job: q.job });
+                return;
+            }
+
+            let distance = d.head.abs_diff(q.op.lba);
+            let service = self.spec.service_time(distance, q.op.nblocks);
+            d.head = q.op.lba + q.op.nblocks as u64;
+            d.busy = true;
+            d.stats.ops += 1;
+            d.stats.busy_us += service.as_micros();
+            d.stats.queue_wait_us += now.as_micros().saturating_sub(q.arrival_us);
+            if q.op.write {
+                d.stats.blocks_written += q.op.nblocks as u64;
+            } else {
+                d.stats.blocks_read += q.op.nblocks as u64;
+            }
+            let done = now + service;
+            self.push_event(done, EventKind::OpComplete { disk, job: q.job });
+        }
+    }
+}
+
+/// One step of a generated scenario.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Submit a read/write of `nblocks` at `pba`, `gap_us` after the
+    /// previous step.
+    Submit {
+        write: bool,
+        pba: u64,
+        nblocks: u32,
+        gap_us: u64,
+    },
+    /// Advance both engines with `run_until(now + gap_us)`.
+    Advance { gap_us: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    sched: SchedulerKind,
+    raid: RaidConfig,
+    write_cache_blocks: u64,
+    steps: Vec<Step>,
+}
+
+fn spec_with_cache(cache: u64) -> DiskSpec {
+    let mut s = DiskSpec::test_disk();
+    s.write_cache_blocks = cache;
+    s
+}
+
+/// Drive both engines through `scenario` and assert identical
+/// externally observable state at every advance point and at the end.
+fn check(scenario: &Scenario, degrade_at: Option<(usize, usize)>) {
+    let spec = spec_with_cache(scenario.write_cache_blocks);
+    let geo = || RaidGeometry::new(scenario.raid.clone());
+    let mut fast = ArraySim::new(geo(), spec.clone(), scenario.sched);
+    let mut slow = reference::RefArraySim::new(geo(), spec.clone(), scenario.sched);
+
+    let data_cap = scenario.raid.data_disks() as u64 * spec.capacity_blocks;
+    let mut t = 0u64;
+    let mut fast_jobs = Vec::new();
+    let mut slow_jobs = Vec::new();
+    for (i, step) in scenario.steps.iter().enumerate() {
+        if let Some((at_step, disk)) = degrade_at {
+            if at_step == i {
+                fast.fail_disk(disk).expect("raid5 fail");
+                slow.fail_disk(disk);
+            }
+        }
+        match *step {
+            Step::Submit {
+                write,
+                pba,
+                nblocks,
+                gap_us,
+            } => {
+                t += gap_us;
+                let at = SimTime::from_micros(t);
+                // Keep the extent on-device.
+                let nblocks = nblocks.clamp(1, 256);
+                let pba = Pba::new(pba % (data_cap - nblocks as u64));
+                if write {
+                    fast_jobs.push(fast.submit_write(at, pba, nblocks));
+                    slow_jobs.push(slow.submit_write(at, pba, nblocks));
+                } else {
+                    fast_jobs.push(fast.submit_read(at, pba, nblocks));
+                    slow_jobs.push(slow.submit_read(at, pba, nblocks));
+                }
+            }
+            Step::Advance { gap_us } => {
+                t += gap_us;
+                let at = SimTime::from_micros(t);
+                fast.run_until(at);
+                slow.run_until(at);
+                assert_eq!(fast.now(), slow.now(), "clock diverged at step {i}");
+                for (k, (fj, sj)) in fast_jobs.iter().zip(&slow_jobs).enumerate() {
+                    assert_eq!(
+                        fast.job_completion(*fj),
+                        slow.job_completion(*sj),
+                        "job {k} diverged at step {i} ({scenario:?})"
+                    );
+                }
+            }
+        }
+    }
+    fast.run_to_idle();
+    slow.run_to_idle();
+    for (k, (fj, sj)) in fast_jobs.iter().zip(&slow_jobs).enumerate() {
+        assert_eq!(
+            fast.job_completion(*fj),
+            slow.job_completion(*sj),
+            "final completion of job {k} diverged ({scenario:?})"
+        );
+    }
+    assert_eq!(
+        fast.disk_stats(),
+        slow.disk_stats(),
+        "disk stats diverged ({scenario:?})"
+    );
+    assert_eq!(fast.mean_queue_wait_us(), {
+        let stats = slow.disk_stats();
+        let ops: u64 = stats.iter().map(|s| s.ops).sum();
+        if ops == 0 {
+            0.0
+        } else {
+            stats.iter().map(|s| s.queue_wait_us).sum::<u64>() as f64 / ops as f64
+        }
+    });
+}
+
+mod properties {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    fn step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (any::<bool>(), any::<u64>(), 1u32..200, 0u64..30_000).prop_map(
+                |(write, pba, nblocks, gap_us)| Step::Submit {
+                    write,
+                    pba,
+                    nblocks,
+                    gap_us,
+                }
+            ),
+            (0u64..50_000).prop_map(|gap_us| Step::Advance { gap_us }),
+        ]
+    }
+
+    fn scenario() -> impl Strategy<Value = Scenario> {
+        let sched = prop_oneof![
+            Just(SchedulerKind::Fifo),
+            Just(SchedulerKind::Sstf),
+            Just(SchedulerKind::Elevator),
+        ];
+        let raid = prop_oneof![
+            Just(RaidConfig::single()),
+            Just(RaidConfig {
+                level: RaidLevel::Raid0,
+                ndisks: 4,
+                stripe_unit_blocks: 16,
+            }),
+            Just(RaidConfig::paper_raid5()),
+        ];
+        let cache = prop_oneof![Just(0u64), Just(32u64), Just(256u64)];
+        (sched, raid, cache, vec(step(), 1..120)).prop_map(
+            |(sched, raid, write_cache_blocks, steps)| Scenario {
+                sched,
+                raid,
+                write_cache_blocks,
+                steps,
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn engine_matches_pre_change_reference(s in scenario()) {
+            check(&s, None);
+        }
+
+        #[test]
+        fn degraded_engine_matches_reference(
+            s in scenario(),
+            fail_step in 0usize..120,
+            victim in 0usize..4,
+        ) {
+            // Degraded mode only exists for RAID-5.
+            let mut s = s;
+            s.raid = RaidConfig::paper_raid5();
+            let at = fail_step % s.steps.len().max(1);
+            check(&s, Some((at, victim)));
+        }
+    }
+}
+
+/// Deterministic spot checks: dense bursty mixes (deep queues, every
+/// scheduler) that would be low-probability draws for the generator.
+#[test]
+fn dense_burst_equivalence() {
+    for sched in [
+        SchedulerKind::Fifo,
+        SchedulerKind::Sstf,
+        SchedulerKind::Elevator,
+    ] {
+        let steps: Vec<Step> = (0..400u64)
+            .map(|i| {
+                // Zero/near-zero gaps → queue depths in the dozens.
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Step::Submit {
+                    write: i % 3 == 0,
+                    pba: h,
+                    nblocks: (h % 64 + 1) as u32,
+                    gap_us: (i % 4) * 7,
+                }
+            })
+            .collect();
+        check(
+            &Scenario {
+                sched,
+                raid: RaidConfig::paper_raid5(),
+                write_cache_blocks: 0,
+                steps,
+            },
+            None,
+        );
+    }
+}
+
+/// The paper-array shape with idle gaps between every job: each op sees
+/// an empty queue, so every dispatch takes the single-op fast path and
+/// quiescent jobs take the analytic path — compare against the
+/// heap-driven reference step by step.
+#[test]
+fn idle_gap_fast_path_equivalence() {
+    let steps: Vec<Step> = (0..300u64)
+        .flat_map(|i| {
+            let h = i.wrapping_mul(0xD134_2543_DE82_EF95);
+            [
+                Step::Submit {
+                    write: i % 2 == 0,
+                    pba: h,
+                    nblocks: (h % 8 + 1) as u32,
+                    gap_us: 0,
+                },
+                // Longer than any single service time on the test disk.
+                Step::Advance { gap_us: 40_000 },
+            ]
+        })
+        .collect();
+    for raid in [RaidConfig::single(), RaidConfig::paper_raid5()] {
+        check(
+            &Scenario {
+                sched: SchedulerKind::Fifo,
+                raid,
+                write_cache_blocks: 0,
+                steps: steps.clone(),
+            },
+            None,
+        );
+    }
+}
