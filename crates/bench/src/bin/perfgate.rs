@@ -22,6 +22,7 @@
 
 use pod_core::experiments::run_schemes;
 use pod_core::obs::json::{parse as parse_json, Json};
+use pod_core::serve::ServeBuilder;
 use pod_core::{Layer, Scheme, StackCounters, SystemConfig};
 use pod_disk::{ArraySim, DiskSpec, RaidConfig, RaidGeometry, SchedulerKind};
 use pod_trace::{Trace, TraceProfile};
@@ -37,6 +38,7 @@ struct Args {
     scale: f64,
     reps: usize,
     disk_only: bool,
+    serve_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +49,7 @@ fn parse_args() -> Args {
         scale: 0.1,
         reps: 3,
         disk_only: false,
+        serve_only: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -77,6 +80,10 @@ fn parse_args() -> Args {
                 args.disk_only = true;
                 i += 1;
             }
+            "--serve-only" => {
+                args.serve_only = true;
+                i += 1;
+            }
             "--scale" => {
                 args.scale = argv
                     .get(i + 1)
@@ -100,13 +107,16 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: perfgate [--dir DIR] [--tolerance PCT] [--scale F] \
-                     [--reps N] [--report-only] [--disk-only]\n\
+                     [--reps N] [--report-only] [--disk-only] [--serve-only]\n\
                      replays the synthetic traces under every scheme (best of N\n\
-                     repetitions) plus the disk-engine microbenches, writes\n\
-                     BENCH_<date>.json, and exits non-zero when throughput drops\n\
-                     more than PCT% (default 10) below the previous snapshot.\n\
+                     repetitions) plus the disk-engine microbenches and the\n\
+                     sharded-serve scaling sweep, writes BENCH_<date>.json, and\n\
+                     exits non-zero when throughput drops more than PCT%\n\
+                     (default 10) below the previous snapshot.\n\
                      --disk-only runs just the disk microbenches and writes no\n\
-                     snapshot (CI smoke)"
+                     snapshot (CI smoke); --serve-only does the same for the\n\
+                     serve scaling sweep, comparing against the latest snapshot's\n\
+                     serve section when it has one"
                 );
                 std::process::exit(0);
             }
@@ -339,6 +349,98 @@ fn disk_microbench(reps: usize) -> Vec<DiskEntry> {
     out
 }
 
+/// One point of the sharded-serve scaling sweep.
+struct ServeEntry {
+    shards: usize,
+    tenants: usize,
+    requests: u64,
+    /// Slowest shard's busy span (best of reps), seconds.
+    critical_path_s: f64,
+    /// Aggregate service rate along the critical path.
+    jobs_per_sec: f64,
+}
+
+/// Tenants in the serve sweep; shards sweep 1→8 over them.
+const SERVE_TENANTS: usize = 8;
+const SERVE_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// The serve scaling sweep: 8 derived mail tenants under POD, shards ∈
+/// {1, 2, 4, 8}, measured as the critical-path aggregate service rate —
+/// total requests over the slowest shard's busy span. Runs with
+/// `jobs = 1` so every shard span is timed uncontended; the rate then
+/// equals wall-clock throughput on any machine with at least `shards`
+/// cores, and stays meaningful on core-starved CI runners.
+fn serve_bench(scale: f64, reps: usize) -> Vec<ServeEntry> {
+    let fleet = pod_trace::derive_tenants(
+        &TraceProfile::mail().scaled(scale),
+        SERVE_TENANTS,
+        pod_bench::BENCH_SEED,
+    );
+    let cfg = SystemConfig::paper_default();
+    let mut out = Vec::new();
+    for &shards in &SERVE_SHARDS {
+        let mut best = f64::INFINITY;
+        let mut requests = 0u64;
+        for _ in 0..reps {
+            let rep = ServeBuilder::new(Scheme::Pod)
+                .config(cfg.clone())
+                .tenants(&fleet)
+                .shards(shards)
+                .jobs(1)
+                .run()
+                .unwrap_or_else(|e| die(&format!("serve/shards-{shards}: {e}")));
+            requests = rep.total_requests();
+            best = best.min((rep.critical_path_us() as f64 / 1e6).max(1e-9));
+        }
+        out.push(ServeEntry {
+            shards,
+            tenants: SERVE_TENANTS,
+            requests,
+            critical_path_s: best,
+            jobs_per_sec: requests as f64 / best,
+        });
+    }
+    out
+}
+
+fn print_serve_table(serve: &[ServeEntry]) {
+    println!(
+        "\n{:<14} {:>8} {:>9} {:>12} {:>12} {:>9}",
+        "serve", "tenants", "reqs", "critical(s)", "jobs/s", "speedup"
+    );
+    let base = serve.first().map(|e| e.jobs_per_sec).unwrap_or(1.0);
+    for e in serve {
+        println!(
+            "{:<14} {:>8} {:>9} {:>12.3} {:>12.0} {:>8.2}x",
+            format!("shards-{}", e.shards),
+            e.tenants,
+            e.requests,
+            e.critical_path_s,
+            e.jobs_per_sec,
+            e.jobs_per_sec / base
+        );
+    }
+}
+
+/// Hard scaling gate: the 4-shard aggregate rate must be at least twice
+/// the 1-shard rate. With tenant-isolated stacks the work partitions
+/// cleanly, so anything below 2x means the engine serialized somewhere.
+fn serve_scaling_gate(serve: &[ServeEntry], report_only: bool) {
+    let rate = |n: usize| serve.iter().find(|e| e.shards == n).map(|e| e.jobs_per_sec);
+    let (Some(r1), Some(r4)) = (rate(1), rate(4)) else {
+        return;
+    };
+    let speedup = r4 / r1;
+    println!("serve scaling: 4 shards at {speedup:.2}x the 1-shard aggregate rate");
+    if speedup < 2.0 {
+        eprintln!("serve scaling gate: expected >= 2.00x at 4 shards, got {speedup:.2}x");
+        if !report_only {
+            std::process::exit(1);
+        }
+        println!("(--report-only: not failing)");
+    }
+}
+
 /// End-to-end replay throughput entries for the disk section: the mail
 /// trace under POD with the full event-driven model and the calibrated
 /// O(1) backend. The ratio between the two is the headline the
@@ -412,6 +514,7 @@ fn render_json(
     date: &str,
     entries: &[Entry],
     disk: &[DiskEntry],
+    serve: &[ServeEntry],
     rss_kib: u64,
     scale: f64,
     reps: usize,
@@ -456,6 +559,20 @@ fn render_json(
             if i + 1 < disk.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"serve\": [\n");
+    for (i, e) in serve.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"tenants\": {}, \"requests\": {}, \
+             \"critical_path_s\": {:.6}, \"jobs_per_sec\": {:.2}}}{}\n",
+            e.shards,
+            e.tenants,
+            e.requests,
+            e.critical_path_s,
+            e.jobs_per_sec,
+            if i + 1 < serve.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -489,6 +606,18 @@ fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
                 return Err(format!("{path}: malformed disk entry"));
             };
             out.push((format!("disk/{mix}"), jps));
+        }
+    }
+    // Serve scaling section (absent before the sharded engine landed).
+    if let Some(Json::Arr(serve)) = root.get("serve") {
+        for e in serve {
+            let (Some(shards), Some(jps)) = (
+                e.get("shards").and_then(Json::as_u64),
+                e.get("jobs_per_sec").and_then(Json::as_f64),
+            ) else {
+                return Err(format!("{path}: malformed serve entry"));
+            };
+            out.push((format!("serve/shards-{shards}"), jps));
         }
     }
     Ok(out)
@@ -536,6 +665,53 @@ fn main() {
         return;
     }
 
+    if args.serve_only {
+        println!(
+            "perfgate --serve-only: serve scaling sweep ({} tenants, shards {:?}), \
+             scale {}, best of {} ...",
+            SERVE_TENANTS, SERVE_SHARDS, args.scale, args.reps
+        );
+        let serve = serve_bench(args.scale, args.reps);
+        print_serve_table(&serve);
+        serve_scaling_gate(&serve, args.report_only);
+        // Tolerance-compare against the latest snapshot's serve section,
+        // when it has one; no snapshot is written in this mode.
+        if let Some(base_path) = latest_snapshot(&args.dir, "") {
+            match load_baseline(&base_path) {
+                Ok(base) => {
+                    let mut regressions = 0usize;
+                    for e in &serve {
+                        let key = format!("serve/shards-{}", e.shards);
+                        let Some((_, old)) = base.iter().find(|(k, _)| *k == key) else {
+                            println!("  {key}: no baseline (section predates serve)");
+                            continue;
+                        };
+                        let delta_pct = (e.jobs_per_sec - old) / old * 100.0;
+                        let flag = if delta_pct < -args.tolerance_pct {
+                            regressions += 1;
+                            "  REGRESSION"
+                        } else {
+                            ""
+                        };
+                        println!("  {key:<22} {delta_pct:>+7.1}%{flag}");
+                    }
+                    if regressions > 0 {
+                        eprintln!(
+                            "\n{regressions} serve measurement(s) regressed more than {:.1}%",
+                            args.tolerance_pct
+                        );
+                        if !args.report_only {
+                            std::process::exit(1);
+                        }
+                        println!("(--report-only: not failing)");
+                    }
+                }
+                Err(e) => die(&format!("loading baseline: {e}")),
+            }
+        }
+        return;
+    }
+
     println!(
         "perfgate: replaying {} traces x {} schemes (+grid), scale {}, best of {} ...",
         TRACES.len(),
@@ -556,6 +732,11 @@ fn main() {
     println!("disk-engine microbenches ...");
     let mut disk = disk_microbench(args.reps);
     disk.extend(disk_replay_entries(args.scale, args.reps));
+    println!(
+        "serve scaling sweep ({SERVE_TENANTS} tenants, shards {:?}) ...",
+        SERVE_SHARDS
+    );
+    let serve = serve_bench(args.scale, args.reps);
     let rss_kib = peak_rss_kib();
 
     println!(
@@ -569,6 +750,8 @@ fn main() {
         );
     }
     print_disk_table(&disk);
+    print_serve_table(&serve);
+    serve_scaling_gate(&serve, args.report_only);
     println!("peak RSS: {:.1} MiB", rss_kib as f64 / 1024.0);
 
     let date = today();
@@ -577,7 +760,9 @@ fn main() {
 
     // Write the new snapshot first so a regression still leaves a record.
     let path = format!("{}/{file_name}", args.dir);
-    let json = render_json(&date, &entries, &disk, rss_kib, args.scale, args.reps);
+    let json = render_json(
+        &date, &entries, &disk, &serve, rss_kib, args.scale, args.reps,
+    );
     if let Err(e) = std::fs::write(&path, &json) {
         die(&format!("writing {path}: {e}"));
     }
@@ -606,6 +791,11 @@ fn main() {
     current.extend(
         disk.iter()
             .map(|e| (format!("disk/{}", e.mix), e.jobs_per_sec)),
+    );
+    current.extend(
+        serve
+            .iter()
+            .map(|e| (format!("serve/shards-{}", e.shards), e.jobs_per_sec)),
     );
     let mut regressions = 0usize;
     for (key, rps) in &current {

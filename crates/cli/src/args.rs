@@ -36,6 +36,11 @@ pub struct CliArgs {
     /// O(1) calibrated per-op latencies (same dedup/cache counters,
     /// approximate latency columns, much faster).
     pub disk_model: pod_core::DiskModel,
+    /// `--tenants <K>`: tenant streams for `serve` (default 1).
+    pub tenants: usize,
+    /// `--shards <N>`: shard workers for `serve` (default 1; must not
+    /// exceed the tenant count).
+    pub shards: usize,
 }
 
 impl Default for CliArgs {
@@ -56,6 +61,8 @@ impl Default for CliArgs {
             faults: None,
             verify: false,
             disk_model: pod_core::DiskModel::Full,
+            tenants: 1,
+            shards: 1,
         }
     }
 }
@@ -127,6 +134,25 @@ impl CliArgs {
                     }
                     args.jobs = Some(jobs);
                 }
+                "--tenants" => {
+                    args.tenants = value
+                        .parse()
+                        .map_err(|_| format!("bad --tenants '{value}'"))?;
+                    if args.tenants == 0 {
+                        return Err("--tenants must be at least 1".into());
+                    }
+                    if args.tenants > u16::MAX as usize {
+                        return Err(format!("--tenants capped at {}", u16::MAX));
+                    }
+                }
+                "--shards" => {
+                    args.shards = value
+                        .parse()
+                        .map_err(|_| format!("bad --shards '{value}'"))?;
+                    if args.shards == 0 {
+                        return Err("--shards must be at least 1".into());
+                    }
+                }
                 "--scheme" => {
                     args.scheme = match value.as_str() {
                         "native" => Scheme::Native,
@@ -142,6 +168,12 @@ impl CliArgs {
                 other => return Err(format!("unknown flag '{other}'")),
             }
             i += 2;
+        }
+        if args.shards > args.tenants {
+            return Err(format!(
+                "--shards {} exceeds --tenants {}: every shard must own at least one tenant",
+                args.shards, args.tenants
+            ));
         }
         Ok(args)
     }
@@ -340,6 +372,28 @@ mod tests {
         let a = parse(&["--disk-model", "calibrated", "--faults", "transient"]).expect("parse");
         let err = a.system_config().expect_err("faults need the full model");
         assert!(err.contains("fault-free"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn serve_topology_flags_parse_and_validate() {
+        let a = parse(&["--tenants", "4", "--shards", "2"]).expect("parse");
+        assert_eq!((a.tenants, a.shards), (4, 2));
+        // Defaults: one tenant, one shard.
+        let d = parse(&[]).expect("parse");
+        assert_eq!((d.tenants, d.shards), (1, 1));
+        // Zero counts are rejected at the prompt.
+        assert!(parse(&["--tenants", "0"]).is_err());
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--tenants", "many"]).is_err());
+        assert!(
+            parse(&["--tenants", "70000"]).is_err(),
+            "tenant ids are u16"
+        );
+        // An empty shard is a topology error, caught before any work.
+        let err = parse(&["--tenants", "2", "--shards", "4"]).expect_err("shards > tenants");
+        assert!(err.contains("exceeds --tenants"), "{err}");
+        // --shards alone exceeds the default single tenant.
+        assert!(parse(&["--shards", "2"]).is_err());
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub struct MonitorSink {
     total_mix: WriteMix,
     deduped_blocks: u64,
     written_blocks: u64,
+    /// Completed requests per tenant id (index = tenant). Rendered only
+    /// when a nonzero tenant has been seen — single-stack replays tag
+    /// every event with tenant 0 and their frames are unchanged.
+    tenant_requests: Vec<u64>,
+    tagged: bool,
 }
 
 impl MonitorSink {
@@ -52,6 +57,8 @@ impl MonitorSink {
             total_mix: [0; 4],
             deduped_blocks: 0,
             written_blocks: 0,
+            tenant_requests: Vec::new(),
+            tagged: false,
         }
     }
 
@@ -173,6 +180,13 @@ impl MonitorSink {
             last.dedup.scan_backlog
         )
         .expect("write");
+        if self.tagged {
+            write!(out, "tenants    ").expect("write");
+            for (t, &n) in self.tenant_requests.iter().enumerate() {
+                write!(out, " {t}:{n}").expect("write");
+            }
+            out.push('\n');
+        }
         out
     }
 }
@@ -203,6 +217,16 @@ impl StackObserver for MonitorSink {
                 if self.live {
                     // Clear screen, home cursor, redraw.
                     print!("\x1b[2J\x1b[H{}", self.render_frame());
+                }
+            }
+            StackEvent::RequestDone { tenant, .. } => {
+                let slot = tenant as usize;
+                if slot >= self.tenant_requests.len() {
+                    self.tenant_requests.resize(slot + 1, 0);
+                }
+                self.tenant_requests[slot] += 1;
+                if tenant != 0 {
+                    self.tagged = true;
                 }
             }
             _ => {}
@@ -271,6 +295,7 @@ mod tests {
             removed: true,
             disk_index_lookups: 0,
             measured: true,
+            tenant: 0,
         });
         sink.on_event(&StackEvent::Snapshot { snap: snap(0, 500) });
         sink.on_event(&StackEvent::WriteClassified {
@@ -280,6 +305,7 @@ mod tests {
             removed: false,
             disk_index_lookups: 1,
             measured: true,
+            tenant: 0,
         });
         sink.on_event(&StackEvent::Snapshot { snap: snap(1, 625) });
 
@@ -299,5 +325,30 @@ mod tests {
             "{frame}"
         );
         assert!(frame.contains("write mix (total)  Cat-1  50.0%"), "{frame}");
+    }
+
+    #[test]
+    fn tenant_tagged_events_render_a_breakdown_untagged_do_not() {
+        let done = |tenant: u16| StackEvent::RequestDone {
+            write: false,
+            measured: true,
+            tenant,
+        };
+        // Single-stack replay: every event carries tenant 0 — frame
+        // stays exactly as before.
+        let mut solo = MonitorSink::new(false, "POD", "mail");
+        solo.on_event(&done(0));
+        solo.on_event(&StackEvent::Snapshot { snap: snap(0, 500) });
+        assert!(!solo.render_frame().contains("tenants "));
+
+        // Serve-style stream: nonzero tenants appear → per-tenant
+        // request counts are rendered.
+        let mut multi = MonitorSink::new(false, "POD", "mail");
+        for t in [0u16, 1, 1, 2, 0] {
+            multi.on_event(&done(t));
+        }
+        multi.on_event(&StackEvent::Snapshot { snap: snap(0, 500) });
+        let frame = multi.render_frame();
+        assert!(frame.contains("tenants     0:2 1:2 2:1"), "{frame}");
     }
 }

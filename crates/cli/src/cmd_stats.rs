@@ -27,6 +27,10 @@ pub struct Section {
     pub trace: String,
     /// Requests per epoch row.
     pub epoch_requests: u64,
+    /// Issuing tenant, when the section came from a tenant-scoped
+    /// recorder (`pod-cli serve --trace-out`). Untagged traces parse to
+    /// `None` and render exactly as before.
+    pub tenant: Option<u64>,
     /// The parsed epoch rows, in time order.
     pub epochs: Vec<Json>,
     /// The closing summary row, when present.
@@ -44,7 +48,48 @@ pub fn render(jsonl: &str) -> Result<String, String> {
     for s in &sections {
         render_section(&mut out, s)?;
     }
+    render_tenant_breakdown(&mut out, &sections)?;
     Ok(out)
+}
+
+/// Cross-section per-tenant table, emitted only when at least one
+/// section is tenant-tagged — untagged (single-stack) traces render
+/// byte-identically to older builds.
+fn render_tenant_breakdown(out: &mut String, sections: &[Section]) -> Result<(), String> {
+    use std::fmt::Write as _;
+    if sections.iter().all(|s| s.tenant.is_none()) {
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "per-tenant breakdown:\n  tenant  trace            requests    writes  dedup-blk  dedup%"
+    )
+    .expect("write to string");
+    for s in sections {
+        let Some(tenant) = s.tenant else { continue };
+        let sum = s
+            .summary
+            .as_ref()
+            .ok_or_else(|| format!("tenant {tenant} section has no summary line"))?;
+        let g = |key: &str| -> Result<u64, String> {
+            sum.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("tenant {tenant} summary missing \"{key}\""))
+        };
+        let (deduped, written) = (g("deduped_blocks")?, g("written_blocks")?);
+        writeln!(
+            out,
+            "  {tenant:>6}  {:<16} {:>9} {:>9} {:>10}  {:>5.1}%",
+            s.trace,
+            g("requests")?,
+            g("writes")?,
+            deduped,
+            pct(deduped, deduped + written),
+        )
+        .expect("write to string");
+    }
+    out.push('\n');
+    Ok(())
 }
 
 /// Split a JSONL trace into per-scheme [`Section`]s, validating the
@@ -65,6 +110,7 @@ pub fn parse_sections(jsonl: &str) -> Result<Vec<Section>, String> {
                 scheme: req_str(&v, "scheme", i)?,
                 trace: req_str(&v, "trace", i)?,
                 epoch_requests: req_u64(&v, "epoch_requests", i)?,
+                tenant: v.get("tenant").and_then(Json::as_u64),
                 epochs: Vec::new(),
                 summary: None,
             }),
@@ -141,9 +187,13 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
     let (frag_sum, frag_reads) = (g("frag_sum")?, g("frag_reads")?);
     let (cache_us, dedup_us, disk_us) = (g("cache_us")?, g("dedup_us")?, g("disk_us")?);
 
+    let tenant_tag = s
+        .tenant
+        .map(|t| format!("tenant {t}, "))
+        .unwrap_or_default();
     writeln!(
         out,
-        "== {} / {} ({} requests/epoch, {} epochs) ==\n",
+        "== {} / {} ({tenant_tag}{} requests/epoch, {} epochs) ==\n",
         s.scheme,
         s.trace,
         s.epoch_requests,

@@ -8,6 +8,7 @@
 //! pod-cli replay   --scheme pod --trace-out pod.jsonl   # + event trace
 //! pod-cli replay   --scheme pod --faults all --verify   # faults + oracle
 //! pod-cli compare  --profile mail --scale 0.05 # all five schemes
+//! pod-cli serve    --tenants 4 --shards 2 --jobs 2   # sharded multi-tenant engine
 //! pod-cli stats    --in pod.jsonl              # render an event trace
 //! pod-cli monitor  --scheme pod --headless     # live dashboard / final frame
 //! pod-cli figures  --in pod.jsonl --out figs/  # per-epoch paper-figure CSVs
@@ -15,7 +16,8 @@
 
 use pod_cli::args::CliArgs;
 use pod_cli::{
-    cmd_analyze, cmd_compare, cmd_doctor, cmd_figures, cmd_gen, cmd_monitor, cmd_replay, cmd_stats,
+    cmd_analyze, cmd_compare, cmd_doctor, cmd_figures, cmd_gen, cmd_monitor, cmd_replay, cmd_serve,
+    cmd_stats,
 };
 
 fn main() {
@@ -36,6 +38,7 @@ fn main() {
         "analyze" => cmd_analyze::run(&args),
         "replay" => cmd_replay::run(&args),
         "compare" => cmd_compare::run(&args),
+        "serve" => cmd_serve::run(&args),
         "stats" => cmd_stats::run(&args),
         "monitor" => cmd_monitor::run(&args),
         "figures" => cmd_figures::run(&args),
@@ -61,6 +64,7 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 analyze  workload statistics (Table II, Fig. 1, Fig. 2)\n\
          \x20 replay   replay a trace through one scheme\n\
          \x20 compare  replay a trace through all five schemes\n\
+         \x20 serve    serve K tenant streams through N shard workers\n\
          \x20 stats    render a JSONL event trace written by --trace-out\n\
          \x20 monitor  replay with a live dashboard of snapshot gauges\n\
          \x20 figures  export per-epoch paper-figure CSVs from a JSONL trace\n\
@@ -85,6 +89,10 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --disk-model <full|calibrated>  disk engine: full event-driven simulation\n\
          \x20                                 (default) or O(1) calibrated latencies —\n\
          \x20                                 same dedup counters, much faster\n\
+         \x20 --tenants <K>                   `serve`: tenant streams derived from the\n\
+         \x20                                 profile (seed, seed+1, ...; default 1)\n\
+         \x20 --shards <N>                    `serve`: shard workers; each owns the\n\
+         \x20                                 stacks of tenants t \u{2261} shard (mod N)\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

@@ -1,0 +1,69 @@
+//! Round trip: `serve --trace-out`-style tenant-tagged JSONL through
+//! the `stats` parser and renderer, plus the untagged path staying
+//! unchanged.
+
+use pod_cli::cmd_stats;
+use pod_core::obs::TraceRecorder;
+use pod_core::prelude::*;
+use pod_core::serve::ServeBuilder;
+use pod_trace::{derive_tenants, TraceProfile};
+
+fn serve_jsonl(tenants: usize) -> String {
+    let fleet = derive_tenants(&TraceProfile::mail().scaled(0.003), tenants, 7);
+    let (_, recorders) = ServeBuilder::new(Scheme::Pod)
+        .config(SystemConfig::test_default())
+        .tenants(&fleet)
+        .shards(tenants.min(2))
+        .record(256)
+        .run_recorded()
+        .expect("serve succeeds");
+    let mut out = Vec::new();
+    for rec in &recorders {
+        rec.write_jsonl(&mut out, None).expect("write to memory");
+    }
+    String::from_utf8(out).expect("utf8")
+}
+
+#[test]
+fn tenant_tagged_trace_round_trips_with_a_breakdown() {
+    let jsonl = serve_jsonl(3);
+    let sections = cmd_stats::parse_sections(&jsonl).expect("parse");
+    assert_eq!(sections.len(), 3);
+    for (i, s) in sections.iter().enumerate() {
+        assert_eq!(s.tenant, Some(i as u64), "meta carries the tenant id");
+        assert!(s.summary.is_some(), "every section closes with a summary");
+    }
+    let rendered = cmd_stats::render(&jsonl).expect("render");
+    assert!(rendered.contains("per-tenant breakdown:"), "{rendered}");
+    assert!(
+        rendered.contains("== POD / mail (tenant 0, "),
+        "tagged section headers name the tenant:\n{rendered}"
+    );
+    assert!(rendered.contains("mail#2"), "derived tenant names kept");
+}
+
+#[test]
+fn untagged_trace_parses_and_renders_as_before() {
+    // The pre-multi-tenant path: a plain replay recorder, no tenant
+    // anywhere in the JSONL, no breakdown in the rendering.
+    let trace = TraceProfile::mail().scaled(0.003).generate(7);
+    let (_, mut chain) = Scheme::Pod
+        .builder()
+        .config(SystemConfig::test_default())
+        .trace(&trace)
+        .record(256)
+        .run_observed()
+        .expect("replay succeeds");
+    let rec: TraceRecorder = chain.take_sink().expect("recorder");
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out, None).expect("write to memory");
+    let jsonl = String::from_utf8(out).expect("utf8");
+    assert!(!jsonl.contains("tenant"), "untagged stays off the wire");
+
+    let sections = cmd_stats::parse_sections(&jsonl).expect("parse");
+    assert_eq!(sections.len(), 1);
+    assert_eq!(sections[0].tenant, None);
+    let rendered = cmd_stats::render(&jsonl).expect("render");
+    assert!(!rendered.contains("per-tenant breakdown"), "{rendered}");
+    assert!(rendered.contains("== POD / mail (256 requests/epoch"));
+}

@@ -384,14 +384,10 @@ impl SystemConfig {
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
-        if self.disk_model == DiskModel::Calibrated
-            && (self.fail_disk.is_some() || self.faults.is_some())
-        {
-            // Degraded-mode reconstruction and fault recovery are
-            // event-level behaviours the O(1) model does not reproduce.
-            return Err(PodError::InvalidConfig(
-                "disk_model=calibrated requires a healthy, fault-free array".into(),
-            ));
+        if self.disk_model == DiskModel::Calibrated {
+            // The backend owns the list of event-level behaviours it
+            // cannot reproduce; keep the rejection next to the model.
+            crate::stack::CalibratedBackend::validate(self)?;
         }
         Ok(())
     }
@@ -494,6 +490,24 @@ mod tests {
         assert!(c.validate().is_err());
         c.memory_bytes = Some(1 << 20);
         assert!(c.validate().is_ok(), "explicit budget overrides scale");
+    }
+
+    #[test]
+    fn calibrated_model_rejects_faulty_arrays() {
+        let mut c = SystemConfig::test_default();
+        c.disk_model = DiskModel::Calibrated;
+        assert!(c.validate().is_ok(), "healthy calibrated array is fine");
+        c.faults = Some(FaultPlan::transient(7));
+        let err = c.validate().expect_err("faults rejected");
+        assert!(err.to_string().contains("fault-free"), "{err}");
+        c.faults = None;
+        c.fail_disk = Some(1);
+        let err = c.validate().expect_err("failed disk rejected");
+        assert!(err.to_string().contains("fault-free"), "{err}");
+        // The check lives on the backend and is callable directly.
+        assert!(crate::stack::CalibratedBackend::validate(&c).is_err());
+        c.fail_disk = None;
+        assert!(crate::stack::CalibratedBackend::validate(&c).is_ok());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`runner`] — the replay entry point: [`ReplayBuilder`]
 //!   (`Scheme::builder().trace(..).run()?`), producing a
 //!   [`ReplayReport`].
+//! * [`serve`] — the sharded multi-tenant serving engine:
+//!   [`ServeBuilder`] drives K tenant stacks across N shards on the
+//!   worker pool, producing a [`ServeReport`] with per-tenant and
+//!   aggregate results that are byte-identical at any worker width.
 //! * [`metrics`] — response-time accumulators (mean, percentiles).
 //! * [`experiments`] — one function per table/figure of the paper.
 //!
@@ -42,6 +46,7 @@ pub mod oracle;
 pub mod pool;
 pub mod runner;
 pub mod scheme;
+pub mod serve;
 pub mod stack;
 pub mod testing;
 
@@ -55,6 +60,7 @@ pub use oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel}
 pub use pool::Executor;
 pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing};
 pub use scheme::Scheme;
+pub use serve::{ServeBuilder, ServeReport, ShardRouter, TenantReport};
 pub use stack::{StackSpec, StorageStack};
 
 /// The one-stop import for building and replaying POD schemes.
@@ -81,5 +87,6 @@ pub mod prelude {
     pub use crate::oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
     pub use crate::runner::{ReplayBuilder, ReplayReport};
     pub use crate::scheme::Scheme;
+    pub use crate::serve::{ServeBuilder, ServeReport, ShardRouter, TenantReport};
     pub use crate::stack::{StackSpec, StorageStack};
 }

@@ -137,6 +137,9 @@ pub enum StackEvent {
         hit: bool,
         /// Outside the warm-up window.
         measured: bool,
+        /// Issuing tenant (0 for single-tenant replays; serialized
+        /// only when nonzero).
+        tenant: u16,
     },
     /// A missed read was mapped onto `fragments` physical extents.
     ReadFragments {
@@ -144,6 +147,9 @@ pub enum StackEvent {
         fragments: u64,
         /// Outside the warm-up window.
         measured: bool,
+        /// Issuing tenant (0 for single-tenant replays; serialized
+        /// only when nonzero).
+        tenant: u16,
     },
     /// The dedup layer classified and processed a write request.
     WriteClassified {
@@ -159,6 +165,9 @@ pub enum StackEvent {
         disk_index_lookups: u32,
         /// Outside the warm-up window.
         measured: bool,
+        /// Issuing tenant (0 for single-tenant replays; serialized
+        /// only when nonzero).
+        tenant: u16,
     },
     /// The iCache repartitioned the DRAM budget between index and read
     /// cache.
@@ -224,11 +233,24 @@ pub enum StackEvent {
         write: bool,
         /// Outside the warm-up window.
         measured: bool,
+        /// Issuing tenant (0 for single-tenant replays; serialized
+        /// only when nonzero).
+        tenant: u16,
     },
     /// The replay finished: background tasks drained, disks idle, all
     /// deferred [`LayerLatency`](Self::LayerLatency) events delivered.
     /// Recorders flush partial state on this event.
     Finished,
+}
+
+/// Append `,"tenant":N` when `tenant` is a real (nonzero) tenant id.
+/// Tenant 0 is the single-tenant default and stays off the wire, so
+/// every pre-multi-tenant trace and golden fixture is unchanged.
+fn push_tenant(out: &mut String, tenant: u16) {
+    use std::fmt::Write as _;
+    if tenant != 0 {
+        let _ = write!(out, r#","tenant":{tenant}"#);
+    }
 }
 
 impl StackEvent {
@@ -238,20 +260,29 @@ impl StackEvent {
     pub fn write_json(&self, out: &mut String) {
         use std::fmt::Write as _;
         match *self {
-            StackEvent::ReadLookup { hit, measured } => {
+            StackEvent::ReadLookup {
+                hit,
+                measured,
+                tenant,
+            } => {
                 let _ = write!(
                     out,
-                    r#"{{"ev":"read_lookup","hit":{hit},"measured":{measured}}}"#
+                    r#"{{"ev":"read_lookup","hit":{hit},"measured":{measured}"#
                 );
+                push_tenant(out, tenant);
+                out.push('}');
             }
             StackEvent::ReadFragments {
                 fragments,
                 measured,
+                tenant,
             } => {
                 let _ = write!(
                     out,
-                    r#"{{"ev":"read_fragments","fragments":{fragments},"measured":{measured}}}"#
+                    r#"{{"ev":"read_fragments","fragments":{fragments},"measured":{measured}"#
                 );
+                push_tenant(out, tenant);
+                out.push('}');
             }
             StackEvent::WriteClassified {
                 category,
@@ -260,12 +291,13 @@ impl StackEvent {
                 removed,
                 disk_index_lookups,
                 measured,
+                tenant,
             } => {
                 let _ = write!(
                     out,
                     concat!(
                         r#"{{"ev":"write_classified","category":"{}","deduped_blocks":{},"#,
-                        r#""written_blocks":{},"removed":{},"disk_index_lookups":{},"measured":{}}}"#
+                        r#""written_blocks":{},"removed":{},"disk_index_lookups":{},"measured":{}"#
                     ),
                     category_tag(category),
                     deduped_blocks,
@@ -274,6 +306,8 @@ impl StackEvent {
                     disk_index_lookups,
                     measured
                 );
+                push_tenant(out, tenant);
+                out.push('}');
             }
             StackEvent::Repartition {
                 index_bytes,
@@ -331,11 +365,17 @@ impl StackEvent {
                 snap.push_json_fields(out);
                 out.push('}');
             }
-            StackEvent::RequestDone { write, measured } => {
+            StackEvent::RequestDone {
+                write,
+                measured,
+                tenant,
+            } => {
                 let _ = write!(
                     out,
-                    r#"{{"ev":"request_done","write":{write},"measured":{measured}}}"#
+                    r#"{{"ev":"request_done","write":{write},"measured":{measured}"#
                 );
+                push_tenant(out, tenant);
+                out.push('}');
             }
             StackEvent::Finished => out.push_str(r#"{"ev":"finished"}"#),
         }
@@ -359,15 +399,28 @@ impl StackEvent {
                 .ok_or_else(|| format!("bad number {k:?}"))
         };
         let flag = |k: &str| field(k)?.as_bool().ok_or_else(|| format!("bad bool {k:?}"));
+        // Absent on every pre-multi-tenant trace: default to tenant 0.
+        let tenant = || -> Result<u16, String> {
+            match v.get("tenant") {
+                None => Ok(0),
+                Some(t) => t
+                    .as_u64()
+                    .filter(|&t| t <= u16::MAX as u64)
+                    .map(|t| t as u16)
+                    .ok_or_else(|| "bad tenant id".to_string()),
+            }
+        };
         let tag = field("ev")?.as_str().ok_or("bad event tag")?;
         Ok(match tag {
             "read_lookup" => StackEvent::ReadLookup {
                 hit: flag("hit")?,
                 measured: flag("measured")?,
+                tenant: tenant()?,
             },
             "read_fragments" => StackEvent::ReadFragments {
                 fragments: num("fragments")?,
                 measured: flag("measured")?,
+                tenant: tenant()?,
             },
             "write_classified" => StackEvent::WriteClassified {
                 category: field("category")?
@@ -379,6 +432,7 @@ impl StackEvent {
                 removed: flag("removed")?,
                 disk_index_lookups: num("disk_index_lookups")? as u32,
                 measured: flag("measured")?,
+                tenant: tenant()?,
             },
             "repartition" => StackEvent::Repartition {
                 index_bytes: num("index_bytes")?,
@@ -420,6 +474,7 @@ impl StackEvent {
             "request_done" => StackEvent::RequestDone {
                 write: flag("write")?,
                 measured: flag("measured")?,
+                tenant: tenant()?,
             },
             "finished" => StackEvent::Finished,
             other => return Err(format!("unknown event tag {other:?}")),
@@ -684,12 +739,65 @@ impl StackCounters {
             self.layer_time_us(layer) as f64 / total as f64
         }
     }
+
+    /// Fold `other` into `self` field by field. Every field is an
+    /// additive tally, so summing per-tenant (or per-shard) counter
+    /// sets yields exactly the counters one consolidated stack would
+    /// have reported — the serving engine's aggregate view.
+    pub fn absorb(&mut self, other: &StackCounters) {
+        let StackCounters {
+            reads_measured,
+            read_hits_measured,
+            frag_sum,
+            frag_reads,
+            writes_processed,
+            writes_eliminated,
+            cat1_writes,
+            cat2_writes,
+            cat3_writes,
+            unique_writes,
+            repartitions,
+            swap_blocks,
+            snapshots,
+            background_scans,
+            background_scanned_chunks,
+            faults_injected,
+            fault_delay_us,
+            recoveries,
+            index_entries_rebuilt,
+            cache_time_us,
+            dedup_time_us,
+            disk_time_us,
+        } = other;
+        self.reads_measured += reads_measured;
+        self.read_hits_measured += read_hits_measured;
+        self.frag_sum += frag_sum;
+        self.frag_reads += frag_reads;
+        self.writes_processed += writes_processed;
+        self.writes_eliminated += writes_eliminated;
+        self.cat1_writes += cat1_writes;
+        self.cat2_writes += cat2_writes;
+        self.cat3_writes += cat3_writes;
+        self.unique_writes += unique_writes;
+        self.repartitions += repartitions;
+        self.swap_blocks += swap_blocks;
+        self.snapshots += snapshots;
+        self.background_scans += background_scans;
+        self.background_scanned_chunks += background_scanned_chunks;
+        self.faults_injected += faults_injected;
+        self.fault_delay_us += fault_delay_us;
+        self.recoveries += recoveries;
+        self.index_entries_rebuilt += index_entries_rebuilt;
+        self.cache_time_us += cache_time_us;
+        self.dedup_time_us += dedup_time_us;
+        self.disk_time_us += disk_time_us;
+    }
 }
 
 impl StackObserver for StackCounters {
     fn on_event(&mut self, ev: &StackEvent) {
         match *ev {
-            StackEvent::ReadLookup { hit, measured } => {
+            StackEvent::ReadLookup { hit, measured, .. } => {
                 if measured {
                     self.reads_measured += 1;
                     if hit {
@@ -700,6 +808,7 @@ impl StackObserver for StackCounters {
             StackEvent::ReadFragments {
                 fragments,
                 measured,
+                ..
             } => {
                 if measured {
                     self.frag_sum += fragments;
@@ -765,19 +874,23 @@ mod tests {
         c.on_event(&StackEvent::ReadLookup {
             hit: true,
             measured: true,
+            tenant: 0,
         });
         c.on_event(&StackEvent::ReadLookup {
             hit: false,
             measured: true,
+            tenant: 0,
         });
         // Warm-up: ignored.
         c.on_event(&StackEvent::ReadLookup {
             hit: true,
             measured: false,
+            tenant: 0,
         });
         c.on_event(&StackEvent::ReadFragments {
             fragments: 3,
             measured: true,
+            tenant: 0,
         });
         c.on_event(&StackEvent::Swap { blocks: 7 });
         c.on_event(&StackEvent::Snapshot {
@@ -801,6 +914,7 @@ mod tests {
             removed,
             disk_index_lookups: 0,
             measured: true,
+            tenant: 0,
         };
         c.on_event(&write(ClassKind::FullyRedundantSequential, true));
         c.on_event(&write(ClassKind::ScatteredPartial, false));
@@ -902,10 +1016,22 @@ mod tests {
             StackEvent::ReadLookup {
                 hit: true,
                 measured: false,
+                tenant: 0,
+            },
+            StackEvent::ReadLookup {
+                hit: false,
+                measured: true,
+                tenant: 3,
             },
             StackEvent::ReadFragments {
                 fragments: 9,
                 measured: true,
+                tenant: 0,
+            },
+            StackEvent::ReadFragments {
+                fragments: 2,
+                measured: true,
+                tenant: 17,
             },
             StackEvent::WriteClassified {
                 category: ClassKind::ContiguousPartial,
@@ -914,6 +1040,16 @@ mod tests {
                 removed: false,
                 disk_index_lookups: 2,
                 measured: true,
+                tenant: 0,
+            },
+            StackEvent::WriteClassified {
+                category: ClassKind::Unique,
+                deduped_blocks: 0,
+                written_blocks: 8,
+                removed: false,
+                disk_index_lookups: 1,
+                measured: false,
+                tenant: 65535,
             },
             StackEvent::Repartition {
                 index_bytes: 1 << 20,
@@ -954,6 +1090,12 @@ mod tests {
             StackEvent::RequestDone {
                 write: true,
                 measured: true,
+                tenant: 0,
+            },
+            StackEvent::RequestDone {
+                write: false,
+                measured: true,
+                tenant: 5,
             },
             StackEvent::Finished,
         ];
@@ -962,6 +1104,72 @@ mod tests {
             let back = StackEvent::from_json(&s).expect("parse back");
             assert_eq!(back, ev, "round trip of {s}");
         }
+    }
+
+    #[test]
+    fn tenant_zero_stays_off_the_wire() {
+        // The single-tenant default serializes exactly as it did before
+        // tenant attribution existed — old traces and golden fixtures
+        // parse and compare unchanged.
+        let ev = StackEvent::RequestDone {
+            write: true,
+            measured: true,
+            tenant: 0,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"request_done","write":true,"measured":true}"#
+        );
+        let tagged = StackEvent::RequestDone {
+            write: true,
+            measured: true,
+            tenant: 4,
+        };
+        assert_eq!(
+            tagged.to_json(),
+            r#"{"ev":"request_done","write":true,"measured":true,"tenant":4}"#
+        );
+        // Absent field parses as tenant 0; an out-of-range id errors.
+        assert_eq!(
+            StackEvent::from_json(r#"{"ev":"read_lookup","hit":true,"measured":false}"#)
+                .expect("legacy event"),
+            StackEvent::ReadLookup {
+                hit: true,
+                measured: false,
+                tenant: 0
+            }
+        );
+        assert!(StackEvent::from_json(
+            r#"{"ev":"request_done","write":true,"measured":true,"tenant":70000}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn counters_absorb_sums_every_field() {
+        let mut a = StackCounters::default();
+        a.on_event(&StackEvent::ReadLookup {
+            hit: true,
+            measured: true,
+            tenant: 1,
+        });
+        a.on_event(&StackEvent::LayerLatency {
+            layer: Layer::Disk,
+            us: 40,
+        });
+        let mut b = StackCounters::default();
+        b.on_event(&StackEvent::ReadLookup {
+            hit: false,
+            measured: true,
+            tenant: 2,
+        });
+        b.on_event(&StackEvent::Swap { blocks: 3 });
+        let mut sum = a;
+        sum.absorb(&b);
+        assert_eq!(sum.reads_measured, 2);
+        assert_eq!(sum.read_hits_measured, 1);
+        assert_eq!(sum.disk_time_us, 40);
+        assert_eq!(sum.swap_blocks, 3);
     }
 
     #[test]

@@ -106,6 +106,10 @@ pub struct EpochRow {
     /// as a nested `"snap"` object in the JSONL row; the summary row
     /// carries the final snapshot of the replay.
     pub snap: Option<StateSnapshot>,
+    /// Issuing tenant when the recorder is tenant-scoped (serve mode).
+    /// `None` on single-stack replays: the row serializes without a
+    /// `tenant` key, so pre-multi-tenant traces are byte-identical.
+    pub tenant: Option<u16>,
 }
 
 impl EpochRow {
@@ -181,10 +185,16 @@ impl EpochRow {
         if other.snap.is_some() {
             self.snap = other.snap;
         }
+        if other.tenant.is_some() {
+            self.tenant = other.tenant;
+        }
     }
 
     fn push_fields(&self, out: &mut String) {
         use std::fmt::Write as _;
+        if let Some(tenant) = self.tenant {
+            let _ = write!(out, r#""tenant":{tenant},"#);
+        }
         let _ = write!(
             out,
             concat!(
@@ -241,6 +251,7 @@ pub struct TraceRecorder {
     rows: Vec<EpochRow>,
     cur: EpochRow,
     cur_requests: u64,
+    tenant: Option<u16>,
 }
 
 impl TraceRecorder {
@@ -261,7 +272,22 @@ impl TraceRecorder {
             rows: Vec::with_capacity(expected_epochs),
             cur: EpochRow::default(),
             cur_requests: 0,
+            tenant: None,
         }
+    }
+
+    /// Scope this recorder to one tenant (serve mode): the meta header
+    /// and every row it writes carry a `tenant` field. Untagged
+    /// recorders serialize exactly as before, so old traces and the
+    /// golden stats fixtures are untouched.
+    pub fn with_tenant(mut self, tenant: u16) -> Self {
+        self.tenant = Some(tenant);
+        self
+    }
+
+    /// The tenant this recorder is scoped to, if any.
+    pub fn tenant(&self) -> Option<u16> {
+        self.tenant
     }
 
     /// Scheme label carried into the trace header.
@@ -292,11 +318,13 @@ impl TraceRecorder {
             total.add(row);
         }
         total.epoch = self.rows.len() as u64;
+        total.tenant = self.tenant;
         total
     }
 
     fn flush(&mut self) {
         self.cur.epoch = self.rows.len() as u64;
+        self.cur.tenant = self.tenant;
         self.rows.push(self.cur);
         self.cur = EpochRow::default();
         self.cur_requests = 0;
@@ -315,6 +343,9 @@ impl TraceRecorder {
         push_str_escaped(&mut line, &self.scheme);
         line.push_str(r#","trace":"#);
         push_str_escaped(&mut line, &self.trace);
+        if let Some(tenant) = self.tenant {
+            line.push_str(&format!(r#","tenant":{tenant}"#));
+        }
         line.push_str(&format!(
             r#","epoch_requests":{},"epochs":{}}}"#,
             self.epoch_requests,
@@ -378,6 +409,7 @@ mod tests {
         StackEvent::RequestDone {
             write: false,
             measured: true,
+            tenant: 0,
         }
     }
 
@@ -406,6 +438,7 @@ mod tests {
             r.on_event(&StackEvent::ReadLookup {
                 hit: i % 2 == 0,
                 measured: true,
+                tenant: 0,
             });
             r.on_event(&req_done());
         }
@@ -455,10 +488,12 @@ mod tests {
             removed: true,
             disk_index_lookups: 0,
             measured: true,
+            tenant: 0,
         });
         r.on_event(&StackEvent::RequestDone {
             write: true,
             measured: true,
+            tenant: 0,
         });
         r.on_event(&StackEvent::Finished);
 
@@ -535,5 +570,43 @@ mod tests {
     fn epoch_requests_floor() {
         let r = TraceRecorder::new("s", "t", 0, 100);
         assert_eq!(r.epoch_requests(), 1);
+    }
+
+    #[test]
+    fn tenant_scoped_recorder_tags_meta_and_rows() {
+        let mut r = TraceRecorder::new("POD", "mail#2", 1, 4).with_tenant(2);
+        assert_eq!(r.tenant(), Some(2));
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        assert_eq!(r.rows()[0].tenant, Some(2));
+        assert_eq!(r.totals().tenant, Some(2));
+
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let v = crate::obs::json::parse(line).expect("valid line");
+            assert_eq!(
+                v.get("tenant").and_then(|t| t.as_u64()),
+                Some(2),
+                "line {i} carries the tenant tag: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn untagged_recorder_output_has_no_tenant_key() {
+        // The pre-multi-tenant wire format is preserved bit for bit.
+        let mut r = TraceRecorder::new("POD", "mail", 1, 4);
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(
+            !text.contains("tenant"),
+            "untagged recording must not mention tenants:\n{text}"
+        );
     }
 }

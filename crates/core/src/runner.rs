@@ -178,7 +178,7 @@ fn replay_stack(
 
     // ---- Replay -------------------------------------------------
     let n = trace.requests.len();
-    let warmup = ((n as f64) * cfg.warmup_fraction) as usize;
+    let warmup = warmup_requests(cfg, n);
     for (idx, req) in trace.requests.iter().enumerate() {
         if let Some(oracle) = oracle.as_mut() {
             oracle.observe_request(req);
@@ -188,7 +188,34 @@ fn replay_stack(
     }
     stack.finish()?;
 
-    // ---- Collect ------------------------------------------------
+    // Verify after finish(): drains, crash recovery and any injected
+    // end-of-replay corruption are all visible to the walk.
+    let integrity = oracle.map(|o| {
+        let mut rep = o.verify(stack.dedup());
+        rep.faults_seen = stack.observer().counters().faults_injected;
+        rep
+    });
+    let report = collect_report(&stack, spec.name, trace, warmup, integrity);
+    Ok((report, stack.into_observer()))
+}
+
+/// Number of leading requests excluded from measurement under `cfg`.
+pub(crate) fn warmup_requests(cfg: &SystemConfig, n: usize) -> usize {
+    ((n as f64) * cfg.warmup_fraction) as usize
+}
+
+/// Assemble a [`ReplayReport`] from a finished stack. Shared by the
+/// single-trace replay above and the sharded serving engine
+/// ([`crate::serve`]), which drives several tenant stacks per worker
+/// and reports each one individually.
+pub(crate) fn collect_report(
+    stack: &StorageStack,
+    scheme: &str,
+    trace: &Trace,
+    warmup: usize,
+    integrity: Option<IntegrityReport>,
+) -> ReplayReport {
+    let n = trace.requests.len();
     let responses = stack.responses(n);
     let mut overall = Metrics::new();
     let mut reads = Metrics::new();
@@ -210,15 +237,8 @@ fn replay_stack(
     let timeline = Timeline::build(&timeline_samples, 60);
 
     let counters = *stack.observer().counters();
-    // Verify after finish(): drains, crash recovery and any injected
-    // end-of-replay corruption are all visible to the walk.
-    let integrity = oracle.map(|o| {
-        let mut rep = o.verify(stack.dedup());
-        rep.faults_seen = counters.faults_injected;
-        rep
-    });
-    let report = ReplayReport {
-        scheme: spec.name.to_string(),
+    ReplayReport {
+        scheme: scheme.to_string(),
         trace: trace.name.clone(),
         overall,
         reads,
@@ -235,8 +255,7 @@ fn replay_stack(
         stack: counters,
         timeline,
         integrity,
-    };
-    Ok((report, stack.into_observer()))
+    }
 }
 
 /// Builder-style replay entry point — the primary public API.

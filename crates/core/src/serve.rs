@@ -1,0 +1,602 @@
+//! Sharded multi-tenant serving engine.
+//!
+//! A plain [`ReplayBuilder`](crate::ReplayBuilder) run is one trace
+//! through one stack. This module promotes that into a *service*: K
+//! per-tenant request streams (see [`pod_trace::derive_tenants`]) are
+//! merged by arrival time, partitioned across N shards, and each shard
+//! worker drives the stacks of its tenants through the shared
+//! [`Executor`](crate::pool::Executor).
+//!
+//! # Units of isolation vs. units of concurrency
+//!
+//! * A **tenant** is the unit of isolation: it owns a full
+//!   [`StorageStack`] (its own dedup tables, caches and simulated
+//!   array), mirroring the paper's consolidated-VM picture where each
+//!   VM's working set is independent. Because tenant state never
+//!   crosses a stack boundary, every per-tenant report is a pure
+//!   function of that tenant's trace and the config.
+//! * A **shard** is the unit of concurrency: shard `s` owns the stacks
+//!   of tenants `{t | t mod N == s}` and one worker drives them in
+//!   merged arrival order.
+//!
+//! The consequence is the engine's central guarantee: reports are
+//! **byte-identical at any worker width and any shard count** — `--jobs`
+//! and `--shards` change wall-clock behaviour only. Shard wall-time
+//! spans are reported separately in [`ShardStats`] (they are the only
+//! non-deterministic output, and the CLI keeps them off stdout).
+//!
+//! # LBA routing
+//!
+//! Tenants share one consolidated logical address space laid out by
+//! [`pod_trace::relocation_bases`] (tenant `i`'s region starts at
+//! `bases[i]`). [`ShardRouter`] maps a consolidated LBA back to its
+//! tenant region by binary search and then to the owning shard —
+//! deterministic, allocation-free, O(log K).
+
+use std::time::Instant;
+
+use crate::config::SystemConfig;
+use crate::metrics::Metrics;
+use crate::obs::{ObserverChain, StackCounters, TraceRecorder};
+use crate::runner::{collect_report, warmup_requests, ReplayReport};
+use crate::scheme::Scheme;
+use crate::stack::{StackSpec, StorageStack};
+use pod_dedup::engine::EngineCounters;
+use pod_trace::{relocation_bases, MergedStream, Trace};
+use pod_types::{PodError, PodResult};
+
+/// Deterministic LBA → tenant → shard mapping over the consolidated
+/// address space.
+///
+/// ```
+/// use pod_core::serve::ShardRouter;
+/// use pod_trace::{derive_tenants, TraceProfile};
+///
+/// let tenants = derive_tenants(&TraceProfile::web_vm().scaled(0.002), 4, 9);
+/// let router = ShardRouter::new(&tenants, 2)?;
+/// assert_eq!(router.tenant_of_lba(0), Some(0));
+/// assert_eq!(router.shard_of_tenant(3), 1);
+/// # Ok::<(), pod_types::PodError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    /// Region base of each tenant plus one trailing end-of-footprint
+    /// element (`len == tenants + 1`).
+    bases: Vec<u64>,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Build a router for `shards` shards over `tenants`. Fails when
+    /// either count is zero or there are more shards than tenants (an
+    /// empty shard serves nothing and would silently skew scaling
+    /// numbers).
+    pub fn new(tenants: &[Trace], shards: usize) -> PodResult<Self> {
+        if tenants.is_empty() {
+            return Err(PodError::InvalidConfig(
+                "serve needs at least one tenant".into(),
+            ));
+        }
+        if shards == 0 {
+            return Err(PodError::InvalidConfig(
+                "serve needs at least one shard".into(),
+            ));
+        }
+        if shards > tenants.len() {
+            return Err(PodError::InvalidConfig(format!(
+                "{shards} shards for {} tenants: every shard must own at least one tenant",
+                tenants.len()
+            )));
+        }
+        Ok(Self {
+            bases: relocation_bases(tenants),
+            shards,
+        })
+    }
+
+    /// Number of tenants routed.
+    pub fn tenants(&self) -> usize {
+        self.bases.len() - 1
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// End of the consolidated address space (blocks).
+    pub fn footprint_blocks(&self) -> u64 {
+        *self.bases.last().expect("bases never empty")
+    }
+
+    /// Tenant whose region contains consolidated LBA `lba`, or `None`
+    /// beyond the footprint.
+    pub fn tenant_of_lba(&self, lba: u64) -> Option<u16> {
+        if lba >= self.footprint_blocks() {
+            return None;
+        }
+        // partition_point: first base strictly greater than lba; the
+        // region owning lba starts one before it.
+        let region = self.bases.partition_point(|&b| b <= lba) - 1;
+        Some(region as u16)
+    }
+
+    /// Shard owning tenant `tenant` (static modulo assignment).
+    pub fn shard_of_tenant(&self, tenant: u16) -> usize {
+        tenant as usize % self.shards
+    }
+
+    /// Shard owning consolidated LBA `lba`.
+    pub fn shard_of_lba(&self, lba: u64) -> Option<usize> {
+        self.tenant_of_lba(lba).map(|t| self.shard_of_tenant(t))
+    }
+
+    /// Tenants assigned to shard `shard`, ascending.
+    pub fn tenants_of_shard(&self, shard: usize) -> impl Iterator<Item = u16> + '_ {
+        (0..self.tenants() as u16).filter(move |&t| self.shard_of_tenant(t) == shard)
+    }
+}
+
+/// One tenant's isolated replay outcome within a serve run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant id (index into the trace slice given to the builder).
+    pub tenant: u16,
+    /// Shard that served this tenant.
+    pub shard: usize,
+    /// The tenant's full per-stack report — identical to what a solo
+    /// [`ReplayBuilder`](crate::ReplayBuilder) run of the same trace
+    /// would produce.
+    pub report: ReplayReport,
+}
+
+/// Cross-tenant aggregate of a serve run: metrics merged, counters
+/// summed. Capacity and NVRAM are sums over isolated per-tenant arrays.
+#[derive(Debug, Clone, Default)]
+pub struct ServeAggregate {
+    /// All measured requests across tenants.
+    pub overall: Metrics,
+    /// Read requests across tenants.
+    pub reads: Metrics,
+    /// Write requests across tenants.
+    pub writes: Metrics,
+    /// Summed dedup-engine counters.
+    pub counters: EngineCounters,
+    /// Summed structured stack counters.
+    pub stack: StackCounters,
+    /// Total unique physical blocks across tenant arrays.
+    pub capacity_used_blocks: u64,
+    /// Summed peak NVRAM across tenants.
+    pub nvram_peak_bytes: u64,
+}
+
+impl ServeAggregate {
+    fn absorb(&mut self, rep: &ReplayReport) {
+        self.overall.merge(&rep.overall);
+        self.reads.merge(&rep.reads);
+        self.writes.merge(&rep.writes);
+        let c = &rep.counters;
+        self.counters.write_requests += c.write_requests;
+        self.counters.removed_requests += c.removed_requests;
+        self.counters.small_write_requests += c.small_write_requests;
+        self.counters.removed_small_requests += c.removed_small_requests;
+        self.counters.large_write_requests += c.large_write_requests;
+        self.counters.removed_large_requests += c.removed_large_requests;
+        self.counters.deduped_blocks += c.deduped_blocks;
+        self.counters.written_blocks += c.written_blocks;
+        self.counters.disk_index_lookups += c.disk_index_lookups;
+        self.stack.absorb(&rep.stack);
+        self.capacity_used_blocks += rep.capacity_used_blocks;
+        self.nvram_peak_bytes += rep.nvram_peak_bytes;
+    }
+}
+
+/// Wall-clock accounting for one shard worker. The only part of a
+/// serve run that is *not* deterministic — keep it out of outputs that
+/// are diffed for byte identity.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenants this shard served, ascending.
+    pub tenants: Vec<u16>,
+    /// Requests processed (all tenants, warm-up included).
+    pub requests: u64,
+    /// Wall time the worker spent building, driving and finishing its
+    /// stacks.
+    pub busy_us: u64,
+}
+
+/// Result of a sharded serve run: per-tenant reports (ascending tenant
+/// id), the cross-tenant aggregate, and per-shard wall-clock spans.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Shard count the run used.
+    pub shards: usize,
+    /// One report per tenant, ascending tenant id.
+    pub tenants: Vec<TenantReport>,
+    /// Cross-tenant aggregate.
+    pub aggregate: ServeAggregate,
+    /// Per-shard wall-clock accounting (non-deterministic).
+    pub shard_stats: Vec<ShardStats>,
+}
+
+impl ServeReport {
+    /// Total requests served (all tenants, warm-up included).
+    pub fn total_requests(&self) -> u64 {
+        self.shard_stats.iter().map(|s| s.requests).sum()
+    }
+
+    /// The slowest shard's busy span — the run's critical path. With
+    /// one worker per shard this bounds wall-clock completion time on
+    /// any machine with at least `shards` cores.
+    pub fn critical_path_us(&self) -> u64 {
+        self.shard_stats
+            .iter()
+            .map(|s| s.busy_us)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate service rate along the critical path: total requests
+    /// divided by the slowest shard's busy span. This is the engine's
+    /// scaling figure of merit — it equals wall-clock throughput when
+    /// cores ≥ shards, and unlike wall-clock it is meaningful on
+    /// core-starved CI runners too. Measure with `jobs = 1` so shard
+    /// spans are timed uncontended.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let us = self.critical_path_us();
+        if us == 0 {
+            return 0.0;
+        }
+        self.total_requests() as f64 * 1e6 / us as f64
+    }
+}
+
+/// Builder for a sharded serve run — the serving-engine analogue of
+/// [`ReplayBuilder`](crate::ReplayBuilder).
+///
+/// ```
+/// use pod_core::prelude::*;
+/// use pod_core::serve::ServeBuilder;
+/// use pod_trace::{derive_tenants, TraceProfile};
+///
+/// let tenants = derive_tenants(&TraceProfile::mail().scaled(0.002), 4, 3);
+/// let report = ServeBuilder::new(Scheme::Pod)
+///     .config(SystemConfig::test_default())
+///     .tenants(&tenants)
+///     .shards(2)
+///     .run()?;
+/// assert_eq!(report.tenants.len(), 4);
+/// assert_eq!(report.aggregate.overall.count() as u64, report.total_requests());
+/// # Ok::<(), pod_types::PodError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeBuilder<'t> {
+    scheme: Scheme,
+    cfg: SystemConfig,
+    tenants: Option<&'t [Trace]>,
+    shards: usize,
+    jobs: Option<usize>,
+    record_epoch: Option<u64>,
+}
+
+impl ServeBuilder<'static> {
+    /// Start building a serve run of `scheme` with the paper-default
+    /// configuration, one shard, and the process-default worker width.
+    pub fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            cfg: SystemConfig::paper_default(),
+            tenants: None,
+            shards: 1,
+            jobs: None,
+            record_epoch: None,
+        }
+    }
+}
+
+impl<'t> ServeBuilder<'t> {
+    /// Use `cfg` instead of the paper default (validated at
+    /// [`run`](Self::run)).
+    pub fn config(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The per-tenant traces to serve (tenant id = slice index).
+    /// Required.
+    pub fn tenants<'u>(self, tenants: &'u [Trace]) -> ServeBuilder<'u> {
+        ServeBuilder {
+            scheme: self.scheme,
+            cfg: self.cfg,
+            tenants: Some(tenants),
+            shards: self.shards,
+            jobs: self.jobs,
+            record_epoch: self.record_epoch,
+        }
+    }
+
+    /// Number of shards (validated against the tenant count at
+    /// [`run`](Self::run)). Default 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Worker-pool width override. Default: the process-wide
+    /// [`Executor`](crate::pool::Executor) width. Results never depend
+    /// on this.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Attach a tenant-tagged epoch [`TraceRecorder`] to every tenant
+    /// stack (`0` = auto epoch, ~64 epochs per tenant). Read them back
+    /// via [`run_recorded`](Self::run_recorded).
+    pub fn record(mut self, epoch_requests: u64) -> Self {
+        self.record_epoch = Some(epoch_requests);
+        self
+    }
+
+    /// Serve and return the report.
+    pub fn run(self) -> PodResult<ServeReport> {
+        self.run_recorded().map(|(report, _)| report)
+    }
+
+    /// Serve and also return the per-tenant recorders (ascending tenant
+    /// id; empty unless [`record`](Self::record) was called).
+    pub fn run_recorded(self) -> PodResult<(ServeReport, Vec<TraceRecorder>)> {
+        self.cfg.validate()?;
+        let tenants = self.tenants.ok_or_else(|| {
+            PodError::InvalidConfig(
+                "ServeBuilder: no tenants set (call .tenants(..) before .run())".into(),
+            )
+        })?;
+        let router = ShardRouter::new(tenants, self.shards)?;
+        let spec = self.scheme.stack_spec();
+
+        // One job per shard: the worker owns its tenants' stacks for
+        // the whole run (long-lived, no hand-offs mid-stream).
+        let jobs: Vec<ShardJob<'_>> = (0..router.shards())
+            .map(|shard| ShardJob {
+                shard,
+                tenants: router
+                    .tenants_of_shard(shard)
+                    .map(|t| (t, &tenants[t as usize]))
+                    .collect(),
+            })
+            .collect();
+
+        let pool = match self.jobs {
+            Some(width) => crate::pool::Executor::with_width(width),
+            None => crate::pool::Executor::new(),
+        };
+        let cfg = &self.cfg;
+        let record_epoch = self.record_epoch;
+        let outputs = pool.map_owned(jobs, |_, job| run_shard(&spec, cfg, job, record_epoch));
+        let outputs: Vec<ShardOutput> = outputs.into_iter().collect::<PodResult<_>>()?;
+
+        let mut tenant_reports: Vec<TenantReport> = Vec::with_capacity(router.tenants());
+        let mut recorders: Vec<(u16, TraceRecorder)> = Vec::new();
+        let mut shard_stats = Vec::with_capacity(outputs.len());
+        for out in outputs {
+            shard_stats.push(out.stats);
+            for t in out.tenants {
+                if let Some(rec) = t.recorder {
+                    recorders.push((t.report.tenant, rec));
+                }
+                tenant_reports.push(t.report);
+            }
+        }
+        tenant_reports.sort_by_key(|t| t.tenant);
+        recorders.sort_by_key(|(t, _)| *t);
+
+        let mut aggregate = ServeAggregate::default();
+        for t in &tenant_reports {
+            aggregate.absorb(&t.report);
+        }
+        let report = ServeReport {
+            scheme: spec.name.to_string(),
+            shards: router.shards(),
+            tenants: tenant_reports,
+            aggregate,
+            shard_stats,
+        };
+        Ok((report, recorders.into_iter().map(|(_, r)| r).collect()))
+    }
+}
+
+/// Work item handed to one pool worker: the shard and its tenants.
+struct ShardJob<'t> {
+    shard: usize,
+    /// `(tenant id, trace)`, ascending by tenant id so the shard-local
+    /// merge tie-break matches the global one.
+    tenants: Vec<(u16, &'t Trace)>,
+}
+
+struct TenantOutput {
+    report: TenantReport,
+    recorder: Option<TraceRecorder>,
+}
+
+struct ShardOutput {
+    tenants: Vec<TenantOutput>,
+    stats: ShardStats,
+}
+
+/// Drive one shard: build every tenant stack, replay the shard's
+/// merged arrival stream, finish and report each tenant. Mirrors the
+/// single-stack replay loop in [`crate::runner`] exactly per tenant, so
+/// a tenant's report here is byte-identical to its solo replay.
+fn run_shard(
+    spec: &StackSpec,
+    cfg: &SystemConfig,
+    job: ShardJob<'_>,
+    record_epoch: Option<u64>,
+) -> PodResult<ShardOutput> {
+    let started = Instant::now();
+    let mut runs = Vec::with_capacity(job.tenants.len());
+    for &(tenant, trace) in &job.tenants {
+        let mut chain = ObserverChain::new();
+        if let Some(epoch) = record_epoch {
+            let epoch = if epoch == 0 {
+                (trace.len() as u64 / 64).max(64)
+            } else {
+                epoch
+            };
+            chain.push(
+                TraceRecorder::new(spec.name, trace.name.clone(), epoch, trace.len())
+                    .with_tenant(tenant),
+            );
+        }
+        let mut stack = StorageStack::with_observer(spec, cfg, trace, chain)?;
+        stack.set_tenant(tenant);
+        runs.push(TenantRun {
+            tenant,
+            trace,
+            warmup: warmup_requests(cfg, trace.len()),
+            stack,
+        });
+    }
+
+    // The shard's service order: its tenants' streams merged by
+    // arrival, ties toward the lower tenant id.
+    let refs: Vec<&Trace> = runs.iter().map(|r| r.trace).collect();
+    for item in MergedStream::from_refs(&refs) {
+        let run = &mut runs[item.tenant];
+        run.stack.run_until(item.request.arrival);
+        run.stack
+            .process_request(item.index, item.request, item.index >= run.warmup)?;
+    }
+
+    let mut tenants = Vec::with_capacity(runs.len());
+    let mut requests = 0u64;
+    for mut run in runs {
+        run.stack.finish()?;
+        let report = collect_report(&run.stack, spec.name, run.trace, run.warmup, None);
+        requests += run.trace.len() as u64;
+        let mut chain = run.stack.into_observer();
+        tenants.push(TenantOutput {
+            report: TenantReport {
+                tenant: run.tenant,
+                shard: job.shard,
+                report,
+            },
+            recorder: chain.take_sink(),
+        });
+    }
+    let stats = ShardStats {
+        shard: job.shard,
+        tenants: tenants.iter().map(|t| t.report.tenant).collect(),
+        requests,
+        busy_us: started.elapsed().as_micros().max(1) as u64,
+    };
+    Ok(ShardOutput { tenants, stats })
+}
+
+struct TenantRun<'t> {
+    tenant: u16,
+    trace: &'t Trace,
+    warmup: usize,
+    stack: StorageStack,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pod_trace::{derive_tenants, TraceProfile};
+
+    fn fleet(n: usize) -> Vec<Trace> {
+        derive_tenants(&TraceProfile::mail().scaled(0.003), n, 5)
+    }
+
+    #[test]
+    fn router_rejects_bad_topologies() {
+        let tenants = fleet(2);
+        assert!(ShardRouter::new(&[], 1).is_err(), "zero tenants");
+        assert!(ShardRouter::new(&tenants, 0).is_err(), "zero shards");
+        let err = ShardRouter::new(&tenants, 3).expect_err("shards > tenants");
+        assert!(err.to_string().contains("at least one tenant"), "{err}");
+        assert!(ShardRouter::new(&tenants, 2).is_ok());
+    }
+
+    #[test]
+    fn router_maps_lbas_to_tenant_regions() {
+        let tenants = fleet(3);
+        let router = ShardRouter::new(&tenants, 2).expect("router");
+        let bases = relocation_bases(&tenants);
+        assert_eq!(router.tenants(), 3);
+        assert_eq!(router.footprint_blocks(), *bases.last().unwrap());
+        for t in 0..3u16 {
+            assert_eq!(router.tenant_of_lba(bases[t as usize]), Some(t));
+            assert_eq!(
+                router.tenant_of_lba(bases[t as usize + 1] - 1),
+                Some(t),
+                "last block of region {t}"
+            );
+        }
+        assert_eq!(router.tenant_of_lba(router.footprint_blocks()), None);
+        // Modulo shard assignment, and shard_of_lba composes the two.
+        assert_eq!(router.shard_of_tenant(0), 0);
+        assert_eq!(router.shard_of_tenant(1), 1);
+        assert_eq!(router.shard_of_tenant(2), 0);
+        assert_eq!(router.shard_of_lba(bases[2]), Some(0));
+        assert_eq!(
+            router.tenants_of_shard(0).collect::<Vec<_>>(),
+            vec![0u16, 2]
+        );
+        assert_eq!(router.tenants_of_shard(1).collect::<Vec<_>>(), vec![1u16]);
+    }
+
+    #[test]
+    fn builder_requires_tenants() {
+        let err = ServeBuilder::new(Scheme::Pod)
+            .config(SystemConfig::test_default())
+            .run()
+            .expect_err("no tenants");
+        assert!(err.to_string().contains("no tenants set"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_sums_tenant_reports() {
+        let tenants = fleet(3);
+        let rep = ServeBuilder::new(Scheme::Pod)
+            .config(SystemConfig::test_default())
+            .tenants(&tenants)
+            .shards(2)
+            .jobs(1)
+            .run()
+            .expect("serve");
+        assert_eq!(rep.tenants.len(), 3);
+        assert_eq!(rep.shards, 2);
+        let writes: u64 = rep
+            .tenants
+            .iter()
+            .map(|t| t.report.counters.write_requests)
+            .sum();
+        assert_eq!(rep.aggregate.counters.write_requests, writes);
+        let cap: u64 = rep
+            .tenants
+            .iter()
+            .map(|t| t.report.capacity_used_blocks)
+            .sum();
+        assert_eq!(rep.aggregate.capacity_used_blocks, cap);
+        let count: usize = rep.tenants.iter().map(|t| t.report.overall.count()).sum();
+        assert_eq!(rep.aggregate.overall.count(), count);
+        assert_eq!(
+            rep.total_requests(),
+            tenants.iter().map(|t| t.len() as u64).sum::<u64>()
+        );
+        assert!(rep.critical_path_us() > 0);
+        assert!(rep.jobs_per_sec() > 0.0);
+        // Tenant ids ascend and carry their owning shard.
+        for (i, t) in rep.tenants.iter().enumerate() {
+            assert_eq!(t.tenant as usize, i);
+            assert_eq!(t.shard, i % 2);
+        }
+    }
+}

@@ -103,6 +103,25 @@ pub struct CalibratedBackend {
 }
 
 impl CalibratedBackend {
+    /// Check that `cfg` describes an array the O(1) model can serve.
+    ///
+    /// Degraded-mode reconstruction (`fail_disk`) and fault
+    /// injection/recovery (`faults`) are event-level behaviours the
+    /// calibrated model deliberately does not reproduce — combining
+    /// them with `disk_model=calibrated` (CLI: `--disk-model
+    /// calibrated --faults …`) is rejected here, and
+    /// [`SystemConfig::validate`](crate::SystemConfig::validate)
+    /// delegates to this check so the error surfaces at parse/config
+    /// time rather than as a silently wrong simulation.
+    pub fn validate(cfg: &crate::SystemConfig) -> pod_types::PodResult<()> {
+        if cfg.fail_disk.is_some() || cfg.faults.is_some() {
+            return Err(pod_types::PodError::InvalidConfig(
+                "disk_model=calibrated requires a healthy, fault-free array".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Calibrate against the array described by the arguments and build
     /// the backend. `sizing` is accepted for interface symmetry with
     /// [`super::ArrayBackend`] (the reserved regions only matter for

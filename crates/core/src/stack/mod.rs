@@ -103,6 +103,11 @@ pub struct StorageStack {
     fault_scratch: Vec<FaultRecord>,
     /// End-of-replay silent corruption target (oracle fail fixture).
     corrupt_lba: Option<u64>,
+    /// Tenant id stamped on every per-request event this stack emits.
+    /// 0 (the default) is the single-tenant identity and stays off the
+    /// serialized wire; the serving engine assigns real ids via
+    /// [`set_tenant`](Self::set_tenant).
+    tenant: u16,
 }
 
 impl StorageStack {
@@ -235,7 +240,20 @@ impl StorageStack {
             faults_enabled: cfg.faults.is_some(),
             fault_scratch: Vec::new(),
             corrupt_lba: cfg.faults.as_ref().and_then(|p| p.corrupt_lba),
+            tenant: 0,
         })
+    }
+
+    /// Attribute every subsequent per-request event to `tenant`. The
+    /// serving engine calls this once per shard-local stack; plain
+    /// replays keep the default of 0 (untagged on the wire).
+    pub fn set_tenant(&mut self, tenant: u16) {
+        self.tenant = tenant;
+    }
+
+    /// The tenant this stack's events are attributed to.
+    pub fn tenant(&self) -> u16 {
+        self.tenant
     }
 
     /// Advance the disk backend to `t`, completing due work.
@@ -261,6 +279,7 @@ impl StorageStack {
         self.observer.emit(&StackEvent::RequestDone {
             write: req.op.is_write(),
             measured,
+            tenant: self.tenant,
         });
         self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))?;
         // Sample after the background tasks so the snapshot sees the
@@ -331,6 +350,7 @@ impl StorageStack {
             removed: summary.removed,
             disk_index_lookups: summary.disk_index_lookups,
             measured,
+            tenant: self.tenant,
         });
         self.observer.emit(&StackEvent::LayerLatency {
             layer: Layer::Dedup,
@@ -360,6 +380,7 @@ impl StorageStack {
         self.observer.emit(&StackEvent::ReadLookup {
             hit: all_hit,
             measured,
+            tenant: self.tenant,
         });
         if all_hit {
             self.observer.emit(&StackEvent::LayerLatency {
@@ -373,6 +394,7 @@ impl StorageStack {
             self.observer.emit(&StackEvent::ReadFragments {
                 fragments: plan.extents.len() as u64,
                 measured,
+                tenant: self.tenant,
             });
             self.observer.emit(&StackEvent::LayerLatency {
                 layer: Layer::Dedup,

@@ -1,0 +1,162 @@
+//! Serving-engine determinism suite.
+//!
+//! The engine's central guarantee: serve results are a pure function of
+//! `(scheme, config, tenant traces)` — worker width (`jobs`) and shard
+//! count only change wall-clock behaviour. And the anchor for that
+//! guarantee: a tenant's report inside a serve run is byte-identical to
+//! a solo [`ReplayBuilder`] replay of the same trace.
+
+use pod_core::prelude::*;
+use pod_core::serve::ServeBuilder;
+use pod_dedup::engine::EngineCounters;
+use pod_trace::{derive_tenants, Trace, TraceProfile};
+
+fn fleet(n: usize) -> Vec<Trace> {
+    derive_tenants(&TraceProfile::mail().scaled(0.003), n, 5)
+}
+
+/// Everything deterministic in a [`ReplayReport`], comparable for
+/// byte-identity (per-request latency samples included).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    scheme: String,
+    trace: String,
+    overall: Vec<u64>,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    counters: EngineCounters,
+    stack: StackCounters,
+    capacity_used_blocks: u64,
+    nvram_peak_bytes: u64,
+    icache_epochs: u64,
+    icache_repartitions: u64,
+}
+
+fn fingerprint(r: &ReplayReport) -> Fingerprint {
+    Fingerprint {
+        scheme: r.scheme.clone(),
+        trace: r.trace.clone(),
+        overall: r.overall.samples().to_vec(),
+        reads: r.reads.samples().to_vec(),
+        writes: r.writes.samples().to_vec(),
+        counters: r.counters,
+        stack: r.stack,
+        capacity_used_blocks: r.capacity_used_blocks,
+        nvram_peak_bytes: r.nvram_peak_bytes,
+        icache_epochs: r.icache_epochs,
+        icache_repartitions: r.icache_repartitions,
+    }
+}
+
+fn serve_fingerprints(tenants: &[Trace], shards: usize, jobs: usize) -> Vec<Fingerprint> {
+    let rep = ServeBuilder::new(Scheme::Pod)
+        .config(SystemConfig::test_default())
+        .tenants(tenants)
+        .shards(shards)
+        .jobs(jobs)
+        .run()
+        .expect("serve");
+    assert_eq!(rep.shards, shards);
+    rep.tenants.iter().map(|t| fingerprint(&t.report)).collect()
+}
+
+#[test]
+fn reports_are_identical_across_jobs_and_shards() {
+    let tenants = fleet(4);
+    let baseline = serve_fingerprints(&tenants, 1, 1);
+    for (shards, jobs) in [(1, 2), (1, 8), (2, 1), (2, 2), (4, 4), (4, 8)] {
+        let got = serve_fingerprints(&tenants, shards, jobs);
+        assert_eq!(
+            got, baseline,
+            "shards={shards} jobs={jobs} must match shards=1 jobs=1"
+        );
+    }
+}
+
+#[test]
+fn single_tenant_serve_matches_solo_replay_for_three_schemes() {
+    let tenants = fleet(1);
+    for scheme in [Scheme::Native, Scheme::SelectDedupe, Scheme::Pod] {
+        let solo = scheme
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&tenants[0])
+            .run()
+            .expect("solo replay");
+        let serve = ServeBuilder::new(scheme)
+            .config(SystemConfig::test_default())
+            .tenants(&tenants)
+            .shards(1)
+            .jobs(1)
+            .run()
+            .expect("serve");
+        assert_eq!(serve.tenants.len(), 1);
+        assert_eq!(
+            fingerprint(&serve.tenants[0].report),
+            fingerprint(&solo),
+            "{scheme}: 1-tenant serve must equal a plain replay"
+        );
+    }
+}
+
+#[test]
+fn every_tenant_report_matches_its_solo_replay() {
+    // Warm-up on, to exercise the per-tenant measured-region logic.
+    let mut cfg = SystemConfig::test_default();
+    cfg.warmup_fraction = 0.15;
+    let tenants = fleet(3);
+    let serve = ServeBuilder::new(Scheme::Pod)
+        .config(cfg.clone())
+        .tenants(&tenants)
+        .shards(2)
+        .jobs(2)
+        .run()
+        .expect("serve");
+    for (i, trace) in tenants.iter().enumerate() {
+        let solo = Scheme::Pod
+            .builder()
+            .config(cfg.clone())
+            .trace(trace)
+            .run()
+            .expect("solo replay");
+        assert_eq!(
+            fingerprint(&serve.tenants[i].report),
+            fingerprint(&solo),
+            "tenant {i} isolated: sharing a shard must not change its report"
+        );
+    }
+}
+
+#[test]
+fn recorders_come_back_tenant_tagged_and_ordered() {
+    let tenants = fleet(3);
+    let (rep, recorders) = ServeBuilder::new(Scheme::Pod)
+        .config(SystemConfig::test_default())
+        .tenants(&tenants)
+        .shards(2)
+        .record(100)
+        .run_recorded()
+        .expect("serve");
+    assert_eq!(recorders.len(), 3);
+    for (i, rec) in recorders.iter().enumerate() {
+        assert_eq!(rec.tenant(), Some(i as u16));
+        assert_eq!(rec.totals().requests, tenants[i].len() as u64);
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out, None).expect("serialize");
+        let text = String::from_utf8(out).expect("utf8");
+        if i > 0 {
+            assert!(
+                text.contains(&format!("\"tenant\":{i}")),
+                "tenant {i} rows tagged"
+            );
+        }
+    }
+    // Without record(), no recorders come back.
+    let (_, none) = ServeBuilder::new(Scheme::Pod)
+        .config(SystemConfig::test_default())
+        .tenants(&tenants)
+        .run_recorded()
+        .expect("serve");
+    assert!(none.is_empty());
+    assert_eq!(rep.tenants.len(), 3);
+}

@@ -35,6 +35,7 @@ pub mod profile;
 pub mod reconstruct;
 pub mod stats;
 pub mod synth;
+pub mod tenants;
 pub mod vm;
 
 pub use bursts::{detect_bursts, BurstReport, PhaseKind};
@@ -43,4 +44,5 @@ pub use profile::{BurstModel, TraceProfile, WriteMix};
 pub use reconstruct::reconstruct_requests;
 pub use stats::{RedundancyBreakdown, SizeBucket, TraceStats};
 pub use synth::Trace;
+pub use tenants::{derive_tenants, relocation_bases, MergedItem, MergedStream};
 pub use vm::VmFleetConfig;

@@ -112,20 +112,20 @@ impl Trace {
 /// assert_eq!(cloud.len(), a.len() + b.len());
 /// ```
 pub fn merge_tenants(tenants: &[Trace]) -> Trace {
-    let mut offset = 0u64;
+    // Region layout is shared with the serving engine's LBA router:
+    // tenant i's blocks land at `relocation_bases(tenants)[i]`.
+    let bases = crate::tenants::relocation_bases(tenants);
     let mut merged: Vec<IoRequest> = Vec::new();
     let mut budget = 0u64;
     let mut names: Vec<&str> = Vec::new();
-    for t in tenants {
+    for (t, base) in tenants.iter().zip(&bases) {
         names.push(&t.name);
         budget += t.memory_budget_bytes;
         for r in &t.requests {
             let mut r = r.clone();
-            r.lba = Lba::new(r.lba.raw() + offset);
+            r.lba = Lba::new(r.lba.raw() + base);
             merged.push(r);
         }
-        // Align each tenant region to 1 MiB of blocks for tidy layout.
-        offset += t.address_span_blocks().next_multiple_of(256).max(256);
     }
     merged.sort_by_key(|r| r.arrival);
     for (i, r) in merged.iter_mut().enumerate() {
