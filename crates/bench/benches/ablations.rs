@@ -74,7 +74,7 @@ fn bench_icache_epoch_sweep(c: &mut Criterion) {
     for epoch in [100u64, 400, 1_600, 6_400] {
         g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &epoch| {
             let mut cfg = SystemConfig::paper_default();
-            cfg.icache_epoch_requests = epoch;
+            cfg.icache.epoch_requests = epoch;
             let scheme = Scheme::Pod;
             b.iter(|| {
                 let rep = bench_replay(scheme, &trace, &cfg);
@@ -97,7 +97,7 @@ fn bench_hash_workers(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 let mut cfg = SystemConfig::paper_default();
-                cfg.hash_workers = workers;
+                cfg.latency.hash_workers = workers;
                 let scheme = Scheme::SelectDedupe;
                 b.iter(|| {
                     black_box(bench_replay(scheme, &trace, &cfg))

@@ -23,7 +23,7 @@
 use pod_core::experiments::run_schemes;
 use pod_core::obs::json::{parse as parse_json, Json};
 use pod_core::serve::ServeBuilder;
-use pod_core::{Layer, Scheme, StackCounters, SystemConfig};
+use pod_core::{Layer, Scheme, ServePolicy, StackCounters, SystemConfig};
 use pod_disk::{ArraySim, DiskSpec, RaidConfig, RaidGeometry, SchedulerKind};
 use pod_trace::{Trace, TraceProfile};
 use pod_types::{Pba, SimTime};
@@ -115,8 +115,9 @@ fn parse_args() -> Args {
                      (default 10) below the previous snapshot.\n\
                      --disk-only runs just the disk microbenches and writes no\n\
                      snapshot (CI smoke); --serve-only does the same for the\n\
-                     serve scaling sweep, comparing against the latest snapshot's\n\
-                     serve section when it has one"
+                     serve scaling sweep plus the shared-tier policy gate,\n\
+                     comparing against the latest snapshot's serve section\n\
+                     when it has one"
                 );
                 std::process::exit(0);
             }
@@ -441,6 +442,103 @@ fn serve_scaling_gate(serve: &[ServeEntry], report_only: bool) {
     }
 }
 
+/// One point of the shared-tier policy comparison.
+struct TierEntry {
+    policy: &'static str,
+    deduped_blocks: u64,
+    written_blocks: u64,
+    dedup_hit_pct: f64,
+}
+
+/// Shared-tier comparison: the same skewed 8-tenant fleet (4 mail
+/// tenants with strong fingerprint locality, 4 web-vm tenants with
+/// weak locality) served once under the locality-prioritized tier and
+/// once under the flat static division of the same tier budget. Both
+/// runs are fully deterministic — the metric is simulated dedup volume,
+/// not wall clock — so a single run per policy suffices.
+fn tier_bench(scale: f64) -> Vec<TierEntry> {
+    // Below ~0.05 each tenant's fingerprint working set fits the bare
+    // iCache partition and both divisions tie; floor the scale so the
+    // comparison stays meaningful at CI smoke scales.
+    let scale = scale.max(0.05);
+    let mut fleet = pod_trace::derive_tenants(
+        &TraceProfile::mail().scaled(scale),
+        SERVE_TENANTS / 2,
+        pod_bench::BENCH_SEED,
+    );
+    fleet.extend(pod_trace::derive_tenants(
+        &TraceProfile::web_vm().scaled(scale),
+        SERVE_TENANTS / 2,
+        pod_bench::BENCH_SEED + 1,
+    ));
+    let mut out = Vec::new();
+    for (name, policy) in [
+        ("prioritized", ServePolicy::prioritized_tier(2)),
+        ("static", ServePolicy::static_tier(2)),
+    ] {
+        let mut cfg = SystemConfig::paper_default();
+        // Starve the per-stack DRAM budget so index capacity is the
+        // binding constraint — with the paper budget every fingerprint
+        // fits and the tier division cannot move the dedup volume.
+        cfg.memory_bytes = Some(1 << 20);
+        cfg.policy = Some(policy);
+        let rep = ServeBuilder::new(Scheme::Pod)
+            .config(cfg)
+            .tenants(&fleet)
+            .shards(4)
+            .run()
+            .unwrap_or_else(|e| die(&format!("tier/{name}: {e}")));
+        let c = &rep.aggregate.counters;
+        let volume = (c.deduped_blocks + c.written_blocks).max(1);
+        out.push(TierEntry {
+            policy: name,
+            deduped_blocks: c.deduped_blocks,
+            written_blocks: c.written_blocks,
+            dedup_hit_pct: c.deduped_blocks as f64 * 100.0 / volume as f64,
+        });
+    }
+    out
+}
+
+fn print_tier_table(tier: &[TierEntry]) {
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>12}",
+        "tier policy", "deduped", "written", "dedup-hit%"
+    );
+    for e in tier {
+        println!(
+            "{:<18} {:>12} {:>12} {:>11.2}%",
+            e.policy, e.deduped_blocks, e.written_blocks, e.dedup_hit_pct
+        );
+    }
+}
+
+/// Shared-tier gate: locality-prioritized division must not dedup worse
+/// than the flat static split of the same budget on the skewed fleet.
+/// The comparison is within-run and deterministic, so any failure is a
+/// real behaviour change in the tier logic, never noise.
+fn tier_gate(tier: &[TierEntry], report_only: bool) {
+    let pct = |name: &str| {
+        tier.iter()
+            .find(|e| e.policy == name)
+            .map(|e| e.dedup_hit_pct)
+    };
+    let (Some(pri), Some(sta)) = (pct("prioritized"), pct("static")) else {
+        return;
+    };
+    println!("shared tier: prioritized {pri:.2}% vs static {sta:.2}% aggregate dedup-hit rate");
+    if pri < sta {
+        eprintln!(
+            "shared-tier gate: prioritized division deduped worse than static \
+             ({pri:.2}% < {sta:.2}%)"
+        );
+        if !report_only {
+            std::process::exit(1);
+        }
+        println!("(--report-only: not failing)");
+    }
+}
+
 /// End-to-end replay throughput entries for the disk section: the mail
 /// trace under POD with the full event-driven model and the calibrated
 /// O(1) backend. The ratio between the two is the headline the
@@ -674,6 +772,9 @@ fn main() {
         let serve = serve_bench(args.scale, args.reps);
         print_serve_table(&serve);
         serve_scaling_gate(&serve, args.report_only);
+        let tier = tier_bench(args.scale);
+        print_tier_table(&tier);
+        tier_gate(&tier, args.report_only);
         // Tolerance-compare against the latest snapshot's serve section,
         // when it has one; no snapshot is written in this mode.
         if let Some(base_path) = latest_snapshot(&args.dir, "") {
@@ -752,6 +853,9 @@ fn main() {
     print_disk_table(&disk);
     print_serve_table(&serve);
     serve_scaling_gate(&serve, args.report_only);
+    let tier = tier_bench(args.scale);
+    print_tier_table(&tier);
+    tier_gate(&tier, args.report_only);
     println!("peak RSS: {:.1} MiB", rss_kib as f64 / 1024.0);
 
     let date = today();

@@ -41,6 +41,10 @@ pub struct CliArgs {
     /// `--shards <N>`: shard workers for `serve` (default 1; must not
     /// exceed the tenant count).
     pub shards: usize,
+    /// `--policy <spec>`: a cross-tenant QoS policy for `serve`, e.g.
+    /// `tier:2048`, `tier:2048,rate:500,quota:4096`, `tier:1024,static`
+    /// (see [`pod_core::ServePolicy::parse`]).
+    pub policy: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -63,6 +67,7 @@ impl Default for CliArgs {
             disk_model: pod_core::DiskModel::Full,
             tenants: 1,
             shards: 1,
+            policy: None,
         }
     }
 }
@@ -114,6 +119,10 @@ impl CliArgs {
                     // not mid-replay.
                     pod_core::FaultPlan::parse(value).map_err(|e| e.to_string())?;
                     args.faults = Some(value.clone());
+                }
+                "--policy" => {
+                    pod_core::ServePolicy::parse(value).map_err(|e| e.to_string())?;
+                    args.policy = Some(value.clone());
                 }
                 "--epoch" => {
                     args.epoch_requests = value
@@ -226,6 +235,9 @@ impl CliArgs {
             cfg.faults = Some(pod_core::FaultPlan::parse(spec).map_err(|e| e.to_string())?);
         }
         cfg.disk_model = self.disk_model;
+        if let Some(spec) = &self.policy {
+            cfg.policy = Some(pod_core::ServePolicy::parse(spec).map_err(|e| e.to_string())?);
+        }
         cfg.validate().map_err(|e| e.to_string())?;
         Ok(cfg)
     }
@@ -394,6 +406,29 @@ mod tests {
         assert!(err.contains("exceeds --tenants"), "{err}");
         // --shards alone exceeds the default single tenant.
         assert!(parse(&["--shards", "2"]).is_err());
+    }
+
+    #[test]
+    fn policy_flag_lands_in_config() {
+        let a = parse(&["--policy", "tier:64,rate:500,quota:4"]).expect("parse");
+        let cfg = a.system_config().expect("config");
+        let policy = cfg.policy.expect("policy set");
+        assert_eq!(policy.shared_tier_bytes, 64 << 20);
+        assert_eq!(policy.default_tenant.rate_limit_rps, Some(500));
+        assert_eq!(policy.default_tenant.cache_quota_bytes, Some(4 << 20));
+        // No flag: no policy, byte-identical legacy behaviour.
+        assert!(parse(&[])
+            .expect("parse")
+            .system_config()
+            .expect("cfg")
+            .policy
+            .is_none());
+    }
+
+    #[test]
+    fn bad_policy_spec_is_rejected_at_parse_time() {
+        assert!(parse(&["--policy", "tier:lots"]).is_err());
+        assert!(parse(&["--policy", "vip:please"]).is_err());
     }
 
     #[test]

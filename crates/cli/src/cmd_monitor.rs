@@ -42,6 +42,12 @@ pub struct MonitorSink {
     /// every event with tenant 0 and their frames are unchanged.
     tenant_requests: Vec<u64>,
     tagged: bool,
+    /// QoS tallies (serve policy only); the `qos` line is rendered only
+    /// when one of them is nonzero, so policy-free frames are unchanged.
+    throttle_waits: u64,
+    throttle_wait_us: u64,
+    quota_evictions: u64,
+    quota_evicted_fps: u64,
 }
 
 impl MonitorSink {
@@ -59,6 +65,10 @@ impl MonitorSink {
             written_blocks: 0,
             tenant_requests: Vec::new(),
             tagged: false,
+            throttle_waits: 0,
+            throttle_wait_us: 0,
+            quota_evictions: 0,
+            quota_evicted_fps: 0,
         }
     }
 
@@ -180,6 +190,26 @@ impl MonitorSink {
             last.dedup.scan_backlog
         )
         .expect("write");
+        if last.tier_target_bytes != 0 || last.tier_share_pm != 0 {
+            writeln!(
+                out,
+                "shared tier  index target {:.1} MiB, locality share {}\u{2030}",
+                mib(last.tier_target_bytes),
+                last.tier_share_pm
+            )
+            .expect("write");
+        }
+        if self.throttle_waits + self.quota_evictions > 0 {
+            writeln!(
+                out,
+                "qos         {} throttled (+{:.1} ms), {} quota evictions ({} fingerprints)",
+                self.throttle_waits,
+                self.throttle_wait_us as f64 / 1e3,
+                self.quota_evictions,
+                self.quota_evicted_fps
+            )
+            .expect("write");
+        }
         if self.tagged {
             write!(out, "tenants    ").expect("write");
             for (t, &n) in self.tenant_requests.iter().enumerate() {
@@ -218,6 +248,14 @@ impl StackObserver for MonitorSink {
                     // Clear screen, home cursor, redraw.
                     print!("\x1b[2J\x1b[H{}", self.render_frame());
                 }
+            }
+            StackEvent::ThrottleWait { us, .. } => {
+                self.throttle_waits += 1;
+                self.throttle_wait_us += us;
+            }
+            StackEvent::QuotaEviction { victims, .. } => {
+                self.quota_evictions += 1;
+                self.quota_evicted_fps += victims;
             }
             StackEvent::RequestDone { tenant, .. } => {
                 let slot = tenant as usize;
@@ -325,6 +363,43 @@ mod tests {
             "{frame}"
         );
         assert!(frame.contains("write mix (total)  Cat-1  50.0%"), "{frame}");
+    }
+
+    #[test]
+    fn qos_lines_render_only_for_policy_streams() {
+        // Policy-free stream: no qos line, no tier line.
+        let mut solo = MonitorSink::new(false, "POD", "mail");
+        solo.on_event(&StackEvent::Snapshot { snap: snap(0, 500) });
+        let frame = solo.render_frame();
+        assert!(!frame.contains("qos"), "{frame}");
+        assert!(!frame.contains("shared tier"), "{frame}");
+
+        // Policy stream: throttles, evictions and tier gauges show up.
+        let mut sink = MonitorSink::new(false, "POD", "mail");
+        sink.on_event(&StackEvent::ThrottleWait {
+            tenant: 1,
+            us: 1500,
+        });
+        sink.on_event(&StackEvent::ThrottleWait { tenant: 1, us: 500 });
+        sink.on_event(&StackEvent::QuotaEviction {
+            tenant: 1,
+            victims: 16,
+            index_bytes: 4096,
+        });
+        let mut s = snap(0, 500);
+        s.tier_target_bytes = 2 << 20;
+        s.tier_share_pm = 1750;
+        sink.on_event(&StackEvent::Snapshot { snap: s });
+        let frame = sink.render_frame();
+        assert!(
+            frame
+                .contains("qos         2 throttled (+2.0 ms), 1 quota evictions (16 fingerprints)"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("shared tier  index target 2.0 MiB, locality share 1750\u{2030}"),
+            "{frame}"
+        );
     }
 
     #[test]

@@ -152,6 +152,44 @@ pub fn render_report(rep: &ServeReport) -> String {
         a.stack.read_hit_rate() * 100.0,
     )
     .expect("write to string");
+    // QoS section: present only when a serve policy attributed capacity
+    // (legacy runs stay byte-identical).
+    if !a.tenant_capacity.is_empty() {
+        writeln!(
+            out,
+            "\ntenant  throttles   wait s  evictions  evicted fp  logical MiB  physical MiB"
+        )
+        .expect("write to string");
+        for t in &rep.tenants {
+            let s = &t.report.stack;
+            let cap = a
+                .tenant_capacity
+                .iter()
+                .find(|c| c.tenant == t.tenant)
+                .copied()
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "{:>6} {:>10} {:>8.1} {:>10} {:>11} {:>12.1} {:>13.1}",
+                t.tenant,
+                s.throttle_waits,
+                s.throttle_wait_us as f64 / 1e6,
+                s.quota_evictions,
+                s.quota_evicted_fps,
+                mib(cap.logical_blocks),
+                mib(cap.physical_blocks),
+            )
+            .expect("write to string");
+        }
+        writeln!(
+            out,
+            "fleet: {} unique blocks ({:.1} MiB) across {} tenants",
+            a.fleet_unique_blocks,
+            mib(a.fleet_unique_blocks),
+            a.tenant_capacity.len(),
+        )
+        .expect("write to string");
+    }
     out
 }
 
@@ -177,7 +215,34 @@ mod tests {
         assert!(text.contains("== serve: POD / 4 tenants =="), "{text}");
         assert!(text.contains("mail#3"), "per-tenant rows present");
         assert!(!text.contains("shard"), "no topology on stdout");
+        // No policy: the QoS section stays off the page entirely.
+        assert!(!text.contains("fleet:"), "{text}");
+        assert!(!text.contains("throttles"), "{text}");
         // Byte-identical across worker width and shard count.
+        assert_eq!(text, render_report(&serve(2, 2)));
+        assert_eq!(text, render_report(&serve(4, 8)));
+    }
+
+    #[test]
+    fn policy_report_renders_qos_and_stays_topology_free() {
+        let tenants =
+            pod_trace::derive_tenants(&pod_trace::TraceProfile::mail().scaled(0.002), 4, 3);
+        let mut cfg = SystemConfig::test_default();
+        cfg.policy = Some(ServePolicy::parse("tier:2,rate:40,burst:4,quota:1").expect("policy"));
+        let serve = |shards: usize, jobs: usize| {
+            ServeBuilder::new(Scheme::Pod)
+                .config(cfg.clone())
+                .tenants(&tenants)
+                .shards(shards)
+                .jobs(jobs)
+                .run()
+                .expect("serve")
+        };
+        let text = render_report(&serve(1, 1));
+        assert!(text.contains("throttles"), "QoS table present: {text}");
+        assert!(text.contains("fleet:"), "fleet capacity line: {text}");
+        assert!(!text.contains("shard"), "no topology on stdout");
+        // The QoS columns are as topology-free as the base report.
         assert_eq!(text, render_report(&serve(2, 2)));
         assert_eq!(text, render_report(&serve(4, 8)));
     }

@@ -60,9 +60,22 @@ fn render_tenant_breakdown(out: &mut String, sections: &[Section]) -> Result<(),
     if sections.iter().all(|s| s.tenant.is_none()) {
         return Ok(());
     }
+    // QoS columns appear only when some tenant was throttled or
+    // quota-evicted (the recorder omits zero counters), so policy-free
+    // traces keep the historical table shape.
+    let qos = sections.iter().any(|s| {
+        s.summary.as_ref().is_some_and(|sum| {
+            sum.get("throttle_waits").is_some() || sum.get("quota_evictions").is_some()
+        })
+    });
     writeln!(
         out,
-        "per-tenant breakdown:\n  tenant  trace            requests    writes  dedup-blk  dedup%"
+        "per-tenant breakdown:\n  tenant  trace            requests    writes  dedup-blk  dedup%{}",
+        if qos {
+            "  throttle   wait ms  evicted"
+        } else {
+            ""
+        }
     )
     .expect("write to string");
     for s in sections {
@@ -77,7 +90,7 @@ fn render_tenant_breakdown(out: &mut String, sections: &[Section]) -> Result<(),
                 .ok_or_else(|| format!("tenant {tenant} summary missing \"{key}\""))
         };
         let (deduped, written) = (g("deduped_blocks")?, g("written_blocks")?);
-        writeln!(
+        write!(
             out,
             "  {tenant:>6}  {:<16} {:>9} {:>9} {:>10}  {:>5.1}%",
             s.trace,
@@ -87,6 +100,18 @@ fn render_tenant_breakdown(out: &mut String, sections: &[Section]) -> Result<(),
             pct(deduped, deduped + written),
         )
         .expect("write to string");
+        if qos {
+            let opt = |key: &str| sum.get(key).and_then(Json::as_u64).unwrap_or(0);
+            write!(
+                out,
+                "  {:>8}  {:>8.1} {:>8}",
+                opt("throttle_waits"),
+                opt("throttle_wait_us") as f64 / 1e3,
+                opt("quota_evicted_fps"),
+            )
+            .expect("write to string");
+        }
+        out.push('\n');
     }
     out.push('\n');
     Ok(())
@@ -242,6 +267,20 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
     )
     .expect("write to string");
 
+    // QoS tallies appear only in serve-policy traces (the recorder
+    // omits zero counters), so legacy renders are byte-identical.
+    let opt = |key: &str| sum.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let (tw, qe) = (opt("throttle_waits"), opt("quota_evictions"));
+    if tw + qe > 0 {
+        writeln!(
+            out,
+            "qos: {tw} throttled requests (+{:.1} ms simulated), {qe} quota evictions ({} fingerprints)",
+            opt("throttle_wait_us") as f64 / 1e3,
+            opt("quota_evicted_fps"),
+        )
+        .expect("write to string");
+    }
+
     let total_us = (cache_us + dedup_us + disk_us).max(1);
     writeln!(
         out,
@@ -354,6 +393,15 @@ fn render_snapshot(out: &mut String, snap: &StateSnapshot) {
         snap.dedup.scan_backlog,
     )
     .expect("write to string");
+    if snap.tier_target_bytes != 0 || snap.tier_share_pm != 0 {
+        writeln!(
+            out,
+            "  shared tier: index target {:.1} MiB, locality share {}\u{2030}",
+            mib(snap.tier_target_bytes),
+            snap.tier_share_pm,
+        )
+        .expect("write to string");
+    }
 }
 
 fn render_layer_histograms(out: &mut String, sum: &Json) -> Result<(), String> {

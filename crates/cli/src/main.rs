@@ -93,6 +93,9 @@ fn usage_and_exit(code: i32) -> ! {
          \x20                                 profile (seed, seed+1, ...; default 1)\n\
          \x20 --shards <N>                    `serve`: shard workers; each owns the\n\
          \x20                                 stacks of tenants t \u{2261} shard (mod N)\n\
+         \x20 --policy <spec>                 `serve`: cross-tenant QoS — comma-separated\n\
+         \x20                                 tier:<MiB>, rate:<rps>, burst:<n>, quota:<MiB>,\n\
+         \x20                                 soft:<MiB>, hot:<pm>, cold:<pm>, static\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

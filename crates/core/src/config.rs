@@ -40,33 +40,18 @@ pub struct SystemConfig {
     /// Replacement policy of the read cache (LRU per the paper; ARC for
     /// the ablation bench).
     pub read_policy: ReadCachePolicy,
-    /// Fingerprinting cost per 4 KiB chunk, µs (paper: 32).
-    pub hash_us_per_chunk: u64,
-    /// Parallel hashing lanes in the controller (1 = sequential).
-    pub hash_workers: usize,
-    /// DRAM read-cache hit service time, µs.
-    pub cache_hit_us: u64,
-    /// Fixed metadata/processing overhead per request, µs.
-    pub metadata_us: u64,
+    /// Controller fast-path service-time model (hashing, cache hits,
+    /// metadata).
+    pub latency: LatencyModel,
     /// Leading fraction of the trace replayed for state warm-up and
     /// excluded from metrics (the paper warms caches with 14 days of
     /// trace before measuring).
     pub warmup_fraction: f64,
-    /// iCache adaptation epoch, in requests.
-    pub icache_epoch_requests: u64,
-    /// iCache swap step as a fraction of the budget.
-    pub icache_swap_step: f64,
-    /// Lower bound on either cache partition's share.
-    pub icache_min_fraction: f64,
-    /// iCache cost-benefit: modeled penalty of a read-cache miss, µs.
-    pub icache_read_penalty_us: u64,
-    /// iCache cost-benefit: modeled penalty of a missed dedup
-    /// opportunity (the write that could have been eliminated), µs.
-    pub icache_write_penalty_us: u64,
-    /// PostProcess: requests between background deduplication passes.
-    pub post_process_interval: u64,
-    /// PostProcess: maximum chunks examined per background pass.
-    pub post_process_batch: usize,
+    /// iCache adaptive-partition tuning (epoch length, swap step,
+    /// cost-benefit penalties).
+    pub icache: ICacheTuning,
+    /// Background post-process deduplication cadence.
+    pub post_process: PostProcess,
     /// Fail this member disk before replay begins (RAID-5 degraded-mode
     /// evaluation). `None` = healthy array.
     pub fail_disk: Option<usize>,
@@ -77,6 +62,85 @@ pub struct SystemConfig {
     /// event-driven [`pod_disk::ArraySim`]).
     #[serde(default)]
     pub disk_model: DiskModel,
+    /// Cross-tenant serve policy: shared fingerprint-cache tier and
+    /// per-tenant QoS. `None` = the policy layer is absent entirely
+    /// (zero overhead); single-stack replays ignore it.
+    #[serde(default)]
+    pub policy: Option<ServePolicy>,
+}
+
+/// Controller fast-path service-time model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fingerprinting cost per 4 KiB chunk, µs (paper: 32).
+    pub hash_us_per_chunk: u64,
+    /// Parallel hashing lanes in the controller (1 = sequential).
+    pub hash_workers: usize,
+    /// DRAM read-cache hit service time, µs.
+    pub cache_hit_us: u64,
+    /// Fixed metadata/processing overhead per request, µs.
+    pub metadata_us: u64,
+}
+
+impl Default for LatencyModel {
+    /// The paper's controller: 32 µs per 4 KiB chunk hashed on one
+    /// lane, 20 µs cache-hit service, 5 µs metadata per request.
+    fn default() -> Self {
+        Self {
+            hash_us_per_chunk: 32,
+            hash_workers: 1,
+            cache_hit_us: 20,
+            metadata_us: 5,
+        }
+    }
+}
+
+/// iCache adaptive index/read-cache partition tuning (paper §III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ICacheTuning {
+    /// Adaptation epoch, in requests.
+    pub epoch_requests: u64,
+    /// Swap step as a fraction of the budget.
+    pub swap_step: f64,
+    /// Lower bound on either cache partition's share.
+    pub min_fraction: f64,
+    /// Cost-benefit: modeled penalty of a read-cache miss, µs.
+    pub read_penalty_us: u64,
+    /// Cost-benefit: modeled penalty of a missed dedup opportunity
+    /// (the write that could have been eliminated), µs.
+    pub write_penalty_us: u64,
+}
+
+impl Default for ICacheTuning {
+    /// The repo's calibrated defaults (see DESIGN.md): 400-request
+    /// epochs, 5% swap steps bounded at a 10% floor.
+    fn default() -> Self {
+        Self {
+            epoch_requests: 400,
+            swap_step: 0.05,
+            min_fraction: 0.10,
+            read_penalty_us: 8_000,
+            write_penalty_us: 24_000,
+        }
+    }
+}
+
+/// Background post-process deduplication cadence.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PostProcess {
+    /// Requests between background deduplication passes.
+    pub interval: u64,
+    /// Maximum chunks examined per background pass.
+    pub batch: usize,
+}
+
+impl Default for PostProcess {
+    fn default() -> Self {
+        Self {
+            interval: 2_000,
+            batch: 16_384,
+        }
+    }
 }
 
 /// Disk-engine selection for the stack.
@@ -292,7 +356,353 @@ impl FaultPlan {
     }
 }
 
+/// Per-tenant quality-of-service limits within a [`ServePolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantPolicy {
+    /// Token-bucket admission rate, requests per second of *simulated*
+    /// time. `None` = unthrottled.
+    pub rate_limit_rps: Option<u64>,
+    /// Token-bucket depth: requests that may arrive back-to-back
+    /// before throttling delays the stream. Ignored when unthrottled.
+    pub burst_requests: u64,
+    /// Hard cap on the tenant's fingerprint-index budget (base iCache
+    /// partition plus shared-tier grant), bytes. Always enforced.
+    pub cache_quota_bytes: Option<u64>,
+    /// Soft cap, enforced only while the tenant is *not* hot: a tenant
+    /// with demonstrated dedup locality may exceed it (up to the hard
+    /// cap), an idle or cold one may not.
+    pub soft_quota_bytes: Option<u64>,
+}
+
+impl Default for TenantPolicy {
+    /// Unlimited: no rate limit, no quotas, a 32-request burst should a
+    /// rate limit later be set.
+    fn default() -> Self {
+        Self {
+            rate_limit_rps: None,
+            burst_requests: 32,
+            cache_quota_bytes: None,
+            soft_quota_bytes: None,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// True when every limit is disabled (the policy-off fast path for
+    /// this tenant).
+    pub fn is_unlimited(&self) -> bool {
+        self.rate_limit_rps.is_none()
+            && self.cache_quota_bytes.is_none()
+            && self.soft_quota_bytes.is_none()
+    }
+
+    fn validate(&self) -> PodResult<()> {
+        if self.rate_limit_rps == Some(0) {
+            return Err(PodError::InvalidConfig(
+                "tenant rate_limit_rps must be at least 1".into(),
+            ));
+        }
+        if self.rate_limit_rps.is_some() && self.burst_requests == 0 {
+            return Err(PodError::InvalidConfig(
+                "tenant burst_requests must be at least 1 when rate-limited".into(),
+            ));
+        }
+        if let (Some(soft), Some(hard)) = (self.soft_quota_bytes, self.cache_quota_bytes) {
+            if soft > hard {
+                return Err(PodError::InvalidConfig(format!(
+                    "tenant soft quota ({soft} B) exceeds hard quota ({hard} B)"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Cross-tenant serve policy: a fleet-wide shared fingerprint-cache
+/// tier divided among tenants by recent dedup locality (HPDedup-style
+/// prioritization), plus per-tenant QoS limits.
+///
+/// The tier is re-divided every iCache epoch from each tenant's own
+/// deterministic counters: a tenant's slice is
+/// `base × share(locality) / 1000` where `base = shared_tier_bytes /
+/// fleet_tenants` and `share` is [`hot_share_pm`](Self::hot_share_pm)
+/// at or above the hot locality threshold,
+/// [`cold_share_pm`](Self::cold_share_pm) at or below the cold one,
+/// and 1000‰ in between. Because a tenant's slice depends only on its
+/// own history and fleet-wide constants — never on which shard its
+/// neighbours landed on — per-tenant results stay byte-identical at
+/// any `--shards`/`--jobs` topology.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServePolicy {
+    /// Fleet-wide shared fingerprint-cache tier, bytes. `0` disables
+    /// the tier (QoS limits still apply).
+    pub shared_tier_bytes: u64,
+    /// Epoch dedup-index locality (hits per mille of index probes) at
+    /// or above which a tenant counts as hot.
+    pub hot_threshold_pm: u64,
+    /// Locality at or below which a tenant counts as cold.
+    pub cold_threshold_pm: u64,
+    /// Tier share granted to hot tenants, per mille of the base slice.
+    pub hot_share_pm: u64,
+    /// Tier share granted to cold tenants, per mille of the base slice.
+    pub cold_share_pm: u64,
+    /// QoS limits applied to every tenant without an override.
+    pub default_tenant: TenantPolicy,
+    /// Per-tenant overrides, `(tenant id, limits)`.
+    pub tenant_overrides: Vec<(u16, TenantPolicy)>,
+}
+
+impl Default for ServePolicy {
+    /// Locality-prioritized division, no tier memory and no QoS limits
+    /// yet: hot tenants (≥ 400‰ epoch index locality) earn 1750‰ of
+    /// the base slice, cold ones (≤ 150‰) keep 250‰.
+    fn default() -> Self {
+        Self {
+            shared_tier_bytes: 0,
+            hot_threshold_pm: 400,
+            cold_threshold_pm: 150,
+            hot_share_pm: 1750,
+            cold_share_pm: 250,
+            default_tenant: TenantPolicy::default(),
+            tenant_overrides: Vec::new(),
+        }
+    }
+}
+
+impl ServePolicy {
+    /// Locality-prioritized shared tier of `mib` MiB (HPDedup-style).
+    pub fn prioritized_tier(mib: u64) -> Self {
+        Self {
+            shared_tier_bytes: mib << 20,
+            ..Self::default()
+        }
+    }
+
+    /// Statically partitioned tier of `mib` MiB: every tenant gets the
+    /// same slice regardless of locality — the baseline the perf gate
+    /// compares prioritized sharing against.
+    pub fn static_tier(mib: u64) -> Self {
+        Self {
+            shared_tier_bytes: mib << 20,
+            hot_share_pm: 1000,
+            cold_share_pm: 1000,
+            ..Self::default()
+        }
+    }
+
+    /// Limits for tenant `t`: its override if present, else the fleet
+    /// default.
+    pub fn tenant(&self, t: u16) -> TenantPolicy {
+        self.tenant_overrides
+            .iter()
+            .find(|(id, _)| *id == t)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.default_tenant)
+    }
+
+    /// True when the tier weighting is flat (static partitioning).
+    pub fn is_static(&self) -> bool {
+        self.hot_share_pm == 1000 && self.cold_share_pm == 1000
+    }
+
+    /// True when the policy constrains nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.shared_tier_bytes == 0
+            && self.default_tenant.is_unlimited()
+            && self.tenant_overrides.iter().all(|(_, p)| p.is_unlimited())
+    }
+
+    /// Parse a CLI policy spec: comma-separated clauses
+    /// `tier:<MiB>`, `rate:<rps>`, `burst:<requests>`, `quota:<MiB>`,
+    /// `soft:<MiB>`, `hot:<per-mille>`, `cold:<per-mille>`, and the
+    /// bare word `static` (flat tier division). Example:
+    /// `tier:8,rate:2000,quota:4` — an 8 MiB prioritized shared tier,
+    /// every tenant throttled to 2000 req/s and capped at a 4 MiB
+    /// index. Per-tenant overrides are API-only
+    /// ([`tenant_overrides`](Self::tenant_overrides)).
+    pub fn parse(spec: &str) -> PodResult<Self> {
+        let bad = |msg: String| PodError::InvalidConfig(msg);
+        let mut policy = Self::default();
+        for clause in spec.split(',') {
+            if clause == "static" {
+                policy.hot_share_pm = 1000;
+                policy.cold_share_pm = 1000;
+                continue;
+            }
+            let (key, value) = clause.split_once(':').ok_or_else(|| {
+                bad(format!(
+                    "policy clause `{clause}` is not `key:value` (or `static`)"
+                ))
+            })?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| bad(format!("policy {key} value `{value}` is not a number")))?;
+            match key {
+                "tier" => policy.shared_tier_bytes = n << 20,
+                "rate" => policy.default_tenant.rate_limit_rps = Some(n),
+                "burst" => policy.default_tenant.burst_requests = n,
+                "quota" => policy.default_tenant.cache_quota_bytes = Some(n << 20),
+                "soft" => policy.default_tenant.soft_quota_bytes = Some(n << 20),
+                "hot" => policy.hot_threshold_pm = n,
+                "cold" => policy.cold_threshold_pm = n,
+                other => {
+                    return Err(bad(format!(
+                        "unknown policy clause `{other}` (expected tier, rate, \
+                         burst, quota, soft, hot, cold, or static)"
+                    )))
+                }
+            }
+        }
+        policy.validate()?;
+        Ok(policy)
+    }
+
+    /// Validate the policy.
+    pub fn validate(&self) -> PodResult<()> {
+        if self.is_noop() {
+            return Err(PodError::InvalidConfig(
+                "serve policy constrains nothing; drop it instead".into(),
+            ));
+        }
+        if self.hot_threshold_pm > 1000 || self.cold_threshold_pm >= self.hot_threshold_pm {
+            return Err(PodError::InvalidConfig(format!(
+                "locality thresholds need cold < hot <= 1000 (got cold {} / hot {})",
+                self.cold_threshold_pm, self.hot_threshold_pm
+            )));
+        }
+        if self.cold_share_pm > 1000 || self.hot_share_pm < 1000 {
+            return Err(PodError::InvalidConfig(format!(
+                "tier shares need cold <= 1000 <= hot per mille (got cold {} / hot {})",
+                self.cold_share_pm, self.hot_share_pm
+            )));
+        }
+        self.default_tenant.validate()?;
+        for (t, p) in &self.tenant_overrides {
+            p.validate()
+                .map_err(|e| PodError::InvalidConfig(format!("tenant {t} override: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Compact rendering for config summaries.
+    fn summary(&self) -> String {
+        let mut s = format!("tier:{}KiB", self.shared_tier_bytes >> 10);
+        if self.is_static() {
+            s.push_str(":static");
+        } else {
+            s.push_str(&format!(":{}/{}pm", self.hot_share_pm, self.cold_share_pm));
+        }
+        let d = &self.default_tenant;
+        if let Some(r) = d.rate_limit_rps {
+            s.push_str(&format!(" rate:{r}x{}", d.burst_requests));
+        }
+        if let Some(q) = d.cache_quota_bytes {
+            s.push_str(&format!(" quota:{}KiB", q >> 10));
+        }
+        if let Some(q) = d.soft_quota_bytes {
+            s.push_str(&format!(" soft:{}KiB", q >> 10));
+        }
+        if !self.tenant_overrides.is_empty() {
+            s.push_str(&format!(" overrides:{}", self.tenant_overrides.len()));
+        }
+        s
+    }
+}
+
+/// Fluent constructor for [`SystemConfig`]: start from a preset,
+/// override whole sub-configs or individual knobs, validate once at
+/// [`build`](ConfigBuilder::build).
+///
+/// ```
+/// use pod_core::{ICacheTuning, SystemConfig};
+///
+/// let cfg = SystemConfig::builder()
+///     .memory_bytes(64 << 20)
+///     .icache(ICacheTuning { epoch_requests: 200, ..Default::default() })
+///     .build()?;
+/// assert_eq!(cfg.icache.epoch_requests, 200);
+/// # Ok::<(), pod_types::PodError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl ConfigBuilder {
+    /// Continue from an existing configuration.
+    pub fn from_config(cfg: SystemConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Absolute DRAM budget, bytes (overrides `memory_scale`).
+    pub fn memory_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Scale applied to the trace's paper budget.
+    pub fn memory_scale(mut self, scale: f64) -> Self {
+        self.cfg.memory_scale = scale;
+        self
+    }
+
+    /// Replace the controller service-time model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.cfg.latency = latency;
+        self
+    }
+
+    /// Replace the iCache partition tuning.
+    pub fn icache(mut self, icache: ICacheTuning) -> Self {
+        self.cfg.icache = icache;
+        self
+    }
+
+    /// Replace the post-process cadence.
+    pub fn post_process(mut self, post_process: PostProcess) -> Self {
+        self.cfg.post_process = post_process;
+        self
+    }
+
+    /// Select the disk engine.
+    pub fn disk_model(mut self, model: DiskModel) -> Self {
+        self.cfg.disk_model = model;
+        self
+    }
+
+    /// Install a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Warm-up fraction excluded from metrics.
+    pub fn warmup_fraction(mut self, fraction: f64) -> Self {
+        self.cfg.warmup_fraction = fraction;
+        self
+    }
+
+    /// Attach a cross-tenant serve policy.
+    pub fn policy(mut self, policy: ServePolicy) -> Self {
+        self.cfg.policy = Some(policy);
+        self
+    }
+
+    /// Validate and return the configuration.
+    pub fn build(self) -> PodResult<SystemConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl SystemConfig {
+    /// Start a [`ConfigBuilder`] from the paper defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            cfg: Self::paper_default(),
+        }
+    }
+
     /// The paper's evaluation setup (§IV-A/§IV-B).
     pub fn paper_default() -> Self {
         Self {
@@ -307,21 +717,14 @@ impl SystemConfig {
             index_page_fault_rate: 8,
             index_policy: IndexPolicy::Lru,
             read_policy: ReadCachePolicy::Lru,
-            hash_us_per_chunk: 32,
-            hash_workers: 1,
-            cache_hit_us: 20,
-            metadata_us: 5,
+            latency: LatencyModel::default(),
             warmup_fraction: 0.15,
-            icache_epoch_requests: 400,
-            icache_swap_step: 0.05,
-            icache_min_fraction: 0.10,
-            icache_read_penalty_us: 8_000,
-            icache_write_penalty_us: 24_000,
-            post_process_interval: 2_000,
-            post_process_batch: 16_384,
+            icache: ICacheTuning::default(),
+            post_process: PostProcess::default(),
             fail_disk: None,
             faults: None,
             disk_model: DiskModel::Full,
+            policy: None,
         }
     }
 
@@ -331,7 +734,10 @@ impl SystemConfig {
         Self {
             disk: DiskSpec::test_disk(),
             warmup_fraction: 0.0,
-            icache_epoch_requests: 200,
+            icache: ICacheTuning {
+                epoch_requests: 200,
+                ..ICacheTuning::default()
+            },
             ..Self::paper_default()
         }
     }
@@ -360,14 +766,14 @@ impl SystemConfig {
                 "dedup thresholds must be at least 1".into(),
             ));
         }
-        if self.hash_workers == 0 {
+        if self.latency.hash_workers == 0 {
             return Err(PodError::InvalidConfig(
                 "hash_workers must be at least 1".into(),
             ));
         }
-        if !(0.0..=0.5).contains(&self.icache_min_fraction) {
+        if !(0.0..=0.5).contains(&self.icache.min_fraction) {
             return Err(PodError::InvalidConfig(
-                "icache_min_fraction must be in [0,0.5]".into(),
+                "icache min_fraction must be in [0,0.5]".into(),
             ));
         }
         if let Some(d) = self.fail_disk {
@@ -383,6 +789,9 @@ impl SystemConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
+        }
+        if let Some(policy) = &self.policy {
+            policy.validate()?;
         }
         if self.disk_model == DiskModel::Calibrated {
             // The backend owns the list of event-level behaviours it
@@ -411,10 +820,10 @@ impl SystemConfig {
             self.idedup_threshold,
             self.index_policy,
             self.read_policy,
-            self.hash_us_per_chunk,
-            self.hash_workers,
+            self.latency.hash_us_per_chunk,
+            self.latency.hash_workers,
             self.warmup_fraction,
-            self.icache_epoch_requests,
+            self.icache.epoch_requests,
         );
         if let Some(d) = self.fail_disk {
             s.push_str(&format!(" fail_disk={d}"));
@@ -443,6 +852,9 @@ impl SystemConfig {
                 s.push_str(&format!(" corrupt:{lba}"));
             }
         }
+        if let Some(policy) = &self.policy {
+            s.push_str(&format!(" policy=[{}]", policy.summary()));
+        }
         s
     }
 }
@@ -462,9 +874,14 @@ mod tests {
         let c = SystemConfig::paper_default();
         assert_eq!(c.raid.ndisks, 4);
         assert_eq!(c.raid.stripe_unit_blocks, 16); // 64 KiB
-        assert_eq!(c.hash_us_per_chunk, 32);
+        assert_eq!(c.latency.hash_us_per_chunk, 32);
         assert_eq!(c.select_threshold, 3);
         assert!((c.index_fraction - 0.5).abs() < 1e-12);
+        // The nested sub-config defaults are the paper defaults.
+        assert_eq!(c.latency, LatencyModel::default());
+        assert_eq!(c.icache, ICacheTuning::default());
+        assert_eq!(c.post_process, PostProcess::default());
+        assert_eq!(c.policy, None);
     }
 
     #[test]
@@ -482,7 +899,11 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = SystemConfig::test_default();
-        c.hash_workers = 0;
+        c.latency.hash_workers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::test_default();
+        c.icache.min_fraction = 0.6;
         assert!(c.validate().is_err());
 
         let mut c = SystemConfig::test_default();
@@ -580,5 +1001,111 @@ mod tests {
         assert!(s.contains("faults=seed:7"), "{s}");
         assert!(s.contains("err:r64/w64"), "{s}");
         assert!(s.contains("crash:200"), "{s}");
+
+        c.policy = Some(ServePolicy::prioritized_tier(2));
+        let s = c.summary();
+        assert!(s.contains("policy=[tier:2048KiB:1750/250pm]"), "{s}");
+    }
+
+    #[test]
+    fn builder_composes_and_validates() {
+        let cfg = SystemConfig::builder()
+            .memory_bytes(64 << 20)
+            .latency(LatencyModel {
+                hash_workers: 4,
+                ..Default::default()
+            })
+            .icache(ICacheTuning {
+                epoch_requests: 128,
+                ..Default::default()
+            })
+            .post_process(PostProcess {
+                interval: 500,
+                batch: 64,
+            })
+            .policy(ServePolicy::prioritized_tier(8))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.memory_bytes, Some(64 << 20));
+        assert_eq!(cfg.latency.hash_workers, 4);
+        assert_eq!(cfg.icache.epoch_requests, 128);
+        assert_eq!(cfg.post_process.interval, 500);
+        assert_eq!(
+            cfg.policy.as_ref().map(|p| p.shared_tier_bytes),
+            Some(8 << 20)
+        );
+        // Invalid knobs surface at build(), not at first use.
+        let err = ConfigBuilder::from_config(SystemConfig::test_default())
+            .memory_scale(0.0)
+            .build()
+            .expect_err("invalid");
+        assert!(err.to_string().contains("memory_scale"), "{err}");
+    }
+
+    #[test]
+    fn serve_policy_parses_cli_specs() {
+        let p = ServePolicy::parse("tier:8,rate:2000,burst:64,quota:4,soft:2").expect("parse");
+        assert_eq!(p.shared_tier_bytes, 8 << 20);
+        assert_eq!(p.default_tenant.rate_limit_rps, Some(2000));
+        assert_eq!(p.default_tenant.burst_requests, 64);
+        assert_eq!(p.default_tenant.cache_quota_bytes, Some(4 << 20));
+        assert_eq!(p.default_tenant.soft_quota_bytes, Some(2 << 20));
+        assert!(!p.is_static());
+
+        let p = ServePolicy::parse("tier:4,static").expect("parse");
+        assert!(p.is_static());
+        assert_eq!(p, ServePolicy::static_tier(4));
+
+        let p = ServePolicy::parse("tier:4,hot:600,cold:100").expect("parse");
+        assert_eq!((p.hot_threshold_pm, p.cold_threshold_pm), (600, 100));
+    }
+
+    #[test]
+    fn serve_policy_rejects_bad_specs() {
+        for spec in [
+            "",                        // no clause at all
+            "tier",                    // missing value
+            "tier:lots",               // not a number
+            "meteor:1",                // unknown clause
+            "rate:0",                  // zero rate
+            "tier:4,burst:0,rate:100", // zero burst while rate-limited
+            "tier:4,hot:100,cold:400", // inverted thresholds
+            "tier:4,soft:8,quota:4",   // soft above hard
+        ] {
+            assert!(ServePolicy::parse(spec).is_err(), "{spec} should fail");
+        }
+        // A policy that constrains nothing is rejected like a no-op
+        // fault plan.
+        assert!(ServePolicy::default().validate().is_err());
+        let mut c = SystemConfig::test_default();
+        c.policy = Some(ServePolicy::default());
+        assert!(c.validate().is_err(), "config validation covers policy");
+        c.policy = Some(ServePolicy::prioritized_tier(1));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn serve_policy_tenant_lookup_prefers_overrides() {
+        let mut p = ServePolicy::prioritized_tier(4);
+        p.default_tenant.rate_limit_rps = Some(1000);
+        p.tenant_overrides.push((
+            2,
+            TenantPolicy {
+                rate_limit_rps: Some(50),
+                ..Default::default()
+            },
+        ));
+        assert_eq!(p.tenant(0).rate_limit_rps, Some(1000));
+        assert_eq!(p.tenant(2).rate_limit_rps, Some(50));
+        // Override validation is covered too.
+        p.tenant_overrides.push((
+            3,
+            TenantPolicy {
+                rate_limit_rps: Some(0),
+                ..Default::default()
+            },
+        ));
+        let err = p.validate().expect_err("bad override");
+        assert!(err.to_string().contains("tenant 3"), "{err}");
     }
 }

@@ -50,7 +50,10 @@ pub mod serve;
 pub mod stack;
 pub mod testing;
 
-pub use config::{DiskModel, FaultPlan, SystemConfig};
+pub use config::{
+    ConfigBuilder, DiskModel, FaultPlan, ICacheTuning, LatencyModel, PostProcess, ServePolicy,
+    SystemConfig, TenantPolicy,
+};
 pub use metrics::{LatencyHistogram, Metrics, Timeline};
 pub use obs::{
     FaultKind, IntoObserverChain, Layer, ObserverChain, StackCounters, StackEvent, StackObserver,
@@ -60,7 +63,9 @@ pub use oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel}
 pub use pool::Executor;
 pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing};
 pub use scheme::Scheme;
-pub use serve::{ServeBuilder, ServeReport, ShardRouter, TenantReport};
+pub use serve::{
+    ServeAggregate, ServeBuilder, ServeReport, ShardRouter, TenantCapacity, TenantReport,
+};
 pub use stack::{StackSpec, StorageStack};
 
 /// The one-stop import for building and replaying POD schemes.
@@ -78,7 +83,10 @@ pub use stack::{StackSpec, StorageStack};
 /// # Ok::<(), pod_types::PodError>(())
 /// ```
 pub mod prelude {
-    pub use crate::config::{FaultPlan, SystemConfig};
+    pub use crate::config::{
+        ConfigBuilder, FaultPlan, ICacheTuning, LatencyModel, PostProcess, ServePolicy,
+        SystemConfig, TenantPolicy,
+    };
     pub use crate::metrics::{LatencyHistogram, Metrics, Timeline};
     pub use crate::obs::{
         FaultKind, IntoObserverChain, Layer, LayerHistograms, ObserverChain, StackCounters,
@@ -87,6 +95,8 @@ pub mod prelude {
     pub use crate::oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
     pub use crate::runner::{ReplayBuilder, ReplayReport};
     pub use crate::scheme::Scheme;
-    pub use crate::serve::{ServeBuilder, ServeReport, ShardRouter, TenantReport};
+    pub use crate::serve::{
+        ServeAggregate, ServeBuilder, ServeReport, ShardRouter, TenantCapacity, TenantReport,
+    };
     pub use crate::stack::{StackSpec, StorageStack};
 }

@@ -237,6 +237,28 @@ pub enum StackEvent {
         /// only when nonzero).
         tenant: u16,
     },
+    /// A tenant's admission into the merged serve stream was delayed by
+    /// its token-bucket rate limit (see
+    /// [`TenantPolicy`](crate::TenantPolicy)). Emitted only when a
+    /// [`ServePolicy`](crate::ServePolicy) throttles — plain replays
+    /// and policy-free serves never produce it.
+    ThrottleWait {
+        /// The throttled tenant.
+        tenant: u16,
+        /// Simulated delay added before admission, µs.
+        us: u64,
+    },
+    /// The shared-tier governor shrank a tenant's fingerprint index to
+    /// its current grant or quota, evicting fingerprints. Emitted only
+    /// when a [`ServePolicy`](crate::ServePolicy) is active.
+    QuotaEviction {
+        /// The tenant whose index shrank.
+        tenant: u16,
+        /// Fingerprints evicted by the resize.
+        victims: u64,
+        /// The index budget after the shrink, bytes.
+        index_bytes: u64,
+    },
     /// The replay finished: background tasks drained, disks idle, all
     /// deferred [`LayerLatency`](Self::LayerLatency) events delivered.
     /// Recorders flush partial state on this event.
@@ -377,6 +399,23 @@ impl StackEvent {
                 push_tenant(out, tenant);
                 out.push('}');
             }
+            StackEvent::ThrottleWait { tenant, us } => {
+                let _ = write!(out, r#"{{"ev":"throttle_wait","us":{us}"#);
+                push_tenant(out, tenant);
+                out.push('}');
+            }
+            StackEvent::QuotaEviction {
+                tenant,
+                victims,
+                index_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"quota_eviction","victims":{victims},"index_bytes":{index_bytes}"#
+                );
+                push_tenant(out, tenant);
+                out.push('}');
+            }
             StackEvent::Finished => out.push_str(r#"{"ev":"finished"}"#),
         }
     }
@@ -475,6 +514,15 @@ impl StackEvent {
                 write: flag("write")?,
                 measured: flag("measured")?,
                 tenant: tenant()?,
+            },
+            "throttle_wait" => StackEvent::ThrottleWait {
+                tenant: tenant()?,
+                us: num("us")?,
+            },
+            "quota_eviction" => StackEvent::QuotaEviction {
+                tenant: tenant()?,
+                victims: num("victims")?,
+                index_bytes: num("index_bytes")?,
             },
             "finished" => StackEvent::Finished,
             other => return Err(format!("unknown event tag {other:?}")),
@@ -695,6 +743,14 @@ pub struct StackCounters {
     pub dedup_time_us: u64,
     /// Total µs attributed to the disks (service + queueing).
     pub disk_time_us: u64,
+    /// Requests delayed by a tenant rate limit (serve policy only).
+    pub throttle_waits: u64,
+    /// Total simulated delay added by rate limiting, µs.
+    pub throttle_wait_us: u64,
+    /// Quota/tier index shrinks that evicted fingerprints.
+    pub quota_evictions: u64,
+    /// Fingerprints evicted by quota/tier shrinks.
+    pub quota_evicted_fps: u64,
 }
 
 impl StackCounters {
@@ -768,6 +824,10 @@ impl StackCounters {
             cache_time_us,
             dedup_time_us,
             disk_time_us,
+            throttle_waits,
+            throttle_wait_us,
+            quota_evictions,
+            quota_evicted_fps,
         } = other;
         self.reads_measured += reads_measured;
         self.read_hits_measured += read_hits_measured;
@@ -791,6 +851,10 @@ impl StackCounters {
         self.cache_time_us += cache_time_us;
         self.dedup_time_us += dedup_time_us;
         self.disk_time_us += disk_time_us;
+        self.throttle_waits += throttle_waits;
+        self.throttle_wait_us += throttle_wait_us;
+        self.quota_evictions += quota_evictions;
+        self.quota_evicted_fps += quota_evicted_fps;
     }
 }
 
@@ -850,6 +914,14 @@ impl StackObserver for StackCounters {
                 Layer::Dedup => self.dedup_time_us += us,
                 Layer::Disk => self.disk_time_us += us,
             },
+            StackEvent::ThrottleWait { us, .. } => {
+                self.throttle_waits += 1;
+                self.throttle_wait_us += us;
+            }
+            StackEvent::QuotaEviction { victims, .. } => {
+                self.quota_evictions += 1;
+                self.quota_evicted_fps += victims;
+            }
             StackEvent::Snapshot { .. } => self.snapshots += 1,
             StackEvent::RequestDone { .. } | StackEvent::Finished => {}
         }
@@ -1097,6 +1169,18 @@ mod tests {
                 measured: true,
                 tenant: 5,
             },
+            StackEvent::ThrottleWait { tenant: 0, us: 40 },
+            StackEvent::ThrottleWait { tenant: 6, us: 500 },
+            StackEvent::QuotaEviction {
+                tenant: 0,
+                victims: 12,
+                index_bytes: 1 << 20,
+            },
+            StackEvent::QuotaEviction {
+                tenant: 3,
+                victims: 256,
+                index_bytes: 64 << 10,
+            },
             StackEvent::Finished,
         ];
         for ev in events {
@@ -1240,5 +1324,38 @@ mod tests {
         assert_eq!(c.fault_delay_us, 8_500);
         assert_eq!(c.recoveries, 2);
         assert_eq!(c.index_entries_rebuilt, 17);
+    }
+
+    #[test]
+    fn qos_events_accumulate_and_absorb() {
+        let mut a = StackCounters::default();
+        a.on_event(&StackEvent::ThrottleWait { tenant: 1, us: 250 });
+        a.on_event(&StackEvent::ThrottleWait { tenant: 1, us: 750 });
+        a.on_event(&StackEvent::QuotaEviction {
+            tenant: 1,
+            victims: 32,
+            index_bytes: 4096,
+        });
+        assert_eq!((a.throttle_waits, a.throttle_wait_us), (2, 1000));
+        assert_eq!((a.quota_evictions, a.quota_evicted_fps), (1, 32));
+        let mut sum = StackCounters::default();
+        sum.absorb(&a);
+        sum.absorb(&a);
+        assert_eq!((sum.throttle_waits, sum.throttle_wait_us), (4, 2000));
+        assert_eq!((sum.quota_evictions, sum.quota_evicted_fps), (2, 64));
+        // Tenant 0 stays off the wire for the new events too.
+        assert_eq!(
+            StackEvent::ThrottleWait { tenant: 0, us: 9 }.to_json(),
+            r#"{"ev":"throttle_wait","us":9}"#
+        );
+        assert_eq!(
+            StackEvent::QuotaEviction {
+                tenant: 2,
+                victims: 1,
+                index_bytes: 8
+            }
+            .to_json(),
+            r#"{"ev":"quota_eviction","victims":1,"index_bytes":8,"tenant":2}"#
+        );
     }
 }

@@ -102,6 +102,18 @@ pub struct EpochRow {
     pub dedup_us: u64,
     /// µs attributed to the disks.
     pub disk_us: u64,
+    /// Requests delayed by a tenant rate limit. Serialized only when
+    /// nonzero — policy-free recordings keep the pre-QoS wire format.
+    pub throttle_waits: u64,
+    /// Total simulated delay added by rate limiting, µs (serialized
+    /// only when nonzero).
+    pub throttle_wait_us: u64,
+    /// Quota/tier index shrinks that evicted fingerprints (serialized
+    /// only when nonzero).
+    pub quota_evictions: u64,
+    /// Fingerprints evicted by quota/tier shrinks (serialized only
+    /// when nonzero).
+    pub quota_evicted_fps: u64,
     /// Last state snapshot sampled within the epoch, if any. Serialized
     /// as a nested `"snap"` object in the JSONL row; the summary row
     /// carries the final snapshot of the replay.
@@ -154,6 +166,14 @@ impl EpochRow {
                 Layer::Dedup => self.dedup_us += us,
                 Layer::Disk => self.disk_us += us,
             },
+            StackEvent::ThrottleWait { us, .. } => {
+                self.throttle_waits += 1;
+                self.throttle_wait_us += us;
+            }
+            StackEvent::QuotaEviction { victims, .. } => {
+                self.quota_evictions += 1;
+                self.quota_evicted_fps += victims;
+            }
             StackEvent::Snapshot { snap } => self.snap = Some(snap),
             StackEvent::RequestDone { .. } => self.requests += 1,
             StackEvent::Finished => {}
@@ -182,6 +202,10 @@ impl EpochRow {
         self.cache_us += other.cache_us;
         self.dedup_us += other.dedup_us;
         self.disk_us += other.disk_us;
+        self.throttle_waits += other.throttle_waits;
+        self.throttle_wait_us += other.throttle_wait_us;
+        self.quota_evictions += other.quota_evictions;
+        self.quota_evicted_fps += other.quota_evicted_fps;
         if other.snap.is_some() {
             self.snap = other.snap;
         }
@@ -226,6 +250,23 @@ impl EpochRow {
             self.dedup_us,
             self.disk_us,
         );
+        // QoS tallies exist only under a serve policy; omit-when-zero
+        // keeps every policy-free recording byte-identical to the
+        // pre-QoS format.
+        if self.throttle_waits > 0 {
+            let _ = write!(
+                out,
+                r#","throttle_waits":{},"throttle_wait_us":{}"#,
+                self.throttle_waits, self.throttle_wait_us
+            );
+        }
+        if self.quota_evictions > 0 {
+            let _ = write!(
+                out,
+                r#","quota_evictions":{},"quota_evicted_fps":{}"#,
+                self.quota_evictions, self.quota_evicted_fps
+            );
+        }
         if let Some(snap) = &self.snap {
             out.push_str(r#","snap":{"#);
             snap.push_json_fields(out);
@@ -593,6 +634,50 @@ mod tests {
                 "line {i} carries the tenant tag: {line}"
             );
         }
+    }
+
+    #[test]
+    fn qos_tallies_serialize_only_when_nonzero() {
+        // Policy-free rows: no QoS keys at all (pre-QoS wire format).
+        let mut r = TraceRecorder::new("POD", "mail", 1, 4);
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(!text.contains("throttle"), "{text}");
+        assert!(!text.contains("quota"), "{text}");
+
+        // Throttled + quota-evicted rows carry the tallies.
+        let mut r = TraceRecorder::new("POD", "mail#1", 1, 4).with_tenant(1);
+        r.on_event(&StackEvent::ThrottleWait { tenant: 1, us: 120 });
+        r.on_event(&StackEvent::QuotaEviction {
+            tenant: 1,
+            victims: 16,
+            index_bytes: 4096,
+        });
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        assert_eq!(r.rows()[0].throttle_waits, 1);
+        assert_eq!(r.rows()[0].throttle_wait_us, 120);
+        assert_eq!(r.rows()[0].quota_evictions, 1);
+        assert_eq!(r.rows()[0].quota_evicted_fps, 16);
+        let totals = r.totals();
+        assert_eq!(totals.throttle_waits, 1);
+        assert_eq!(totals.quota_evicted_fps, 16);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let summary =
+            crate::obs::json::parse(text.lines().last().expect("summary")).expect("summary parses");
+        assert_eq!(
+            summary.get("throttle_wait_us").and_then(|v| v.as_u64()),
+            Some(120)
+        );
+        assert_eq!(
+            summary.get("quota_evictions").and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! [`StorageStack`](crate::stack::StorageStack) samples a
 //! [`StateSnapshot`] every iCache epoch (`SystemConfig::
-//! icache_epoch_requests` completed requests) plus once at the end of
+//! icache.epoch_requests` completed requests) plus once at the end of
 //! the replay, and emits it as [`StackEvent::Snapshot`] through the
 //! observer chain. Sampling is allocation-free: the per-crate
 //! `introspect()` impls copy counters and fixed-size histograms, never
@@ -29,6 +29,16 @@ pub struct StateSnapshot {
     pub icache: ICacheState,
     /// Dedup-engine gauges: Index table, Map table, scan backlog.
     pub dedup: DedupState,
+    /// Shared-tier index target (bytes) last applied by the serving
+    /// engine's tier task; 0 when no [`ServePolicy`] is active.
+    ///
+    /// [`ServePolicy`]: crate::config::ServePolicy
+    pub tier_target_bytes: u64,
+    /// Shared-tier locality share (per-mille of the per-tenant base
+    /// slice) earned in the last epoch; 0 when no policy is active.
+    /// Both tier gauges stay off the wire when zero, so policy-free
+    /// trace output is byte-identical to pre-policy recordings.
+    pub tier_share_pm: u64,
 }
 
 /// The flat JSON field list of a snapshot, in emission order:
@@ -104,6 +114,16 @@ impl StateSnapshot {
             }
             out.push(']');
         }
+        // Tier gauges are omitted when inactive (both zero) so
+        // policy-free output matches pre-policy recordings byte for
+        // byte; the parser defaults them to zero when absent.
+        if self.tier_share_pm != 0 || self.tier_target_bytes != 0 {
+            let _ = write!(
+                out,
+                ",\"tier_target_bytes\":{},\"tier_share_pm\":{}",
+                self.tier_target_bytes, self.tier_share_pm
+            );
+        }
     }
 
     /// Parse a snapshot back from a parsed JSON object carrying the
@@ -143,6 +163,11 @@ impl StateSnapshot {
         snapshot_scalars!(read);
         snap.dedup.index.heat = hist("heat")?;
         snap.dedup.map.fan_in = hist("fan_in")?;
+        // Optional tier gauges: absent in policy-free and pre-policy
+        // recordings, where they are zero by definition.
+        let opt = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+        snap.tier_target_bytes = opt("tier_target_bytes");
+        snap.tier_share_pm = opt("tier_share_pm");
         Ok(snap)
     }
 }
@@ -200,6 +225,28 @@ mod tests {
         s.dedup.scan_backlog = 7;
         s.dedup.disk_index_entries = 2345;
         s
+    }
+
+    #[test]
+    fn tier_gauges_round_trip_and_stay_off_the_wire_when_zero() {
+        let mut s = sample();
+        let mut line = String::from("{");
+        s.push_json_fields(&mut line);
+        line.push('}');
+        assert!(
+            !line.contains("tier_"),
+            "inactive tier gauges must not serialize: {line}"
+        );
+        s.tier_target_bytes = 3 << 20;
+        s.tier_share_pm = 1750;
+        let mut line = String::from("{");
+        s.push_json_fields(&mut line);
+        line.push('}');
+        assert!(line.contains("\"tier_target_bytes\":3145728"));
+        assert!(line.contains("\"tier_share_pm\":1750"));
+        let v = json::parse(&line).expect("valid JSON");
+        let back = StateSnapshot::from_json_obj(&v).expect("parse back");
+        assert_eq!(back, s, "lossless round trip with tier gauges");
     }
 
     #[test]

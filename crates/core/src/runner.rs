@@ -204,6 +204,48 @@ pub(crate) fn warmup_requests(cfg: &SystemConfig, n: usize) -> usize {
     ((n as f64) * cfg.warmup_fraction) as usize
 }
 
+/// The builder settings [`ReplayBuilder`] and
+/// [`ServeBuilder`](crate::serve::ServeBuilder) share: scheme, config,
+/// recording cadence and oracle verification. Both builders hold one of
+/// these and delegate, so the two surfaces configure the replay core
+/// through the same code path and cannot drift apart again.
+#[derive(Debug, Clone)]
+pub(crate) struct BuilderCore {
+    pub(crate) scheme: Scheme,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) record_epoch: Option<u64>,
+    pub(crate) verify: bool,
+}
+
+impl BuilderCore {
+    pub(crate) fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            cfg: SystemConfig::paper_default(),
+            record_epoch: None,
+            verify: false,
+        }
+    }
+
+    /// Recorder epoch for a trace of `len` requests: the explicit
+    /// cadence, or for `0` the auto heuristic (~64 epochs across the
+    /// trace, floored at 64). `None` when recording is off.
+    pub(crate) fn epoch_for(&self, len: usize) -> Option<u64> {
+        self.record_epoch.map(|e| recorder_epoch(e, len))
+    }
+}
+
+/// Resolve a requested recorder epoch (`0` = auto) against a trace of
+/// `len` requests. One function serves both builders, so the auto
+/// heuristic cannot diverge between replay and serve.
+pub(crate) fn recorder_epoch(epoch: u64, len: usize) -> u64 {
+    if epoch == 0 {
+        (len as u64 / 64).max(64)
+    } else {
+        epoch
+    }
+}
+
 /// Assemble a [`ReplayReport`] from a finished stack. Shared by the
 /// single-trace replay above and the sharded serving engine
 /// ([`crate::serve`]), which drives several tenant stacks per worker
@@ -277,12 +319,9 @@ pub(crate) fn collect_report(
 /// ```
 #[derive(Debug)]
 pub struct ReplayBuilder<'t> {
-    scheme: Scheme,
-    cfg: SystemConfig,
+    core: BuilderCore,
     trace: Option<&'t Trace>,
     chain: ObserverChain,
-    record_epoch: Option<u64>,
-    verify: bool,
 }
 
 impl ReplayBuilder<'static> {
@@ -290,12 +329,9 @@ impl ReplayBuilder<'static> {
     /// configuration; equivalent to [`Scheme::builder`].
     pub fn new(scheme: Scheme) -> Self {
         Self {
-            scheme,
-            cfg: SystemConfig::paper_default(),
+            core: BuilderCore::new(scheme),
             trace: None,
             chain: ObserverChain::new(),
-            record_epoch: None,
-            verify: false,
         }
     }
 }
@@ -304,19 +340,16 @@ impl<'t> ReplayBuilder<'t> {
     /// Use `cfg` instead of the paper default (validated at
     /// [`run`](Self::run)).
     pub fn config(mut self, cfg: SystemConfig) -> Self {
-        self.cfg = cfg;
+        self.core.cfg = cfg;
         self
     }
 
     /// The trace to replay. Required.
     pub fn trace<'u>(self, trace: &'u Trace) -> ReplayBuilder<'u> {
         ReplayBuilder {
-            scheme: self.scheme,
-            cfg: self.cfg,
+            core: self.core,
             trace: Some(trace),
             chain: self.chain,
-            record_epoch: self.record_epoch,
-            verify: self.verify,
         }
     }
 
@@ -335,7 +368,7 @@ impl<'t> ReplayBuilder<'t> {
     /// requests (`0` = auto: ~64 epochs across the trace). Read it back
     /// from the chain returned by [`run_observed`](Self::run_observed).
     pub fn record(mut self, epoch_requests: u64) -> Self {
-        self.record_epoch = Some(epoch_requests);
+        self.core.record_epoch = Some(epoch_requests);
         self
     }
 
@@ -346,7 +379,7 @@ impl<'t> ReplayBuilder<'t> {
     /// it. The verdict lands in [`ReplayReport::integrity`]. Off by
     /// default — with it off the replay takes the zero-allocation path.
     pub fn verify(mut self, verify: bool) -> Self {
-        self.verify = verify;
+        self.core.verify = verify;
         self
     }
 
@@ -359,20 +392,15 @@ impl<'t> ReplayBuilder<'t> {
     /// (recorders, histograms, custom observers) can be extracted by
     /// type via [`ObserverChain::take_sink`].
     pub fn run_observed(self) -> PodResult<(ReplayReport, ObserverChain)> {
-        self.cfg.validate()?;
+        self.core.cfg.validate()?;
         let trace = self.trace.ok_or_else(|| {
             PodError::InvalidConfig(
                 "ReplayBuilder: no trace set (call .trace(..) before .run())".into(),
             )
         })?;
-        let spec = self.scheme.stack_spec();
+        let spec = self.core.scheme.stack_spec();
         let mut chain = self.chain;
-        if let Some(epoch) = self.record_epoch {
-            let epoch = if epoch == 0 {
-                (trace.len() as u64 / 64).max(64)
-            } else {
-                epoch
-            };
+        if let Some(epoch) = self.core.epoch_for(trace.len()) {
             chain.push(TraceRecorder::new(
                 spec.name,
                 trace.name.clone(),
@@ -380,7 +408,7 @@ impl<'t> ReplayBuilder<'t> {
                 trace.len(),
             ));
         }
-        replay_stack(&spec, &self.cfg, trace, chain, self.verify)
+        replay_stack(&spec, &self.core.cfg, trace, chain, self.core.verify)
     }
 }
 
@@ -484,7 +512,7 @@ mod tests {
     fn pod_adapts_partition() {
         let t = tiny_trace("mail");
         let mut cfg = SystemConfig::test_default();
-        cfg.icache_epoch_requests = 100;
+        cfg.icache.epoch_requests = 100;
         let rep = Scheme::Pod.replay_with(&t, cfg);
         assert!(rep.icache_epochs > 0);
         // Select-Dedupe (non-adaptive) never repartitions.
@@ -690,7 +718,7 @@ mod tests {
     fn snapshots_are_sampled_and_final_one_exists() {
         let t = tiny_trace("mail");
         let mut cfg = SystemConfig::test_default();
-        cfg.icache_epoch_requests = 100;
+        cfg.icache.epoch_requests = 100;
         let rep = Scheme::Pod.replay_with(&t, cfg.clone());
         let expected = t.len() as u64 / 100 + u64::from(!(t.len() as u64).is_multiple_of(100));
         assert_eq!(

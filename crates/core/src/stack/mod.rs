@@ -44,7 +44,7 @@ mod dedup;
 mod disk;
 mod spec;
 
-pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask};
+pub use background::{BackgroundTask, LayerCtx, PostProcessTask, RepartitionTask, SharedTierTask};
 pub use cache::CacheLayer;
 pub use calibrated::{CalibratedBackend, Calibration};
 pub use dedup::DedupLayer;
@@ -63,6 +63,18 @@ use pod_disk::{ArraySim, JobId, RaidGeometry};
 use pod_icache::{ICache, ICacheConfig};
 use pod_trace::Trace;
 use pod_types::{Introspect, IoOp, IoRequest, PodError, PodResult, SimDuration, SimTime};
+
+/// QoS gauges published by the serving engine's policy tasks and
+/// copied into every [`StateSnapshot`]. All-zero (and off the wire)
+/// when no [`ServePolicy`](crate::config::ServePolicy) is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QosGauges {
+    /// Dedup-index size target last applied by the shared-tier task.
+    pub tier_target_bytes: u64,
+    /// Locality share (per-mille of the tenant's base tier slice)
+    /// earned in the last epoch.
+    pub tier_share_pm: u64,
+}
 
 /// A composed storage stack: cache over dedup over disk, plus the
 /// background tasks and the observer chain threaded through all of
@@ -108,6 +120,8 @@ pub struct StorageStack {
     /// serialized wire; the serving engine assigns real ids via
     /// [`set_tenant`](Self::set_tenant).
     tenant: u16,
+    /// QoS gauges, written by policy tasks and sampled into snapshots.
+    qos: QosGauges,
 }
 
 impl StorageStack {
@@ -157,15 +171,15 @@ impl StorageStack {
         let icache = ICache::new(ICacheConfig {
             total_bytes: memory,
             initial_index_fraction: index_fraction,
-            epoch_requests: cfg.icache_epoch_requests,
-            swap_step_fraction: cfg.icache_swap_step,
-            min_fraction: cfg.icache_min_fraction,
+            epoch_requests: cfg.icache.epoch_requests,
+            swap_step_fraction: cfg.icache.swap_step,
+            min_fraction: cfg.icache.min_fraction,
             hysteresis: 2.0,
-            read_miss_penalty_us: cfg.icache_read_penalty_us,
+            read_miss_penalty_us: cfg.icache.read_penalty_us,
             // Default: an eliminated write saves a RAID-5 small-write
             // RMW (2 reads + 2 writes of disk work) plus its queueing
             // amplification; a read miss saves one access.
-            write_miss_penalty_us: cfg.icache_write_penalty_us,
+            write_miss_penalty_us: cfg.icache.write_penalty_us,
             adaptive: spec.adaptive_icache,
             read_policy: cfg.read_policy,
         });
@@ -183,8 +197,8 @@ impl StorageStack {
                 expected_unique_blocks: sizing.expected_unique_blocks,
             },
             spec.inline_hashing,
-            cfg.hash_us_per_chunk,
-            cfg.hash_workers,
+            cfg.latency.hash_us_per_chunk,
+            cfg.latency.hash_workers,
             sizing.max_request_blocks,
         );
 
@@ -216,8 +230,8 @@ impl StorageStack {
             .map(|kind| -> Box<dyn BackgroundTask> {
                 match kind {
                     BackgroundKind::PostProcessScan => Box::new(PostProcessTask::new(
-                        cfg.post_process_interval,
-                        cfg.post_process_batch,
+                        cfg.post_process.interval,
+                        cfg.post_process.batch,
                     )),
                     BackgroundKind::IcacheRepartition => Box::new(RepartitionTask),
                 }
@@ -232,15 +246,16 @@ impl StorageStack {
             observer,
             pending: Vec::with_capacity(trace.requests.len()),
             direct: Vec::new(),
-            metadata_us: cfg.metadata_us,
-            cache_hit_us: cfg.cache_hit_us,
-            snap_every: cfg.icache_epoch_requests.max(1),
+            metadata_us: cfg.latency.metadata_us,
+            cache_hit_us: cfg.latency.cache_hit_us,
+            snap_every: cfg.icache.epoch_requests.max(1),
             requests_done: 0,
             snap_seq: 0,
             faults_enabled: cfg.faults.is_some(),
             fault_scratch: Vec::new(),
             corrupt_lba: cfg.faults.as_ref().and_then(|p| p.corrupt_lba),
             tenant: 0,
+            qos: QosGauges::default(),
         })
     }
 
@@ -254,6 +269,23 @@ impl StorageStack {
     /// The tenant this stack's events are attributed to.
     pub fn tenant(&self) -> u16 {
         self.tenant
+    }
+
+    /// Register an extra background task after the spec-declared ones.
+    /// The serving engine uses this to attach per-tenant policy tasks
+    /// (e.g. [`SharedTierTask`]) that a plain replay never carries.
+    pub(crate) fn push_task(&mut self, task: Box<dyn BackgroundTask>) {
+        self.tasks.push(task);
+    }
+
+    /// Emit a [`StackEvent::ThrottleWait`] of `us` microseconds for
+    /// this stack's tenant. Called by the serving engine's token-bucket
+    /// admission before a delayed request is processed.
+    pub(crate) fn note_throttle_wait(&mut self, us: u64) {
+        self.observer.emit(&StackEvent::ThrottleWait {
+            tenant: self.tenant,
+            us,
+        });
     }
 
     /// Advance the disk backend to `t`, completing due work.
@@ -300,6 +332,8 @@ impl StorageStack {
             requests: self.requests_done,
             icache: self.cache.icache().introspect(),
             dedup: self.dedup.engine().introspect(),
+            tier_target_bytes: self.qos.tier_target_bytes,
+            tier_share_pm: self.qos.tier_share_pm,
         };
         self.snap_seq += 1;
         self.observer.emit(&StackEvent::Snapshot { snap });
@@ -421,6 +455,7 @@ impl StorageStack {
                 dedup: &mut self.dedup,
                 disk: self.disk.as_mut(),
                 observer: &mut self.observer,
+                qos: &mut self.qos,
             };
             result = f(task.as_mut(), &mut ctx);
             if result.is_err() {

@@ -187,9 +187,9 @@ fn steady_state_replay_with_full_observer_chain_is_allocation_free() {
     // whole introspection path.
     assert_eq!(tally.snapshots, counters.snapshots);
     assert!(
-        tally.snapshots >= idx as u64 / cfg.icache_epoch_requests,
+        tally.snapshots >= idx as u64 / cfg.icache.epoch_requests,
         "expected a snapshot per {}-request epoch, saw {} over {} requests",
-        cfg.icache_epoch_requests,
+        cfg.icache.epoch_requests,
         tally.snapshots,
         idx
     );
