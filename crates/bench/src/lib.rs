@@ -11,7 +11,11 @@
 //!   engine) and the ablation benches DESIGN.md lists (Select-Dedupe
 //!   threshold sweep, scheduler comparison, iCache epoch sweep).
 //!
-//! The library part hosts small helpers shared by the bench targets.
+//! The library part hosts small helpers shared by the bench targets,
+//! plus [`store`] — the append-only JSONL experiment store the perf
+//! gate writes every run into.
+
+pub mod store;
 
 use pod_core::{Scheme, SystemConfig};
 use pod_trace::{Trace, TraceProfile};

@@ -45,6 +45,13 @@ pub struct CliArgs {
     /// `tier:2048`, `tier:2048,rate:500,quota:4096`, `tier:1024,static`
     /// (see [`pod_core::ServePolicy::parse`]).
     pub policy: Option<String>,
+    /// `--prof`: attach the host wall-clock profiler to
+    /// `replay`/`monitor` and print the real-time layer breakdown next
+    /// to the simulated one.
+    pub prof: bool,
+    /// `--history`: `figures` exports trend CSVs from the experiment
+    /// store (`results/history.jsonl`) instead of a JSONL event trace.
+    pub history: bool,
 }
 
 impl Default for CliArgs {
@@ -68,6 +75,8 @@ impl Default for CliArgs {
             tenants: 1,
             shards: 1,
             policy: None,
+            prof: false,
+            history: false,
         }
     }
 }
@@ -87,6 +96,16 @@ impl CliArgs {
             }
             if flag == "--verify" {
                 args.verify = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--prof" {
+                args.prof = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--history" {
+                args.history = true;
                 i += 1;
                 continue;
             }
@@ -355,6 +374,16 @@ mod tests {
         let a = parse(&["--verify", "--seed", "3"]).expect("parse");
         assert!(a.verify);
         assert_eq!(a.seed, 3);
+    }
+
+    #[test]
+    fn prof_and_history_take_no_value() {
+        let a = parse(&["--prof", "--history", "--seed", "3"]).expect("parse");
+        assert!(a.prof);
+        assert!(a.history);
+        assert_eq!(a.seed, 3);
+        let d = parse(&[]).expect("parse");
+        assert!(!d.prof && !d.history);
     }
 
     #[test]

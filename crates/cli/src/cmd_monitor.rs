@@ -282,6 +282,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .builder()
         .config(cfg)
         .trace(&trace)
+        .profile(args.prof)
         .observer(sink)
         .run_observed()
         .map_err(|e| e.to_string())?;
@@ -298,6 +299,18 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         rep.writes_removed_pct(),
         rep.overall.mean_ms()
     );
+    // `--prof` only: host wall-clock line. The dashboard frame itself
+    // stays deterministic — real time never enters the rendered state.
+    if let Some(prof) = &rep.profile {
+        println!(
+            "host time {:.1} ms:{}",
+            prof.total_ns() as f64 / 1e6,
+            prof.layer_shares()
+                .iter()
+                .map(|(l, s)| format!(" {l} {:.1}%", s * 100.0))
+                .collect::<String>(),
+        );
+    }
     Ok(())
 }
 

@@ -1,6 +1,8 @@
 //! `pod-cli replay` — replay a trace through one scheme and print the
 //! full report. With `--trace-out <path>` the replay also exports an
-//! epoch-granular JSONL event trace for `pod-cli stats`.
+//! epoch-granular JSONL event trace for `pod-cli stats`; with `--prof`
+//! the host wall-clock profiler rides along and a real-time layer
+//! share line is printed next to the simulated one.
 
 use crate::args::CliArgs;
 use pod_core::obs::{Layer, LayerHistograms, TraceRecorder};
@@ -22,6 +24,7 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         .config(cfg)
         .trace(&trace)
         .verify(args.verify)
+        .profile(args.prof)
         .observer(LayerHistograms::new());
     if args.trace_out.is_some() {
         builder = builder.record(args.epoch_requests);
@@ -85,6 +88,19 @@ pub fn run(args: &CliArgs) -> Result<(), String> {
         rep.stack.layer_share(Layer::Dedup) * 100.0,
         rep.stack.layer_share(Layer::Disk) * 100.0,
     );
+    if let Some(prof) = &rep.profile {
+        // Host wall-clock shares sit next to the simulated shares above
+        // so the disagreement between the two axes is visible at a
+        // glance (run `pod-cli profile` for the full phase table).
+        println!(
+            "host  time shares:{}  ({:.1} ms wall)",
+            prof.layer_shares()
+                .iter()
+                .map(|(l, s)| format!(" {l} {:.1}%", s * 100.0))
+                .collect::<String>(),
+            prof.total_ns() as f64 / 1e6
+        );
+    }
     println!(
         "iCache: {} epochs, {} repartitions, final index share {:.0}%",
         rep.icache_epochs,

@@ -292,6 +292,20 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
     )
     .expect("write to string");
 
+    // Host wall-clock time appears only in traces recorded with
+    // profiling on (the recorder omits the zero counter), so legacy
+    // traces render byte-identically.
+    if let Some(host_ns) = sum.get("host_ns").and_then(Json::as_u64) {
+        if host_ns > 0 {
+            writeln!(
+                out,
+                "host time: {:.1} ms wall-clock attributed across the stack",
+                host_ns as f64 / 1e6
+            )
+            .expect("write to string");
+        }
+    }
+
     if let Some(snap) = sum.get("snap") {
         let snap = StateSnapshot::from_json_obj(snap).map_err(|e| format!("summary snap: {e}"))?;
         render_snapshot(out, &snap);
@@ -310,6 +324,15 @@ fn render_section(out: &mut String, s: &Section) -> Result<(), String> {
                 .map(|e| e.get(key).and_then(Json::as_u64).unwrap_or(0))
                 .collect();
             writeln!(out, "  {label:<18} {}", sparkline(&series)).expect("write to string");
+        }
+        // Host wall-clock per epoch, only for profiled traces.
+        let host: Vec<u64> = s
+            .epochs
+            .iter()
+            .map(|e| e.get("host_ns").and_then(Json::as_u64).unwrap_or(0))
+            .collect();
+        if host.iter().any(|&v| v > 0) {
+            writeln!(out, "  {:<18} {}", "host ns", sparkline(&host)).expect("write to string");
         }
         // Snapshot-derived series: the partition split over time.
         let split: Vec<u64> = s

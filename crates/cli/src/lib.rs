@@ -9,6 +9,7 @@ pub mod cmd_doctor;
 pub mod cmd_figures;
 pub mod cmd_gen;
 pub mod cmd_monitor;
+pub mod cmd_profile;
 pub mod cmd_replay;
 pub mod cmd_serve;
 pub mod cmd_stats;

@@ -7,17 +7,19 @@
 //! pod-cli replay   --scheme pod --profile mail --scale 0.05
 //! pod-cli replay   --scheme pod --trace-out pod.jsonl   # + event trace
 //! pod-cli replay   --scheme pod --faults all --verify   # faults + oracle
+//! pod-cli profile  Full-Dedupe mail            # host wall-clock breakdown
 //! pod-cli compare  --profile mail --scale 0.05 # all five schemes
 //! pod-cli serve    --tenants 4 --shards 2 --jobs 2   # sharded multi-tenant engine
 //! pod-cli stats    --in pod.jsonl              # render an event trace
 //! pod-cli monitor  --scheme pod --headless     # live dashboard / final frame
 //! pod-cli figures  --in pod.jsonl --out figs/  # per-epoch paper-figure CSVs
+//! pod-cli figures  --history --out figs/       # trend CSVs from the experiment store
 //! ```
 
 use pod_cli::args::CliArgs;
 use pod_cli::{
-    cmd_analyze, cmd_compare, cmd_doctor, cmd_figures, cmd_gen, cmd_monitor, cmd_replay, cmd_serve,
-    cmd_stats,
+    cmd_analyze, cmd_compare, cmd_doctor, cmd_figures, cmd_gen, cmd_monitor, cmd_profile,
+    cmd_replay, cmd_serve, cmd_stats,
 };
 
 fn main() {
@@ -26,6 +28,25 @@ fn main() {
         usage_and_exit(0);
     }
     let cmd = argv.remove(0);
+    if cmd == "profile" {
+        // `profile` accepts positional shorthand straight off a paper
+        // table: `pod-cli profile Full-Dedupe mail` is
+        // `pod-cli profile --scheme full-dedupe --profile mail`.
+        let mut pos = Vec::new();
+        while !argv.is_empty() && !argv[0].starts_with("--") {
+            pos.push(argv.remove(0));
+        }
+        let mut head = Vec::new();
+        if let Some(scheme) = pos.first() {
+            head.push("--scheme".to_string());
+            head.push(scheme.to_lowercase().replace('/', ""));
+        }
+        if let Some(workload) = pos.get(1) {
+            head.push("--profile".to_string());
+            head.push(workload.clone());
+        }
+        argv.splice(0..0, head);
+    }
     let args = match CliArgs::parse(&argv) {
         Ok(a) => a,
         Err(e) => {
@@ -37,6 +58,7 @@ fn main() {
         "gen" => cmd_gen::run(&args),
         "analyze" => cmd_analyze::run(&args),
         "replay" => cmd_replay::run(&args),
+        "profile" => cmd_profile::run(&args),
         "compare" => cmd_compare::run(&args),
         "serve" => cmd_serve::run(&args),
         "stats" => cmd_stats::run(&args),
@@ -63,6 +85,7 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 gen      generate a synthetic trace, optionally exporting FIU text\n\
          \x20 analyze  workload statistics (Table II, Fig. 1, Fig. 2)\n\
          \x20 replay   replay a trace through one scheme\n\
+         \x20 profile  host wall-clock breakdown of a replay (also: profile <Scheme> <trace>)\n\
          \x20 compare  replay a trace through all five schemes\n\
          \x20 serve    serve K tenant streams through N shard workers\n\
          \x20 stats    render a JSONL event trace written by --trace-out\n\
@@ -96,6 +119,10 @@ fn usage_and_exit(code: i32) -> ! {
          \x20 --policy <spec>                 `serve`: cross-tenant QoS — comma-separated\n\
          \x20                                 tier:<MiB>, rate:<rps>, burst:<n>, quota:<MiB>,\n\
          \x20                                 soft:<MiB>, hot:<pm>, cold:<pm>, static\n\
+         \x20 --prof                          `replay`/`monitor`: attach the host wall-clock\n\
+         \x20                                 profiler and print real-time layer shares\n\
+         \x20 --history                       `figures`: export trend CSVs from the\n\
+         \x20                                 experiment store instead of an event trace\n\
          \x20 --memory <MiB>                  override the DRAM budget\n\
          \x20 --jobs <N>                      worker threads for `replay`/`compare` grids\n\
          \x20                                 (default: available parallelism)"

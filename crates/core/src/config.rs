@@ -67,6 +67,13 @@ pub struct SystemConfig {
     /// (zero overhead); single-stack replays ignore it.
     #[serde(default)]
     pub policy: Option<ServePolicy>,
+    /// Emit [`StackEvent::HostPhase`](crate::StackEvent) events
+    /// attributing real host wall-clock nanoseconds to each phase of
+    /// the replay loop (see [`crate::prof`]). Off by default: without
+    /// it no host-time event ever reaches the wire, so reports, traces
+    /// and golden fixtures are byte-identical to pre-profiler output.
+    #[serde(default)]
+    pub host_profiling: bool,
 }
 
 /// Controller fast-path service-time model.
@@ -725,6 +732,7 @@ impl SystemConfig {
             faults: None,
             disk_model: DiskModel::Full,
             policy: None,
+            host_profiling: false,
         }
     }
 

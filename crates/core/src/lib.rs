@@ -23,6 +23,9 @@
 //! * [`obs`] — structured observability: typed
 //!   [`StackEvent`]s, [`ObserverChain`] fan-out,
 //!   per-layer histograms and the JSONL trace recorder.
+//! * [`prof`] — the host-side wall-clock profiler: [`ProfSink`] folds
+//!   `HostPhase` events into a [`HostProfile`] of real nanoseconds per
+//!   stack phase (as opposed to the simulated `LayerLatency` times).
 //! * [`runner`] — the replay entry point: [`ReplayBuilder`]
 //!   (`Scheme::builder().trace(..).run()?`), producing a
 //!   [`ReplayReport`].
@@ -35,7 +38,11 @@
 //!
 //! Most callers want `use pod_core::prelude::*;`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the profiler's scope clock carries the one
+// scoped `allow(unsafe_code)` in the crate — a single `_rdtsc()`
+// intrinsic call in `prof::clock` (see the safety note there). All
+// other modules stay unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
@@ -44,6 +51,7 @@ pub mod metrics;
 pub mod obs;
 pub mod oracle;
 pub mod pool;
+pub mod prof;
 pub mod runner;
 pub mod scheme;
 pub mod serve;
@@ -61,6 +69,7 @@ pub use obs::{
 };
 pub use oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
 pub use pool::Executor;
+pub use prof::{HostProfile, ProfPhase, ProfSink};
 pub use runner::{ReplayBuilder, ReplayReport, ReplaySizing};
 pub use scheme::Scheme;
 pub use serve::{
@@ -93,6 +102,7 @@ pub mod prelude {
         StackEvent, StackObserver, StateSnapshot, TraceRecorder,
     };
     pub use crate::oracle::{IntegrityDiff, IntegrityReport, OracleObserver, ReferenceModel};
+    pub use crate::prof::{HostProfile, ProfPhase, ProfSink};
     pub use crate::runner::{ReplayBuilder, ReplayReport};
     pub use crate::scheme::Scheme;
     pub use crate::serve::{

@@ -259,6 +259,18 @@ pub enum StackEvent {
         /// The index budget after the shrink, bytes.
         index_bytes: u64,
     },
+    /// Real host wall-clock nanoseconds spent in one profiled phase of
+    /// the replay loop (see [`ProfPhase`](crate::prof::ProfPhase)).
+    /// Emitted only when
+    /// [`SystemConfig::host_profiling`](crate::SystemConfig) is on —
+    /// the default replay produces none, so traces and golden fixtures
+    /// recorded without profiling are byte-identical.
+    HostPhase {
+        /// The phase the time belongs to.
+        phase: crate::prof::ProfPhase,
+        /// Host nanoseconds spent.
+        ns: u64,
+    },
     /// The replay finished: background tasks drained, disks idle, all
     /// deferred [`LayerLatency`](Self::LayerLatency) events delivered.
     /// Recorders flush partial state on this event.
@@ -416,6 +428,13 @@ impl StackEvent {
                 push_tenant(out, tenant);
                 out.push('}');
             }
+            StackEvent::HostPhase { phase, ns } => {
+                let _ = write!(
+                    out,
+                    r#"{{"ev":"host_phase","phase":"{}","ns":{ns}}}"#,
+                    phase.name()
+                );
+            }
             StackEvent::Finished => out.push_str(r#"{"ev":"finished"}"#),
         }
     }
@@ -523,6 +542,13 @@ impl StackEvent {
                 tenant: tenant()?,
                 victims: num("victims")?,
                 index_bytes: num("index_bytes")?,
+            },
+            "host_phase" => StackEvent::HostPhase {
+                phase: field("phase")?
+                    .as_str()
+                    .and_then(crate::prof::ProfPhase::from_name)
+                    .ok_or("bad prof phase")?,
+                ns: num("ns")?,
             },
             "finished" => StackEvent::Finished,
             other => return Err(format!("unknown event tag {other:?}")),
@@ -923,7 +949,13 @@ impl StackObserver for StackCounters {
                 self.quota_evicted_fps += victims;
             }
             StackEvent::Snapshot { .. } => self.snapshots += 1,
-            StackEvent::RequestDone { .. } | StackEvent::Finished => {}
+            // Host time is deliberately NOT tallied here: the built-in
+            // counters feed deterministic reports (byte-identical at
+            // any serve topology), and wall-clock would break that.
+            // Host nanoseconds live in ProfSink / EpochRow only.
+            StackEvent::RequestDone { .. }
+            | StackEvent::HostPhase { .. }
+            | StackEvent::Finished => {}
         }
     }
 }
@@ -1181,6 +1213,14 @@ mod tests {
                 victims: 256,
                 index_bytes: 64 << 10,
             },
+            StackEvent::HostPhase {
+                phase: crate::prof::ProfPhase::CacheLookup,
+                ns: 0,
+            },
+            StackEvent::HostPhase {
+                phase: crate::prof::ProfPhase::DiskRun,
+                ns: 123_456_789,
+            },
             StackEvent::Finished,
         ];
         for ev in events {
@@ -1276,6 +1316,10 @@ mod tests {
         assert!(
             StackEvent::from_json(r#"{"ev":"snapshot","seq":0}"#).is_err(),
             "snapshot missing its gauge fields"
+        );
+        assert!(
+            StackEvent::from_json(r#"{"ev":"host_phase","phase":"teleport","ns":1}"#).is_err(),
+            "unknown prof phase"
         );
         assert!(StackEvent::from_json("not json").is_err());
     }

@@ -114,6 +114,10 @@ pub struct EpochRow {
     /// Fingerprints evicted by quota/tier shrinks (serialized only
     /// when nonzero).
     pub quota_evicted_fps: u64,
+    /// Host wall-clock nanoseconds attributed within the epoch.
+    /// Nonzero only when host profiling is on (serialized only when
+    /// nonzero, so unprofiled recordings keep the old wire format).
+    pub host_ns: u64,
     /// Last state snapshot sampled within the epoch, if any. Serialized
     /// as a nested `"snap"` object in the JSONL row; the summary row
     /// carries the final snapshot of the replay.
@@ -175,6 +179,7 @@ impl EpochRow {
                 self.quota_evicted_fps += victims;
             }
             StackEvent::Snapshot { snap } => self.snap = Some(snap),
+            StackEvent::HostPhase { ns, .. } => self.host_ns += ns,
             StackEvent::RequestDone { .. } => self.requests += 1,
             StackEvent::Finished => {}
         }
@@ -206,6 +211,7 @@ impl EpochRow {
         self.throttle_wait_us += other.throttle_wait_us;
         self.quota_evictions += other.quota_evictions;
         self.quota_evicted_fps += other.quota_evicted_fps;
+        self.host_ns += other.host_ns;
         if other.snap.is_some() {
             self.snap = other.snap;
         }
@@ -266,6 +272,11 @@ impl EpochRow {
                 r#","quota_evictions":{},"quota_evicted_fps":{}"#,
                 self.quota_evictions, self.quota_evicted_fps
             );
+        }
+        // Host time exists only under `host_profiling`; omit-when-zero
+        // keeps every unprofiled recording byte-identical.
+        if self.host_ns > 0 {
+            let _ = write!(out, r#","host_ns":{}"#, self.host_ns);
         }
         if let Some(snap) = &self.snap {
             out.push_str(r#","snap":{"#);
@@ -678,6 +689,39 @@ mod tests {
             summary.get("quota_evictions").and_then(|v| v.as_u64()),
             Some(1)
         );
+    }
+
+    #[test]
+    fn host_ns_serializes_only_when_nonzero() {
+        // Unprofiled rows: no host key at all (pre-profiler format).
+        let mut r = TraceRecorder::new("POD", "mail", 1, 4);
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(!text.contains("host_ns"), "{text}");
+
+        // Profiled rows accumulate and serialize the tally.
+        let mut r = TraceRecorder::new("POD", "mail", 1, 4);
+        r.on_event(&StackEvent::HostPhase {
+            phase: crate::prof::ProfPhase::CacheLookup,
+            ns: 900,
+        });
+        r.on_event(&StackEvent::HostPhase {
+            phase: crate::prof::ProfPhase::DiskRun,
+            ns: 100,
+        });
+        r.on_event(&req_done());
+        r.on_event(&StackEvent::Finished);
+        assert_eq!(r.rows()[0].host_ns, 1_000);
+        assert_eq!(r.totals().host_ns, 1_000);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf, None).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        let summary =
+            crate::obs::json::parse(text.lines().last().expect("summary")).expect("summary parses");
+        assert_eq!(summary.get("host_ns").and_then(|v| v.as_u64()), Some(1_000));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::config::SystemConfig;
 use crate::metrics::{Metrics, Timeline};
 use crate::obs::{IntoObserverChain, ObserverChain, StackCounters, TraceRecorder};
 use crate::oracle::{IntegrityReport, OracleObserver};
+use crate::prof::{HostProfile, ProfSink};
 use crate::scheme::Scheme;
 use crate::stack::{StackSpec, StorageStack};
 use pod_dedup::engine::EngineCounters;
@@ -69,6 +70,10 @@ pub struct ReplayReport {
     /// The integrity oracle's verdict, present only when the replay ran
     /// with [`ReplayBuilder::verify`] enabled.
     pub integrity: Option<IntegrityReport>,
+    /// Host wall-clock time per stack phase (real nanoseconds, not
+    /// simulated), present only when the replay ran with
+    /// [`ReplayBuilder::profile`] enabled.
+    pub profile: Option<HostProfile>,
 }
 
 impl ReplayReport {
@@ -215,6 +220,7 @@ pub(crate) struct BuilderCore {
     pub(crate) cfg: SystemConfig,
     pub(crate) record_epoch: Option<u64>,
     pub(crate) verify: bool,
+    pub(crate) profile: bool,
 }
 
 impl BuilderCore {
@@ -224,6 +230,7 @@ impl BuilderCore {
             cfg: SystemConfig::paper_default(),
             record_epoch: None,
             verify: false,
+            profile: false,
         }
     }
 
@@ -297,6 +304,7 @@ pub(crate) fn collect_report(
         stack: counters,
         timeline,
         integrity,
+        profile: None,
     }
 }
 
@@ -383,6 +391,17 @@ impl<'t> ReplayBuilder<'t> {
         self
     }
 
+    /// Profile host wall-clock time per stack phase: turns on
+    /// [`SystemConfig::host_profiling`], attaches a [`ProfSink`] and
+    /// lands the aggregated [`HostProfile`] in
+    /// [`ReplayReport::profile`]. Off by default — with it off no
+    /// `HostPhase` event is ever emitted and reports are byte-identical
+    /// to a build without the profiler.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.core.profile = profile;
+        self
+    }
+
     /// Replay and return the report.
     pub fn run(self) -> PodResult<ReplayReport> {
         self.run_observed().map(|(report, _)| report)
@@ -391,7 +410,10 @@ impl<'t> ReplayBuilder<'t> {
     /// Replay and also return the observer chain, so attached sinks
     /// (recorders, histograms, custom observers) can be extracted by
     /// type via [`ObserverChain::take_sink`].
-    pub fn run_observed(self) -> PodResult<(ReplayReport, ObserverChain)> {
+    pub fn run_observed(mut self) -> PodResult<(ReplayReport, ObserverChain)> {
+        if self.core.profile {
+            self.core.cfg.host_profiling = true;
+        }
         self.core.cfg.validate()?;
         let trace = self.trace.ok_or_else(|| {
             PodError::InvalidConfig(
@@ -408,7 +430,15 @@ impl<'t> ReplayBuilder<'t> {
                 trace.len(),
             ));
         }
-        replay_stack(&spec, &self.core.cfg, trace, chain, self.core.verify)
+        if self.core.profile {
+            chain.push(ProfSink::new());
+        }
+        let (mut report, mut chain) =
+            replay_stack(&spec, &self.core.cfg, trace, chain, self.core.verify)?;
+        if self.core.profile {
+            report.profile = chain.take_sink::<ProfSink>().map(ProfSink::into_profile);
+        }
+        Ok((report, chain))
     }
 }
 
@@ -800,6 +830,40 @@ mod tests {
         let t = tiny_trace("web-vm");
         let rep = replay(Scheme::Pod, &t);
         assert!(rep.integrity.is_none());
+    }
+
+    #[test]
+    fn profile_lands_in_report_only_when_requested() {
+        let t = tiny_trace("mail");
+        let rep = replay(Scheme::Pod, &t);
+        assert!(rep.profile.is_none(), "off by default");
+        let rep = Scheme::Pod
+            .builder()
+            .config(SystemConfig::test_default())
+            .trace(&t)
+            .profile(true)
+            .run()
+            .expect("replay");
+        let prof = rep.profile.expect("profile attached");
+        assert!(!prof.is_empty(), "host time recorded");
+        assert!(prof.total_ns() > 0);
+        // Every layer share is a valid fraction and they sum to 1.
+        let sum: f64 = prof.layer_shares().iter().map(|&(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum to 1: {sum}");
+        // The hot phases all saw traffic on a mixed trace.
+        use crate::prof::ProfPhase;
+        for p in [
+            ProfPhase::CacheLookup,
+            ProfPhase::DedupClassify,
+            ProfPhase::DiskRun,
+            ProfPhase::Observe,
+        ] {
+            assert!(prof.phase(p).count > 0, "{} phase saw traffic", p.name());
+        }
+        // Profiling must not perturb the simulated result.
+        let base = replay(Scheme::Pod, &t);
+        assert_eq!(base.overall.mean_us(), rep.overall.mean_us());
+        assert_eq!(base.counters, rep.counters);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::config::SystemConfig;
 use crate::metrics::Metrics;
 use crate::obs::{ObserverChain, StackCounters, TraceRecorder};
 use crate::oracle::OracleObserver;
+use crate::prof::{HostProfile, ProfSink};
 use crate::runner::{collect_report, recorder_epoch, warmup_requests, BuilderCore, ReplayReport};
 use crate::scheme::Scheme;
 use crate::stack::{SharedTierTask, StackSpec, StorageStack};
@@ -196,6 +197,10 @@ pub struct ServeAggregate {
     /// Per-tenant logical/physical attribution, ascending tenant id.
     /// Empty when no policy is active.
     pub tenant_capacity: Vec<TenantCapacity>,
+    /// Host wall-clock time per stack phase, merged across every
+    /// tenant stack. Present only when the run was built with
+    /// [`ServeBuilder::profile`] enabled.
+    pub profile: Option<HostProfile>,
 }
 
 impl ServeAggregate {
@@ -216,6 +221,9 @@ impl ServeAggregate {
         self.stack.absorb(&rep.stack);
         self.capacity_used_blocks += rep.capacity_used_blocks;
         self.nvram_peak_bytes += rep.nvram_peak_bytes;
+        if let Some(p) = &rep.profile {
+            self.profile.get_or_insert_with(HostProfile::new).absorb(p);
+        }
     }
 }
 
@@ -419,6 +427,17 @@ impl<'t> ServeBuilder<'t> {
         self
     }
 
+    /// Profile host wall-clock time per stack phase for every tenant
+    /// stack, exactly as
+    /// [`ReplayBuilder::profile`](crate::ReplayBuilder::profile) does
+    /// for a solo run: each tenant's [`HostProfile`] lands in its
+    /// report's [`profile`](ReplayReport::profile) and the merged fleet
+    /// view in [`ServeAggregate::profile`]. Off by default.
+    pub fn profile(mut self, profile: bool) -> Self {
+        self.core.profile = profile;
+        self
+    }
+
     /// Serve and return the report.
     pub fn run(self) -> PodResult<ServeReport> {
         self.run_recorded().map(|(report, _)| report)
@@ -432,7 +451,10 @@ impl<'t> ServeBuilder<'t> {
     /// it returns recorders rather than whole observer chains because
     /// the chains live on worker threads (the remaining builder
     /// divergence, documented on [`observer`](Self::observer)).
-    pub fn run_recorded(self) -> PodResult<(ServeReport, Vec<TraceRecorder>)> {
+    pub fn run_recorded(mut self) -> PodResult<(ServeReport, Vec<TraceRecorder>)> {
+        if self.core.profile {
+            self.core.cfg.host_profiling = true;
+        }
         self.core.cfg.validate()?;
         let tenants = self.tenants.ok_or_else(|| {
             PodError::InvalidConfig(
@@ -463,6 +485,7 @@ impl<'t> ServeBuilder<'t> {
             cfg: &self.core.cfg,
             record_epoch: self.core.record_epoch,
             verify: self.core.verify,
+            profile: self.core.profile,
             fleet_tenants: tenants.len(),
             observer: self.observer.as_deref(),
         };
@@ -539,6 +562,7 @@ struct ShardCtx<'a> {
     cfg: &'a SystemConfig,
     record_epoch: Option<u64>,
     verify: bool,
+    profile: bool,
     /// Fleet-wide tenant count — the shared-tier base slice divides by
     /// this (not the shard-local count) so grants are independent of
     /// how tenants land on shards.
@@ -611,6 +635,9 @@ fn run_shard(ctx: &ShardCtx<'_>, job: ShardJob<'_>) -> PodResult<ShardOutput> {
                 TraceRecorder::new(spec.name, trace.name.clone(), epoch, trace.len())
                     .with_tenant(tenant),
             );
+        }
+        if ctx.profile {
+            chain.push(ProfSink::new());
         }
         let mut stack = StorageStack::with_observer(spec, cfg, trace, chain)?;
         stack.set_tenant(tenant);
@@ -685,7 +712,7 @@ fn run_shard(ctx: &ShardCtx<'_>, job: ShardJob<'_>) -> PodResult<ShardOutput> {
             rep.faults_seen = run.stack.observer().counters().faults_injected;
             rep
         });
-        let report = collect_report(&run.stack, spec.name, run.trace, run.warmup, integrity);
+        let mut report = collect_report(&run.stack, spec.name, run.trace, run.warmup, integrity);
         let capacity = cfg.policy.as_ref().map(|_| {
             (
                 TenantCapacity {
@@ -704,6 +731,9 @@ fn run_shard(ctx: &ShardCtx<'_>, job: ShardJob<'_>) -> PodResult<ShardOutput> {
         });
         requests += run.trace.len() as u64;
         let mut chain = run.stack.into_observer();
+        if ctx.profile {
+            report.profile = chain.take_sink::<ProfSink>().map(ProfSink::into_profile);
+        }
         tenants.push(TenantOutput {
             report: TenantReport {
                 tenant: run.tenant,
@@ -1036,6 +1066,36 @@ mod tests {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn profile_merges_across_tenants_and_stays_off_by_default() {
+        let tenants = fleet(3);
+        let rep = ServeBuilder::new(Scheme::Pod)
+            .config(SystemConfig::test_default())
+            .tenants(&tenants)
+            .shards(2)
+            .run()
+            .expect("serve");
+        assert!(rep.aggregate.profile.is_none(), "off by default");
+        assert!(rep.tenants.iter().all(|t| t.report.profile.is_none()));
+
+        let rep = ServeBuilder::new(Scheme::Pod)
+            .config(SystemConfig::test_default())
+            .tenants(&tenants)
+            .shards(2)
+            .profile(true)
+            .run()
+            .expect("serve");
+        let agg = rep.aggregate.profile.as_ref().expect("fleet profile");
+        assert!(!agg.is_empty());
+        let mut total = 0u64;
+        for t in &rep.tenants {
+            let p = t.report.profile.as_ref().expect("tenant profile");
+            assert!(p.total_ns() > 0, "tenant {} saw host time", t.tenant);
+            total += p.total_ns();
+        }
+        assert_eq!(agg.total_ns(), total, "aggregate is the tenant sum");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use crate::obs::{StackCounters, StackObserver};
 
 use crate::config::{DiskModel, SystemConfig};
 use crate::obs::{FaultKind, IntoObserverChain, Layer, ObserverChain, StackEvent, StateSnapshot};
+use crate::prof::{ProfPhase, ProfTimer};
 use crate::runner::ReplaySizing;
 use pod_dedup::DedupConfig;
 use pod_disk::{ArraySim, JobId, RaidGeometry};
@@ -122,6 +123,12 @@ pub struct StorageStack {
     tenant: u16,
     /// QoS gauges, written by policy tasks and sampled into snapshots.
     qos: QosGauges,
+    /// Host profiling is on ([`SystemConfig::host_profiling`]): each
+    /// profiled phase is wrapped in a [`ProfTimer`] and its elapsed
+    /// host nanoseconds emitted as [`StackEvent::HostPhase`]. Off (the
+    /// default), every timer is inert and no event is emitted — the
+    /// hot path pays one predictable branch per scope.
+    prof: bool,
 }
 
 impl StorageStack {
@@ -238,6 +245,11 @@ impl StorageStack {
             })
             .collect();
 
+        if cfg.host_profiling {
+            // Pay the one-time scope-clock calibration here, not inside
+            // the first profiled phase.
+            crate::prof::calibrate();
+        }
         Ok(Self {
             cache: CacheLayer::new(icache, spec.keying, spec.dedups),
             dedup,
@@ -256,7 +268,29 @@ impl StorageStack {
             corrupt_lba: cfg.faults.as_ref().and_then(|p| p.corrupt_lba),
             tenant: 0,
             qos: QosGauges::default(),
+            prof: cfg.host_profiling,
         })
+    }
+
+    /// Emit the elapsed host time of one profiled scope. No-op when the
+    /// timer never started (profiling off).
+    #[inline]
+    fn prof_emit(&mut self, phase: ProfPhase, timer: ProfTimer) {
+        if let Some(ns) = timer.elapsed_ns() {
+            self.observer.emit(&StackEvent::HostPhase { phase, ns });
+        }
+    }
+
+    /// Emit the host time since the timer's start (or its previous
+    /// lap) and restart it, all on one clock read. The hot paths chain
+    /// their back-to-back phases through this so a request costs about
+    /// one read per phase boundary instead of two per phase — the
+    /// difference between ~3% and ~10% profiler overhead.
+    #[inline]
+    fn prof_lap(&mut self, timer: &mut ProfTimer, phase: ProfPhase) {
+        if let Some(ns) = timer.lap_ns() {
+            self.observer.emit(&StackEvent::HostPhase { phase, ns });
+        }
     }
 
     /// Attribute every subsequent per-request event to `tenant`. The
@@ -290,7 +324,9 @@ impl StorageStack {
 
     /// Advance the disk backend to `t`, completing due work.
     pub fn run_until(&mut self, t: SimTime) {
+        let timer = ProfTimer::start(self.prof);
         self.disk.run_until(t);
+        self.prof_emit(ProfPhase::DiskRun, timer);
     }
 
     /// Process one request through the layers, then run every registered
@@ -308,12 +344,15 @@ impl StorageStack {
         if self.faults_enabled {
             self.drain_fault_events()?;
         }
+        let mut timer = ProfTimer::start(self.prof);
         self.observer.emit(&StackEvent::RequestDone {
             write: req.op.is_write(),
             measured,
             tenant: self.tenant,
         });
+        self.prof_lap(&mut timer, ProfPhase::Observe);
         self.run_tasks(|task, ctx| task.after_request(ctx, idx, req))?;
+        self.prof_lap(&mut timer, ProfPhase::Background);
         // Sample after the background tasks so the snapshot sees the
         // epoch's repartition (if any) already applied.
         self.requests_done += 1;
@@ -327,6 +366,7 @@ impl StorageStack {
     /// one [`StackEvent::Snapshot`]. Allocation-free: the state structs
     /// are `Copy` and built from counters and fixed-size histograms.
     fn sample_snapshot(&mut self) {
+        let timer = ProfTimer::start(self.prof);
         let snap = StateSnapshot {
             seq: self.snap_seq,
             requests: self.requests_done,
@@ -337,6 +377,7 @@ impl StorageStack {
         };
         self.snap_seq += 1;
         self.observer.emit(&StackEvent::Snapshot { snap });
+        self.prof_emit(ProfPhase::Snapshot, timer);
     }
 
     /// Pull queued [`FaultRecord`]s out of the fault layer, surface
@@ -372,11 +413,14 @@ impl StorageStack {
     /// traffic → write-allocate → disk submission (or a direct
     /// completion when the request was fully deduplicated).
     fn on_write(&mut self, idx: usize, req: &IoRequest, measured: bool) -> PodResult<()> {
+        let mut timer = ProfTimer::start(self.prof);
         let hash_lat = self.dedup.hash_latency(req.nblocks);
         let summary = self.dedup.process_write(req)?;
+        self.prof_lap(&mut timer, ProfPhase::DedupClassify);
         self.cache
             .observe_index_traffic(req.chunks.len() as u64, self.dedup.scratch());
         self.cache.write_allocate(req);
+        self.prof_lap(&mut timer, ProfPhase::CacheLookup);
         self.observer.emit(&StackEvent::WriteClassified {
             category: summary.kind,
             deduped_blocks: summary.deduped_blocks,
@@ -390,6 +434,7 @@ impl StorageStack {
             layer: Layer::Dedup,
             us: hash_lat.as_micros() + self.metadata_us,
         });
+        self.prof_lap(&mut timer, ProfPhase::Observe);
 
         let submit = req.arrival + hash_lat + SimDuration::from_micros(self.metadata_us);
         if summary.disk_index_lookups == 0 && self.dedup.scratch().write_extents.is_empty() {
@@ -402,6 +447,7 @@ impl StorageStack {
                 summary.disk_index_lookups,
             );
             self.pending.push((idx, req.arrival, submit, job));
+            self.prof_lap(&mut timer, ProfPhase::DiskSubmit);
         }
         Ok(())
     }
@@ -410,7 +456,9 @@ impl StorageStack {
     /// else fetch the (possibly fragmented) physical extents and fill
     /// the cache.
     fn on_read(&mut self, idx: usize, req: &IoRequest, measured: bool) {
+        let mut timer = ProfTimer::start(self.prof);
         let all_hit = self.cache.lookup_request(&self.dedup, req);
+        self.prof_lap(&mut timer, ProfPhase::CacheLookup);
         self.observer.emit(&StackEvent::ReadLookup {
             hit: all_hit,
             measured,
@@ -421,10 +469,13 @@ impl StorageStack {
                 layer: Layer::Cache,
                 us: self.cache_hit_us,
             });
+            self.prof_lap(&mut timer, ProfPhase::Observe);
             self.direct
                 .push((idx, SimDuration::from_micros(self.cache_hit_us)));
         } else {
+            self.prof_lap(&mut timer, ProfPhase::Observe);
             let plan = self.dedup.plan_read(req);
+            self.prof_lap(&mut timer, ProfPhase::PlanRead);
             self.observer.emit(&StackEvent::ReadFragments {
                 fragments: plan.extents.len() as u64,
                 measured,
@@ -434,10 +485,13 @@ impl StorageStack {
                 layer: Layer::Dedup,
                 us: self.metadata_us,
             });
+            self.prof_lap(&mut timer, ProfPhase::Observe);
             let submit = req.arrival + SimDuration::from_micros(self.metadata_us);
             let job = self.disk.submit_read(submit, &plan.extents);
             self.pending.push((idx, req.arrival, submit, job));
+            self.prof_lap(&mut timer, ProfPhase::DiskSubmit);
             self.cache.fill_request(&self.dedup, req);
+            self.prof_lap(&mut timer, ProfPhase::CacheLookup);
         }
     }
 
@@ -471,8 +525,12 @@ impl StorageStack {
     /// disk-bound request's service time to the disk layer, and emit
     /// the final [`StackEvent::Finished`].
     pub fn finish(&mut self) -> PodResult<()> {
+        let timer = ProfTimer::start(self.prof);
         self.run_tasks(|task, ctx| task.drain(ctx))?;
+        self.prof_emit(ProfPhase::Background, timer);
+        let timer = ProfTimer::start(self.prof);
         self.disk.run_to_idle();
+        self.prof_emit(ProfPhase::DiskRun, timer);
         if self.faults_enabled {
             self.drain_fault_events()?;
             // Silent end-of-replay corruption: flip one stored block's
@@ -489,6 +547,7 @@ impl StorageStack {
         }
         // Disk time is only known at completion: charge (done − submit)
         // per pending job now, in submission order.
+        let timer = ProfTimer::start(self.prof);
         for i in 0..self.pending.len() {
             let (_, _, submit, job) = self.pending[i];
             let done = self
@@ -500,6 +559,7 @@ impl StorageStack {
                 us: (done - submit).as_micros(),
             });
         }
+        self.prof_emit(ProfPhase::DiskCommit, timer);
         // Final snapshot: the end-of-replay state, after drains, unless
         // the boundary sample just covered it.
         if !self.requests_done.is_multiple_of(self.snap_every) || self.snap_seq == 0 {

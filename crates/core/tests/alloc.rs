@@ -7,7 +7,8 @@
 //! `StorageStack::process_request` must perform **zero** heap
 //! allocations — while the stack fans every [`StackEvent`] out to the
 //! built-in counters, a [`LayerHistograms`] sink, an epoch-closing
-//! [`TraceRecorder`] and a custom observer simultaneously. This is the
+//! [`TraceRecorder`], a custom observer and the host wall-clock
+//! profiler (`host_profiling` on, `ProfSink` attached). This is the
 //! zero-allocation contract `pod_core::obs` documents: observation is
 //! counter bumps into fixed-size storage, never per-event boxing.
 //!
@@ -18,8 +19,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pod_core::obs::{LayerHistograms, TraceRecorder};
-use pod_core::{Scheme, StackEvent, StackObserver, StorageStack, SystemConfig};
+use pod_core::obs::{LayerHistograms, ObserverChain, TraceRecorder};
+use pod_core::{ProfSink, Scheme, StackEvent, StackObserver, StorageStack, SystemConfig};
 use pod_trace::Trace;
 use pod_types::{Fingerprint, IoRequest, Lba, SimTime};
 
@@ -126,18 +127,23 @@ fn steady_state_replay_with_full_observer_chain_is_allocation_free() {
         requests: set.clone(),
         memory_budget_bytes: 64 << 20,
     };
-    let cfg = SystemConfig::test_default();
+    let mut cfg = SystemConfig::test_default();
+    // Host profiling on: the hot path additionally reads the monotonic
+    // clock and emits `HostPhase` events, all of which must also be
+    // allocation-free (the zero-allocation contract covers the
+    // profiler — that is what makes its <5% overhead claim credible).
+    cfg.host_profiling = true;
     // The full chain: built-in counters (always on) + per-layer
     // histograms + an epoch-closing recorder (pre-sized far beyond the
-    // requests this test issues) + a custom tally.
+    // requests this test issues) + a custom tally + the host profiler.
     let recorder = TraceRecorder::new("POD", &trace.name, 64, 1 << 20);
-    let mut stack = StorageStack::with_observer(
-        &Scheme::Pod.stack_spec(),
-        &cfg,
-        &trace,
-        (LayerHistograms::new(), recorder, EventTally::default()),
-    )
-    .expect("valid stack");
+    let mut chain = ObserverChain::new();
+    chain.push(LayerHistograms::new());
+    chain.push(recorder);
+    chain.push(EventTally::default());
+    chain.push(ProfSink::new());
+    let mut stack = StorageStack::with_observer(&Scheme::Pod.stack_spec(), &cfg, &trace, chain)
+        .expect("valid stack");
 
     let mut clock = 0u64;
     let mut idx = 0usize;
@@ -167,9 +173,9 @@ fn steady_state_replay_with_full_observer_chain_is_allocation_free() {
 
     assert_eq!(
         best, 0,
-        "steady-state process_request with a 4-sink observer chain \
-         allocated at least {best} times in every one of 8 windows of 32 \
-         replays of a warm working set"
+        "steady-state process_request with a 5-sink observer chain and \
+         host profiling on allocated at least {best} times in every one \
+         of 8 windows of 32 replays of a warm working set"
     );
 
     // The chain really was live the whole time: every sink saw the
@@ -197,4 +203,17 @@ fn steady_state_replay_with_full_observer_chain_is_allocation_free() {
     assert!(hists.total() > 0);
     let rec: TraceRecorder = chain.take_sink().expect("recorder attached");
     assert_eq!(rec.totals().requests, idx as u64);
+    assert!(
+        rec.totals().host_ns > 0,
+        "host time rode the recorded epochs"
+    );
+    let prof = chain
+        .take_sink::<ProfSink>()
+        .expect("profiler attached")
+        .into_profile();
+    assert!(!prof.is_empty(), "profiler saw the replay");
+    assert!(
+        prof.phase(pod_core::ProfPhase::DedupClassify).count >= idx as u64 / 2,
+        "every write was timed"
+    );
 }
